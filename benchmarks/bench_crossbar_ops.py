@@ -1,0 +1,63 @@
+"""Microbenchmarks of the analog primitives.
+
+Measures the *simulator's* wall-clock for the three primitives —
+multiply, solve, O(N) coefficient update — across array sizes.  These
+are the operations whose *modeled hardware* costs are O(1), O(1), and
+O(N); the simulator itself pays O(N^2), O(N^3), O(N), which is what
+the timings here show.  The modeled-cost assertions live in the cost
+model; this bench guards the simulator's own scalability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import AnalogMatrixOperator
+from repro.devices import YAKOPCIC_NAECON14
+
+
+def make_operator(n, seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.1, 1.0, size=(n, n)) + np.eye(n)
+    return (
+        AnalogMatrixOperator(
+            matrix,
+            params=YAKOPCIC_NAECON14,
+            rng=rng,
+            scale_headroom=2.0,
+        ),
+        rng,
+    )
+
+
+@pytest.mark.benchmark(group="ops-multiply")
+@pytest.mark.parametrize("n", [64, 256])
+def test_multiply(benchmark, n):
+    op, rng = make_operator(n)
+    x = rng.uniform(-1, 1, size=n)
+    y = benchmark(op.multiply, x)
+    assert y.shape == (n,)
+
+
+@pytest.mark.benchmark(group="ops-solve")
+@pytest.mark.parametrize("n", [64, 256])
+def test_solve(benchmark, n):
+    op, rng = make_operator(n)
+    b = rng.uniform(-1, 1, size=n)
+    x = benchmark(op.solve, b)
+    assert x.shape == (n,)
+
+
+@pytest.mark.benchmark(group="ops-update")
+@pytest.mark.parametrize("n", [64, 256])
+def test_diagonal_update(benchmark, n):
+    op, rng = make_operator(n)
+    idx = np.arange(n)
+
+    def update():
+        values = rng.uniform(0.5, 1.5, size=n)
+        op.update_coefficients(
+            idx, idx, values, floor_to_representable=True
+        )
+
+    benchmark(update)
+    assert op.write_report.cells_written > 0

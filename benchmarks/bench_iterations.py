@@ -1,0 +1,65 @@
+"""EXP-ITER: iteration counts and detection iterations.
+
+Section 4.3-4.5 discuss how process variation affects iteration
+counts (Solver 1's latency grows with variation through iterations;
+Solver 2's constant-step iteration count barely moves).  This bench
+regenerates those series plus the infeasibility-detection iteration
+counts.
+"""
+
+import pytest
+
+from repro.experiments import (
+    accuracy_sweep,
+    infeasibility_sweep,
+    render_accuracy,
+    render_infeasibility,
+)
+
+
+@pytest.mark.benchmark(group="iterations")
+def test_iteration_counts_by_variation(benchmark, small_sweep_config):
+    def run():
+        s1 = accuracy_sweep("crossbar", small_sweep_config)
+        s2 = accuracy_sweep("large_scale", small_sweep_config)
+        print()
+        print("=== iteration counts (Solver 1) ===")
+        print(render_accuracy(s1))
+        print("=== iteration counts (Solver 2) ===")
+        print(render_accuracy(s2))
+        return s1, s2
+
+    s1_rows, s2_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in s1_rows + s2_rows:
+        if row.iterations.count:
+            assert row.iterations.mean < 300
+
+    # Solver 2 (small split arrays + capped-constant step) uses fewer
+    # iterations than Solver 1 at the same cells in most cells.
+    wins = sum(
+        1
+        for r1, r2 in zip(s1_rows, s2_rows)
+        if r1.iterations.count
+        and r2.iterations.count
+        and r2.iterations.mean <= r1.iterations.mean
+    )
+    assert wins >= len(s1_rows) / 2
+
+
+@pytest.mark.benchmark(group="iterations")
+def test_detection_iterations(benchmark, small_sweep_config):
+    def run():
+        rows = infeasibility_sweep("crossbar", small_sweep_config)
+        print()
+        print("=== infeasibility detection ===")
+        print(render_infeasibility(rows))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = sum(row.trials for row in rows)
+    detected = sum(row.detected for row in rows)
+    assert detected >= 0.75 * total
+    for row in rows:
+        if row.iterations.count:
+            # Detection is fast: well under the iteration cap.
+            assert row.iterations.mean < 100

@@ -1,0 +1,93 @@
+"""EXP-NOC: Fig. 3 architecture comparison.
+
+The paper sketches hierarchical and mesh analog NoCs without measured
+data; this bench generates the architectural comparison the figure
+implies: communication cost of a tiled multiply under each topology as
+the tile grid grows, plus tiled-vs-monolithic accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.devices import YAKOPCIC_NAECON14
+from repro.noc import HierarchicalNoc, MeshNoc, TiledMatrixOperator
+
+
+def run_tiled(n, tile, topology_cls, seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.1, 1.0, size=(n, n))
+    grid = -(-n // tile)
+    op = TiledMatrixOperator(
+        matrix,
+        tile,
+        params=YAKOPCIC_NAECON14,
+        rng=rng,
+        topology=topology_cls(grid, grid),
+    )
+    x = rng.uniform(-1, 1, size=n)
+    y = op.multiply(x)
+    error = float(
+        np.max(np.abs(y - matrix @ x)) / np.max(np.abs(matrix @ x))
+    )
+    return op, error
+
+
+@pytest.mark.benchmark(group="noc")
+def test_topology_comparison(benchmark):
+    def run():
+        rows = []
+        for n in (32, 64, 128):
+            for name, cls in (
+                ("mesh", MeshNoc),
+                ("hierarchical", HierarchicalNoc),
+            ):
+                op, error = run_tiled(n, 16, cls)
+                rows.append(
+                    [
+                        name,
+                        n,
+                        op.n_tiles,
+                        op.noc_transfers,
+                        op.noc_latency_s * 1e9,
+                        op.noc_energy_j * 1e12,
+                        error,
+                    ]
+                )
+        print()
+        print("=== Fig. 3 NoC comparison (one tiled multiply) ===")
+        print(
+            render_table(
+                [
+                    "topology",
+                    "N",
+                    "tiles",
+                    "transfers",
+                    "latency_ns",
+                    "energy_pJ",
+                    "rel_err",
+                ],
+                rows,
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Accuracy is preserved under tiling regardless of topology.
+    for row in rows:
+        assert row[-1] < 0.02
+    # The hierarchy's log-diameter beats the mesh's linear diameter on
+    # the largest grid.
+    mesh_large = [r for r in rows if r[0] == "mesh" and r[1] == 128][0]
+    hier_large = [
+        r for r in rows if r[0] == "hierarchical" and r[1] == 128
+    ][0]
+    assert hier_large[4] <= mesh_large[4]
+
+
+@pytest.mark.benchmark(group="noc")
+def test_tiled_multiply_scales(benchmark):
+    op, _ = run_tiled(128, 16, MeshNoc)
+    x = np.random.default_rng(1).uniform(-1, 1, size=128)
+    y = benchmark(op.multiply, x)
+    assert y.shape == (128,)

@@ -1,0 +1,45 @@
+"""EXP-PARASITICS: the IR-drop tile-size study.
+
+Supports the Section 3.4 motivation for the NoC: one crossbar cannot
+grow arbitrarily because wire IR drop corrupts the analog read-out.
+Regenerates the error-vs-size-vs-wire-resistance table and the
+maximum usable tile size under an error budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    max_usable_tile,
+    parasitics_sweep,
+    render_parasitics,
+)
+
+
+@pytest.mark.benchmark(group="parasitics")
+def test_ir_drop_tile_size_study(benchmark):
+    def run():
+        rows = parasitics_sweep(
+            sizes=(8, 16, 32),
+            wire_resistances=(0.5, 2.0, 5.0),
+            samples=3,
+            rng=np.random.default_rng(0),
+        )
+        print()
+        print("=== IR-drop study (Section 3.4 motivation) ===")
+        print(render_parasitics(rows))
+        budget = max_usable_tile(rows, 0.02)
+        print("max tile within 2% error budget:", budget)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Error grows with both size and wire resistance.
+    by_key = {
+        (row.size, row.wire_resistance): row.ir_drop_error
+        for row in rows
+    }
+    assert by_key[(32, 2.0)] > by_key[(8, 2.0)]
+    assert by_key[(16, 5.0)] > by_key[(16, 0.5)]
+    # The budget shrinks as wires worsen.
+    budgets = max_usable_tile(rows, 0.02)
+    assert budgets[0.5] >= budgets[5.0]

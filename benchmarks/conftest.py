@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+The paper's full grid (constraints to 1024, 100 trials per cell, four
+variation levels) takes hours of simulation; the benchmark suite runs
+a scaled-down grid by default so ``pytest benchmarks/
+--benchmark-only`` completes in minutes while preserving every
+figure's *shape* (who wins, how errors trend with size/variation).
+
+Set ``REPRO_BENCH_SCALE=paper`` to run the full Section 4.2 grid.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import SweepConfig, paper_scale
+
+
+def bench_config() -> SweepConfig:
+    """The sweep grid benchmarks run (env-switchable)."""
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        return paper_scale()
+    return SweepConfig(
+        sizes=(8, 16, 32, 64),
+        variations=(0, 5, 10, 20),
+        trials=3,
+    )
+
+
+def quick_config() -> SweepConfig:
+    """A minimal grid for the heavier per-cell experiments."""
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        return paper_scale()
+    return SweepConfig(sizes=(16, 48), variations=(0, 10), trials=3)
+
+
+@pytest.fixture(scope="session")
+def sweep_config():
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def small_sweep_config():
+    return quick_config()

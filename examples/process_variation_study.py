@@ -1,0 +1,37 @@
+"""Process-variation robustness study (a miniature of Fig. 5).
+
+Run:  python examples/process_variation_study.py
+
+Sweeps the variation level 0-20% for both crossbar solvers over a
+batch of random LPs and prints the relative-error tables — the
+experiment behind the paper's headline claim that "even for up to 20%
+process variation, relative error can be as low as 1%".
+"""
+
+from repro.experiments import (
+    SweepConfig,
+    accuracy_sweep,
+    render_accuracy,
+)
+
+
+def main():
+    config = SweepConfig(
+        sizes=(16, 48),
+        variations=(0, 5, 10, 20),
+        trials=5,
+        seed=2016,
+    )
+    print("Sweep grid:", config)
+    for solver, figure in (("crossbar", "5(a)"), ("large_scale", "5(b)")):
+        rows = accuracy_sweep(solver, config)
+        print(f"\n=== Fig. {figure}: {solver} ===")
+        print(render_accuracy(rows))
+    print(
+        "\nPaper bands: 0.2%-9.9% (Solver 1), 0.8%-8.5% (Solver 2); "
+        "errors grow with variation and shrink with size."
+    )
+
+
+if __name__ == "__main__":
+    main()

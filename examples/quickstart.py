@@ -1,0 +1,95 @@
+"""Quickstart: solve a small LP on the simulated memristor crossbar.
+
+Run:  python examples/quickstart.py
+
+Builds a 3-variable production problem, solves it with the software
+PDIP reference, Solver 1 (the crossbar PDIP of Algorithm 1), and
+Solver 2 (the large-scale split solver of Algorithm 2), under ideal
+hardware and under 10% process variation, and prints the comparison.
+"""
+
+import numpy as np
+
+from repro import (
+    CrossbarSolverSettings,
+    LinearProgram,
+    ScalableSolverSettings,
+    UniformVariation,
+    solve_crossbar,
+    solve_crossbar_large_scale,
+    solve_reference,
+)
+
+# maximize 5 x1 + 4 x2 + 3 x3
+# s.t.     2 x1 + 3 x2 +   x3 <= 5
+#          4 x1 +   x2 + 2 x3 <= 11
+#          3 x1 + 4 x2 + 2 x3 <= 8
+#          x >= 0          (optimum: x = (2, 0, 1), value 13)
+problem = LinearProgram(
+    c=np.array([5.0, 4.0, 3.0]),
+    A=np.array(
+        [
+            [2.0, 3.0, 1.0],
+            [4.0, 1.0, 2.0],
+            [3.0, 4.0, 2.0],
+        ]
+    ),
+    b=np.array([5.0, 11.0, 8.0]),
+    name="quickstart",
+)
+
+
+def report(label, result):
+    x = ", ".join(f"{v:.3f}" for v in result.x)
+    print(
+        f"{label:32s} status={result.status!s:10s} "
+        f"objective={result.objective:8.4f}  x=({x})  "
+        f"iterations={result.iterations}"
+    )
+
+
+def main():
+    print(f"Problem: {problem}")
+    print("Known optimum: x = (2, 0, 1), objective = 13\n")
+
+    report("software PDIP", solve_reference(problem))
+    report(
+        "Solver 1 (ideal hardware)",
+        solve_crossbar(problem, rng=np.random.default_rng(0)),
+    )
+    report(
+        "Solver 1 (10% variation)",
+        solve_crossbar(
+            problem,
+            CrossbarSolverSettings(variation=UniformVariation(0.10)),
+            rng=np.random.default_rng(1),
+        ),
+    )
+    report(
+        "Solver 2 (ideal hardware)",
+        solve_crossbar_large_scale(
+            problem, rng=np.random.default_rng(2)
+        ),
+    )
+    report(
+        "Solver 2 (10% variation)",
+        solve_crossbar_large_scale(
+            problem,
+            ScalableSolverSettings(variation=UniformVariation(0.10)),
+            rng=np.random.default_rng(3),
+        ),
+    )
+
+    result = solve_crossbar(problem, rng=np.random.default_rng(0))
+    counters = result.crossbar
+    print(
+        f"\nCrossbar activity (Solver 1, ideal): "
+        f"{counters.multiplies} analog multiplies, "
+        f"{counters.solves} analog solves, "
+        f"{counters.cells_written} cells written "
+        f"({counters.write_pulses} pulses)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Regenerate any of the paper's figures/tables from the command line.
+
+Usage:
+    python examples/reproduce_figures.py fig5a [--paper-scale]
+    python examples/reproduce_figures.py fig5b fig6a fig7b
+    python examples/reproduce_figures.py all
+
+Targets: fig5a fig5b fig6a fig6b fig7a fig7b infeasibility all
+
+``--paper-scale`` runs the full Section 4.2 grid (constraints to 1024,
+100 trials per cell) — hours of simulation; the default grid preserves
+every figure's shape in minutes.
+"""
+
+import argparse
+
+from repro.experiments import (
+    SweepConfig,
+    accuracy_sweep,
+    energy_sweep,
+    infeasibility_sweep,
+    latency_sweep,
+    paper_scale,
+    render_accuracy,
+    render_energy,
+    render_infeasibility,
+    render_latency,
+)
+
+TARGETS = {
+    "fig5a": ("accuracy", "crossbar"),
+    "fig5b": ("accuracy", "large_scale"),
+    "fig6a": ("latency", "crossbar"),
+    "fig6b": ("latency", "large_scale"),
+    "fig7a": ("energy", "crossbar"),
+    "fig7b": ("energy", "large_scale"),
+    "infeasibility": ("infeasibility", "crossbar"),
+}
+
+RUNNERS = {
+    "accuracy": (accuracy_sweep, render_accuracy),
+    "latency": (latency_sweep, render_latency),
+    "energy": (energy_sweep, render_energy),
+    "infeasibility": (infeasibility_sweep, render_infeasibility),
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures as text tables."
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        choices=sorted(TARGETS) + ["all"],
+        help="figures to regenerate",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the full Section 4.2 grid (slow)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="override trials per cell",
+    )
+    args = parser.parse_args()
+
+    config = paper_scale() if args.paper_scale else SweepConfig()
+    if args.trials is not None:
+        config = SweepConfig(
+            sizes=config.sizes,
+            variations=config.variations,
+            trials=args.trials,
+            seed=config.seed,
+        )
+
+    targets = (
+        sorted(TARGETS) if "all" in args.targets else args.targets
+    )
+    for target in targets:
+        experiment, solver = TARGETS[target]
+        sweep, render = RUNNERS[experiment]
+        print(f"\n=== {target} ({experiment}, {solver}) ===")
+        print(render(sweep(solver, config)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Memristor-crossbar linear program solver (PDIP) — paper reproduction.
+
+Reproduction of Cai, Ren, Soundarajan & Wang, *"A Low-Computation-
+Complexity, Energy-Efficient, and High-Performance Linear Program
+Solver based on Primal Dual Interior Point Method Using Memristor
+Crossbars"* (SOCC 2016 / Nano Communication Networks 2018).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import LinearProgram, solve_crossbar
+>>> lp = LinearProgram(
+...     c=np.array([3.0, 2.0]),
+...     A=np.array([[1.0, 1.0], [2.0, 0.5]]),
+...     b=np.array([4.0, 5.0]),
+... )
+>>> result = solve_crossbar(lp, rng=np.random.default_rng(0))
+>>> result.status
+<SolveStatus.OPTIMAL: 'optimal'>
+
+Subpackages
+-----------
+- :mod:`repro.core` — the PDIP solvers (software reference, Solver 1,
+  Solver 2) and problem types.
+- :mod:`repro.crossbar` — the analog crossbar simulator.
+- :mod:`repro.devices` — memristor device models and variation.
+- :mod:`repro.noc` — multi-tile scale-out (Fig. 3).
+- :mod:`repro.baselines` — simplex, iterative solvers, scipy adapter.
+- :mod:`repro.costmodel` — latency/energy estimation (Figs. 6-7).
+- :mod:`repro.workloads` — random/routing/scheduling LP generators.
+- :mod:`repro.experiments` — figure/table regeneration harness.
+"""
+
+from repro.core import (
+    CrossbarPDIPSolver,
+    CrossbarSolverSettings,
+    LargeScaleCrossbarPDIPSolver,
+    LinearProgram,
+    PDIPSettings,
+    ScalableSolverSettings,
+    SolverResult,
+    SolveStatus,
+    solve_crossbar,
+    solve_crossbar_large_scale,
+    solve_reference,
+)
+from repro.crossbar import AnalogMatrixOperator
+from repro.devices import (
+    HP_TIO2,
+    YAKOPCIC_NAECON14,
+    DeviceParameters,
+    NoVariation,
+    UniformVariation,
+    variation_from_percent,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "LinearProgram",
+    "SolverResult",
+    "SolveStatus",
+    "PDIPSettings",
+    "CrossbarSolverSettings",
+    "ScalableSolverSettings",
+    "solve_reference",
+    "solve_crossbar",
+    "solve_crossbar_large_scale",
+    "CrossbarPDIPSolver",
+    "LargeScaleCrossbarPDIPSolver",
+    "AnalogMatrixOperator",
+    "DeviceParameters",
+    "HP_TIO2",
+    "YAKOPCIC_NAECON14",
+    "NoVariation",
+    "UniformVariation",
+    "variation_from_percent",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``solve`` — solve a random LP of a given size on a chosen solver and
+  print the outcome (a smoke test of the whole stack).
+- ``figures`` — regenerate the paper's figure tables (same engine as
+  ``examples/reproduce_figures.py``).
+- ``parasitics`` — the IR-drop tile-size study.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import solve_scipy
+from repro.costmodel import estimate_energy, estimate_latency
+from repro.experiments import (
+    SweepConfig,
+    accuracy_sweep,
+    energy_sweep,
+    infeasibility_sweep,
+    latency_sweep,
+    max_usable_tile,
+    paper_scale,
+    parasitics_sweep,
+    render_accuracy,
+    render_energy,
+    render_infeasibility,
+    render_latency,
+    render_parasitics,
+    settings_for,
+    solver_for,
+)
+from repro.workloads import random_feasible_lp
+
+_FIGURES = {
+    "fig5a": (accuracy_sweep, render_accuracy, "crossbar"),
+    "fig5b": (accuracy_sweep, render_accuracy, "large_scale"),
+    "fig6a": (latency_sweep, render_latency, "crossbar"),
+    "fig6b": (latency_sweep, render_latency, "large_scale"),
+    "fig7a": (energy_sweep, render_energy, "crossbar"),
+    "fig7b": (energy_sweep, render_energy, "large_scale"),
+    "infeasibility": (
+        infeasibility_sweep,
+        render_infeasibility,
+        "crossbar",
+    ),
+}
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    problem = random_feasible_lp(args.constraints, rng=rng)
+    truth = solve_scipy(problem)
+    solve = solver_for(args.solver, args.variation)
+    result = solve(problem, np.random.default_rng(args.seed + 1))
+    print(f"problem: {problem}")
+    print(f"scipy optimum: {truth.objective:.6g}")
+    print(
+        f"{args.solver}: status={result.status} "
+        f"objective={result.objective:.6g} "
+        f"iterations={result.iterations}"
+    )
+    if truth.objective:
+        error = abs(result.objective - truth.objective) / abs(
+            truth.objective
+        )
+        print(f"relative error: {error:.4%}")
+    if result.crossbar is not None:
+        settings = settings_for(args.solver, args.variation)
+        latency = estimate_latency(result, settings.device)
+        energy = estimate_energy(result, settings.device)
+        print(
+            f"modeled hardware: {latency.total_s * 1e3:.3f} ms, "
+            f"{energy.total_j * 1e3:.3f} mJ"
+        )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    config = paper_scale() if args.paper_scale else SweepConfig()
+    targets = sorted(_FIGURES) if "all" in args.targets else args.targets
+    for target in targets:
+        sweep, render, solver = _FIGURES[target]
+        print(f"\n=== {target} ({solver}) ===")
+        print(render(sweep(solver, config)))
+    return 0
+
+
+def _cmd_parasitics(args: argparse.Namespace) -> int:
+    rows = parasitics_sweep()
+    print(render_parasitics(rows))
+    budgets = max_usable_tile(rows, args.budget)
+    print(f"\nmax tile size within {args.budget:.1%} IR-drop budget:")
+    for resistance, size in sorted(budgets.items()):
+        label = str(size) if size else "none sampled"
+        print(f"  wire {resistance:4.1f} ohm -> {label}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memristor-crossbar LP solver (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve a random LP")
+    solve.add_argument("--constraints", type=int, default=24)
+    solve.add_argument(
+        "--solver",
+        choices=("crossbar", "large_scale", "reference"),
+        default="crossbar",
+    )
+    solve.add_argument("--variation", type=float, default=0.0,
+                       help="process variation percent (e.g. 10)")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.set_defaults(func=_cmd_solve)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's figure tables"
+    )
+    figures.add_argument(
+        "targets", nargs="+", choices=sorted(_FIGURES) + ["all"]
+    )
+    figures.add_argument("--paper-scale", action="store_true")
+    figures.set_defaults(func=_cmd_figures)
+
+    parasitics = sub.add_parser(
+        "parasitics", help="IR-drop tile-size study"
+    )
+    parasitics.add_argument("--budget", type=float, default=0.02)
+    parasitics.set_defaults(func=_cmd_parasitics)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Metrics and report rendering."""
+
+from repro.analysis.export import rows_to_records, write_csv, write_json
+from repro.analysis.metrics import SampleStats, relative_error
+from repro.analysis.tables import format_cell, render_table
+
+__all__ = [
+    "relative_error",
+    "SampleStats",
+    "render_table",
+    "format_cell",
+    "rows_to_records",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,62 @@
+"""Export experiment rows to CSV/JSON for external plotting.
+
+The experiment sweeps return lists of frozen dataclasses (possibly
+containing nested :class:`~repro.analysis.metrics.SampleStats`); these
+helpers flatten them into plain records and write standard formats so
+the figures can be re-plotted outside Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+
+
+def _flatten(record: dict, prefix: str = "") -> dict:
+    flat: dict = {}
+    for key, value in record.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def rows_to_records(rows: list) -> list[dict]:
+    """Flatten a list of experiment dataclasses to plain dicts.
+
+    Nested dataclasses (e.g. ``error: SampleStats``) become dotted
+    columns (``error.mean``); computed properties that the row classes
+    expose (speedups, rates) are not included — recompute them from
+    the flattened fields or read them off the rendered tables.
+    """
+    records = []
+    for row in rows:
+        if not dataclasses.is_dataclass(row):
+            raise TypeError(f"expected a dataclass row, got {type(row)}")
+        records.append(_flatten(dataclasses.asdict(row)))
+    return records
+
+
+def write_csv(rows: list, path: str | Path) -> Path:
+    """Write experiment rows as CSV; returns the path written."""
+    records = rows_to_records(rows)
+    if not records:
+        raise ValueError("no rows to write")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def write_json(rows: list, path: str | Path) -> Path:
+    """Write experiment rows as a JSON array; returns the path."""
+    records = rows_to_records(rows)
+    path = Path(path)
+    path.write_text(json.dumps(records, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,54 @@
+"""Metrics and summary statistics for experiment results."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+def relative_error(value: float, reference: float) -> float:
+    """Scaled error ``|value - reference| / (1 + |reference|)``.
+
+    The accuracy measure of Fig. 5: optimal values from the crossbar
+    solvers compared against the software ground truth.  The ``1 +``
+    in the denominator is the standard LP-benchmarking guard: tiny
+    problems can have a true optimum of exactly zero, where a plain
+    relative error is undefined and a near-zero answer would otherwise
+    explode the statistic.
+    """
+    return abs(value - reference) / (1.0 + abs(reference))
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleStats:
+    """Summary statistics of a sample.
+
+    Attributes
+    ----------
+    count:
+        Number of samples.
+    mean / std / minimum / maximum:
+        The usual moments; all 0 for an empty sample.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "SampleStats":
+        """Compute statistics (population std) from a list."""
+        if not samples:
+            return cls(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+        count = len(samples)
+        mean = sum(samples) / count
+        variance = sum((s - mean) ** 2 for s in samples) / count
+        return cls(
+            count=count,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(samples),
+            maximum=max(samples),
+        )

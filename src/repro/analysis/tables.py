@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+
+def format_cell(value) -> str:
+    """Human formatting: floats get 4 significant digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """Render an aligned monospace table with a header rule."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[format_cell(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(values: list[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    rule = "  ".join("-" * w for w in widths)
+    body = [line(headers), rule]
+    body.extend(line(row) for row in cells)
+    return "\n".join(body)

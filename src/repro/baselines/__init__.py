@@ -1,0 +1,18 @@
+"""Software comparators: simplex, iterative linear solvers, scipy."""
+
+from repro.baselines.gauss_seidel import (
+    IterativeSolveResult,
+    gauss_seidel,
+    jacobi,
+)
+from repro.baselines.scipy_linprog import solve_scipy, timed_solve_scipy
+from repro.baselines.simplex import solve_simplex
+
+__all__ = [
+    "solve_simplex",
+    "solve_scipy",
+    "timed_solve_scipy",
+    "jacobi",
+    "gauss_seidel",
+    "IterativeSolveResult",
+]

@@ -1,0 +1,220 @@
+"""Revised simplex method (Dantzig) with Bland anti-cycling.
+
+The paper's background section contrasts interior-point methods with
+the simplex algorithm, "extremely efficient in practice, but has
+exponential running time in the worst case".  This implementation
+serves as an independent software comparator: maximization problems in
+the package's standard form (max c'x, Ax <= b, x >= 0) are solved by
+adding slack variables and running the revised simplex method on the
+resulting equality form.
+
+Phase handling: the standard form here always admits the slack basis
+when ``b >= 0``; when some ``b_i < 0`` a Phase-I run with artificial
+variables finds a feasible basis first (or proves infeasibility).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+from repro.core.result import SolverResult, SolveStatus
+
+
+class _SimplexOutcome:
+    """Internal simplex verdicts."""
+
+    OPTIMAL = "optimal"
+    UNBOUNDED = "unbounded"
+    INFEASIBLE = "infeasible"
+    CYCLING_LIMIT = "cycling_limit"
+
+
+def _revised_simplex(
+    A: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    basis: np.ndarray,
+    *,
+    max_pivots: int,
+    bland: bool = True,
+) -> tuple[str, np.ndarray, np.ndarray, int]:
+    """Core revised simplex on max c'v s.t. A v = b, v >= 0.
+
+    Parameters
+    ----------
+    A, b, c:
+        Equality-form data; ``b`` must be >= 0 relative to the starting
+        basis (i.e. the basis must be primal feasible).
+    basis:
+        Indices of the starting basic variables (len m).
+    max_pivots:
+        Pivot cap; hitting it returns ``CYCLING_LIMIT``.
+    bland:
+        Use Bland's smallest-index rule (anti-cycling).  When False, a
+        most-positive reduced-cost (Dantzig) rule is used.
+
+    Returns
+    -------
+    (outcome, v, basis, pivots)
+    """
+    m, n_total = A.shape
+    basis = np.array(basis, dtype=int)
+    pivots = 0
+    while pivots < max_pivots:
+        B = A[:, basis]
+        try:
+            x_b = np.linalg.solve(B, b)
+            lam = np.linalg.solve(B.T, c[basis])
+        except np.linalg.LinAlgError:
+            # Degenerate basis matrix; treat as a cycling failure.
+            return _SimplexOutcome.CYCLING_LIMIT, np.zeros(n_total), basis, (
+                pivots
+            )
+        reduced = c - A.T @ lam
+        reduced[basis] = 0.0
+        candidates = np.flatnonzero(reduced > 1e-10)
+        if candidates.size == 0:
+            v = np.zeros(n_total)
+            v[basis] = x_b
+            return _SimplexOutcome.OPTIMAL, v, basis, pivots
+        if bland:
+            entering = int(candidates[0])
+        else:
+            entering = int(candidates[np.argmax(reduced[candidates])])
+        direction = np.linalg.solve(B, A[:, entering])
+        positive = direction > 1e-12
+        if not np.any(positive):
+            v = np.zeros(n_total)
+            v[basis] = x_b
+            return _SimplexOutcome.UNBOUNDED, v, basis, pivots
+        ratios = np.full(m, np.inf)
+        ratios[positive] = x_b[positive] / direction[positive]
+        leaving_row = int(np.argmin(ratios))
+        if bland:
+            # Among ties, pick the basic variable with smallest index.
+            tie = np.flatnonzero(
+                np.isclose(ratios, ratios[leaving_row], rtol=0, atol=1e-12)
+            )
+            leaving_row = int(tie[np.argmin(basis[tie])])
+        basis[leaving_row] = entering
+        pivots += 1
+    return _SimplexOutcome.CYCLING_LIMIT, np.zeros(n_total), basis, pivots
+
+
+def solve_simplex(
+    problem: LinearProgram,
+    *,
+    max_pivots: int | None = None,
+) -> SolverResult:
+    """Solve an LP with the revised simplex method.
+
+    Parameters
+    ----------
+    problem:
+        max c'x s.t. Ax <= b, x >= 0.
+    max_pivots:
+        Pivot cap per phase; defaults to ``50 * (n + m)``.
+
+    Returns
+    -------
+    SolverResult
+        OPTIMAL with primal x (duals y from the final basis multiplier,
+        slacks filled in), INFEASIBLE, or NUMERICAL_FAILURE for
+        unbounded problems / pivot-cap hits (with an explanatory
+        message — the standard form cannot express "unbounded" in
+        :class:`SolveStatus`, which mirrors the paper's solver
+        statuses).
+    """
+    A = problem.A
+    b = problem.b
+    c = problem.c
+    m, n = A.shape
+    if max_pivots is None:
+        max_pivots = 50 * (n + m)
+
+    # Equality form: [A I][x; s] = b.
+    A_eq = np.hstack([A, np.eye(m)])
+    c_eq = np.concatenate([c, np.zeros(m)])
+
+    if np.all(b >= 0):
+        basis = np.arange(n, n + m)
+    else:
+        # Phase I: minimize sum of artificials.  Flip rows with b < 0 so
+        # the artificial basis is feasible.
+        signs = np.where(b < 0, -1.0, 1.0)
+        A1 = np.hstack([A_eq * signs[:, None], np.eye(m)])
+        b1 = b * signs
+        c1 = np.concatenate([np.zeros(n + m), -np.ones(m)])
+        basis1 = np.arange(n + m, n + 2 * m)
+        outcome, v1, basis1, pivots1 = _revised_simplex(
+            A1, b1, c1, basis1, max_pivots=max_pivots
+        )
+        if outcome != _SimplexOutcome.OPTIMAL:
+            return _failure(problem, f"phase-1 {outcome}")
+        if v1[n + m:].sum() > 1e-7:
+            return SolverResult(
+                status=SolveStatus.INFEASIBLE,
+                x=np.zeros(n),
+                y=np.zeros(m),
+                w=np.zeros(m),
+                z=np.zeros(n),
+                objective=0.0,
+                iterations=pivots1,
+                message="phase-1 optimum leaves artificials basic",
+            )
+        if np.any(basis1 >= n + m):
+            # Drive leftover (zero-valued) artificials out of the basis
+            # where possible; rows where we cannot are redundant.
+            for row, var in enumerate(basis1):
+                if var < n + m:
+                    continue
+                B = A1[:, basis1]
+                candidates = [
+                    j
+                    for j in range(n + m)
+                    if j not in basis1
+                    and abs(np.linalg.solve(B, A1[:, j])[row]) > 1e-9
+                ]
+                if candidates:
+                    basis1[row] = candidates[0]
+        if np.any(basis1 >= n + m):
+            return _failure(problem, "redundant rows left artificials basic")
+        basis = basis1
+        # Undo the row sign flips for phase II.
+        A_eq = A_eq
+    outcome, v, basis, pivots = _revised_simplex(
+        A_eq, b, c_eq, basis, max_pivots=max_pivots
+    )
+    if outcome == _SimplexOutcome.OPTIMAL:
+        x = v[:n]
+        slack = v[n:]
+        lam = np.linalg.solve(A_eq[:, basis].T, c_eq[basis])
+        y = np.maximum(lam, 0.0)
+        z = np.maximum(A.T @ y - c, 0.0)
+        return SolverResult(
+            status=SolveStatus.OPTIMAL,
+            x=x,
+            y=y,
+            w=slack,
+            z=z,
+            objective=problem.objective(x),
+            iterations=pivots,
+        )
+    if outcome == _SimplexOutcome.UNBOUNDED:
+        return _failure(problem, "objective unbounded above")
+    return _failure(problem, outcome)
+
+
+def _failure(problem: LinearProgram, message: str) -> SolverResult:
+    m, n = problem.A.shape
+    return SolverResult(
+        status=SolveStatus.NUMERICAL_FAILURE,
+        x=np.zeros(n),
+        y=np.zeros(m),
+        w=np.zeros(m),
+        z=np.zeros(n),
+        objective=0.0,
+        iterations=0,
+        message=message,
+    )

@@ -1,0 +1,68 @@
+"""The paper's primary contribution: crossbar-based PDIP LP solvers.
+
+Public entry points:
+
+- :class:`~repro.core.problem.LinearProgram` — problem definition.
+- :func:`~repro.core.reference_pdip.solve_reference` — software PDIP
+  baseline (dense Newton solves on the CPU).
+- :class:`~repro.core.crossbar_solver.CrossbarPDIPSolver` /
+  :func:`~repro.core.crossbar_solver.solve_crossbar` — Solver 1
+  (Algorithm 1): the whole augmented Newton system on one crossbar.
+- :class:`~repro.core.scalable_solver.LargeScaleCrossbarPDIPSolver` /
+  :func:`~repro.core.scalable_solver.solve_crossbar_large_scale` —
+  Solver 2 (Algorithm 2): the split iteration for large problems.
+"""
+
+from repro.core.crossbar_solver import CrossbarPDIPSolver, solve_crossbar
+from repro.core.negative import NegativeElimination, eliminate_negatives
+from repro.core.newton import (
+    AugmentedNewtonSystem,
+    newton_matrix,
+    newton_rhs,
+)
+from repro.core.problem import (
+    LinearProgram,
+    from_minimization,
+    with_equalities,
+)
+from repro.core.reference_pdip import solve_reference
+from repro.core.result import (
+    CrossbarCounters,
+    IterationRecord,
+    SolverResult,
+    SolveStatus,
+)
+from repro.core.scalable_solver import (
+    LargeScaleCrossbarPDIPSolver,
+    solve_crossbar_large_scale,
+)
+from repro.core.scalable_system import ScalableNewtonSystem
+from repro.core.settings import (
+    CrossbarSolverSettings,
+    PDIPSettings,
+    ScalableSolverSettings,
+)
+
+__all__ = [
+    "LinearProgram",
+    "from_minimization",
+    "with_equalities",
+    "SolverResult",
+    "SolveStatus",
+    "IterationRecord",
+    "CrossbarCounters",
+    "PDIPSettings",
+    "CrossbarSolverSettings",
+    "ScalableSolverSettings",
+    "solve_reference",
+    "CrossbarPDIPSolver",
+    "solve_crossbar",
+    "LargeScaleCrossbarPDIPSolver",
+    "solve_crossbar_large_scale",
+    "AugmentedNewtonSystem",
+    "ScalableNewtonSystem",
+    "newton_matrix",
+    "newton_rhs",
+    "NegativeElimination",
+    "eliminate_negatives",
+]

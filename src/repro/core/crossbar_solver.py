@@ -1,0 +1,362 @@
+"""Solver 1: the memristor crossbar-based PDIP linear program solver.
+
+Implements Algorithm 1 of the paper.  One (logical) crossbar holds the
+augmented non-negative Newton matrix M of Eqn. 14a; every iteration
+
+1. rewrites only the X, Y, Z, W diagonal cells of M — O(N) writes
+   (Section 3.5);
+2. computes the right-hand side r analogously: the crossbar multiplies
+   M by the packed state ``[x, y, w, z, -w, -z, p]`` (Eqn. 15b), the
+   complementarity rows are halved, and the result is subtracted from
+   the constant ``[b, c, mu, mu, 0, 0, 0]`` — the subtraction a summing
+   amplifier performs in hardware;
+3. solves ``M Δs = r`` on the same crossbar in O(1) analog time;
+4. applies the damped ratio-test step (Eqn. 11) and checks the exit
+   criteria using the residual the crossbar already produced.
+
+Non-convergence under process variation (singular perturbed arrays,
+stalls at the analog noise floor) is handled by the paper's
+"double checking scheme" (Section 4.5): reprogram the array — which
+re-rolls the variation — and solve again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.feasibility import (
+    DivergenceKind,
+    collapse_threshold,
+    detect_divergence,
+    scaled_big_m,
+)
+from repro.core.newton import AugmentedNewtonSystem
+from repro.core.problem import LinearProgram
+from repro.core.residuals import centering_mu, converged, duality_gap
+from repro.core.result import (
+    CrossbarCounters,
+    IterationRecord,
+    SolverResult,
+    SolveStatus,
+    with_message,
+    with_status,
+)
+from repro.core.settings import CrossbarSolverSettings
+from repro.core.stepsize import ratio_test_theta
+from repro.crossbar.ops import AnalogMatrixOperator
+from repro.exceptions import CrossbarSolveError
+
+
+class CrossbarPDIPSolver:
+    """Memristor crossbar LP solver (Algorithm 1).
+
+    Parameters
+    ----------
+    problem:
+        The LP to solve (max c'x, Ax <= b, x >= 0).
+    settings:
+        Algorithm and hardware configuration.
+    rng:
+        Random generator driving the process-variation draws.
+    """
+
+    def __init__(
+        self,
+        problem: LinearProgram,
+        settings: CrossbarSolverSettings | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.problem = problem
+        self.settings = (
+            settings if settings is not None else CrossbarSolverSettings()
+        )
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.system = AugmentedNewtonSystem(problem)
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(self, *, trace: bool = False) -> SolverResult:
+        """Run Algorithm 1, retrying on analog failure.
+
+        A run that ends in numerical failure or stalls without a
+        feasible iterate is retried up to ``settings.retries`` times;
+        each retry reprograms the crossbar, drawing fresh process
+        variation ("solve the problem again if fail to converge",
+        Section 4.5).
+        """
+        attempts = self.settings.retries + 1
+        result = None
+        all_stalled_infeasible = True
+        for attempt in range(attempts):
+            result = self._solve_once(trace=trace)
+            if result.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
+                if attempt:
+                    result = with_message(
+                        result, f"succeeded on retry {attempt}"
+                    )
+                return result
+            all_stalled_infeasible = all_stalled_infeasible and (
+                "without a feasible iterate" in result.message
+            )
+        if all_stalled_infeasible:
+            # Section 3.2 / 4.5: the final constraints check
+            # A x <= alpha b is the paper's feasibility verdict.  Every
+            # attempt (each with a fresh variation draw) stalled without
+            # any iterate passing it: report infeasible.
+            return with_status(
+                result,
+                SolveStatus.INFEASIBLE,
+                "no attempt produced an iterate passing A x <= alpha b",
+            )
+        return result
+
+    # -- one attempt -----------------------------------------------------------
+
+    def _solve_once(self, *, trace: bool) -> SolverResult:
+        problem = self.problem
+        settings = self.settings
+        system = self.system
+        m, n = problem.A.shape
+
+        x = np.full(n, settings.initial_value)
+        z = np.full(n, settings.initial_value)
+        y = np.full(m, settings.initial_value)
+        w = np.full(m, settings.initial_value)
+
+        operator = AnalogMatrixOperator(
+            system.build_matrix(x, y, w, z),
+            params=settings.device,
+            variation=settings.variation,
+            rng=self.rng,
+            dac_bits=settings.dac_bits,
+            adc_bits=settings.adc_bits,
+            scale_headroom=settings.scale_headroom,
+            row_scaling=settings.row_scaling,
+            off_state=settings.off_state,
+        )
+        multiplies = 0
+        solves = 0
+
+        eps_primal = settings.eps_primal * (
+            1.0 + float(np.max(np.abs(problem.b), initial=0.0))
+        )
+        eps_dual = settings.eps_dual * (
+            1.0 + float(np.max(np.abs(problem.c), initial=0.0))
+        )
+        gap0 = duality_gap(x, y, w, z)
+        eps_gap = settings.eps_gap * max(1.0, gap0)
+        converter_bits = [
+            bits
+            for bits in (settings.dac_bits, settings.adc_bits)
+            if bits is not None
+        ]
+        quant_rel = 3.0 * 2.0 ** -min(converter_bits) if converter_bits else 0.0
+        divergence_bound = scaled_big_m(problem, settings.big_m)
+        collapse_bound = collapse_threshold(
+            problem,
+            settings.device.resistance_ratio,
+            settings.scale_headroom,
+        )
+
+        best_score = np.inf
+        best_state = (x, y, w, z)
+        stall = 0
+        records: list[IterationRecord] = []
+        iterations = 0
+        status = SolveStatus.ITERATION_LIMIT
+        message = ""
+
+        for iteration in range(settings.max_iterations):
+            mu = centering_mu(x, y, w, z, settings.delta)
+            if iteration:
+                rows, cols, values = system.diagonal_update(x, y, w, z)
+                # The complementarity diagonals must stay nonzero or the
+                # programmed system turns singular; clamp at the smallest
+                # representable coefficient.
+                operator.update_coefficients(
+                    rows, cols, values, floor_to_representable=True
+                )
+
+            state = system.state_vector(x, y, w, z)
+            product = operator.multiply(state)
+            multiplies += 1
+            residual = system.residual_from_product(product, mu)
+            p_inf, d_inf = system.infeasibility_norms(residual)
+            gap = duality_gap(x, y, w, z)
+
+            # The converters bound how small a residual the controller
+            # can resolve: the analog product carries ~2^-bits relative
+            # error of its block peak.  Demanding less than that noise
+            # floor would spin forever, so the effective tolerances
+            # track it (the controller knows its own ADC resolution).
+            lay = system.layout
+            floor_p = quant_rel * float(
+                np.max(np.abs(product[lay.row_primal]), initial=0.0)
+            )
+            floor_d = quant_rel * float(
+                np.max(np.abs(product[lay.row_dual]), initial=0.0)
+            )
+            if converged(
+                p_inf,
+                d_inf,
+                gap,
+                eps_primal=max(eps_primal, floor_p),
+                eps_dual=max(eps_dual, floor_d),
+                eps_gap=eps_gap,
+            ):
+                status = SolveStatus.OPTIMAL
+                break
+
+            score = max(p_inf / eps_primal, d_inf / eps_dual, gap / eps_gap)
+            if score < best_score * (1.0 - 1e-3):
+                best_score = score
+                best_state = (x, y, w, z)
+                stall = 0
+            else:
+                stall += 1
+                if stall >= settings.stall_iterations:
+                    iterate_peak = max(
+                        float(np.max(np.abs(x), initial=0.0)),
+                        float(np.max(np.abs(y), initial=0.0)),
+                    )
+                    x, y, w, z = best_state
+                    if iterate_peak > collapse_bound:
+                        status = SolveStatus.INFEASIBLE
+                        message = "stalled while diverging"
+                    elif problem.satisfies_relaxed_constraints(
+                        x,
+                        settings.alpha,
+                        problem.variation_row_tolerance(
+                            x, settings.variation.relative_magnitude
+                        ),
+                    ):
+                        status = SolveStatus.OPTIMAL
+                        message = (
+                            "stalled at analog noise floor; relaxed "
+                            "feasibility check passed"
+                        )
+                    else:
+                        status = SolveStatus.ITERATION_LIMIT
+                        message = "stalled without a feasible iterate"
+                    break
+
+            try:
+                delta = operator.solve(residual)
+            except CrossbarSolveError as exc:
+                iterate_peak = max(
+                    float(np.max(np.abs(x), initial=0.0)),
+                    float(np.max(np.abs(y), initial=0.0)),
+                )
+                if iterate_peak > collapse_bound:
+                    # The iterates grew until the conductance mapping's
+                    # dynamic range collapsed — a hardware manifestation
+                    # of the big-M divergence certificate.
+                    status = SolveStatus.INFEASIBLE
+                    message = f"divergence collapsed the mapping: {exc}"
+                else:
+                    status = SolveStatus.NUMERICAL_FAILURE
+                    message = str(exc)
+                break
+            solves += 1
+
+            dx, dy, dw, dz = system.extract_steps(delta)
+            theta = ratio_test_theta(
+                np.concatenate([x, y, w, z]),
+                np.concatenate([dx, dy, dw, dz]),
+                step_scale=settings.step_scale,
+                ignore_below=settings.positivity_floor * 1e4,
+            )
+            floor = settings.positivity_floor
+            x = np.maximum(x + theta * dx, floor)
+            y = np.maximum(y + theta * dy, floor)
+            w = np.maximum(w + theta * dw, floor)
+            z = np.maximum(z + theta * dz, floor)
+            iterations = iteration + 1
+
+            divergence = detect_divergence(x, y, divergence_bound)
+            if divergence is not DivergenceKind.NONE:
+                status = SolveStatus.INFEASIBLE
+                message = divergence.value
+                break
+
+            if trace:
+                report = operator.write_report
+                records.append(
+                    IterationRecord(
+                        index=iteration,
+                        mu=mu,
+                        duality_gap=duality_gap(x, y, w, z),
+                        primal_infeasibility=p_inf,
+                        dual_infeasibility=d_inf,
+                        theta=theta,
+                        cells_written=report.cells_written,
+                    )
+                )
+
+        if status is SolveStatus.ITERATION_LIMIT and not message:
+            # Ran out of iterations while still (slowly) improving:
+            # classify the best iterate the same way the stall exit does.
+            x, y, w, z = best_state
+            if problem.satisfies_relaxed_constraints(
+                x,
+                settings.alpha,
+                problem.variation_row_tolerance(
+                    x, settings.variation.relative_magnitude
+                ),
+            ):
+                status = SolveStatus.OPTIMAL
+                message = (
+                    "iteration limit; accepted best feasible iterate"
+                )
+            else:
+                message = "iteration limit without a feasible iterate"
+
+        if status is SolveStatus.OPTIMAL and not (
+            problem.satisfies_relaxed_constraints(
+                x,
+                settings.alpha,
+                problem.variation_row_tolerance(
+                    x, settings.variation.relative_magnitude
+                ),
+            )
+        ):
+            # Section 3.2's robust feasibility detection: variation can
+            # warp the realized feasible region, so never report a point
+            # violating A x <= alpha b as optimal.
+            status = SolveStatus.NUMERICAL_FAILURE
+            message = "final constraint check A x <= alpha b failed"
+
+        report = operator.write_report
+        counters = CrossbarCounters(
+            multiplies=multiplies,
+            solves=solves,
+            cells_written=report.cells_written,
+            write_pulses=report.pulses,
+            write_latency_s=report.latency_s,
+            write_energy_j=report.energy_j,
+            array_size=system.size,
+        )
+        return SolverResult(
+            status=status,
+            x=x,
+            y=y,
+            w=w,
+            z=z,
+            objective=problem.objective(x),
+            iterations=iterations,
+            trace=tuple(records),
+            crossbar=counters,
+            message=message,
+        )
+
+
+def solve_crossbar(
+    problem: LinearProgram,
+    settings: CrossbarSolverSettings | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+    trace: bool = False,
+) -> SolverResult:
+    """Functional wrapper around :class:`CrossbarPDIPSolver`."""
+    return CrossbarPDIPSolver(problem, settings, rng=rng).solve(trace=trace)

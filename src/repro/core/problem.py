@@ -1,0 +1,249 @@
+"""Linear-program problem definition.
+
+The paper (Section 3.1) works with the symmetric primal/dual pair
+
+Primal:  maximize  c^T x   subject to  A x <= b,  x >= 0
+Dual:    minimize  b^T y   subject to  A^T y >= c,  y >= 0
+
+with slack vectors w (primal) and z (dual) turning the inequalities
+into equalities:
+
+    A x + w = b,      A^T y - z = c,      x, w, y, z >= 0.
+
+:class:`LinearProgram` is the single problem type used across the
+package; helpers convert minimization problems and compute residuals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearProgram:
+    """A linear program in the paper's primal form.
+
+    maximize ``c @ x`` subject to ``A @ x <= b`` and ``x >= 0``.
+
+    Attributes
+    ----------
+    c:
+        Objective coefficients, shape (n,).
+    A:
+        Constraint matrix, shape (m, n).
+    b:
+        Constraint right-hand side, shape (m,).
+    name:
+        Optional label used in experiment reports.
+    """
+
+    c: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.c, dtype=float)
+        A = np.asarray(self.A, dtype=float)
+        b = np.asarray(self.b, dtype=float)
+        if A.ndim != 2:
+            raise ValueError(f"A must be 2-D, got ndim={A.ndim}")
+        m, n = A.shape
+        if c.shape != (n,):
+            raise ValueError(f"c has shape {c.shape}, expected ({n},)")
+        if b.shape != (m,):
+            raise ValueError(f"b has shape {b.shape}, expected ({m},)")
+        for label, arr in (("c", c), ("A", A), ("b", b)):
+            if not np.all(np.isfinite(arr)):
+                raise ValueError(f"{label} contains non-finite entries")
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "A", A)
+        object.__setattr__(self, "b", b)
+
+    @property
+    def n_variables(self) -> int:
+        """Number of decision variables n."""
+        return self.A.shape[1]
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of inequality constraints m."""
+        return self.A.shape[0]
+
+    def objective(self, x: np.ndarray) -> float:
+        """Primal objective value ``c @ x``."""
+        return float(self.c @ np.asarray(x, dtype=float))
+
+    def dual_objective(self, y: np.ndarray) -> float:
+        """Dual objective value ``b @ y``."""
+        return float(self.b @ np.asarray(y, dtype=float))
+
+    def constraint_violation(self, x: np.ndarray) -> float:
+        """Largest violation of ``A x <= b`` and ``x >= 0`` (0 if feasible)."""
+        x = np.asarray(x, dtype=float)
+        slack_violation = float(np.max(self.A @ x - self.b, initial=0.0))
+        sign_violation = float(np.max(-x, initial=0.0))
+        return max(slack_violation, sign_violation, 0.0)
+
+    def is_feasible(self, x: np.ndarray, tolerance: float = 1e-8) -> bool:
+        """Whether ``x`` satisfies all constraints within ``tolerance``."""
+        return self.constraint_violation(x) <= tolerance
+
+    def satisfies_relaxed_constraints(
+        self,
+        x: np.ndarray,
+        alpha: float = 1.05,
+        extra_row_tolerance: np.ndarray | float = 0.0,
+    ) -> bool:
+        """The paper's variation-tolerant check ``A x <= alpha * b``.
+
+        Section 3.2: under process variation the returned solution may
+        violate ``A x <= b`` slightly, so the final check uses a factor
+        ``alpha`` "close but greater than 1".  The slack budget is
+        ``(alpha - 1) * (|b| + 1)``: proportional to each row's
+        magnitude, with an absolute floor so rows with ``b_i ≈ 0`` are
+        not held to an impossible exact-equality standard under analog
+        noise.
+
+        Parameters
+        ----------
+        x:
+            Candidate solution.
+        alpha:
+            Relaxation factor, >= 1.
+        extra_row_tolerance:
+            Additional per-row slack (scalar or shape (m,)).  Solvers
+            pass the variation-propagation budget here: a solution
+            computed on hardware whose cells deviate by up to ``var``
+            legitimately satisfies the *realized* constraints while
+            missing the nominal ones by about
+            ``var * sqrt(sum_j (A_ij x_j)^2)`` per row.
+        """
+        if alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        x = np.asarray(x, dtype=float)
+        slack_budget = (np.abs(self.b) + 1.0) * (alpha - 1.0)
+        slack_budget = slack_budget + extra_row_tolerance
+        return bool(np.all(self.A @ x <= self.b + slack_budget))
+
+    def variation_row_tolerance(
+        self, x: np.ndarray, variation_magnitude: float
+    ) -> np.ndarray:
+        """Per-row acceptance slack for hardware with known variation.
+
+        Each programmed cell deviates by up to ``variation_magnitude``
+        relative (uniform), so row i of the realized product deviates
+        from the nominal ``(A x)_i`` by a zero-mean sum with standard
+        deviation ``var/sqrt(3) * sqrt(sum_j A_ij^2 x_j^2)``.  Three
+        sigmas of that is the budget a controller must grant before
+        declaring a returned point infeasible.
+        """
+        if variation_magnitude < 0:
+            raise ValueError("variation_magnitude must be non-negative")
+        if variation_magnitude == 0.0:
+            return np.zeros(self.n_constraints)
+        x = np.asarray(x, dtype=float)
+        row_rms = np.sqrt((self.A**2) @ (x**2))
+        return 3.0 * variation_magnitude / np.sqrt(3.0) * row_rms
+
+    def dual(self) -> "LinearProgram":
+        """The symmetric dual, re-expressed in primal (max, <=) form.
+
+        min ``b @ y`` s.t. ``A^T y >= c``, ``y >= 0`` is equivalent to
+        max ``-b @ y`` s.t. ``-A^T y <= -c``, ``y >= 0``.
+        """
+        return LinearProgram(
+            c=-self.b,
+            A=-self.A.T,
+            b=-self.c,
+            name=f"dual({self.name})" if self.name else "dual",
+        )
+
+    def scaled(self, factor: float) -> "LinearProgram":
+        """The same feasible region with objective scaled by ``factor > 0``."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return LinearProgram(
+            c=self.c * factor, A=self.A, b=self.b, name=self.name
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"LinearProgram({label} m={self.n_constraints}, "
+            f"n={self.n_variables})"
+        )
+
+
+def from_minimization(
+    c: np.ndarray, A_ub: np.ndarray, b_ub: np.ndarray, name: str = ""
+) -> LinearProgram:
+    """Build a :class:`LinearProgram` from a minimization problem.
+
+    min ``c @ x`` s.t. ``A_ub x <= b_ub``, ``x >= 0`` becomes
+    max ``(-c) @ x`` under the same constraints; callers negate the
+    reported optimum to recover the minimization value.
+    """
+    return LinearProgram(c=-np.asarray(c, dtype=float), A=A_ub, b=b_ub,
+                         name=name)
+
+
+def with_equalities(
+    c: np.ndarray,
+    A_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    A_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    *,
+    equality_slack: float = 0.0,
+    name: str = "",
+) -> LinearProgram:
+    """Build a problem mixing inequality and equality constraints.
+
+    Each equality row ``a @ x = b`` becomes the inequality pair
+    ``a @ x <= b + slack`` and ``-a @ x <= -b + slack``.  With
+    ``equality_slack = 0`` the encoding is exact but the feasible
+    region has no strict interior on those rows — interior-point
+    methods (especially the analog solvers) need a positive slack to
+    traverse it (see the routing generators for the same pattern).
+
+    Parameters
+    ----------
+    c:
+        Objective (maximized).
+    A_ub, b_ub:
+        Optional inequality block.
+    A_eq, b_eq:
+        Optional equality block.
+    equality_slack:
+        Epsilon relaxation per equality row (>= 0).
+    """
+    if equality_slack < 0:
+        raise ValueError("equality_slack must be non-negative")
+    c = np.asarray(c, dtype=float)
+    blocks_a: list[np.ndarray] = []
+    blocks_b: list[np.ndarray] = []
+    if A_ub is not None or b_ub is not None:
+        if A_ub is None or b_ub is None:
+            raise ValueError("A_ub and b_ub must be given together")
+        blocks_a.append(np.asarray(A_ub, dtype=float))
+        blocks_b.append(np.asarray(b_ub, dtype=float))
+    if A_eq is not None or b_eq is not None:
+        if A_eq is None or b_eq is None:
+            raise ValueError("A_eq and b_eq must be given together")
+        A_eq = np.asarray(A_eq, dtype=float)
+        b_eq = np.asarray(b_eq, dtype=float)
+        blocks_a.append(A_eq)
+        blocks_b.append(b_eq + equality_slack)
+        blocks_a.append(-A_eq)
+        blocks_b.append(-b_eq + equality_slack)
+    if not blocks_a:
+        raise ValueError("need at least one constraint block")
+    return LinearProgram(
+        c=c,
+        A=np.vstack(blocks_a),
+        b=np.concatenate(blocks_b),
+        name=name,
+    )

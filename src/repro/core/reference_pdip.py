@@ -1,0 +1,163 @@
+"""Software reference PDIP solver.
+
+This is the paper's "PDIP implemented in Matlab" comparator: the exact
+algorithm of Section 3.1 with the signed Newton system (Eqn. 12)
+solved by dense LU on the CPU — O(N^3) per iteration, against which the
+crossbar solver's pseudo-O(N) is measured.  It is also the ground
+truth used by the tests: the crossbar solvers must agree with it (and
+with scipy's HiGHS) on feasible problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.feasibility import (
+    DivergenceKind,
+    detect_divergence,
+    scaled_big_m,
+)
+from repro.core.newton import newton_matrix, newton_rhs
+from repro.core.problem import LinearProgram
+from repro.core.residuals import (
+    centering_mu,
+    converged,
+    dual_infeasibility,
+    duality_gap,
+    primal_infeasibility,
+)
+from repro.core.result import IterationRecord, SolverResult, SolveStatus
+from repro.core.settings import PDIPSettings
+from repro.core.stepsize import ratio_test_theta
+
+
+def solve_reference(
+    problem: LinearProgram,
+    settings: PDIPSettings | None = None,
+    *,
+    trace: bool = False,
+) -> SolverResult:
+    """Solve an LP with the software PDIP method.
+
+    Parameters
+    ----------
+    problem:
+        The LP to solve (max c'x, Ax <= b, x >= 0).
+    settings:
+        Algorithm parameters; defaults to :class:`PDIPSettings`.
+    trace:
+        Record per-iteration diagnostics in the result.
+
+    Returns
+    -------
+    SolverResult
+        With status OPTIMAL, INFEASIBLE (big-M divergence),
+        ITERATION_LIMIT, or NUMERICAL_FAILURE (singular Newton system).
+    """
+    settings = settings if settings is not None else PDIPSettings()
+    m, n = problem.A.shape
+    x = np.full(n, settings.initial_value)
+    z = np.full(n, settings.initial_value)
+    y = np.full(m, settings.initial_value)
+    w = np.full(m, settings.initial_value)
+
+    eps_primal = settings.eps_primal * (
+        1.0 + float(np.max(np.abs(problem.b), initial=0.0))
+    )
+    eps_dual = settings.eps_dual * (
+        1.0 + float(np.max(np.abs(problem.c), initial=0.0))
+    )
+    gap0 = duality_gap(x, y, w, z)
+    eps_gap = settings.eps_gap * max(1.0, gap0)
+    divergence_bound = scaled_big_m(problem, settings.big_m)
+
+    records: list[IterationRecord] = []
+    iterations = 0
+    status = SolveStatus.ITERATION_LIMIT
+    message = ""
+
+    for iteration in range(settings.max_iterations):
+        p_inf = primal_infeasibility(problem, x, w)
+        d_inf = dual_infeasibility(problem, y, z)
+        gap = duality_gap(x, y, w, z)
+        if converged(
+            p_inf,
+            d_inf,
+            gap,
+            eps_primal=eps_primal,
+            eps_dual=eps_dual,
+            eps_gap=eps_gap,
+        ):
+            status = SolveStatus.OPTIMAL
+            break
+
+        mu = centering_mu(x, y, w, z, settings.delta)
+        matrix = newton_matrix(problem, x, y, w, z)
+        rhs = newton_rhs(problem, x, y, w, z, mu)
+        try:
+            delta = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError:
+            iterate_peak = max(
+                float(np.max(np.abs(x), initial=0.0)),
+                float(np.max(np.abs(y), initial=0.0)),
+            )
+            if iterate_peak > np.sqrt(divergence_bound):
+                # Divergence degraded the Newton system to singularity
+                # before the big-M bound fired: same certificate.
+                status = SolveStatus.INFEASIBLE
+                message = (
+                    "dual_infeasible"
+                    if np.max(np.abs(x), initial=0.0)
+                    > np.max(np.abs(y), initial=0.0)
+                    else "primal_infeasible"
+                )
+            else:
+                status = SolveStatus.NUMERICAL_FAILURE
+                message = "singular Newton system"
+            break
+
+        dx = delta[:n]
+        dy = delta[n:n + m]
+        dw = delta[n + m:n + 2 * m]
+        dz = delta[n + 2 * m:]
+        theta = ratio_test_theta(
+            np.concatenate([x, y, w, z]),
+            np.concatenate([dx, dy, dw, dz]),
+            step_scale=settings.step_scale,
+        )
+        x = x + theta * dx
+        y = y + theta * dy
+        w = w + theta * dw
+        z = z + theta * dz
+        iterations = iteration + 1
+
+        divergence = detect_divergence(x, y, divergence_bound)
+        if divergence is not DivergenceKind.NONE:
+            status = SolveStatus.INFEASIBLE
+            message = divergence.value
+            break
+
+        if trace:
+            records.append(
+                IterationRecord(
+                    index=iteration,
+                    mu=mu,
+                    duality_gap=duality_gap(x, y, w, z),
+                    primal_infeasibility=primal_infeasibility(problem, x, w),
+                    dual_infeasibility=dual_infeasibility(problem, y, z),
+                    theta=theta,
+                )
+            )
+
+    return SolverResult(
+        status=status,
+        x=x,
+        y=y,
+        w=w,
+        z=z,
+        objective=problem.objective(x),
+        iterations=iterations,
+        trace=tuple(records),
+        crossbar=None,
+        message=message,
+    )

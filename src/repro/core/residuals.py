@@ -1,0 +1,88 @@
+"""PDIP residuals, duality gap, and the centering parameter.
+
+These are the scalar quantities steering every PDIP variant in the
+paper:
+
+- primal infeasibility  ``A x + w - b``             (Eqn. 9a residual)
+- dual infeasibility    ``A^T y - z - c``           (Eqn. 9b residual)
+- duality gap           ``z^T x + y^T w``
+- centering parameter   ``mu = delta * gap / (n + m)``   (Eqn. 8)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+
+
+def primal_residual(
+    problem: LinearProgram, x: np.ndarray, w: np.ndarray
+) -> np.ndarray:
+    """``b - A x - w`` — zero when the primal equality holds."""
+    return problem.b - problem.A @ x - w
+
+
+def dual_residual(
+    problem: LinearProgram, y: np.ndarray, z: np.ndarray
+) -> np.ndarray:
+    """``c - A^T y + z`` — zero when the dual equality holds."""
+    return problem.c - problem.A.T @ y + z
+
+
+def primal_infeasibility(
+    problem: LinearProgram, x: np.ndarray, w: np.ndarray
+) -> float:
+    """Infinity norm of the primal residual."""
+    return float(np.max(np.abs(primal_residual(problem, x, w)), initial=0.0))
+
+
+def dual_infeasibility(
+    problem: LinearProgram, y: np.ndarray, z: np.ndarray
+) -> float:
+    """Infinity norm of the dual residual."""
+    return float(np.max(np.abs(dual_residual(problem, y, z)), initial=0.0))
+
+
+def duality_gap(
+    x: np.ndarray, y: np.ndarray, w: np.ndarray, z: np.ndarray
+) -> float:
+    """Complementarity gap ``z^T x + y^T w`` (>= 0 on the interior)."""
+    return float(z @ x + y @ w)
+
+
+def centering_mu(
+    x: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    z: np.ndarray,
+    delta: float,
+) -> float:
+    """The paper's Eqn. 8: ``mu = delta * (z^T x + y^T w) / (n + m)``.
+
+    ``delta`` must lie strictly between 0 and 1: too large and the
+    iterates drift to the analytic center, too small and they jam into
+    the boundary (Section 3.1).
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    n = x.shape[0]
+    m = y.shape[0]
+    return delta * duality_gap(x, y, w, z) / (n + m)
+
+
+def converged(
+    primal_inf: float,
+    dual_inf: float,
+    gap: float,
+    *,
+    eps_primal: float,
+    eps_dual: float,
+    eps_gap: float,
+) -> bool:
+    """Algorithm 1's exit test: all three criteria below tolerance."""
+    return (
+        primal_inf <= eps_primal
+        and dual_inf <= eps_dual
+        and gap <= eps_gap
+    )

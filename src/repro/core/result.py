@@ -1,0 +1,144 @@
+"""Solver results and per-iteration traces."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Terminal state of a solver run."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL_FAILURE = "numerical_failure"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationRecord:
+    """One PDIP iteration's diagnostics.
+
+    Attributes
+    ----------
+    index:
+        Iteration number (0-based).
+    mu:
+        Centering parameter used this iteration (Eqn. 8).
+    duality_gap:
+        ``z @ x + y @ w`` after the update.
+    primal_infeasibility:
+        ``max |A x + w - b|`` after the update.
+    dual_infeasibility:
+        ``max |A^T y - z - c|`` after the update.
+    theta:
+        Step length actually applied (Eqn. 11 or the constant policy).
+    cells_written:
+        Crossbar cells reprogrammed for this iteration's matrix update.
+    """
+
+    index: int
+    mu: float
+    duality_gap: float
+    primal_infeasibility: float
+    dual_infeasibility: float
+    theta: float
+    cells_written: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossbarCounters:
+    """Aggregate analog-operation counts for one solve (cost-model input).
+
+    Attributes
+    ----------
+    multiplies:
+        Number of analog matrix-vector evaluations.
+    solves:
+        Number of analog linear-system evaluations.
+    cells_written:
+        Total crossbar cells reprogrammed (incl. initial programming).
+    write_pulses:
+        Total programming pulses issued.
+    write_latency_s / write_energy_j:
+        Accumulated physical write cost from the device model.
+    array_size:
+        Dimension of the (largest) crossbar system that was solved.
+    """
+
+    multiplies: int = 0
+    solves: int = 0
+    cells_written: int = 0
+    write_pulses: int = 0
+    write_latency_s: float = 0.0
+    write_energy_j: float = 0.0
+    array_size: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SolverResult:
+    """Outcome of an LP solve.
+
+    Attributes
+    ----------
+    status:
+        Terminal :class:`SolveStatus`.
+    x, y, w, z:
+        Final primal solution, dual solution, primal slacks, dual
+        slacks (present whatever the status; meaningful for OPTIMAL).
+    objective:
+        Primal objective ``c @ x`` at the returned point.
+    iterations:
+        Number of PDIP iterations executed.
+    trace:
+        Per-iteration diagnostics (empty if tracing was disabled).
+    crossbar:
+        Analog operation counters, or ``None`` for software solvers.
+    message:
+        Human-readable detail (failure reason, retry count, ...).
+    """
+
+    status: SolveStatus
+    x: np.ndarray
+    y: np.ndarray
+    w: np.ndarray
+    z: np.ndarray
+    objective: float
+    iterations: int
+    trace: tuple[IterationRecord, ...] = ()
+    crossbar: CrossbarCounters | None = None
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def duality_gap(self) -> float:
+        """Complementarity gap ``z @ x + y @ w`` at the returned point."""
+        return float(self.z @ self.x + self.y @ self.w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolverResult(status={self.status}, "
+            f"objective={self.objective:.6g}, iterations={self.iterations})"
+        )
+
+
+def with_message(result: SolverResult, extra: str) -> SolverResult:
+    """Copy of ``result`` with ``extra`` appended to its message."""
+    message = f"{result.message}; {extra}" if result.message else extra
+    return dataclasses.replace(result, message=message)
+
+
+def with_status(
+    result: SolverResult, status: SolveStatus, extra: str
+) -> SolverResult:
+    """Copy of ``result`` with a new status and appended message."""
+    message = f"{result.message}; {extra}" if result.message else extra
+    return dataclasses.replace(result, status=status, message=message)

@@ -1,0 +1,405 @@
+"""Solver 2: the crossbar LP solver for large-scale operations.
+
+Implements Algorithm 2 of the paper.  Instead of one crossbar of size
+~4(n+m) (Solver 1), the Newton step is split across four much smaller
+arrays:
+
+- **M1 solve array** (size n + 2m + k): ``[A RU; RL Aᵀ]`` with its
+  negative entries eliminated by compensation variables; the coupling
+  diagonals RU / RL are rewritten each iteration — O(N) cells;
+- **M1 multiply array**: the same structure with the coupling blocks
+  zeroed (Eqn. 17a) — programmed once, computes ``Ax`` and ``Aᵀy``
+  for the residuals;
+- **M2 array**: ``diag(X, Y)`` (Eqn. 16b) — O(N) rewrite per
+  iteration; used to *solve* for the recovery steps and, in the exact
+  rhs mode, to compute the analog divisions ``μ/x`` and ``μ/y``;
+- **D array**: ``diag(Z, W)`` — O(N) rewrite; its multiply provides
+  the recovery coupling products ``ZΔx`` / ``WΔy``.
+
+The step length is a constant θ (Section 3.4); iterates are clamped at
+a small positivity floor after each update — the hardware cannot
+represent negative diagonal conductances regardless.  The mode
+switches in :class:`~repro.core.settings.ScalableSolverSettings` select
+the literal printed equations instead (used by the ablation benches to
+demonstrate their divergence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.feasibility import (
+    DivergenceKind,
+    collapse_threshold,
+    detect_divergence,
+    scaled_big_m,
+)
+from repro.core.problem import LinearProgram
+from repro.core.residuals import centering_mu, converged, duality_gap
+from repro.core.result import (
+    CrossbarCounters,
+    IterationRecord,
+    SolverResult,
+    SolveStatus,
+    with_message,
+    with_status,
+)
+from repro.core.scalable_system import ScalableNewtonSystem
+from repro.core.settings import ScalableSolverSettings
+from repro.core.stepsize import ratio_test_theta
+from repro.crossbar.ops import AnalogMatrixOperator
+from repro.exceptions import CrossbarSolveError
+
+
+class LargeScaleCrossbarPDIPSolver:
+    """Memristor crossbar LP solver for large-scale operations.
+
+    Parameters
+    ----------
+    problem:
+        The LP to solve (max c'x, Ax <= b, x >= 0).
+    settings:
+        Algorithm and hardware configuration.
+    rng:
+        Random generator driving the process-variation draws.
+    """
+
+    def __init__(
+        self,
+        problem: LinearProgram,
+        settings: ScalableSolverSettings | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.problem = problem
+        self.settings = (
+            settings if settings is not None else ScalableSolverSettings()
+        )
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.system = ScalableNewtonSystem(
+            problem,
+            coupling=self.settings.coupling,
+            regularization=self.settings.regularization,
+            ratio_floor=self.settings.ratio_floor,
+            ratio_cap=self.settings.ratio_cap,
+        )
+
+    def solve(self, *, trace: bool = False) -> SolverResult:
+        """Run Algorithm 2 with the retry ("double checking") scheme."""
+        attempts = self.settings.retries + 1
+        result = None
+        all_stalled_infeasible = True
+        for attempt in range(attempts):
+            result = self._solve_once(trace=trace)
+            if result.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
+                if attempt:
+                    result = with_message(
+                        result, f"succeeded on retry {attempt}"
+                    )
+                return result
+            all_stalled_infeasible = all_stalled_infeasible and (
+                "without a feasible iterate" in result.message
+            )
+        if all_stalled_infeasible:
+            # The paper's final constraints check A x <= alpha b is the
+            # feasibility verdict; no attempt ever passed it.
+            return with_status(
+                result,
+                SolveStatus.INFEASIBLE,
+                "no attempt produced an iterate passing A x <= alpha b",
+            )
+        return result
+
+    def _solve_once(self, *, trace: bool) -> SolverResult:
+        problem = self.problem
+        settings = self.settings
+        system = self.system
+        m, n = problem.A.shape
+
+        x = np.full(n, settings.initial_value)
+        z = np.full(n, settings.initial_value)
+        y = np.full(m, settings.initial_value)
+        w = np.full(m, settings.initial_value)
+
+        hardware = dict(
+            params=settings.device,
+            variation=settings.variation,
+            rng=self.rng,
+            dac_bits=settings.dac_bits,
+            adc_bits=settings.adc_bits,
+            off_state=settings.off_state,
+            row_scaling=settings.row_scaling,
+        )
+        m1_solve = AnalogMatrixOperator(
+            system.build_m1(x, y, w, z, with_coupling=True),
+            scale_headroom=settings.scale_headroom,
+            **hardware,
+        )
+        m1_mult = AnalogMatrixOperator(
+            system.build_m1(x, y, w, z, with_coupling=False),
+            scale_headroom=1.0,
+            **hardware,
+        )
+        m2 = AnalogMatrixOperator(
+            system.build_m2(x, y),
+            scale_headroom=settings.scale_headroom,
+            **hardware,
+        )
+        d_array = AnalogMatrixOperator(
+            system.build_d(z, w),
+            scale_headroom=settings.scale_headroom,
+            **hardware,
+        )
+        multiplies = 0
+        solves = 0
+
+        eps_primal = settings.eps_primal * (
+            1.0 + float(np.max(np.abs(problem.b), initial=0.0))
+        )
+        eps_dual = settings.eps_dual * (
+            1.0 + float(np.max(np.abs(problem.c), initial=0.0))
+        )
+        gap0 = duality_gap(x, y, w, z)
+        eps_gap = settings.eps_gap * max(1.0, gap0)
+        converter_bits = [
+            bits
+            for bits in (settings.dac_bits, settings.adc_bits)
+            if bits is not None
+        ]
+        quant_rel = 3.0 * 2.0 ** -min(converter_bits) if converter_bits else 0.0
+        divergence_bound = scaled_big_m(problem, settings.big_m)
+        collapse_bound = collapse_threshold(
+            problem,
+            settings.device.resistance_ratio,
+            settings.scale_headroom,
+        )
+        theta = settings.constant_theta
+        floor = settings.positivity_floor
+
+        best_score = np.inf
+        best_state = (x, y, w, z)
+        stall = 0
+        records: list[IterationRecord] = []
+        iterations = 0
+        status = SolveStatus.ITERATION_LIMIT
+        message = ""
+
+        def clamped_update(operator, values):
+            rows, cols, vals = system.diag_update(values)
+            operator.update_coefficients(
+                rows, cols, vals, floor_to_representable=True
+            )
+
+        for iteration in range(settings.max_iterations):
+            gap = duality_gap(x, y, w, z)
+            mu = centering_mu(x, y, w, z, settings.delta)
+
+            if iteration:
+                rows, cols, values = system.m1_coupling_update(x, y, w, z)
+                m1_solve.update_coefficients(
+                    rows, cols, values, floor_to_representable=True
+                )
+                clamped_update(m2, system.m2_diagonal(x, y))
+                clamped_update(d_array, system.d_diagonal(z, w))
+
+            # --- residuals via the constant multiply array ------------
+            product1 = m1_mult.multiply(system.state_vector_m1(x, y))
+            multiplies += 1
+            p_inf, d_inf = system.infeasibility_norms(product1, w, z)
+
+            # Converter noise floor on the residual read-out (see the
+            # matching comment in crossbar_solver).
+            floor_p = quant_rel * float(
+                np.max(np.abs(product1[:m]), initial=0.0)
+            )
+            floor_d = quant_rel * float(
+                np.max(np.abs(product1[m:m + n]), initial=0.0)
+            )
+            if converged(
+                p_inf,
+                d_inf,
+                gap,
+                eps_primal=max(eps_primal, floor_p),
+                eps_dual=max(eps_dual, floor_d),
+                eps_gap=eps_gap,
+            ):
+                status = SolveStatus.OPTIMAL
+                break
+
+            score = max(p_inf / eps_primal, d_inf / eps_dual, gap / eps_gap)
+            if score < best_score * (1.0 - 1e-3):
+                best_score = score
+                best_state = (x, y, w, z)
+                stall = 0
+            else:
+                stall += 1
+                if stall >= settings.stall_iterations:
+                    iterate_peak = max(
+                        float(np.max(np.abs(x), initial=0.0)),
+                        float(np.max(np.abs(y), initial=0.0)),
+                    )
+                    x, y, w, z = best_state
+                    if iterate_peak > collapse_bound:
+                        status = SolveStatus.INFEASIBLE
+                        message = "stalled while diverging"
+                    elif problem.satisfies_relaxed_constraints(
+                        x,
+                        settings.alpha,
+                        problem.variation_row_tolerance(
+                            x, settings.variation.relative_magnitude
+                        ),
+                    ):
+                        status = SolveStatus.OPTIMAL
+                        message = (
+                            "stalled at analog noise floor; relaxed "
+                            "feasibility check passed"
+                        )
+                    else:
+                        status = SolveStatus.ITERATION_LIMIT
+                        message = "stalled without a feasible iterate"
+                    break
+
+            try:
+                # --- first half: Δx, Δy from M1 -----------------------
+                if settings.rhs_mode == "exact":
+                    # The controller holds x, y digitally (it programs
+                    # the M2 diagonal from them every iteration), so the
+                    # central-path targets mu/x, mu/y are O(N) digital
+                    # scalar ops, like the summing-amplifier subtraction.
+                    r1 = system.residual_m1(product1, mu / x, mu / y)
+                else:
+                    r1 = system.paper_residual_m1(product1, w, z)
+                delta1 = m1_solve.solve(r1)
+                solves += 1
+                dx, dy = system.extract_steps_m1(delta1)
+
+                # --- second half: Δz, Δw from M2 (recovery) -----------
+                product2 = m2.multiply(np.concatenate([z, w]))
+                multiplies += 1
+                if settings.recovery == "coupled":
+                    coupling = d_array.multiply(np.concatenate([dx, dy]))
+                    multiplies += 1
+                else:
+                    coupling = None
+                r2 = system.residual_m2(mu, product2, coupling)
+                delta2 = m2.solve(r2)
+                solves += 1
+                dz, dw = system.extract_steps_m2(delta2)
+            except CrossbarSolveError as exc:
+                iterate_peak = max(
+                    float(np.max(np.abs(x), initial=0.0)),
+                    float(np.max(np.abs(y), initial=0.0)),
+                )
+                if iterate_peak > collapse_bound:
+                    # Dynamic-range collapse while the iterates diverge:
+                    # the big-M certificate, reached through hardware.
+                    status = SolveStatus.INFEASIBLE
+                    message = f"divergence collapsed the mapping: {exc}"
+                else:
+                    status = SolveStatus.NUMERICAL_FAILURE
+                    message = str(exc)
+                break
+
+            if settings.step_policy == "capped_ratio":
+                theta = min(
+                    settings.constant_theta,
+                    ratio_test_theta(
+                        np.concatenate([x, y, w, z]),
+                        np.concatenate([dx, dy, dw, dz]),
+                        step_scale=settings.step_scale,
+                        ignore_below=settings.positivity_floor * 1e4,
+                    ),
+                )
+            x = np.maximum(x + theta * dx, floor)
+            y = np.maximum(y + theta * dy, floor)
+            z = np.maximum(z + theta * dz, floor)
+            w = np.maximum(w + theta * dw, floor)
+            iterations = iteration + 1
+
+            divergence = detect_divergence(x, y, divergence_bound)
+            if divergence is not DivergenceKind.NONE:
+                status = SolveStatus.INFEASIBLE
+                message = divergence.value
+                break
+
+            if trace:
+                records.append(
+                    IterationRecord(
+                        index=iteration,
+                        mu=mu,
+                        duality_gap=duality_gap(x, y, w, z),
+                        primal_infeasibility=p_inf,
+                        dual_infeasibility=d_inf,
+                        theta=theta,
+                        cells_written=m2.write_report.cells_written,
+                    )
+                )
+
+        if status is SolveStatus.ITERATION_LIMIT and not message:
+            x, y, w, z = best_state
+            if problem.satisfies_relaxed_constraints(
+                x,
+                settings.alpha,
+                problem.variation_row_tolerance(
+                    x, settings.variation.relative_magnitude
+                ),
+            ):
+                status = SolveStatus.OPTIMAL
+                message = (
+                    "iteration limit; accepted best feasible iterate"
+                )
+            else:
+                message = "iteration limit without a feasible iterate"
+
+        if status is SolveStatus.OPTIMAL and not (
+            problem.satisfies_relaxed_constraints(
+                x,
+                settings.alpha,
+                problem.variation_row_tolerance(
+                    x, settings.variation.relative_magnitude
+                ),
+            )
+        ):
+            status = SolveStatus.NUMERICAL_FAILURE
+            message = "final constraint check A x <= alpha b failed"
+
+        total_writes = (
+            m1_solve.write_report
+            + m1_mult.write_report
+            + m2.write_report
+            + d_array.write_report
+        )
+        counters = CrossbarCounters(
+            multiplies=multiplies,
+            solves=solves,
+            cells_written=total_writes.cells_written,
+            write_pulses=total_writes.pulses,
+            write_latency_s=total_writes.latency_s,
+            write_energy_j=total_writes.energy_j,
+            array_size=max(system.size_m1, system.size_m2),
+        )
+        return SolverResult(
+            status=status,
+            x=x,
+            y=y,
+            w=w,
+            z=z,
+            objective=problem.objective(x),
+            iterations=iterations,
+            trace=tuple(records),
+            crossbar=counters,
+            message=message,
+        )
+
+
+def solve_crossbar_large_scale(
+    problem: LinearProgram,
+    settings: ScalableSolverSettings | None = None,
+    *,
+    rng: np.random.Generator | None = None,
+    trace: bool = False,
+) -> SolverResult:
+    """Functional wrapper around :class:`LargeScaleCrossbarPDIPSolver`."""
+    return LargeScaleCrossbarPDIPSolver(problem, settings, rng=rng).solve(
+        trace=trace
+    )

@@ -1,0 +1,170 @@
+"""Solver configuration dataclasses.
+
+The knobs follow Algorithm 1 / Algorithm 2 of the paper:
+
+- ``delta`` — centering parameter of Eqn. 8, strictly in (0, 1);
+- ``step_scale`` — the ratio-test damping ``r`` of Eqn. 11, "less than
+  but close to 1";
+- ``eps_primal`` / ``eps_dual`` / ``eps_gap`` — exit tolerances
+  (``eps_b``, ``eps_c``, ``eps_g`` in Algorithm 1).  They are applied
+  *relative* to the problem scale: the effective primal tolerance is
+  ``eps_primal * (1 + max|b|)``, the dual one
+  ``eps_dual * (1 + max|c|)``, and the gap one
+  ``eps_gap * max(1, initial gap)``;
+- ``big_m`` — the unboundedness bound behind infeasibility detection
+  (relative to problem scale as well);
+- ``alpha`` — the variation-tolerant final check ``A x <= alpha b``.
+
+Hardware-facing options (device preset, variation model, converter
+bits, retry policy) live on :class:`CrossbarSolverSettings`;
+Solver 2 additions (regularization magnitude, constant step) on
+:class:`ScalableSolverSettings`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.devices.models import YAKOPCIC_NAECON14, DeviceParameters
+from repro.devices.variation import NoVariation, VariationModel
+
+
+@dataclasses.dataclass(frozen=True)
+class PDIPSettings:
+    """Shared PDIP algorithm parameters (software and crossbar)."""
+
+    delta: float = 0.1
+    step_scale: float = 0.99
+    max_iterations: int = 500
+    eps_primal: float = 1e-8
+    eps_dual: float = 1e-8
+    eps_gap: float = 1e-8
+    big_m: float = 1e6
+    alpha: float = 1.05
+    initial_value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must lie in (0, 1), got {self.delta}")
+        if not 0.0 < self.step_scale < 1.0:
+            raise ValueError(
+                f"step_scale must lie in (0, 1), got {self.step_scale}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        for label in ("eps_primal", "eps_dual", "eps_gap"):
+            if getattr(self, label) <= 0:
+                raise ValueError(f"{label} must be positive")
+        if self.big_m <= 1:
+            raise ValueError("big_m must exceed 1")
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {self.alpha}")
+        if self.initial_value <= 0:
+            raise ValueError("initial_value must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossbarSolverSettings(PDIPSettings):
+    """Solver 1 settings: algorithm knobs plus the hardware model.
+
+    The default tolerances are far looser than the software solver's:
+    8-bit converters put a noise floor of roughly ``1/256`` of the
+    residual-vector peak under each iteration, so demanding 1e-8 would
+    simply spin until the iteration cap.
+    """
+
+    eps_primal: float = 5e-3
+    eps_dual: float = 5e-3
+    eps_gap: float = 5e-3
+    max_iterations: int = 300
+    device: DeviceParameters = YAKOPCIC_NAECON14
+    variation: VariationModel = dataclasses.field(
+        default_factory=NoVariation
+    )
+    dac_bits: int | None = 8
+    adc_bits: int | None = 8
+    off_state: str = "zero"
+    scale_headroom: float = 2.0
+    row_scaling: bool = False
+    stall_iterations: int = 25
+    retries: int = 2
+    #: Iterates are clamped at this floor after every update so analog
+    #: noise cannot push a variable to exactly zero and freeze the
+    #: Eqn. 11 ratio test.
+    positivity_floor: float = 1e-12
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.scale_headroom < 1.0:
+            raise ValueError("scale_headroom must be >= 1")
+        if self.stall_iterations < 1:
+            raise ValueError("stall_iterations must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalableSolverSettings(CrossbarSolverSettings):
+    """Solver 2 settings (Algorithm 2).
+
+    ``constant_theta`` replaces the ratio test — Section 3.4 found a
+    constant step length "better to guarantee convergence" for the
+    split iteration; iterates that stray non-positive are clamped at
+    ``positivity_floor`` (the hardware cannot program negative values
+    anyway).
+
+    The three mode switches select between the functional reading of
+    Eqns. 16–17 (defaults) and the literal printed equations (ablation;
+    see the module docstring of :mod:`repro.core.scalable_system`):
+
+    - ``coupling``: ``"state"`` (RU = -W/Y, RL = Z/X, updated per
+      iteration) or ``"constant"`` (RU = -eps I, RL = eps I).
+    - ``rhs_mode``: ``"exact"`` (``b - Ax - μ/y`` / ``c - Aᵀy + μ/x``)
+      or ``"paper"`` (``b - Ax - w`` / ``c - Aᵀy + z``).
+    - ``recovery``: ``"coupled"`` (r2 includes the ZΔx / WΔy products)
+      or ``"paper"`` (literal Eqn. 17b).
+    """
+
+    constant_theta: float = 0.5
+    regularization: float = 5e-3
+    max_iterations: int = 300
+    coupling: str = "state"
+    rhs_mode: str = "exact"
+    recovery: str = "coupled"
+    #: "capped_ratio" (default): the Eqn. 11 ratio test, capped at
+    #: ``constant_theta`` — the step never exceeds the paper's constant
+    #: and never crosses the positivity boundary, which shields the
+    #: constant-step policy from the occasional garbage direction an
+    #: ill-conditioned analog solve produces at 8-bit precision.
+    #: "constant": the literal Section 3.4 policy (ablation).
+    step_policy: str = "capped_ratio"
+    row_scaling: bool = True
+    ratio_floor: float = 1e-6
+    ratio_cap: float = 1e6
+    positivity_floor: float = 1e-10
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.constant_theta <= 1.0:
+            raise ValueError(
+                f"constant_theta must lie in (0, 1], got "
+                f"{self.constant_theta}"
+            )
+        if self.regularization <= 0:
+            raise ValueError("regularization must be positive")
+        if self.coupling not in ("state", "constant"):
+            raise ValueError(f"unknown coupling mode {self.coupling!r}")
+        if self.rhs_mode not in ("exact", "paper"):
+            raise ValueError(f"unknown rhs mode {self.rhs_mode!r}")
+        if self.recovery not in ("coupled", "paper"):
+            raise ValueError(f"unknown recovery mode {self.recovery!r}")
+        if self.ratio_cap <= 0:
+            raise ValueError("ratio_cap must be positive")
+        if not 0.0 < self.ratio_floor <= self.ratio_cap:
+            raise ValueError(
+                "ratio_floor must be positive and below ratio_cap"
+            )
+        if self.positivity_floor <= 0:
+            raise ValueError("positivity_floor must be positive")
+        if self.step_policy not in ("capped_ratio", "constant"):
+            raise ValueError(f"unknown step policy {self.step_policy!r}")

@@ -1,0 +1,97 @@
+"""Latency estimation for crossbar solver runs (Fig. 6 methodology).
+
+The estimate follows the paper's recipe: take the *measured* iteration
+count and analog-operation counters from a simulated solve, then price
+them with the device and periphery models:
+
+- **writes** — the dominant term: each iteration rewrites ~2.7N
+  coefficients, each costing a train of programming pulses (already
+  accumulated physically by the array simulator into
+  ``CrossbarCounters.write_latency_s``);
+- **analog evaluations** — each multiply or solve settles in O(1):
+  one DAC latency, the crossbar settle time, one ADC latency;
+- **digital/controller** — the O(N) coefficient computations, the
+  summing-amplifier assembly of r, and fixed per-iteration sequencing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.result import SolverResult
+from repro.costmodel.parameters import DEFAULT_COST_MODEL, CostModelParameters
+from repro.devices.models import DeviceParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-phase latency of one crossbar solve, seconds.
+
+    Attributes
+    ----------
+    write_s:
+        Device programming time (pulse trains, sequential per array).
+    analog_s:
+        Crossbar settle time across all multiply/solve evaluations.
+    conversion_s:
+        DAC + ADC conversion time across all evaluations.
+    digital_s:
+        Controller coefficient computation, summing amplifiers, and
+        per-iteration sequencing overhead.
+    """
+
+    write_s: float
+    analog_s: float
+    conversion_s: float
+    digital_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end estimated latency, seconds."""
+        return self.write_s + self.analog_s + self.conversion_s + (
+            self.digital_s
+        )
+
+
+def estimate_latency(
+    result: SolverResult,
+    device: DeviceParameters,
+    model: CostModelParameters = DEFAULT_COST_MODEL,
+) -> LatencyBreakdown:
+    """Price a crossbar solve's counters with the device/periphery model.
+
+    Parameters
+    ----------
+    result:
+        A :class:`SolverResult` from one of the crossbar solvers; must
+        carry :class:`~repro.core.result.CrossbarCounters`.
+    device:
+        The memristor preset the solve ran with (supplies the analog
+        settle time; write costs were accumulated by the simulator).
+    model:
+        Periphery and controller constants.
+
+    Raises
+    ------
+    ValueError
+        If the result has no crossbar counters (software solver).
+    """
+    counters = result.crossbar
+    if counters is None:
+        raise ValueError("result carries no crossbar counters")
+    peri = model.peripherals
+    evaluations = counters.multiplies + counters.solves
+    analog = evaluations * device.read_settle_time
+    conversion = evaluations * (peri.dac_latency_s + peri.adc_latency_s)
+    # Summing amplifiers assemble r element-parallel: one settle per
+    # iteration regardless of width.
+    digital = counters.cells_written * peri.digital_op_latency_s + (
+        result.iterations
+        * (peri.iteration_overhead_s + peri.summing_amp_latency_s)
+    )
+    return LatencyBreakdown(
+        write_s=counters.write_latency_s,
+        analog_s=analog,
+        conversion_s=conversion,
+        digital_s=digital,
+    )

@@ -1,0 +1,32 @@
+"""Memristor crossbar array simulator.
+
+The analog substrate of the LP solver: conductance mapping, the
+crossbar array with its two analog primitives (multiply / solve),
+write-pulse programming costs, DAC/ADC quantization, and a detailed
+nodal-analysis circuit model for parasitic validation.
+"""
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.circuit import DetailedCrossbarCircuit
+from repro.crossbar.mapping import ConductanceMapping, map_matrix, shared_scale
+from repro.crossbar.ops import AnalogMatrixOperator
+from repro.crossbar.programming import WriteReport, plan_write
+from repro.crossbar.quantization import (
+    IdealConverter,
+    Quantizer,
+    quantize_auto,
+)
+
+__all__ = [
+    "CrossbarArray",
+    "DetailedCrossbarCircuit",
+    "ConductanceMapping",
+    "map_matrix",
+    "shared_scale",
+    "AnalogMatrixOperator",
+    "WriteReport",
+    "plan_write",
+    "Quantizer",
+    "IdealConverter",
+    "quantize_auto",
+]

@@ -1,0 +1,259 @@
+"""The memristor crossbar array simulator.
+
+A :class:`CrossbarArray` holds a grid of programmed conductances and
+evaluates the two analog primitives of Section 2.3 of the paper:
+
+**Multiplication** (Eqn. 5) — input voltages on the word-lines, output
+voltages sensed across the ``R_s`` resistors on the bit-lines:
+
+.. math::
+
+   V_{O,j} = \\frac{\\sum_i g_{i,j} V_{I,i}}{g_s + \\sum_k g_{k,j}}
+   \\qquad\\Longleftrightarrow\\qquad
+   V_O = D \\, G^T \\, V_I
+
+**Solving** — output voltages forced on the bit-line sense nodes; the
+current balance :math:`\\sum_i V_{I,i}\\, g_{i,j} = g_s V_{O,j}` on
+every bit-line pins the word-line voltages to the solution of
+
+.. math::
+
+   G^T V_I = g_s V_O .
+
+Both primitives are evaluated with the *actual* conductances — the
+programmed values perturbed by the process-variation model (Eqn. 18),
+freshly drawn at every (re)programming, exactly as the paper notes that
+"process variation differs from each time of writing".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crossbar.mapping import ConductanceMapping
+from repro.crossbar.programming import WriteReport, plan_write
+from repro.devices.models import HP_TIO2, DeviceParameters
+from repro.devices.variation import NoVariation, VariationModel
+from repro.exceptions import CrossbarSolveError, MappingError
+
+
+class CrossbarArray:
+    """An N_rows x N_cols memristor crossbar.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Physical array dimensions (word-lines x bit-lines).
+    params:
+        Device preset; defaults to the HP TiO2 device.
+    variation:
+        Process-variation model applied at every programming event.
+    g_sense:
+        Conductance ``g_s`` of the bit-line sense resistors.  Defaults
+        to the device's ``g_on``.
+    rng:
+        Random generator for variation draws.  Defaults to a fresh
+        ``default_rng()``; pass an explicit generator in experiments.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        *,
+        params: DeviceParameters = HP_TIO2,
+        variation: VariationModel | None = None,
+        g_sense: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError("array dimensions must be positive")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.params = params
+        self.variation = variation if variation is not None else NoVariation()
+        self.g_sense = float(g_sense) if g_sense is not None else params.g_on
+        if self.g_sense <= 0:
+            raise ValueError("g_sense must be positive")
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+        # Nominal (programmed) and actual (variation-perturbed) states.
+        # A blank array has every cell isolated (1T1R off state).
+        self._nominal = np.zeros((n_rows, n_cols))
+        self._actual = self.variation.perturb(self._nominal, self.rng)
+        self.write_log: list[WriteReport] = []
+
+    # -- programming -------------------------------------------------------
+
+    @property
+    def nominal_conductances(self) -> np.ndarray:
+        """Programmed (target) conductances; copy."""
+        return self._nominal.copy()
+
+    @property
+    def actual_conductances(self) -> np.ndarray:
+        """Variation-perturbed conductances the analog circuit sees; copy."""
+        return self._actual.copy()
+
+    def program(self, conductances: np.ndarray) -> WriteReport:
+        """Program the full array to the given conductance targets.
+
+        A fresh process-variation draw perturbs the entire array (every
+        written cell re-rolls its deviation).  Returns the write-cost
+        report for the cells that actually changed.
+        """
+        conductances = np.asarray(conductances, dtype=float)
+        if conductances.shape != (self.n_rows, self.n_cols):
+            raise MappingError(
+                f"conductance shape {conductances.shape} does not match "
+                f"array ({self.n_rows}, {self.n_cols})"
+            )
+        self._validate_range(conductances)
+        report = plan_write(self._nominal, conductances, self.params)
+        self._nominal = conductances.copy()
+        self._actual = self.variation.perturb(self._nominal, self.rng)
+        self.write_log.append(report)
+        return report
+
+    def program_mapping(self, mapping: ConductanceMapping) -> WriteReport:
+        """Program from a :class:`ConductanceMapping` (see mapping.py)."""
+        return self.program(mapping.conductances)
+
+    def program_cells(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        conductances: np.ndarray,
+    ) -> WriteReport:
+        """Selectively reprogram individual cells (O(#cells) write).
+
+        This is the primitive behind the paper's O(N) iteration cost:
+        only the changed diagonal blocks are rewritten.  Variation is
+        re-drawn for the written cells only; untouched cells keep their
+        previous physical deviation.
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        conductances = np.asarray(conductances, dtype=float)
+        if not (rows.shape == cols.shape == conductances.shape):
+            raise ValueError("rows, cols, conductances must align")
+        if rows.size == 0:
+            report = WriteReport(0, 0, 0.0, 0.0)
+            self.write_log.append(report)
+            return report
+        if rows.min() < 0 or rows.max() >= self.n_rows:
+            raise IndexError("row index out of range")
+        if cols.min() < 0 or cols.max() >= self.n_cols:
+            raise IndexError("column index out of range")
+        self._validate_range(conductances)
+
+        old_cells = self._nominal[rows, cols]
+        report = plan_write(
+            old_cells.reshape(1, -1),
+            conductances.reshape(1, -1),
+            self.params,
+        )
+        new_nominal = self._nominal.copy()
+        new_nominal[rows, cols] = conductances
+        self._nominal = new_nominal
+
+        perturbed = self.variation.perturb(
+            conductances.reshape(1, -1), self.rng
+        ).ravel()
+        new_actual = self._actual.copy()
+        new_actual[rows, cols] = perturbed
+        self._actual = new_actual
+        self.write_log.append(report)
+        return report
+
+    def _validate_range(self, conductances: np.ndarray) -> None:
+        # Targets are either exactly 0 (cell isolated, 1T1R off state)
+        # or inside the device window [g_off, g_on].
+        if not np.all(np.isfinite(conductances)):
+            raise MappingError("conductance targets must be finite")
+        if conductances.min() < 0.0:
+            raise MappingError(
+                f"target {conductances.min():.3e} is negative; "
+                "memristance cannot be negative"
+            )
+        if conductances.max() > self.params.g_on * (1 + 1e-12):
+            raise MappingError(
+                f"target {conductances.max():.3e} above device g_on "
+                f"{self.params.g_on:.3e}"
+            )
+
+    # -- analog primitives ---------------------------------------------------
+
+    def multiply(self, v_in: np.ndarray) -> np.ndarray:
+        """Analog multiply: bit-line voltages for word-line inputs.
+
+        Implements Eqn. 5 with the actual (perturbed) conductances:
+        ``V_O = D G^T V_I`` with ``d_j = 1/(g_s + sum_k g_{k,j})``.
+        """
+        v_in = np.asarray(v_in, dtype=float)
+        if v_in.shape != (self.n_rows,):
+            raise ValueError(
+                f"expected input of shape ({self.n_rows},), got {v_in.shape}"
+            )
+        currents = self._actual.T @ v_in
+        denominators = self.g_sense + self._actual.sum(axis=0)
+        return currents / denominators
+
+    def nominal_denominators(self) -> np.ndarray:
+        """``g_s + column sums`` of the *programmed* conductances.
+
+        The digital controller knows the values it programmed, so the
+        decode stage divides by these nominal denominators; deviation
+        of the actual denominators is part of the variation error.
+        """
+        return self.g_sense + self._nominal.sum(axis=0)
+
+    def solve(self, v_out: np.ndarray) -> np.ndarray:
+        """Analog solve: word-line voltages realizing bit-line targets.
+
+        Solves ``G^T V_I = g_s V_O`` with the actual conductances.  The
+        array must be square.
+
+        Raises
+        ------
+        CrossbarSolveError
+            If the array is not square or the perturbed conductance
+            matrix is singular (the failure mode of Section 4.3).
+        """
+        if self.n_rows != self.n_cols:
+            raise CrossbarSolveError(
+                f"solving requires a square array, got "
+                f"{self.n_rows}x{self.n_cols}"
+            )
+        v_out = np.asarray(v_out, dtype=float)
+        if v_out.shape != (self.n_cols,):
+            raise ValueError(
+                f"expected target of shape ({self.n_cols},), got "
+                f"{v_out.shape}"
+            )
+        system = self._actual.T
+        try:
+            v_in = np.linalg.solve(system, self.g_sense * v_out)
+        except np.linalg.LinAlgError as exc:
+            raise CrossbarSolveError(
+                "perturbed conductance matrix is singular"
+            ) from exc
+        if not np.all(np.isfinite(v_in)):
+            raise CrossbarSolveError("analog solve produced non-finite rails")
+        return v_in
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def total_write_report(self) -> WriteReport:
+        """Accumulated write costs over the array's lifetime."""
+        total = WriteReport(0, 0, 0.0, 0.0)
+        for report in self.write_log:
+            total = total + report
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CrossbarArray({self.n_rows}x{self.n_cols}, "
+            f"device={self.params.name!r}, variation={self.variation!r})"
+        )

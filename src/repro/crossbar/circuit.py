@@ -1,0 +1,162 @@
+"""Detailed circuit-level crossbar model (modified nodal analysis).
+
+The idealized read-out equation (Eqn. 5) assumes perfect word/bit
+lines.  Real arrays have wire segment resistance between adjacent
+crosspoints, which introduces IR-drop errors that grow with array size
+— one of the manufacturing limits motivating the paper's NoC tiling
+(Section 3.4).  This module solves the full resistive network so the
+idealization can be validated and the tiling size justified:
+
+- every crosspoint ``(i, j)`` has its own word-line node and bit-line
+  node, joined by the memristor conductance ``g[i, j]``;
+- adjacent word-line nodes on a row (and bit-line nodes on a column)
+  are joined by a wire segment conductance ``g_wire``;
+- row drivers force ``V_I[i]`` at column 0 through a driver
+  conductance;
+- each bit-line reaches ground through the sense conductance ``g_s``
+  at its bottom node, where the output voltage is measured.
+
+Setting ``wire_resistance=0`` recovers Eqn. 5 exactly (up to float
+round-off), which is what the tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+
+class DetailedCrossbarCircuit:
+    """Crossbar read-out with parasitic wire resistance.
+
+    Parameters
+    ----------
+    conductances:
+        Memristor conductance matrix ``g`` of shape (n_rows, n_cols).
+    g_sense:
+        Sense conductance ``g_s`` at the foot of every bit-line.
+    wire_resistance:
+        Resistance of one wire segment between adjacent crosspoints,
+        ohms.  ``0`` means ideal wires.
+    driver_resistance:
+        Output resistance of the word-line drivers, ohms.
+    """
+
+    def __init__(
+        self,
+        conductances: np.ndarray,
+        *,
+        g_sense: float,
+        wire_resistance: float = 0.0,
+        driver_resistance: float = 0.0,
+    ) -> None:
+        conductances = np.asarray(conductances, dtype=float)
+        if conductances.ndim != 2:
+            raise ValueError("conductances must be a 2-D array")
+        if np.any(conductances < 0):
+            raise ValueError("conductances must be non-negative")
+        if g_sense <= 0:
+            raise ValueError("g_sense must be positive")
+        if wire_resistance < 0 or driver_resistance < 0:
+            raise ValueError("parasitic resistances must be non-negative")
+        self.g = conductances
+        self.n_rows, self.n_cols = conductances.shape
+        self.g_sense = float(g_sense)
+        self.wire_resistance = float(wire_resistance)
+        self.driver_resistance = float(driver_resistance)
+
+    # Node numbering: word-line node (i, j) -> i * n_cols + j;
+    # bit-line node (i, j)  -> offset + i * n_cols + j.
+    def _wl(self, i: int, j: int) -> int:
+        return i * self.n_cols + j
+
+    def _bl(self, i: int, j: int) -> int:
+        return self.n_rows * self.n_cols + i * self.n_cols + j
+
+    def multiply(self, v_in: np.ndarray) -> np.ndarray:
+        """Bit-line output voltages for the given word-line drive.
+
+        Solves the full nodal system; with ideal wires this equals the
+        Eqn. 5 read-out ``V_O = D G^T V_I``.
+        """
+        v_in = np.asarray(v_in, dtype=float)
+        if v_in.shape != (self.n_rows,):
+            raise ValueError(
+                f"expected input of shape ({self.n_rows},), got {v_in.shape}"
+            )
+        if self.wire_resistance == 0.0 and self.driver_resistance == 0.0:
+            # Ideal wires: closed form, no linear solve needed.
+            denominators = self.g_sense + self.g.sum(axis=0)
+            return (self.g.T @ v_in) / denominators
+        return self._solve_network(v_in)
+
+    def _solve_network(self, v_in: np.ndarray) -> np.ndarray:
+        n, m = self.n_rows, self.n_cols
+        size = 2 * n * m
+        # Effectively-ideal parasitics still need finite conductances.
+        g_wire = (
+            1.0 / self.wire_resistance if self.wire_resistance > 0 else 1e12
+        )
+        g_driver = (
+            1.0 / self.driver_resistance
+            if self.driver_resistance > 0
+            else 1e12
+        )
+
+        laplacian = sparse.lil_matrix((size, size))
+        injection = np.zeros(size)
+
+        def stamp(a: int, b: int, g: float) -> None:
+            laplacian[a, a] += g
+            laplacian[b, b] += g
+            laplacian[a, b] -= g
+            laplacian[b, a] -= g
+
+        def stamp_to_ground(a: int, g: float) -> None:
+            laplacian[a, a] += g
+
+        for i in range(n):
+            # Driver into the leftmost word-line node.
+            node0 = self._wl(i, 0)
+            stamp_to_ground(node0, g_driver)
+            injection[node0] += g_driver * v_in[i]
+            for j in range(m):
+                wl = self._wl(i, j)
+                bl = self._bl(i, j)
+                if self.g[i, j] > 0:
+                    stamp(wl, bl, self.g[i, j])
+                else:
+                    # Isolated crosspoint: tie dangling pairs weakly so
+                    # the system stays non-singular.
+                    stamp_to_ground(wl, 1e-15)
+                    stamp_to_ground(bl, 1e-15)
+                if j + 1 < m:
+                    stamp(wl, self._wl(i, j + 1), g_wire)
+                if i + 1 < n:
+                    stamp(bl, self._bl(i + 1, j), g_wire)
+        for j in range(m):
+            # Sense resistor at the foot (bottom row) of each bit-line.
+            stamp_to_ground(self._bl(n - 1, j), self.g_sense)
+
+        solution = sparse_linalg.spsolve(
+            sparse.csr_matrix(laplacian), injection
+        )
+        return np.array(
+            [solution[self._bl(n - 1, j)] for j in range(m)], dtype=float
+        )
+
+    def ideal_multiply(self, v_in: np.ndarray) -> np.ndarray:
+        """The Eqn. 5 closed form, for comparison with the network."""
+        v_in = np.asarray(v_in, dtype=float)
+        denominators = self.g_sense + self.g.sum(axis=0)
+        return (self.g.T @ v_in) / denominators
+
+    def ir_drop_error(self, v_in: np.ndarray) -> float:
+        """Max relative deviation of the network from the ideal model."""
+        ideal = self.ideal_multiply(v_in)
+        real = self.multiply(v_in)
+        denom = np.max(np.abs(ideal))
+        if denom == 0:
+            return 0.0
+        return float(np.max(np.abs(real - ideal)) / denom)

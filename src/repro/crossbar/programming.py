@@ -1,0 +1,145 @@
+"""Write-pulse programming model for memristor crossbars.
+
+Section 3.3 of the paper: a target device is programmed by applying
+``V_dd`` (or ``-V_dd``) across its word-line/bit-line pair while all
+other lines are biased at ``V_dd / 2`` — the half-select scheme keeps
+every unselected device below threshold.  Programming a device to a
+specific resistance is achieved by adjusting the number of write
+pulses.
+
+Devices are written one at a time per array (the selected WL/BL pair
+is unique), so write latency is the sum of per-cell pulse trains; only
+*changed* cells are rewritten.  This is what makes the PDIP iteration
+O(N): between iterations only the X, Y, Z, W diagonal blocks of the
+system matrix change — O(N) cells — while the large A / A^T blocks are
+programmed once (Section 3.5).
+
+Energy accounting includes the half-select disturbance energy of the
+unselected lines, which scales with array size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.devices.models import DeviceParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteReport:
+    """Accounting record for one programming operation.
+
+    Attributes
+    ----------
+    cells_written:
+        Number of devices whose target conductance changed.
+    pulses:
+        Total write pulses issued across all written cells.
+    latency_s:
+        Wall-clock time of the (sequential) write phase, seconds.
+    energy_j:
+        Total energy of the write phase, including half-select
+        overhead, joules.
+    """
+
+    cells_written: int
+    pulses: int
+    latency_s: float
+    energy_j: float
+
+    def __add__(self, other: "WriteReport") -> "WriteReport":
+        return WriteReport(
+            cells_written=self.cells_written + other.cells_written,
+            pulses=self.pulses + other.pulses,
+            latency_s=self.latency_s + other.latency_s,
+            energy_j=self.energy_j + other.energy_j,
+        )
+
+
+#: Fraction of the selected-cell write energy dissipated by each
+#: half-selected device on the same word/bit line.  A half-selected cell
+#: sees V_dd/2, i.e. a quarter of the power of the selected cell, for
+#: the same pulse duration; sneak-path analyses in the crosspoint
+#: literature (Liang et al., JETC 2013, cited as [15]) put the practical
+#: figure near this value.
+HALF_SELECT_ENERGY_FRACTION = 0.25
+
+
+def conductance_to_state(
+    conductance: np.ndarray, params: DeviceParameters
+) -> np.ndarray:
+    """Normalized device state x in [0, 1] realizing each conductance."""
+    conductance = np.asarray(conductance, dtype=float)
+    resistance = 1.0 / np.clip(conductance, params.g_off, params.g_on)
+    return (params.r_off - resistance) / (params.r_off - params.r_on)
+
+
+def plan_write(
+    old: np.ndarray | None,
+    new: np.ndarray,
+    params: DeviceParameters,
+    *,
+    tolerance: float = 0.0,
+) -> WriteReport:
+    """Cost of reprogramming an array from ``old`` to ``new``.
+
+    Parameters
+    ----------
+    old:
+        Previously programmed conductances, or ``None`` for a blank
+        array (all cells isolated / fully OFF).
+    new:
+        Target conductances, same shape as ``old`` (if given).
+    params:
+        Device preset (pulse width, energy, full-swing pulse count).
+    tolerance:
+        Relative conductance change below which a cell is considered
+        unchanged and skipped (write-verify deadband).
+
+    Returns
+    -------
+    WriteReport
+        Pulses, latency and energy for the sequential write.
+    """
+    new = np.asarray(new, dtype=float)
+    if old is None:
+        old = np.zeros_like(new)
+    else:
+        old = np.asarray(old, dtype=float)
+        if old.shape != new.shape:
+            raise ValueError(
+                f"shape mismatch: old {old.shape} vs new {new.shape}"
+            )
+
+    old_state = conductance_to_state(old, params)
+    new_state = conductance_to_state(new, params)
+    swing = np.abs(new_state - old_state)
+
+    if tolerance > 0.0:
+        scale = np.maximum(np.abs(old), params.g_off)
+        changed = np.abs(new - old) / scale > tolerance
+    else:
+        changed = swing > 0.0
+    swing = np.where(changed, swing, 0.0)
+
+    pulses_per_cell = np.ceil(swing * params.write_pulses_full_swing)
+    total_pulses = int(pulses_per_cell.sum())
+    cells = int(np.count_nonzero(changed))
+
+    latency = total_pulses * params.write_pulse_width
+    # Selected-cell energy plus half-select disturbance on the other
+    # devices sharing the selected WL and BL.
+    n_rows, n_cols = new.shape
+    half_selected = (n_rows - 1) + (n_cols - 1)
+    energy_per_pulse = params.write_energy_per_pulse * (
+        1.0 + HALF_SELECT_ENERGY_FRACTION * half_selected
+    )
+    energy = total_pulses * energy_per_pulse
+    return WriteReport(
+        cells_written=cells,
+        pulses=total_pulses,
+        latency_s=latency,
+        energy_j=energy,
+    )

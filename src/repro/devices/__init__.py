@@ -1,0 +1,47 @@
+"""Memristor device models.
+
+This subpackage simulates individual memristor devices: their
+conductance states, switching dynamics under write pulses, and
+manufacturing (process) variation.  The crossbar simulator in
+:mod:`repro.crossbar` is built on top of these models.
+
+Public API
+----------
+- :class:`~repro.devices.memristor.Memristor` — a single linear
+  ion-drift (HP TiO2) device with threshold switching.
+- :class:`~repro.devices.models.DeviceParameters` — physical parameter
+  bundle; presets :data:`~repro.devices.models.HP_TIO2` and
+  :data:`~repro.devices.models.YAKOPCIC_NAECON14`.
+- :class:`~repro.devices.variation.UniformVariation` /
+  :class:`~repro.devices.variation.LognormalVariation` — process
+  variation models (Eqn. 18 of the paper).
+"""
+
+from repro.devices.faults import StuckAtFaults
+from repro.devices.memristor import Memristor, MemristorState
+from repro.devices.models import (
+    HP_TIO2,
+    YAKOPCIC_NAECON14,
+    DeviceParameters,
+)
+from repro.devices.variation import (
+    LognormalVariation,
+    NoVariation,
+    UniformVariation,
+    VariationModel,
+    variation_from_percent,
+)
+
+__all__ = [
+    "Memristor",
+    "MemristorState",
+    "DeviceParameters",
+    "HP_TIO2",
+    "YAKOPCIC_NAECON14",
+    "VariationModel",
+    "NoVariation",
+    "UniformVariation",
+    "LognormalVariation",
+    "variation_from_percent",
+    "StuckAtFaults",
+]

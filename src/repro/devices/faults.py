@@ -1,0 +1,87 @@
+"""Hard-fault models for memristor crossbars (extension study).
+
+Beyond the paper's analog process variation (Eqn. 18), fabricated
+arrays exhibit *hard* faults: cells stuck at the low-resistance state
+(stuck-ON: shorted filament) or at the high-resistance/open state
+(stuck-OFF).  Yield studies in the RRAM literature put combined fault
+rates at a few tenths of a percent to a few percent.
+
+:class:`StuckAtFaults` composes with the paper's variation model: the
+soft variation perturbs every programmed cell, then the stuck cells
+override their targets entirely.  Fault positions are redrawn per
+programming event with the supplied probability — modeling the fact
+that a logical matrix is remapped onto (possibly different) physical
+arrays between runs, which is also what makes the paper's retry scheme
+effective against faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.models import DeviceParameters
+from repro.devices.variation import NoVariation, VariationModel
+
+
+class StuckAtFaults(VariationModel):
+    """Stuck-ON / stuck-OFF cell faults on top of soft variation.
+
+    Parameters
+    ----------
+    params:
+        Device preset supplying the stuck conductance levels (``g_on``
+        for stuck-ON, 0 for stuck-OFF — a blown cell conducts nothing).
+    stuck_on_rate / stuck_off_rate:
+        Per-cell fault probabilities (each in [0, 0.5)).
+    base:
+        Soft variation applied before the fault overrides; defaults to
+        ideal (faults only).
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters,
+        *,
+        stuck_on_rate: float = 0.0,
+        stuck_off_rate: float = 0.0,
+        base: VariationModel | None = None,
+    ) -> None:
+        for label, rate in (
+            ("stuck_on_rate", stuck_on_rate),
+            ("stuck_off_rate", stuck_off_rate),
+        ):
+            if not 0.0 <= rate < 0.5:
+                raise ValueError(f"{label} must lie in [0, 0.5)")
+        self.params = params
+        self.stuck_on_rate = float(stuck_on_rate)
+        self.stuck_off_rate = float(stuck_off_rate)
+        self.base = base if base is not None else NoVariation()
+
+    def perturb(
+        self, matrix: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        perturbed = self.base.perturb(matrix, rng)
+        draw = rng.uniform(size=perturbed.shape)
+        stuck_on = draw < self.stuck_on_rate
+        stuck_off = (draw >= self.stuck_on_rate) & (
+            draw < self.stuck_on_rate + self.stuck_off_rate
+        )
+        perturbed = np.where(stuck_on, self.params.g_on, perturbed)
+        perturbed = np.where(stuck_off, 0.0, perturbed)
+        return perturbed
+
+    @property
+    def relative_magnitude(self) -> float:
+        """Spec value for acceptance budgeting.
+
+        Hard faults are not a bounded relative deviation, so the spec
+        reports only the *soft* component; fault tolerance is achieved
+        through the retry scheme (fresh arrays), not wider acceptance.
+        """
+        return self.base.relative_magnitude
+
+    def __repr__(self) -> str:
+        return (
+            f"StuckAtFaults(on={self.stuck_on_rate}, "
+            f"off={self.stuck_off_rate}, base={self.base!r})"
+        )

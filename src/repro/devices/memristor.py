@@ -1,0 +1,196 @@
+"""Single-device memristor model.
+
+Implements the linear ion-drift (HP TiO2) memristor of Strukov et al.
+(Nature 2008), the device described in Section 2.2 of the paper:
+
+.. math::
+
+   M(q(t)) = R_{OFF}\\,\\Bigl(1 - \\frac{\\mu_v R_{ON}}{D^2}\\,q(t)\\Bigr)
+
+together with threshold switching: a voltage whose magnitude stays
+below ``V_th`` does not move the internal state, so analog computation
+(read voltages) leaves the programmed matrix intact, while programming
+pulses above threshold move the doped-region boundary.
+
+The internal state variable is the normalized doped-region width
+``x = w / D`` in [0, 1]; memristance interpolates linearly between
+``R_OFF`` (x = 0) and ``R_ON`` (x = 1):
+
+.. math::
+
+   M(x) = R_{ON}\\,x + R_{OFF}\\,(1 - x)
+
+which is the standard reparameterization of the charge-controlled form
+above (``x`` is proportional to the integrated charge).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.devices.models import HP_TIO2, DeviceParameters
+
+
+@dataclasses.dataclass
+class MemristorState:
+    """Snapshot of a device's internal state.
+
+    Attributes
+    ----------
+    x:
+        Normalized doped-region width ``w/D`` in [0, 1].
+    resistance:
+        Memristance implied by ``x``, ohms.
+    conductance:
+        ``1 / resistance``, siemens.
+    """
+
+    x: float
+    resistance: float
+    conductance: float
+
+
+class Memristor:
+    """A single linear ion-drift memristor with threshold switching.
+
+    Parameters
+    ----------
+    params:
+        Device constants; defaults to the HP TiO2 preset.
+    x0:
+        Initial normalized state in [0, 1] (0 = fully OFF/high
+        resistance, 1 = fully ON/low resistance).
+    """
+
+    def __init__(
+        self, params: DeviceParameters = HP_TIO2, x0: float = 0.0
+    ) -> None:
+        if not 0.0 <= x0 <= 1.0:
+            raise ValueError("initial state x0 must lie in [0, 1]")
+        self.params = params
+        self._x = float(x0)
+
+    # -- state accessors -------------------------------------------------
+
+    @property
+    def x(self) -> float:
+        """Normalized doped-region width in [0, 1]."""
+        return self._x
+
+    @property
+    def resistance(self) -> float:
+        """Current memristance M(x), ohms."""
+        p = self.params
+        return p.r_on * self._x + p.r_off * (1.0 - self._x)
+
+    @property
+    def conductance(self) -> float:
+        """Current conductance 1/M(x), siemens."""
+        return 1.0 / self.resistance
+
+    def state(self) -> MemristorState:
+        """Immutable snapshot of the current device state."""
+        return MemristorState(
+            x=self._x,
+            resistance=self.resistance,
+            conductance=self.conductance,
+        )
+
+    # -- electrical behaviour --------------------------------------------
+
+    def current(self, voltage: float) -> float:
+        """Ohmic current response I = V / M(x) at the present state.
+
+        Reads never mutate state here; state motion is modeled only in
+        :meth:`apply_voltage` (and only above threshold), matching the
+        paper's observation that the computation phase has negligible
+        effect on memristance.
+        """
+        return voltage / self.resistance
+
+    def apply_voltage(self, voltage: float, duration: float) -> float:
+        """Apply a voltage pulse; move the state if above threshold.
+
+        The linear ion-drift state equation is
+
+        .. math::
+
+           \\frac{dw}{dt} = \\frac{\\mu_v R_{ON}}{D} \\; i(t)
+
+        integrated with explicit Euler over ``duration`` (valid for the
+        short programming pulses used in crossbar writes), with a hard
+        window clamp to [0, 1].
+
+        Parameters
+        ----------
+        voltage:
+            Pulse amplitude, volts.  Positive voltage moves the device
+            toward ``R_ON`` (x -> 1); negative toward ``R_OFF``.
+        duration:
+            Pulse width, seconds.
+
+        Returns
+        -------
+        float
+            The new normalized state.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if abs(voltage) <= self.params.v_threshold:
+            return self._x  # sub-threshold: pure resistor, no switching
+        p = self.params
+        # dx/dt = mu_v * R_on / D^2 * i(t); i = V / M(x).  Use a few Euler
+        # substeps so a long pulse cannot overshoot the window.
+        substeps = 8
+        dt = duration / substeps
+        k = p.dopant_mobility * p.r_on / (p.film_thickness**2)
+        x = self._x
+        for _ in range(substeps):
+            m = p.r_on * x + p.r_off * (1.0 - x)
+            x += k * (voltage / m) * dt
+            x = min(1.0, max(0.0, x))
+        self._x = x
+        return self._x
+
+    # -- programming helpers ----------------------------------------------
+
+    def program_to_conductance(self, target_g: float) -> int:
+        """Program the device to a target conductance with write pulses.
+
+        Emulates the pulse-train programming scheme of Section 3.3: the
+        write circuitry applies ``±V_dd`` pulses and counts pulses until
+        the device reaches the requested conductance.  For the purposes
+        of the crossbar simulator we set the state directly (the
+        feedback write loop converges to the target) and return the
+        number of pulses a real controller would have issued, which the
+        cost model uses.
+
+        Parameters
+        ----------
+        target_g:
+            Desired conductance in ``[g_off, g_on]``, siemens.
+
+        Returns
+        -------
+        int
+            Number of write pulses issued (>= 0).
+        """
+        p = self.params
+        if not p.g_off <= target_g <= p.g_on:
+            raise ValueError(
+                f"target conductance {target_g:.3e} outside device range "
+                f"[{p.g_off:.3e}, {p.g_on:.3e}]"
+            )
+        target_r = 1.0 / target_g
+        # Invert M(x) = r_on x + r_off (1 - x) for x.
+        target_x = (p.r_off - target_r) / (p.r_off - p.r_on)
+        swing = abs(target_x - self._x)
+        pulses = int(round(swing * p.write_pulses_full_swing))
+        self._x = min(1.0, max(0.0, target_x))
+        return pulses
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Memristor(params={self.params.name!r}, x={self._x:.4f}, "
+            f"R={self.resistance:.1f} ohm)"
+        )

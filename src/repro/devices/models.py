@@ -1,0 +1,182 @@
+"""Physical parameter bundles for memristor devices.
+
+Two presets are provided:
+
+- :data:`HP_TIO2` — the titanium-dioxide thin-film device announced by
+  HP Labs (Strukov et al., Nature 2008), the device the paper's
+  background section (Eqn. 4) describes:
+
+  .. math::
+
+     M(q(t)) = R_{OFF} \\cdot \\Bigl(1 - \\frac{\\mu_v R_{ON}}{D^2} q(t)\\Bigr)
+
+- :data:`YAKOPCIC_NAECON14` — parameters in the spirit of the hybrid
+  crossbar architecture of Yakopcic, Taha & Hasan (NAECON 2014), the
+  model the paper cites ([23]) for its latency and energy estimates.
+  The exact SPICE-level constants are not printed in the paper, so the
+  write/read timing and energy figures here are representative values
+  from that literature; their provenance is documented field by field.
+
+All quantities are SI (ohms, volts, seconds, joules, meters).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceParameters:
+    """Immutable bundle of memristor device constants.
+
+    Attributes
+    ----------
+    name:
+        Human-readable preset name.
+    r_on:
+        Low-resistance (fully doped) state, ohms.
+    r_off:
+        High-resistance (undoped) state, ohms.
+    v_threshold:
+        Write threshold voltage ``V_th`` — excitation below this
+        magnitude leaves the memristance unchanged (the device behaves
+        as a resistor), volts.
+    v_write:
+        Programming voltage ``V_dd`` applied across a selected device
+        during a write; must satisfy ``|v_write| > v_threshold`` so the
+        half-select bias ``v_write / 2`` is below threshold, volts.
+    v_read:
+        Read/compute voltage amplitude used for analog matrix
+        operations; kept below ``v_threshold`` so computation does not
+        disturb the stored state, volts.
+    film_thickness:
+        TiO2 film thickness ``D``, meters.
+    dopant_mobility:
+        Ion mobility ``mu_v``, m^2 s^-1 V^-1.
+    write_pulse_width:
+        Duration of one programming pulse, seconds.
+    write_pulses_full_swing:
+        Number of pulses to traverse the full ``r_off -> r_on`` range;
+        programming to an intermediate state scales proportionally.
+    write_energy_per_pulse:
+        Energy dissipated in the selected cell per write pulse, joules.
+    read_settle_time:
+        Analog settling time for one crossbar evaluation (multiply or
+        solve) — this is the O(1) "compute" latency, seconds.
+    read_energy_per_cell:
+        Energy dissipated per cell per analog evaluation, joules.
+    """
+
+    name: str
+    r_on: float
+    r_off: float
+    v_threshold: float
+    v_write: float
+    v_read: float
+    film_thickness: float
+    dopant_mobility: float
+    write_pulse_width: float
+    write_pulses_full_swing: int
+    write_energy_per_pulse: float
+    read_settle_time: float
+    read_energy_per_cell: float
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise ValueError("resistances must be positive")
+        if self.r_on >= self.r_off:
+            raise ValueError(
+                f"r_on ({self.r_on}) must be below r_off ({self.r_off})"
+            )
+        if abs(self.v_write) <= abs(self.v_threshold):
+            raise ValueError("write voltage must exceed the threshold")
+        if abs(self.v_write) / 2.0 > abs(self.v_threshold):
+            raise ValueError(
+                "half-select bias v_write/2 must stay below the threshold, "
+                "otherwise unselected devices are disturbed"
+            )
+        if abs(self.v_read) >= abs(self.v_threshold):
+            raise ValueError("read voltage must stay below the threshold")
+
+    @property
+    def g_on(self) -> float:
+        """Maximum conductance (siemens) — the ``g_max`` of the mapping."""
+        return 1.0 / self.r_on
+
+    @property
+    def g_off(self) -> float:
+        """Minimum conductance (siemens) — the ``g_min`` of the mapping."""
+        return 1.0 / self.r_off
+
+    @property
+    def conductance_range(self) -> tuple[float, float]:
+        """(g_min, g_max) representable by one device."""
+        return (self.g_off, self.g_on)
+
+    @property
+    def resistance_ratio(self) -> float:
+        """Dynamic range ``r_off / r_on`` (dimensionless)."""
+        return self.r_off / self.r_on
+
+    def write_time(self, fraction_of_full_swing: float) -> float:
+        """Time to program a device across the given state fraction.
+
+        Parameters
+        ----------
+        fraction_of_full_swing:
+            Fraction in [0, 1] of the full ``r_off -> r_on`` range the
+            write must traverse.  Per Section 3.3 of the paper,
+            programming to a specific resistance is achieved by
+            adjusting the number of write pulses.
+        """
+        if not 0.0 <= fraction_of_full_swing <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        pulses = self.write_pulses_full_swing * fraction_of_full_swing
+        return pulses * self.write_pulse_width
+
+    def write_energy(self, fraction_of_full_swing: float) -> float:
+        """Energy to program a device across the given state fraction."""
+        if not 0.0 <= fraction_of_full_swing <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        pulses = self.write_pulses_full_swing * fraction_of_full_swing
+        return pulses * self.write_energy_per_pulse
+
+
+#: HP Labs TiO2 device (Strukov et al. 2008).  R_on/R_off and geometry are
+#: the commonly quoted values for that device; write/read figures follow
+#: the crossbar-programming literature cited by the paper ([16], [17]).
+HP_TIO2 = DeviceParameters(
+    name="hp-tio2",
+    r_on=100.0,
+    r_off=16_000.0,
+    v_threshold=1.0,
+    v_write=2.0,
+    v_read=0.5,
+    film_thickness=10e-9,
+    dopant_mobility=1e-14,
+    write_pulse_width=10e-9,
+    write_pulses_full_swing=100,
+    write_energy_per_pulse=1e-12,
+    read_settle_time=10e-9,
+    read_energy_per_cell=1e-15,
+)
+
+#: Device constants in the spirit of Yakopcic, Taha & Hasan (NAECON 2014),
+#: which the paper cites ([23]) as the basis of its latency / energy
+#: estimates.  Slightly faster write pulses and a wider dynamic range than
+#: the 2008 HP device.
+YAKOPCIC_NAECON14 = DeviceParameters(
+    name="yakopcic-naecon14",
+    r_on=1_000.0,
+    r_off=1_000_000.0,
+    v_threshold=1.1,
+    v_write=2.2,
+    v_read=0.9,
+    film_thickness=10e-9,
+    dopant_mobility=1e-14,
+    write_pulse_width=5e-9,
+    write_pulses_full_swing=64,
+    write_energy_per_pulse=0.5e-12,
+    read_settle_time=5e-9,
+    read_energy_per_cell=0.5e-15,
+)

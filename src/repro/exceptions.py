@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MappingError(ReproError):
+    """A matrix cannot be mapped onto a memristor crossbar.
+
+    Raised for negative coefficients (memristance is non-negative),
+    non-finite entries, or matrices exceeding the array dimensions.
+    """
+
+
+class CrossbarSolveError(ReproError):
+    """The analog linear-system solve failed.
+
+    The perturbed conductance matrix was singular or so ill-conditioned
+    that the read-out is meaningless.  Section 4.3 of the paper
+    discusses exactly this failure mode; callers may retry with a fresh
+    variation draw (the paper's "double checking scheme").
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration cap."""
+
+
+class InfeasibleProblemError(ReproError):
+    """The linear program was detected to be infeasible."""
+
+
+class PartitionError(ReproError):
+    """A matrix cannot be partitioned onto the given NoC tile grid."""

@@ -1,0 +1,61 @@
+"""Table/figure regeneration harness (Figs. 5-7, Section 4.4 anchors)."""
+
+from repro.experiments.accuracy import (
+    AccuracyRow,
+    accuracy_sweep,
+    render_accuracy,
+)
+from repro.experiments.energy import EnergyRow, energy_sweep, render_energy
+from repro.experiments.infeasibility import (
+    InfeasibilityRow,
+    infeasibility_sweep,
+    render_infeasibility,
+)
+from repro.experiments.latency import (
+    LatencyRow,
+    latency_sweep,
+    render_latency,
+)
+from repro.experiments.parasitics import (
+    ParasiticsRow,
+    max_usable_tile,
+    parasitics_sweep,
+    render_parasitics,
+)
+from repro.experiments.reproduce import (
+    ReproductionArtifact,
+    reproduce_all,
+)
+from repro.experiments.runner import (
+    SOLVER_NAMES,
+    SweepConfig,
+    paper_scale,
+    settings_for,
+    solver_for,
+)
+
+__all__ = [
+    "SweepConfig",
+    "paper_scale",
+    "solver_for",
+    "settings_for",
+    "SOLVER_NAMES",
+    "AccuracyRow",
+    "accuracy_sweep",
+    "render_accuracy",
+    "LatencyRow",
+    "latency_sweep",
+    "render_latency",
+    "EnergyRow",
+    "energy_sweep",
+    "render_energy",
+    "InfeasibilityRow",
+    "infeasibility_sweep",
+    "render_infeasibility",
+    "ParasiticsRow",
+    "parasitics_sweep",
+    "max_usable_tile",
+    "render_parasitics",
+    "ReproductionArtifact",
+    "reproduce_all",
+]

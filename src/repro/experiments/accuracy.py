@@ -1,0 +1,119 @@
+"""Fig. 5 reproduction: accuracy of the crossbar solvers.
+
+For each (constraint count, variation level) cell, solve a batch of
+random feasible LPs on the chosen crossbar solver and compare the
+optimal values against the software ground truth (scipy HiGHS — the
+"Matlab linprog" stand-in), exactly the relative-error measure plotted
+in Fig. 5(a) (Solver 1) and Fig. 5(b) (Solver 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.metrics import SampleStats, relative_error
+from repro.analysis.tables import render_table
+from repro.baselines.scipy_linprog import solve_scipy
+from repro.core.result import SolveStatus
+from repro.experiments.runner import SweepConfig, cell_seed, solver_for
+from repro.workloads.random_lp import random_feasible_lp
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracyRow:
+    """One sweep cell of the Fig. 5 accuracy table.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver under test.
+    constraints / variation_percent:
+        Cell coordinates.
+    trials:
+        Problems attempted.
+    solved:
+        Problems that returned OPTIMAL.
+    error:
+        Relative-error statistics over the solved problems.
+    iterations:
+        Iteration-count statistics over the solved problems.
+    """
+
+    solver: str
+    constraints: int
+    variation_percent: int
+    trials: int
+    solved: int
+    error: SampleStats
+    iterations: SampleStats
+
+
+def accuracy_sweep(
+    solver: str = "crossbar",
+    config: SweepConfig | None = None,
+) -> list[AccuracyRow]:
+    """Run the Fig. 5 sweep and return one row per cell."""
+    config = config if config is not None else SweepConfig()
+    rows: list[AccuracyRow] = []
+    for m in config.sizes:
+        for variation in config.variations:
+            solve = solver_for(solver, variation)
+            errors: list[float] = []
+            iteration_counts: list[float] = []
+            solved = 0
+            for trial in range(config.trials):
+                seed = cell_seed(config, m, variation, trial)
+                rng = np.random.default_rng(seed)
+                problem = random_feasible_lp(m, rng=rng)
+                truth = solve_scipy(problem)
+                if truth.status is not SolveStatus.OPTIMAL:
+                    continue  # extraordinarily rare; skip the trial
+                result = solve(problem, np.random.default_rng(seed.spawn(1)[0]))
+                if result.status is SolveStatus.OPTIMAL:
+                    solved += 1
+                    errors.append(
+                        relative_error(result.objective, truth.objective)
+                    )
+                    iteration_counts.append(float(result.iterations))
+            rows.append(
+                AccuracyRow(
+                    solver=solver,
+                    constraints=m,
+                    variation_percent=variation,
+                    trials=config.trials,
+                    solved=solved,
+                    error=SampleStats.from_samples(errors),
+                    iterations=SampleStats.from_samples(iteration_counts),
+                )
+            )
+    return rows
+
+
+def render_accuracy(rows: list[AccuracyRow]) -> str:
+    """Fig. 5-style text table: relative error per cell."""
+    table = [
+        [
+            row.solver,
+            row.constraints,
+            row.variation_percent,
+            f"{row.solved}/{row.trials}",
+            row.error.mean,
+            row.error.maximum,
+            row.iterations.mean,
+        ]
+        for row in rows
+    ]
+    return render_table(
+        [
+            "solver",
+            "constraints",
+            "var%",
+            "solved",
+            "mean_rel_err",
+            "max_rel_err",
+            "mean_iters",
+        ],
+        table,
+    )

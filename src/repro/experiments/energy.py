@@ -1,0 +1,119 @@
+"""Fig. 7 reproduction: estimated energy consumption.
+
+Same methodology as the latency experiment (measured counters priced
+by the device + periphery model) with the CPU side converted to energy
+at the paper-implied package power (~35 W).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.metrics import SampleStats
+from repro.analysis.tables import render_table
+from repro.core.result import SolveStatus
+from repro.costmodel.cpu import (
+    cpu_energy,
+    linprog_latency,
+    software_pdip_latency,
+)
+from repro.costmodel.energy import estimate_energy
+from repro.experiments.runner import (
+    SweepConfig,
+    cell_seed,
+    settings_for,
+    solver_for,
+)
+from repro.workloads.random_lp import random_feasible_lp
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyRow:
+    """One sweep cell of the Fig. 7 energy comparison (joules)."""
+
+    solver: str
+    constraints: int
+    variation_percent: int
+    solved: int
+    trials: int
+    crossbar: SampleStats
+    linprog_j: float
+    pdip_matlab_j: float
+
+    @property
+    def gain_vs_linprog(self) -> float:
+        """linprog energy / mean crossbar energy (0 if unsolved)."""
+        if self.crossbar.count == 0 or self.crossbar.mean == 0.0:
+            return 0.0
+        return self.linprog_j / self.crossbar.mean
+
+
+def energy_sweep(
+    solver: str = "crossbar",
+    config: SweepConfig | None = None,
+) -> list[EnergyRow]:
+    """Run the Fig. 7 sweep and return one row per cell."""
+    config = config if config is not None else SweepConfig()
+    rows: list[EnergyRow] = []
+    for m in config.sizes:
+        for variation in config.variations:
+            solve = solver_for(solver, variation)
+            settings = settings_for(solver, variation)
+            samples: list[float] = []
+            solved = 0
+            for trial in range(config.trials):
+                seed = cell_seed(config, m, variation, trial)
+                rng = np.random.default_rng(seed)
+                problem = random_feasible_lp(m, rng=rng)
+                result = solve(
+                    problem, np.random.default_rng(seed.spawn(1)[0])
+                )
+                if result.status is SolveStatus.OPTIMAL:
+                    solved += 1
+                    breakdown = estimate_energy(result, settings.device)
+                    samples.append(breakdown.total_j)
+            rows.append(
+                EnergyRow(
+                    solver=solver,
+                    constraints=m,
+                    variation_percent=variation,
+                    solved=solved,
+                    trials=config.trials,
+                    crossbar=SampleStats.from_samples(samples),
+                    linprog_j=cpu_energy(linprog_latency(m)),
+                    pdip_matlab_j=cpu_energy(software_pdip_latency(m)),
+                )
+            )
+    return rows
+
+
+def render_energy(rows: list[EnergyRow]) -> str:
+    """Fig. 7-style text table (energies in joules)."""
+    table = [
+        [
+            row.solver,
+            row.constraints,
+            row.variation_percent,
+            f"{row.solved}/{row.trials}",
+            row.crossbar.mean,
+            row.linprog_j,
+            row.pdip_matlab_j,
+            row.gain_vs_linprog,
+        ]
+        for row in rows
+    ]
+    return render_table(
+        [
+            "solver",
+            "constraints",
+            "var%",
+            "solved",
+            "crossbar_J",
+            "linprog_J",
+            "pdip_matlab_J",
+            "gain",
+        ],
+        table,
+    )

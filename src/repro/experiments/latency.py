@@ -1,0 +1,122 @@
+"""Fig. 6 reproduction: estimated computation latency.
+
+Follows the paper's estimation methodology exactly: run the simulated
+solver to obtain measured iteration counts and analog-operation /
+write counters, price them with the device + periphery cost model,
+and compare against the anchored CPU models of Matlab ``linprog`` and
+PDIP-in-Matlab (Fig. 6(a): Solver 1 vs both CPU curves; Fig. 6(b):
+Solver 2 vs linprog).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.metrics import SampleStats
+from repro.analysis.tables import render_table
+from repro.core.result import SolveStatus
+from repro.costmodel.cpu import linprog_latency, software_pdip_latency
+from repro.costmodel.latency import estimate_latency
+from repro.experiments.runner import (
+    SweepConfig,
+    cell_seed,
+    settings_for,
+    solver_for,
+)
+from repro.workloads.random_lp import random_feasible_lp
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyRow:
+    """One sweep cell of the Fig. 6 latency comparison.
+
+    Latencies in seconds; ``speedup_vs_linprog`` is the headline ratio
+    the paper reports (26x-113x at m=1024).
+    """
+
+    solver: str
+    constraints: int
+    variation_percent: int
+    solved: int
+    trials: int
+    crossbar: SampleStats
+    linprog_s: float
+    pdip_matlab_s: float
+
+    @property
+    def speedup_vs_linprog(self) -> float:
+        """linprog latency / mean crossbar latency (0 if unsolved)."""
+        if self.crossbar.count == 0 or self.crossbar.mean == 0.0:
+            return 0.0
+        return self.linprog_s / self.crossbar.mean
+
+
+def latency_sweep(
+    solver: str = "crossbar",
+    config: SweepConfig | None = None,
+) -> list[LatencyRow]:
+    """Run the Fig. 6 sweep and return one row per cell."""
+    config = config if config is not None else SweepConfig()
+    rows: list[LatencyRow] = []
+    for m in config.sizes:
+        for variation in config.variations:
+            solve = solver_for(solver, variation)
+            settings = settings_for(solver, variation)
+            samples: list[float] = []
+            solved = 0
+            for trial in range(config.trials):
+                seed = cell_seed(config, m, variation, trial)
+                rng = np.random.default_rng(seed)
+                problem = random_feasible_lp(m, rng=rng)
+                result = solve(
+                    problem, np.random.default_rng(seed.spawn(1)[0])
+                )
+                if result.status is SolveStatus.OPTIMAL:
+                    solved += 1
+                    breakdown = estimate_latency(result, settings.device)
+                    samples.append(breakdown.total_s)
+            rows.append(
+                LatencyRow(
+                    solver=solver,
+                    constraints=m,
+                    variation_percent=variation,
+                    solved=solved,
+                    trials=config.trials,
+                    crossbar=SampleStats.from_samples(samples),
+                    linprog_s=linprog_latency(m),
+                    pdip_matlab_s=software_pdip_latency(m),
+                )
+            )
+    return rows
+
+
+def render_latency(rows: list[LatencyRow]) -> str:
+    """Fig. 6-style text table (latencies in milliseconds)."""
+    table = [
+        [
+            row.solver,
+            row.constraints,
+            row.variation_percent,
+            f"{row.solved}/{row.trials}",
+            row.crossbar.mean * 1e3,
+            row.linprog_s * 1e3,
+            row.pdip_matlab_s * 1e3,
+            row.speedup_vs_linprog,
+        ]
+        for row in rows
+    ]
+    return render_table(
+        [
+            "solver",
+            "constraints",
+            "var%",
+            "solved",
+            "crossbar_ms",
+            "linprog_ms",
+            "pdip_matlab_ms",
+            "speedup",
+        ],
+        table,
+    )

@@ -1,0 +1,111 @@
+"""Wire-parasitics study: how large can one crossbar tile be?
+
+Section 3.4 motivates the NoC with manufacturing and performance
+limits on crossbar size.  The performance limit is IR drop: wire
+segment resistance between crosspoints makes the realized read-out
+deviate from the ideal Eqn. 5 as arrays grow.  This experiment sweeps
+array size and wire resistance with the detailed nodal-analysis model
+and reports the worst-case relative read-out error — the quantity that
+bounds usable tile size for a given technology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.crossbar.circuit import DetailedCrossbarCircuit
+from repro.devices.models import DeviceParameters, YAKOPCIC_NAECON14
+
+
+@dataclasses.dataclass(frozen=True)
+class ParasiticsRow:
+    """One cell of the IR-drop sweep.
+
+    Attributes
+    ----------
+    size:
+        Array dimension (size x size).
+    wire_resistance:
+        Per-segment wire resistance, ohms.
+    ir_drop_error:
+        Worst-case relative deviation of the network solution from the
+        ideal Eqn. 5 read-out, maximized over the sampled inputs.
+    """
+
+    size: int
+    wire_resistance: float
+    ir_drop_error: float
+
+
+def parasitics_sweep(
+    sizes: tuple[int, ...] = (8, 16, 32),
+    wire_resistances: tuple[float, ...] = (0.5, 2.0, 5.0),
+    *,
+    params: DeviceParameters = YAKOPCIC_NAECON14,
+    samples: int = 3,
+    rng: np.random.Generator | None = None,
+) -> list[ParasiticsRow]:
+    """Run the IR-drop sweep.
+
+    Conductances are drawn uniformly over the device window (the
+    worst case for column currents); inputs over the read range.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    rows: list[ParasiticsRow] = []
+    for size in sizes:
+        conductances = rng.uniform(
+            params.g_off, params.g_on, size=(size, size)
+        )
+        inputs = [
+            rng.uniform(0.0, params.v_read, size=size)
+            for _ in range(samples)
+        ]
+        for resistance in wire_resistances:
+            circuit = DetailedCrossbarCircuit(
+                conductances,
+                g_sense=params.g_on,
+                wire_resistance=resistance,
+            )
+            error = max(
+                circuit.ir_drop_error(v_in) for v_in in inputs
+            )
+            rows.append(
+                ParasiticsRow(
+                    size=size,
+                    wire_resistance=resistance,
+                    ir_drop_error=error,
+                )
+            )
+    return rows
+
+
+def max_usable_tile(
+    rows: list[ParasiticsRow], error_budget: float
+) -> dict[float, int]:
+    """Largest array size whose IR drop stays within the budget.
+
+    Returns a mapping ``wire_resistance -> max size`` (0 when even the
+    smallest sampled size exceeds the budget).
+    """
+    if error_budget <= 0:
+        raise ValueError("error_budget must be positive")
+    result: dict[float, int] = {}
+    for row in rows:
+        best = result.setdefault(row.wire_resistance, 0)
+        if row.ir_drop_error <= error_budget and row.size > best:
+            result[row.wire_resistance] = row.size
+    return result
+
+
+def render_parasitics(rows: list[ParasiticsRow]) -> str:
+    """IR-drop sweep as a text table."""
+    return render_table(
+        ["size", "wire_ohm", "ir_drop_rel_err"],
+        [
+            [row.size, row.wire_resistance, row.ir_drop_error]
+            for row in rows
+        ],
+    )

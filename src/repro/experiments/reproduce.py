@@ -1,0 +1,128 @@
+"""One-call reproduction driver: run every experiment, write artifacts.
+
+``reproduce_all(output_dir)`` runs the full figure set (accuracy,
+latency, energy, infeasibility for both solvers, plus the parasitics
+study) on a chosen grid and writes, per experiment, a rendered text
+table plus machine-readable CSV/JSON — everything needed to re-plot
+the paper's Section 4 from this repository's data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.analysis.export import write_csv, write_json
+from repro.experiments.accuracy import accuracy_sweep, render_accuracy
+from repro.experiments.energy import energy_sweep, render_energy
+from repro.experiments.infeasibility import (
+    infeasibility_sweep,
+    render_infeasibility,
+)
+from repro.experiments.latency import latency_sweep, render_latency
+from repro.experiments.parasitics import (
+    parasitics_sweep,
+    render_parasitics,
+)
+from repro.experiments.runner import SweepConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ReproductionArtifact:
+    """One experiment's written outputs.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``fig5a``).
+    table_path / csv_path / json_path:
+        Files written under the output directory.
+    rows:
+        The in-memory result rows.
+    """
+
+    name: str
+    table_path: Path
+    csv_path: Path
+    json_path: Path
+    rows: list
+
+
+_EXPERIMENTS = (
+    ("fig5a", accuracy_sweep, render_accuracy, "crossbar"),
+    ("fig5b", accuracy_sweep, render_accuracy, "large_scale"),
+    ("fig6a", latency_sweep, render_latency, "crossbar"),
+    ("fig6b", latency_sweep, render_latency, "large_scale"),
+    ("fig7a", energy_sweep, render_energy, "crossbar"),
+    ("fig7b", energy_sweep, render_energy, "large_scale"),
+    (
+        "infeasibility_s1",
+        infeasibility_sweep,
+        render_infeasibility,
+        "crossbar",
+    ),
+    (
+        "infeasibility_s2",
+        infeasibility_sweep,
+        render_infeasibility,
+        "large_scale",
+    ),
+)
+
+
+def reproduce_all(
+    output_dir: str | Path,
+    config: SweepConfig | None = None,
+    *,
+    experiments: tuple[str, ...] | None = None,
+) -> list[ReproductionArtifact]:
+    """Run the experiment set and write artifacts under ``output_dir``.
+
+    Parameters
+    ----------
+    output_dir:
+        Directory for the artifacts (created if missing).
+    config:
+        Sweep grid; defaults to the scaled-down
+        :class:`~repro.experiments.runner.SweepConfig`.
+    experiments:
+        Optional subset of experiment names (plus ``"parasitics"``).
+
+    Returns
+    -------
+    list[ReproductionArtifact]
+        One record per experiment, in run order.
+    """
+    config = config if config is not None else SweepConfig()
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    selected = set(experiments) if experiments is not None else None
+
+    artifacts: list[ReproductionArtifact] = []
+    for name, sweep, render, solver in _EXPERIMENTS:
+        if selected is not None and name not in selected:
+            continue
+        rows = sweep(solver, config)
+        artifacts.append(_write(output, name, rows, render(rows)))
+    if selected is None or "parasitics" in selected:
+        rows = parasitics_sweep()
+        artifacts.append(
+            _write(output, "parasitics", rows, render_parasitics(rows))
+        )
+    return artifacts
+
+
+def _write(
+    output: Path, name: str, rows: list, table: str
+) -> ReproductionArtifact:
+    table_path = output / f"{name}.txt"
+    table_path.write_text(table + "\n")
+    csv_path = write_csv(rows, output / f"{name}.csv")
+    json_path = write_json(rows, output / f"{name}.json")
+    return ReproductionArtifact(
+        name=name,
+        table_path=table_path,
+        csv_path=csv_path,
+        json_path=json_path,
+        rows=rows,
+    )

@@ -1,0 +1,145 @@
+"""Shared experiment infrastructure.
+
+The paper's evaluation (Section 4.2) sweeps the number of constraints
+from 4 to 1024 (doubling), with n = m/3 variables, under process
+variation of 0 / 5 / 10 / 20 %, over batches of random feasible and
+infeasible tests.  :class:`SweepConfig` captures that grid;
+:func:`solver_for` builds a configured solver callable by name so
+every experiment module runs the same way.
+
+Defaults are scaled down (sizes to 64, a few trials) so the benchmark
+suite completes in minutes; pass ``paper_scale()`` for the full grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+from repro.core.reference_pdip import solve_reference
+from repro.core.result import SolverResult
+from repro.core.settings import (
+    CrossbarSolverSettings,
+    PDIPSettings,
+    ScalableSolverSettings,
+)
+from repro.core.crossbar_solver import solve_crossbar
+from repro.core.scalable_solver import solve_crossbar_large_scale
+from repro.devices.variation import variation_from_percent
+
+#: Solver registry: name -> factory(variation_percent) -> callable.
+SOLVER_NAMES = ("crossbar", "large_scale", "reference")
+
+SolverFn = Callable[[LinearProgram, np.random.Generator], SolverResult]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepConfig:
+    """Grid of an accuracy/latency/energy sweep.
+
+    Attributes
+    ----------
+    sizes:
+        Constraint counts m (paper: 4, 8, ..., 1024).
+    variations:
+        Process-variation percentages (paper: 0, 5, 10, 20).
+    trials:
+        Random problems per (size, variation) cell (paper: 100).
+    seed:
+        Base seed; each cell derives child seeds deterministically.
+    """
+
+    sizes: tuple[int, ...] = (4, 8, 16, 32, 64)
+    variations: tuple[int, ...] = (0, 5, 10, 20)
+    trials: int = 5
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("need at least one size")
+        if any(m < 2 for m in self.sizes):
+            raise ValueError("sizes must be >= 2")
+        if not self.variations:
+            raise ValueError("need at least one variation level")
+        if self.trials < 1:
+            raise ValueError("trials must be positive")
+
+
+def paper_scale() -> SweepConfig:
+    """The full Section 4.2 grid (hours of simulation)."""
+    return SweepConfig(
+        sizes=(4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        variations=(0, 5, 10, 20),
+        trials=100,
+    )
+
+
+def solver_for(
+    name: str,
+    variation_percent: float,
+    *,
+    overrides: dict | None = None,
+) -> SolverFn:
+    """Build a configured solver callable by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"crossbar"`` (Solver 1), ``"large_scale"``
+        (Solver 2), or ``"reference"`` (software PDIP; ignores
+        variation).
+    variation_percent:
+        Process-variation level for the hardware model.
+    overrides:
+        Extra settings fields (e.g. ``{"adc_bits": None}``).
+    """
+    overrides = dict(overrides or {})
+    if name == "crossbar":
+        settings = CrossbarSolverSettings(
+            variation=variation_from_percent(variation_percent), **overrides
+        )
+        return lambda problem, rng: solve_crossbar(
+            problem, settings, rng=rng
+        )
+    if name == "large_scale":
+        settings = ScalableSolverSettings(
+            variation=variation_from_percent(variation_percent), **overrides
+        )
+        return lambda problem, rng: solve_crossbar_large_scale(
+            problem, settings, rng=rng
+        )
+    if name == "reference":
+        settings = PDIPSettings(**overrides)
+        return lambda problem, rng: solve_reference(problem, settings)
+    raise ValueError(
+        f"unknown solver {name!r}; expected one of {SOLVER_NAMES}"
+    )
+
+
+def settings_for(name: str, variation_percent: float, **overrides):
+    """The settings object :func:`solver_for` would configure."""
+    if name == "crossbar":
+        return CrossbarSolverSettings(
+            variation=variation_from_percent(variation_percent), **overrides
+        )
+    if name == "large_scale":
+        return ScalableSolverSettings(
+            variation=variation_from_percent(variation_percent), **overrides
+        )
+    if name == "reference":
+        return PDIPSettings(**overrides)
+    raise ValueError(
+        f"unknown solver {name!r}; expected one of {SOLVER_NAMES}"
+    )
+
+
+def cell_seed(config: SweepConfig, m: int, variation: float, trial: int
+              ) -> np.random.SeedSequence:
+    """Deterministic per-trial seed for a sweep cell."""
+    return np.random.SeedSequence(
+        entropy=config.seed,
+        spawn_key=(int(m), int(round(variation * 10)), int(trial)),
+    )

@@ -1,0 +1,27 @@
+"""Analog network-on-chip scale-out for multiple crossbar tiles.
+
+Implements the Section 3.4 / Fig. 3 architecture: block partitioning
+of large matrices onto fixed-size tiles, hierarchical (quad-tree) and
+mesh topologies with analog arbiters, and tiled multiply/solve
+orchestration with communication-cost accounting.
+"""
+
+from repro.noc.arbiter import (
+    HierarchicalNoc,
+    MeshNoc,
+    NocParameters,
+    NocTopology,
+    TransferReport,
+)
+from repro.noc.multiply import TiledMatrixOperator
+from repro.noc.partition import BlockPartition
+
+__all__ = [
+    "BlockPartition",
+    "NocParameters",
+    "NocTopology",
+    "MeshNoc",
+    "HierarchicalNoc",
+    "TransferReport",
+    "TiledMatrixOperator",
+]

@@ -1,0 +1,164 @@
+"""Analog NoC topologies: transfer routing and cost accounting.
+
+Fig. 3 of the paper sketches two analog NoC organizations for
+coordinating many crossbar tiles:
+
+- **(a) hierarchical** — groups of four tiles under one arbiter, four
+  such groups under a higher-level arbiter, recursively (a quad-tree),
+  with a centralized controller;
+- **(b) mesh** — tiles at the nodes of a 2-D mesh with distributed
+  XY routing, "resembl[ing] the mesh network-based NoC structure in
+  multi-core systems".
+
+Data stays analog end to end: arbiters are built from analog buffers
+and switches [21], so every hop costs one buffer traversal.  The
+classes here compute hop counts for tile-to-aggregator transfers and
+price them with representative buffer constants; they do not move
+payloads themselves (the numerical work happens in
+:mod:`repro.noc.multiply`, which asks a topology how expensive its
+communication pattern is).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class NocParameters:
+    """Analog-link constants.
+
+    Attributes
+    ----------
+    hop_latency_s:
+        Analog buffer + switch traversal time per hop.
+    hop_energy_per_line_j:
+        Energy to drive one analog line through one hop.
+    lines_per_transfer:
+        Parallel analog lines per tile-output transfer (a tile moves a
+        vector of up to ``tile_size`` voltages at once).
+    """
+
+    hop_latency_s: float = 2e-9
+    hop_energy_per_line_j: float = 0.5e-12
+    lines_per_transfer: int = 128
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferReport:
+    """Cost of one communication phase across the NoC.
+
+    Attributes
+    ----------
+    transfers:
+        Number of tile-output transfers routed.
+    total_hops:
+        Hop count summed over all transfers.
+    critical_path_hops:
+        Largest hop count of any single transfer — transfers proceed in
+        parallel, so phase latency follows the critical path.
+    latency_s / energy_j:
+        Priced with :class:`NocParameters`.
+    """
+
+    transfers: int
+    total_hops: int
+    critical_path_hops: int
+    latency_s: float
+    energy_j: float
+
+
+class NocTopology(abc.ABC):
+    """Interface: hop counts for tile-to-aggregation-point routing."""
+
+    def __init__(
+        self,
+        grid_rows: int,
+        grid_cols: int,
+        params: NocParameters | None = None,
+    ) -> None:
+        if grid_rows < 1 or grid_cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        self.grid_rows = grid_rows
+        self.grid_cols = grid_cols
+        self.params = params if params is not None else NocParameters()
+
+    @abc.abstractmethod
+    def hops(self, src: tuple[int, int], dst: tuple[int, int]) -> int:
+        """Hop count from tile ``src`` to tile/aggregator ``dst``."""
+
+    def route_reduction(
+        self, sources: list[tuple[int, int]], destination: tuple[int, int]
+    ) -> TransferReport:
+        """Cost of gathering all ``sources`` at ``destination``.
+
+        Models a row-reduction phase: each source tile streams its
+        partial output vector toward the aggregation point, where the
+        analog summing stage combines them.  Transfers are parallel;
+        the phase latency is set by the farthest source.
+        """
+        hop_counts = [self.hops(src, destination) for src in sources]
+        total = int(sum(hop_counts))
+        critical = int(max(hop_counts, default=0))
+        latency = critical * self.params.hop_latency_s
+        energy = (
+            total
+            * self.params.lines_per_transfer
+            * self.params.hop_energy_per_line_j
+        )
+        return TransferReport(
+            transfers=len(sources),
+            total_hops=total,
+            critical_path_hops=critical,
+            latency_s=latency,
+            energy_j=energy,
+        )
+
+    def _check(self, node: tuple[int, int]) -> None:
+        r, c = node
+        if not (0 <= r < self.grid_rows and 0 <= c < self.grid_cols):
+            raise ValueError(
+                f"node {node} outside grid "
+                f"{self.grid_rows}x{self.grid_cols}"
+            )
+
+
+class MeshNoc(NocTopology):
+    """Fig. 3(b): 2-D mesh with dimension-ordered (XY) routing.
+
+    Hop count is the Manhattan distance; the distributed controller of
+    a mesh NoC needs no global arbitration, so no extra levels are
+    charged.
+    """
+
+    def hops(self, src: tuple[int, int], dst: tuple[int, int]) -> int:
+        self._check(src)
+        self._check(dst)
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+
+class HierarchicalNoc(NocTopology):
+    """Fig. 3(a): quad-tree of arbiters over 2x2 tile groups.
+
+    A transfer climbs to the lowest common ancestor of source and
+    destination and descends: each level halves the grid coordinates.
+    The centralized controller grants one arbiter per level, so hop
+    count is twice the LCA depth distance.
+    """
+
+    def hops(self, src: tuple[int, int], dst: tuple[int, int]) -> int:
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        sr, sc = src
+        dr, dc = dst
+        levels = 0
+        while (sr, sc) != (dr, dc):
+            sr //= 2
+            sc //= 2
+            dr //= 2
+            dc //= 2
+            levels += 1
+        return 2 * levels

@@ -1,0 +1,262 @@
+"""Tiled analog matrix operations across a NoC of crossbar tiles.
+
+:class:`TiledMatrixOperator` is the scale-out counterpart of
+:class:`repro.crossbar.ops.AnalogMatrixOperator`: a logical matrix too
+large for one array is split over a grid of fixed-size tiles
+(Section 3.4, Fig. 3), all programmed with one *shared* conductance
+scale so their analog outputs are commensurable.
+
+- **multiply** is exact (up to hardware noise): every tile evaluates
+  its block, the partial output currents of each tile row are routed
+  through the NoC to that row's aggregation point and summed in
+  analog, and the total is converted once.
+- **solve** has no single-crossbar analogue across tiles — current
+  balance only constrains one array.  It is implemented as
+  block-preconditioned Richardson iteration (analog iterative
+  refinement): diagonal tiles *solve* their blocks, the full tiled
+  *multiply* provides residuals, and the loop repeats until the
+  residual is below tolerance.  Each refinement step costs O(1) analog
+  time, preserving the pseudo-O(N) character.
+
+Communication costs are accounted per phase through the chosen
+:class:`~repro.noc.arbiter.NocTopology` and surfaced via
+:attr:`TiledMatrixOperator.noc_latency_s` /
+:attr:`~TiledMatrixOperator.noc_energy_j`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.programming import WriteReport
+from repro.crossbar.quantization import quantize_auto
+from repro.devices.models import HP_TIO2, DeviceParameters
+from repro.devices.variation import NoVariation, VariationModel
+from repro.exceptions import CrossbarSolveError, MappingError, PartitionError
+from repro.noc.arbiter import MeshNoc, NocParameters, NocTopology
+from repro.noc.partition import BlockPartition
+
+
+class TiledMatrixOperator:
+    """A large matrix realized on a NoC-coordinated grid of tiles.
+
+    Parameters
+    ----------
+    matrix:
+        Non-negative coefficient matrix, shape (n_out, n_in).
+    tile_size:
+        Physical crossbar dimension; tiles are ``tile_size**2`` cells.
+    params, variation, rng, dac_bits, adc_bits, quantization, g_sense:
+        Hardware model, as for
+        :class:`~repro.crossbar.ops.AnalogMatrixOperator`.
+    scale_headroom:
+        Headroom multiplier on the shared conductance scale.
+    topology:
+        A :class:`NocTopology` instance, or ``None`` for a mesh over
+        the partition's grid.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        tile_size: int,
+        *,
+        params: DeviceParameters = HP_TIO2,
+        variation: VariationModel | None = None,
+        rng: np.random.Generator | None = None,
+        dac_bits: int | None = 8,
+        adc_bits: int | None = 8,
+        quantization: str = "entry",
+        scale_headroom: float = 1.0,
+        topology: NocTopology | None = None,
+        noc_params: NocParameters | None = None,
+        g_sense: float | None = None,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise MappingError("expected a 2-D coefficient matrix")
+        if np.any(matrix < 0):
+            raise MappingError(
+                "matrix contains negative coefficients; eliminate them "
+                "first (Eqn. 13)"
+            )
+        if scale_headroom < 1.0:
+            raise ValueError("scale_headroom must be >= 1")
+        self.params = params
+        self.variation = variation if variation is not None else NoVariation()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.dac_bits = dac_bits
+        self.adc_bits = adc_bits
+        self.quantization = quantization
+        self.scale_headroom = float(scale_headroom)
+
+        self.n_out, self.n_in = matrix.shape
+        self._coefficients = matrix.copy()
+        self.partition = BlockPartition(self.n_out, self.n_in, tile_size)
+        if topology is None:
+            topology = MeshNoc(
+                self.partition.grid_rows,
+                self.partition.grid_cols,
+                noc_params,
+            )
+        self.topology = topology
+
+        a_max = float(matrix.max(initial=0.0))
+        if a_max <= 0.0:
+            a_max = 1.0
+        self.scale = params.g_on / (a_max * self.scale_headroom)
+
+        self._tiles: dict[tuple[int, int], CrossbarArray] = {}
+        for r, c in self.partition.tiles():
+            block = self.partition.block(matrix, r, c)
+            rows_out, cols_in = block.shape
+            tile = CrossbarArray(
+                cols_in,
+                rows_out,
+                params=params,
+                variation=self.variation,
+                g_sense=g_sense,
+                rng=self.rng,
+            )
+            tile.program(self._block_targets(block))
+            self._tiles[(r, c)] = tile
+        self.noc_latency_s = 0.0
+        self.noc_energy_j = 0.0
+        self.noc_transfers = 0
+        self.multiplies = 0
+        self.tile_solves = 0
+
+    def _block_targets(self, block: np.ndarray) -> np.ndarray:
+        targets = self.scale * block.T
+        return np.where(targets < self.params.g_off, 0.0, targets)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of physical tiles in the grid."""
+        return self.partition.n_tiles
+
+    @property
+    def write_report(self) -> WriteReport:
+        """Accumulated programming cost across all tiles."""
+        total = WriteReport(0, 0, 0.0, 0.0)
+        for tile in self._tiles.values():
+            total = total + tile.total_write_report
+        return total
+
+    def _account_row_reduction(self, grid_row: int) -> None:
+        sources = [(grid_row, c) for c in range(self.partition.grid_cols)]
+        destination = (grid_row, 0)
+        report = self.topology.route_reduction(sources, destination)
+        self.noc_latency_s += report.latency_s
+        self.noc_energy_j += report.energy_j
+        self.noc_transfers += report.transfers
+
+    # -- operations -----------------------------------------------------------
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Tiled analog product ``y ≈ A x`` with NoC reduction."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_in,):
+            raise ValueError(
+                f"expected vector of shape ({self.n_in},), got {x.shape}"
+            )
+        peak = float(np.max(np.abs(x)))
+        if peak == 0.0:
+            return np.zeros(self.n_out)
+        s_x = self.params.v_read / peak
+        v_in = quantize_auto(x * s_x, self.dac_bits, self.quantization)
+
+        y = np.zeros(self.n_out)
+        for r in range(self.partition.grid_rows):
+            row_slice = self.partition.row_slice(r)
+            currents = np.zeros(row_slice.stop - row_slice.start)
+            for c in range(self.partition.grid_cols):
+                tile = self._tiles[(r, c)]
+                col_slice = self.partition.col_slice(c)
+                v_out = tile.multiply(v_in[col_slice])
+                currents = currents + v_out * tile.nominal_denominators()
+            # One conversion per logical output after analog summation.
+            currents = quantize_auto(
+                currents, self.adc_bits, self.quantization
+            )
+            y[row_slice] = currents / (self.scale * s_x)
+            self._account_row_reduction(r)
+        self.multiplies += 1
+        return y
+
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        tolerance: float = 1e-6,
+        max_refinements: int = 200,
+        relaxation: float = 1.0,
+    ) -> np.ndarray:
+        """Block-preconditioned Richardson solve of ``A x = b``.
+
+        Iterates ``x <- x + omega * D^{-1} (b - A x)`` where ``D`` is
+        the block-diagonal of A, inverted by the diagonal tiles' analog
+        solve mode.  Requires a square logical matrix and square
+        diagonal blocks (``n_out == n_in``).
+
+        Raises
+        ------
+        CrossbarSolveError
+            If the matrix is not square, a diagonal tile is singular,
+            or the refinement fails to converge within the cap.
+        """
+        if self.n_out != self.n_in:
+            raise CrossbarSolveError(
+                "tiled solve requires a square logical matrix"
+            )
+        if self.partition.grid_rows != self.partition.grid_cols:
+            raise CrossbarSolveError("tiled solve requires a square grid")
+        b = np.asarray(b, dtype=float)
+        if b.shape != (self.n_out,):
+            raise ValueError(
+                f"expected vector of shape ({self.n_out},), got {b.shape}"
+            )
+        b_scale = float(np.max(np.abs(b)))
+        if b_scale == 0.0:
+            return np.zeros(self.n_in)
+
+        # The converters bound the reachable residual: each tiled
+        # multiply carries ~2^-bits relative error of its output peak,
+        # so demanding less would loop forever at the noise floor.
+        bits = [v for v in (self.dac_bits, self.adc_bits) if v is not None]
+        noise_floor = 4.0 * 2.0 ** -min(bits) if bits else 0.0
+        effective_tolerance = max(tolerance, noise_floor)
+
+        x = np.zeros(self.n_in)
+        for _ in range(max_refinements):
+            residual = b - self.multiply(x)
+            if float(
+                np.max(np.abs(residual))
+            ) <= effective_tolerance * b_scale:
+                return x
+            for d in range(self.partition.grid_rows):
+                row_slice = self.partition.row_slice(d)
+                tile = self._tiles[(d, d)]
+                correction = self._diagonal_solve(
+                    tile, residual[row_slice]
+                )
+                x[row_slice] = x[row_slice] + relaxation * correction
+        raise CrossbarSolveError(
+            f"tiled refinement did not converge in {max_refinements} steps"
+        )
+
+    def _diagonal_solve(
+        self, tile: CrossbarArray, r: np.ndarray
+    ) -> np.ndarray:
+        peak = float(np.max(np.abs(r)))
+        if peak == 0.0:
+            return np.zeros(tile.n_rows)
+        s_b = self.params.v_read / peak
+        v_out = quantize_auto(r * s_b, self.dac_bits, self.quantization)
+        v_in = tile.solve(v_out)
+        v_in = quantize_auto(v_in, self.adc_bits, self.quantization)
+        self.tile_solves += 1
+        return v_in * self.scale / (tile.g_sense * s_b)

@@ -1,0 +1,97 @@
+"""Block partitioning of large matrices onto fixed-size crossbar tiles.
+
+A single memristor crossbar has a manufacturing-limited size
+(Section 3.4 cites [20]); matrices beyond it must be split into a grid
+of tiles.  :class:`BlockPartition` owns the geometry: a logical
+``(n_out, n_in)`` matrix is covered by ``grid_rows x grid_cols`` tiles
+of ``tile_size x tile_size`` cells (edge tiles are partially
+populated; the unused crosspoints stay in the OFF state).
+
+Tile (r, c) covers coefficient rows
+``r*tile_size : min((r+1)*tile_size, n_out)`` and columns likewise —
+note *coefficient* rows map to crossbar bit-lines, so one tile's
+word-lines carry a slice of the input vector and its bit-lines a slice
+of the output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.exceptions import PartitionError
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockPartition:
+    """Geometry of a tiled matrix.
+
+    Attributes
+    ----------
+    n_out, n_in:
+        Logical matrix shape.
+    tile_size:
+        Physical tile dimension (square tiles).
+    """
+
+    n_out: int
+    n_in: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_out < 1 or self.n_in < 1:
+            raise PartitionError("matrix dimensions must be positive")
+        if self.tile_size < 1:
+            raise PartitionError("tile_size must be positive")
+
+    @property
+    def grid_rows(self) -> int:
+        """Tile-grid rows (over logical output rows)."""
+        return -(-self.n_out // self.tile_size)
+
+    @property
+    def grid_cols(self) -> int:
+        """Tile-grid columns (over logical input columns)."""
+        return -(-self.n_in // self.tile_size)
+
+    @property
+    def n_tiles(self) -> int:
+        """Total number of tiles in the grid."""
+        return self.grid_rows * self.grid_cols
+
+    def row_slice(self, grid_row: int) -> slice:
+        """Logical output rows covered by tile-grid row ``grid_row``."""
+        self._check(grid_row, self.grid_rows, "grid_row")
+        start = grid_row * self.tile_size
+        return slice(start, min(start + self.tile_size, self.n_out))
+
+    def col_slice(self, grid_col: int) -> slice:
+        """Logical input columns covered by tile-grid col ``grid_col``."""
+        self._check(grid_col, self.grid_cols, "grid_col")
+        start = grid_col * self.tile_size
+        return slice(start, min(start + self.tile_size, self.n_in))
+
+    def block(self, matrix: np.ndarray, grid_row: int, grid_col: int
+              ) -> np.ndarray:
+        """Extract the coefficient block for tile ``(grid_row, grid_col)``."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (self.n_out, self.n_in):
+            raise PartitionError(
+                f"matrix shape {matrix.shape} does not match partition "
+                f"({self.n_out}, {self.n_in})"
+            )
+        return matrix[self.row_slice(grid_row), self.col_slice(grid_col)]
+
+    def tiles(self) -> list[tuple[int, int]]:
+        """All (grid_row, grid_col) coordinates, row-major."""
+        return [
+            (r, c)
+            for r in range(self.grid_rows)
+            for c in range(self.grid_cols)
+        ]
+
+    @staticmethod
+    def _check(index: int, bound: int, label: str) -> None:
+        if not 0 <= index < bound:
+            raise PartitionError(f"{label} {index} out of range [0, {bound})")

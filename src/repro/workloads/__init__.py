@@ -1,0 +1,41 @@
+"""Workload generators: random LPs (Section 4.2), routing, scheduling."""
+
+from repro.workloads.random_lp import (
+    paper_sizes,
+    paper_test_suite,
+    random_feasible_lp,
+    random_infeasible_lp,
+    variables_for_constraints,
+)
+from repro.workloads.routing import (
+    flow_value,
+    max_flow_lp,
+    multicommodity_routing_lp,
+    random_routing_network,
+)
+from repro.workloads.scheduling import (
+    machine_scheduling_lp,
+    production_planning_lp,
+)
+from repro.workloads.transportation import (
+    random_transportation_lp,
+    shipping_cost,
+    transportation_lp,
+)
+
+__all__ = [
+    "random_feasible_lp",
+    "random_infeasible_lp",
+    "paper_sizes",
+    "paper_test_suite",
+    "variables_for_constraints",
+    "max_flow_lp",
+    "flow_value",
+    "multicommodity_routing_lp",
+    "random_routing_network",
+    "production_planning_lp",
+    "machine_scheduling_lp",
+    "transportation_lp",
+    "random_transportation_lp",
+    "shipping_cost",
+]

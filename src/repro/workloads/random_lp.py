@@ -1,0 +1,146 @@
+"""Random LP generators matching the paper's experiment setup.
+
+Section 4.2: "linear problems with different number of constraints
+were tested.  The number of constraints varies from 256 to 1024
+exponentially while the number of variables is one third of the number
+of constraints.  100 randomly generated feasible tests and 100
+randomly generated infeasible tests were given" (the accuracy figures
+sweep constraints from 4 to 1024).
+
+The generator is not specified in the paper, so we construct:
+
+- **feasible** instances by planting an interior point: draw a dense
+  signed A and a positive point ``x0``, then set
+  ``b = A x0 + slack`` with strictly positive slack, so ``x0`` is
+  strictly feasible.  Objective coefficients are drawn mixed-sign
+  (biased positive so the optimum is usually non-trivial); the region
+  ``{Ax <= b, x >= 0, some rows of A positive}`` is bounded with
+  overwhelming probability at the paper's shapes, and bounding rows
+  are explicitly added to guarantee it.
+
+- **infeasible** instances by planting a contradiction: take a
+  feasible instance and append the constraint pair
+  ``u·x <= d`` and ``-u·x <= -(d + margin)`` with ``u >= 0``,
+  ``margin > 0`` — no ``x`` satisfies both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+
+
+def paper_sizes(max_constraints: int = 1024) -> list[int]:
+    """The paper's sweep: constraints 4, 8, ..., doubling to the cap."""
+    sizes = []
+    m = 4
+    while m <= max_constraints:
+        sizes.append(m)
+        m *= 2
+    return sizes
+
+
+def variables_for_constraints(m: int) -> int:
+    """The paper's shape rule: n = m / 3 (at least 1)."""
+    return max(1, m // 3)
+
+
+def random_feasible_lp(
+    m: int,
+    n: int | None = None,
+    *,
+    rng: np.random.Generator,
+    coefficient_range: tuple[float, float] = (-1.0, 1.0),
+    name: str = "",
+) -> LinearProgram:
+    """A dense random LP guaranteed feasible and bounded.
+
+    Parameters
+    ----------
+    m:
+        Number of inequality constraints (before the added bounding
+        rows; the returned problem has exactly ``m`` rows, the last
+        ones replaced by bounding rows).
+    n:
+        Number of variables; defaults to the paper's ``m // 3``.
+    rng:
+        Random generator.
+    coefficient_range:
+        Range of the uniform entries of A.
+    """
+    if m < 2:
+        raise ValueError("need at least 2 constraints")
+    n = variables_for_constraints(m) if n is None else n
+    if n < 1:
+        raise ValueError("need at least 1 variable")
+    lo, hi = coefficient_range
+    A = rng.uniform(lo, hi, size=(m, n))
+    # Replace the final row with an explicit bounding constraint
+    # sum(x) <= m so the maximization cannot be unbounded.
+    A[-1, :] = rng.uniform(0.5, 1.0, size=n)
+    x0 = rng.uniform(0.5, 2.0, size=n)
+    slack = rng.uniform(0.5, 1.5, size=m)
+    b = A @ x0 + slack
+    # Mixed-sign objective, biased positive so the optimum pushes into
+    # the constraints rather than sitting at the origin.
+    c = rng.uniform(-0.25, 1.0, size=n)
+    return LinearProgram(c=c, A=A, b=b, name=name or f"feasible-{m}x{n}")
+
+
+def random_infeasible_lp(
+    m: int,
+    n: int | None = None,
+    *,
+    rng: np.random.Generator,
+    coefficient_range: tuple[float, float] = (-1.0, 1.0),
+    name: str = "",
+) -> LinearProgram:
+    """A dense random LP guaranteed infeasible.
+
+    Built from a feasible skeleton with a planted contradiction in its
+    last two rows: ``u @ x <= d`` and ``-(u @ x) <= -(d + margin)``
+    cannot both hold for any x.
+    """
+    if m < 3:
+        raise ValueError("need at least 3 constraints to plant infeasibility")
+    base = random_feasible_lp(
+        m, n, rng=rng, coefficient_range=coefficient_range
+    )
+    A = base.A.copy()
+    b = base.b.copy()
+    n_vars = A.shape[1]
+    u = rng.uniform(0.25, 1.0, size=n_vars)
+    d = float(rng.uniform(1.0, 2.0)) * np.sqrt(n_vars)
+    # The contradiction margin scales with sqrt(n) so the *relative*
+    # infeasibility stays constant across sizes: constraint rows are
+    # sums of n terms, so problem magnitudes (and any solver's noise
+    # floor) grow with sqrt(n); a fixed absolute margin would make
+    # large instances "almost feasible" and undetectable in principle.
+    margin = float(rng.uniform(0.5, 1.0)) * np.sqrt(n_vars)
+    A[-2, :] = u
+    b[-2] = d
+    A[-1, :] = -u
+    b[-1] = -(d + margin)
+    return LinearProgram(
+        c=base.c, A=A, b=b, name=name or f"infeasible-{m}x{A.shape[1]}"
+    )
+
+
+def paper_test_suite(
+    m: int,
+    *,
+    rng: np.random.Generator,
+    n_feasible: int = 100,
+    n_infeasible: int = 100,
+) -> tuple[list[LinearProgram], list[LinearProgram]]:
+    """The paper's per-size batch: random feasible + infeasible tests."""
+    feasible = [
+        random_feasible_lp(m, rng=rng, name=f"feasible-{m}-{i}")
+        for i in range(n_feasible)
+    ]
+    infeasible = [
+        random_infeasible_lp(m, rng=rng, name=f"infeasible-{m}-{i}")
+        for i in range(n_infeasible)
+    ]
+    return feasible, infeasible

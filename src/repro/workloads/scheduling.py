@@ -1,0 +1,108 @@
+"""Scheduling / production-planning linear programs.
+
+The second application family the paper's introduction motivates.
+Two generators:
+
+- :func:`production_planning_lp` — classic product-mix planning:
+  maximize profit over production quantities subject to shared
+  resource capacities;
+- :func:`machine_scheduling_lp` — fractional job-to-machine
+  assignment: maximize completed weighted work within per-machine time
+  budgets (the LP relaxation of makespan-style scheduling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+
+
+def production_planning_lp(
+    n_products: int,
+    n_resources: int,
+    *,
+    rng: np.random.Generator,
+    name: str = "",
+) -> LinearProgram:
+    """Random product-mix planning problem.
+
+    Variables: production quantity per product (>= 0).
+    Objective: maximize total profit.
+    Constraints: each resource's total consumption within capacity,
+    plus per-product demand caps.
+    """
+    if n_products < 1 or n_resources < 1:
+        raise ValueError("need at least one product and one resource")
+    usage = rng.uniform(0.1, 2.0, size=(n_resources, n_products))
+    # Capacities sized so a moderate mix is feasible but resources bind.
+    capacity = usage @ rng.uniform(0.3, 1.2, size=n_products)
+    demand_cap = rng.uniform(0.5, 3.0, size=n_products)
+    profit = rng.uniform(0.5, 5.0, size=n_products)
+
+    A = np.vstack([usage, np.eye(n_products)])
+    b = np.concatenate([capacity, demand_cap])
+    return LinearProgram(
+        c=profit,
+        A=A,
+        b=b,
+        name=name or f"production-{n_products}x{n_resources}",
+    )
+
+
+def machine_scheduling_lp(
+    n_jobs: int,
+    n_machines: int,
+    *,
+    rng: np.random.Generator,
+    horizon: float = 8.0,
+    name: str = "",
+) -> tuple[LinearProgram, np.ndarray]:
+    """Fractional job scheduling over parallel unrelated machines.
+
+    Variables: ``x[j, k]`` — fraction of job j run on machine k
+    (flattened row-major).  Objective: maximize weighted completed
+    work.  Constraints: each machine's busy time within the horizon,
+    and each job completed at most once.
+
+    Returns
+    -------
+    (problem, processing_times)
+        ``processing_times[j, k]`` is job j's duration on machine k.
+    """
+    if n_jobs < 1 or n_machines < 1:
+        raise ValueError("need at least one job and one machine")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    times = rng.uniform(0.5, 4.0, size=(n_jobs, n_machines))
+    weights = rng.uniform(1.0, 10.0, size=n_jobs)
+    n = n_jobs * n_machines
+
+    def col(j: int, k: int) -> int:
+        return j * n_machines + k
+
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    for k in range(n_machines):
+        row = np.zeros(n)
+        for j in range(n_jobs):
+            row[col(j, k)] = times[j, k]
+        rows.append(row)
+        rhs.append(horizon)
+    for j in range(n_jobs):
+        row = np.zeros(n)
+        for k in range(n_machines):
+            row[col(j, k)] = 1.0
+        rows.append(row)
+        rhs.append(1.0)
+    c = np.zeros(n)
+    for j in range(n_jobs):
+        for k in range(n_machines):
+            c[col(j, k)] = weights[j]
+    problem = LinearProgram(
+        c=c,
+        A=np.vstack(rows),
+        b=np.asarray(rhs),
+        name=name or f"scheduling-{n_jobs}x{n_machines}",
+    )
+    return problem, times

@@ -1,0 +1,121 @@
+"""Transportation / assignment linear programs.
+
+The classic Hitchcock transportation problem: route goods from supply
+nodes to demand nodes at minimum cost.  In the package's max-form:
+maximize the *negated* shipping cost of a plan that ships each
+destination at least its demand, within each origin's supply.
+
+These problems are totally unimodular (integral vertices), making them
+good integration targets: the crossbar solvers' answers can be checked
+against an exact combinatorial bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+
+
+def transportation_lp(
+    supply: np.ndarray,
+    demand: np.ndarray,
+    cost: np.ndarray,
+    *,
+    name: str = "",
+) -> tuple[LinearProgram, tuple[int, int]]:
+    """Minimum-cost transportation as a standard-form LP.
+
+    Variables ``x[i, j]`` (flattened row-major): quantity shipped from
+    origin i to destination j.  Constraints: per-origin supply caps and
+    per-destination demand *minimums* (``-sum_i x[i,j] <= -demand_j``).
+    Objective: maximize ``-cost . x`` (negate the optimum to read the
+    minimum shipping cost).
+
+    Parameters
+    ----------
+    supply:
+        Per-origin capacities, shape (n_origins,).
+    demand:
+        Per-destination requirements, shape (n_destinations,); total
+        demand must not exceed total supply or the LP is infeasible.
+    cost:
+        Unit shipping costs, shape (n_origins, n_destinations), >= 0.
+
+    Returns
+    -------
+    (problem, shape)
+        The LP and ``(n_origins, n_destinations)`` for reshaping
+        solution vectors.
+    """
+    supply = np.asarray(supply, dtype=float)
+    demand = np.asarray(demand, dtype=float)
+    cost = np.asarray(cost, dtype=float)
+    if supply.ndim != 1 or demand.ndim != 1:
+        raise ValueError("supply and demand must be 1-D")
+    n_origins = supply.shape[0]
+    n_dest = demand.shape[0]
+    if cost.shape != (n_origins, n_dest):
+        raise ValueError(
+            f"cost has shape {cost.shape}, expected "
+            f"({n_origins}, {n_dest})"
+        )
+    if np.any(supply < 0) or np.any(demand < 0) or np.any(cost < 0):
+        raise ValueError("supply, demand, and cost must be non-negative")
+
+    n = n_origins * n_dest
+
+    def col(i: int, j: int) -> int:
+        return i * n_dest + j
+
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    for i in range(n_origins):
+        row = np.zeros(n)
+        for j in range(n_dest):
+            row[col(i, j)] = 1.0
+        rows.append(row)
+        rhs.append(float(supply[i]))
+    for j in range(n_dest):
+        row = np.zeros(n)
+        for i in range(n_origins):
+            row[col(i, j)] = -1.0
+        rows.append(row)
+        rhs.append(float(-demand[j]))
+
+    problem = LinearProgram(
+        c=-cost.ravel(),
+        A=np.vstack(rows),
+        b=np.asarray(rhs),
+        name=name or f"transportation-{n_origins}x{n_dest}",
+    )
+    return problem, (n_origins, n_dest)
+
+
+def random_transportation_lp(
+    n_origins: int,
+    n_destinations: int,
+    *,
+    rng: np.random.Generator,
+    name: str = "",
+) -> tuple[LinearProgram, tuple[int, int]]:
+    """A random feasible transportation instance.
+
+    Supplies are drawn first; demands are drawn to total ~80% of the
+    supply so the instance is comfortably feasible.
+    """
+    if n_origins < 1 or n_destinations < 1:
+        raise ValueError("need at least one origin and destination")
+    supply = rng.uniform(2.0, 6.0, size=n_origins)
+    raw = rng.uniform(0.5, 1.5, size=n_destinations)
+    demand = raw * (0.8 * supply.sum() / raw.sum())
+    cost = rng.uniform(1.0, 9.0, size=(n_origins, n_destinations))
+    return transportation_lp(supply, demand, cost, name=name)
+
+
+def shipping_cost(
+    solution: np.ndarray, cost: np.ndarray
+) -> float:
+    """Total shipping cost of a (flattened) plan."""
+    cost = np.asarray(cost, dtype=float)
+    return float(np.asarray(solution, dtype=float) @ cost.ravel())

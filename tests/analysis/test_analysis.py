@@ -1,0 +1,74 @@
+"""Tests for metrics and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    SampleStats,
+    format_cell,
+    relative_error,
+    render_table,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(1.0 / 11.0)
+
+    def test_symmetric_sign(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(1.0 / 11.0)
+
+    def test_zero_reference_guarded(self):
+        # A zero optimum must not explode the statistic.
+        assert relative_error(0.01, 0.0) == pytest.approx(0.01)
+
+    def test_exact_match(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+
+class TestSampleStats:
+    def test_moments(self):
+        stats = SampleStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.std == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_empty(self):
+        stats = SampleStats.from_samples([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            render_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+
+class TestFormatCell:
+    def test_float_formats(self):
+        assert format_cell(0.0) == "0"
+        assert "e" in format_cell(1.23e-7)
+        assert format_cell(3.14159) == "3.142"
+
+    def test_non_floats_passthrough(self):
+        assert format_cell(7) == "7"
+        assert format_cell("x") == "x"
+        assert format_cell(True) == "True"

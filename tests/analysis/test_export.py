@@ -1,0 +1,49 @@
+"""Tests for experiment-row export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import rows_to_records, write_csv, write_json
+from repro.experiments import SweepConfig, accuracy_sweep
+
+TINY = SweepConfig(sizes=(8,), variations=(0,), trials=1)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return accuracy_sweep("reference", TINY)
+
+
+class TestFlatten:
+    def test_nested_stats_become_dotted_columns(self, rows):
+        records = rows_to_records(rows)
+        assert len(records) == 1
+        record = records[0]
+        assert record["constraints"] == 8
+        assert "error.mean" in record
+        assert "iterations.count" in record
+
+    def test_rejects_non_dataclass(self):
+        with pytest.raises(TypeError, match="dataclass"):
+            rows_to_records([{"a": 1}])
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, rows, tmp_path):
+        path = write_csv(rows, tmp_path / "fig5.csv")
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert len(loaded) == 1
+        assert loaded[0]["solver"] == "reference"
+        assert float(loaded[0]["error.mean"]) < 1e-3
+
+    def test_json_roundtrip(self, rows, tmp_path):
+        path = write_json(rows, tmp_path / "fig5.json")
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["constraints"] == 8
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no rows"):
+            write_csv([], tmp_path / "empty.csv")

@@ -1,0 +1,86 @@
+"""Tests for the iterative linear-solver baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import gauss_seidel, jacobi
+
+
+def diagonally_dominant(rng, n=12):
+    A = rng.uniform(-1, 1, size=(n, n))
+    A += np.diag(np.abs(A).sum(axis=1) + 1.0)
+    b = rng.uniform(-1, 1, size=n)
+    return A, b
+
+
+class TestJacobi:
+    def test_converges_on_dominant_system(self, rng):
+        A, b = diagonally_dominant(rng)
+        result = jacobi(A, b)
+        assert result.converged
+        np.testing.assert_allclose(
+            result.x, np.linalg.solve(A, b), rtol=1e-7
+        )
+
+    def test_reports_sweeps(self, rng):
+        A, b = diagonally_dominant(rng)
+        result = jacobi(A, b)
+        assert result.sweeps > 0
+        assert result.residual_norm <= 1e-10
+
+    def test_divergence_flagged(self, rng):
+        # Off-diagonally dominant: Jacobi diverges.
+        A = np.array([[1.0, 10.0], [10.0, 1.0]])
+        b = np.ones(2)
+        result = jacobi(A, b, max_sweeps=200)
+        assert not result.converged
+
+    def test_warm_start(self, rng):
+        A, b = diagonally_dominant(rng)
+        exact = np.linalg.solve(A, b)
+        cold = jacobi(A, b)
+        warm = jacobi(A, b, x0=exact)
+        assert warm.sweeps <= cold.sweeps
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            jacobi(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(ValueError, match="shape"):
+            jacobi(np.eye(3), np.ones(2))
+        with pytest.raises(ValueError, match="diagonal"):
+            jacobi(np.array([[0.0, 1.0], [1.0, 0.0]]), np.ones(2))
+
+
+class TestGaussSeidel:
+    def test_converges_on_dominant_system(self, rng):
+        A, b = diagonally_dominant(rng)
+        result = gauss_seidel(A, b)
+        assert result.converged
+        np.testing.assert_allclose(
+            result.x, np.linalg.solve(A, b), rtol=1e-7
+        )
+
+    def test_faster_than_jacobi(self, rng):
+        # Classic result: GS needs no more sweeps than Jacobi on
+        # diagonally dominant systems.
+        A, b = diagonally_dominant(rng)
+        assert gauss_seidel(A, b).sweeps <= jacobi(A, b).sweeps
+
+    def test_sor_relaxation(self, rng):
+        A, b = diagonally_dominant(rng)
+        plain = gauss_seidel(A, b)
+        relaxed = gauss_seidel(A, b, relaxation=1.1)
+        assert relaxed.converged
+        np.testing.assert_allclose(relaxed.x, plain.x, rtol=1e-6)
+
+    @pytest.mark.parametrize("omega", [0.0, 2.0, -0.5])
+    def test_rejects_bad_relaxation(self, omega, rng):
+        A, b = diagonally_dominant(rng)
+        with pytest.raises(ValueError, match="relaxation"):
+            gauss_seidel(A, b, relaxation=omega)
+
+    def test_sweep_cap(self, rng):
+        A, b = diagonally_dominant(rng)
+        result = gauss_seidel(A, b, max_sweeps=1, tolerance=1e-14)
+        assert result.sweeps == 1
+        assert not result.converged

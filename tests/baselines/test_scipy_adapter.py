@@ -1,0 +1,39 @@
+"""Tests for the scipy linprog adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy, timed_solve_scipy
+from repro.core import SolveStatus
+from repro.workloads import random_feasible_lp, random_infeasible_lp
+
+
+class TestSolveScipy:
+    def test_tiny_lp(self, tiny_lp):
+        result = solve_scipy(tiny_lp)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(12.0)
+
+    def test_slacks_consistent(self, small_feasible):
+        result = solve_scipy(small_feasible)
+        np.testing.assert_allclose(
+            result.w,
+            small_feasible.b - small_feasible.A @ result.x,
+            atol=1e-9,
+        )
+        assert np.all(result.w >= -1e-9)
+
+    def test_duals_satisfy_strong_duality(self, small_feasible):
+        result = solve_scipy(small_feasible)
+        assert small_feasible.dual_objective(result.y) == pytest.approx(
+            result.objective, rel=1e-6
+        )
+
+    def test_infeasible_mapped(self, small_infeasible):
+        result = solve_scipy(small_infeasible)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_timed_variant(self, small_feasible):
+        result, elapsed = timed_solve_scipy(small_feasible)
+        assert result.status is SolveStatus.OPTIMAL
+        assert elapsed > 0.0

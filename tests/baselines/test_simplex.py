@@ -1,0 +1,90 @@
+"""Tests for the revised simplex baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy, solve_simplex
+from repro.core import LinearProgram, SolveStatus
+from repro.workloads import random_feasible_lp, random_infeasible_lp
+
+
+class TestOptimality:
+    def test_tiny_lp_exact(self, tiny_lp):
+        result = solve_simplex(tiny_lp)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(12.0)
+        np.testing.assert_allclose(result.x, [4.0, 0.0], atol=1e-9)
+
+    def test_matches_scipy_on_random_batch(self, rng):
+        for _ in range(8):
+            problem = random_feasible_lp(14, rng=rng)
+            ours = solve_simplex(problem)
+            truth = solve_scipy(problem)
+            assert ours.status is SolveStatus.OPTIMAL
+            assert ours.objective == pytest.approx(
+                truth.objective, rel=1e-7
+            )
+
+    def test_solution_vertex_feasible(self, small_feasible):
+        result = solve_simplex(small_feasible)
+        assert small_feasible.is_feasible(result.x, tolerance=1e-7)
+
+    def test_duals_certify_optimality(self, small_feasible):
+        result = solve_simplex(small_feasible)
+        # Dual feasibility: A'y >= c (within numerical slack).
+        assert np.all(
+            small_feasible.A.T @ result.y
+            >= small_feasible.c - 1e-7
+        )
+        # Strong duality.
+        assert small_feasible.dual_objective(result.y) == pytest.approx(
+            result.objective, rel=1e-6
+        )
+
+    def test_negative_b_uses_phase_one(self):
+        # x >= 1 encoded as -x <= -1: slack basis infeasible at start.
+        problem = LinearProgram(
+            c=np.array([-1.0]),
+            A=np.array([[-1.0], [1.0]]),
+            b=np.array([-1.0, 3.0]),
+        )
+        result = solve_simplex(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.x[0] == pytest.approx(1.0)
+
+
+class TestEdgeCases:
+    def test_detects_infeasibility(self, rng):
+        for _ in range(4):
+            problem = random_infeasible_lp(12, rng=rng)
+            result = solve_simplex(problem)
+            assert result.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_reported(self):
+        # max x with only -x <= 0 constraints: unbounded above.
+        problem = LinearProgram(
+            c=np.array([1.0]),
+            A=np.array([[-1.0]]),
+            b=np.array([0.0]),
+        )
+        result = solve_simplex(problem)
+        assert result.status is SolveStatus.NUMERICAL_FAILURE
+        assert "unbounded" in result.message
+
+    def test_degenerate_lp_terminates(self):
+        # Multiple constraints active at the optimum (degenerate).
+        problem = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            A=np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+            b=np.array([1.0, 1.0, 2.0]),
+        )
+        result = solve_simplex(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0)
+
+    def test_pivot_cap(self, small_feasible):
+        result = solve_simplex(small_feasible, max_pivots=1)
+        assert result.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.NUMERICAL_FAILURE,
+        )

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearProgram
+from repro.workloads import random_feasible_lp, random_infeasible_lp
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; reseeded per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_lp():
+    """A hand-checked 2-variable LP.
+
+    max 3x1 + 2x2  s.t.  x1 + x2 <= 4,  x1 + 3x2 <= 6,  x >= 0.
+    Optimum at (4, 0) with value 12.
+    """
+    return LinearProgram(
+        c=np.array([3.0, 2.0]),
+        A=np.array([[1.0, 1.0], [1.0, 3.0]]),
+        b=np.array([4.0, 6.0]),
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def small_feasible(rng):
+    """A random feasible LP with 12 constraints."""
+    return random_feasible_lp(12, rng=rng)
+
+
+@pytest.fixture
+def small_infeasible(rng):
+    """A random planted-infeasible LP with 12 constraints."""
+    return random_infeasible_lp(12, rng=rng)

@@ -1,0 +1,132 @@
+"""Tests for Solver 1 (Algorithm 1, crossbar PDIP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import (
+    CrossbarPDIPSolver,
+    CrossbarSolverSettings,
+    SolveStatus,
+    solve_crossbar,
+)
+from repro.devices import UniformVariation
+from repro.workloads import random_feasible_lp, random_infeasible_lp
+
+
+class TestOptimality:
+    def test_tiny_lp(self, tiny_lp):
+        result = solve_crossbar(tiny_lp, rng=np.random.default_rng(0))
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(12.0, rel=0.05)
+
+    def test_ideal_hardware_accuracy_band(self, rng):
+        # Paper Fig. 5(a): relative error well under 10%.
+        for trial in range(3):
+            problem = random_feasible_lp(15, rng=rng)
+            truth = solve_scipy(problem)
+            result = solve_crossbar(
+                problem, rng=np.random.default_rng(trial)
+            )
+            assert result.status is SolveStatus.OPTIMAL
+            error = abs(result.objective - truth.objective) / abs(
+                truth.objective
+            )
+            assert error < 0.05
+
+    def test_variation_accuracy_band(self, rng):
+        settings = CrossbarSolverSettings(
+            variation=UniformVariation(0.10)
+        )
+        problem = random_feasible_lp(15, rng=rng)
+        truth = solve_scipy(problem)
+        result = solve_crossbar(
+            problem, settings, rng=np.random.default_rng(7)
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        error = abs(result.objective - truth.objective) / abs(
+            truth.objective
+        )
+        assert error < 0.15
+
+    def test_returned_point_nearly_feasible(self, small_feasible):
+        result = solve_crossbar(
+            small_feasible, rng=np.random.default_rng(1)
+        )
+        assert small_feasible.satisfies_relaxed_constraints(
+            result.x, alpha=1.05
+        )
+
+
+class TestInfeasibility:
+    def test_detects_planted_infeasibility(self, rng):
+        problem = random_infeasible_lp(12, rng=rng)
+        result = solve_crossbar(problem, rng=np.random.default_rng(3))
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_detection_faster_than_solving(self, rng):
+        feasible = random_feasible_lp(15, rng=rng)
+        infeasible = random_infeasible_lp(15, rng=rng)
+        solved = solve_crossbar(feasible, rng=np.random.default_rng(4))
+        detected = solve_crossbar(
+            infeasible, rng=np.random.default_rng(5)
+        )
+        assert detected.status is SolveStatus.INFEASIBLE
+        assert detected.iterations <= 3 * max(solved.iterations, 1)
+
+
+class TestMechanics:
+    def test_counters_populated(self, small_feasible):
+        result = solve_crossbar(
+            small_feasible, rng=np.random.default_rng(2)
+        )
+        counters = result.crossbar
+        assert counters is not None
+        assert counters.multiplies >= result.iterations
+        assert counters.solves >= 1
+        assert counters.cells_written > 0
+        assert counters.write_latency_s > 0
+        assert counters.array_size > 2 * (
+            small_feasible.n_variables + small_feasible.n_constraints
+        )
+
+    def test_trace_populated(self, small_feasible):
+        solver = CrossbarPDIPSolver(
+            small_feasible, rng=np.random.default_rng(2)
+        )
+        result = solver.solve(trace=True)
+        assert len(result.trace) == result.iterations
+        assert all(rec.theta > 0 for rec in result.trace)
+
+    def test_deterministic_given_seed(self, small_feasible):
+        first = solve_crossbar(
+            small_feasible, rng=np.random.default_rng(11)
+        )
+        second = solve_crossbar(
+            small_feasible, rng=np.random.default_rng(11)
+        )
+        assert first.objective == second.objective
+        assert first.iterations == second.iterations
+
+    def test_iteration_limit_respected(self, small_feasible):
+        settings = CrossbarSolverSettings(
+            max_iterations=3, retries=0, stall_iterations=100
+        )
+        result = solve_crossbar(
+            small_feasible, settings, rng=np.random.default_rng(0)
+        )
+        assert result.iterations <= 3
+
+    def test_ideal_converters_reach_tight_accuracy(self, rng):
+        problem = random_feasible_lp(12, rng=rng)
+        truth = solve_scipy(problem)
+        clean = solve_crossbar(
+            problem,
+            CrossbarSolverSettings(dac_bits=None, adc_bits=None),
+            rng=np.random.default_rng(8),
+        )
+        assert clean.status is SolveStatus.OPTIMAL
+        error = abs(clean.objective - truth.objective) / abs(
+            truth.objective
+        )
+        assert error < 0.02

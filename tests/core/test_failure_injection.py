@@ -1,0 +1,106 @@
+"""Failure-injection tests: retry and classification paths.
+
+The retry ("double checking") scheme and the failure classifications
+are hard to hit deterministically through real hardware noise; these
+tests inject failures at the operator boundary to pin the control
+flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CrossbarPDIPSolver,
+    CrossbarSolverSettings,
+    LargeScaleCrossbarPDIPSolver,
+    ScalableSolverSettings,
+    SolveStatus,
+)
+from repro.crossbar.ops import AnalogMatrixOperator
+from repro.exceptions import CrossbarSolveError
+
+
+class FlakySolveOperator(AnalogMatrixOperator):
+    """Operator whose solve() fails the first ``failures`` times."""
+
+    remaining_failures = 0
+
+    def solve(self, b):
+        if type(self).remaining_failures > 0:
+            type(self).remaining_failures -= 1
+            raise CrossbarSolveError("injected failure")
+        return super().solve(b)
+
+
+@pytest.fixture
+def flaky(monkeypatch):
+    def arm(failures):
+        FlakySolveOperator.remaining_failures = failures
+        monkeypatch.setattr(
+            "repro.core.crossbar_solver.AnalogMatrixOperator",
+            FlakySolveOperator,
+        )
+        monkeypatch.setattr(
+            "repro.core.scalable_solver.AnalogMatrixOperator",
+            FlakySolveOperator,
+        )
+
+    return arm
+
+
+class TestSolver1Retry:
+    def test_retry_rescues_injected_failure(self, flaky, small_feasible):
+        flaky(1)  # first attempt's first solve dies
+        solver = CrossbarPDIPSolver(
+            small_feasible,
+            CrossbarSolverSettings(retries=2),
+            rng=np.random.default_rng(0),
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert "retry" in result.message
+
+    def test_no_retries_surfaces_failure(self, flaky, small_feasible):
+        flaky(10)
+        solver = CrossbarPDIPSolver(
+            small_feasible,
+            CrossbarSolverSettings(retries=0),
+            rng=np.random.default_rng(0),
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.NUMERICAL_FAILURE
+        assert "injected" in result.message
+
+    def test_exhausted_retries_return_last_result(self, flaky,
+                                                  small_feasible):
+        flaky(100)
+        solver = CrossbarPDIPSolver(
+            small_feasible,
+            CrossbarSolverSettings(retries=2),
+            rng=np.random.default_rng(0),
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.NUMERICAL_FAILURE
+
+
+class TestSolver2Retry:
+    def test_retry_rescues_injected_failure(self, flaky, small_feasible):
+        flaky(1)
+        solver = LargeScaleCrossbarPDIPSolver(
+            small_feasible,
+            ScalableSolverSettings(retries=2),
+            rng=np.random.default_rng(0),
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_failure_message_carries_cause(self, flaky, small_feasible):
+        flaky(100)
+        solver = LargeScaleCrossbarPDIPSolver(
+            small_feasible,
+            ScalableSolverSettings(retries=0),
+            rng=np.random.default_rng(0),
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.NUMERICAL_FAILURE
+        assert "injected" in result.message

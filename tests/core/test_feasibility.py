@@ -1,0 +1,83 @@
+"""Tests for divergence / infeasibility detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import (
+    DivergenceKind,
+    collapse_threshold,
+    detect_divergence,
+    scaled_big_m,
+)
+
+
+class TestDetectDivergence:
+    def test_none_when_bounded(self):
+        assert detect_divergence(
+            np.ones(3), np.ones(2), bound=100.0
+        ) is DivergenceKind.NONE
+
+    def test_x_divergence_means_dual_infeasible(self):
+        kind = detect_divergence(
+            np.array([1.0, 1e9]), np.ones(2), bound=1e6
+        )
+        assert kind is DivergenceKind.DUAL_INFEASIBLE
+
+    def test_y_divergence_means_primal_infeasible(self):
+        kind = detect_divergence(
+            np.ones(2), np.array([1e9, 1.0]), bound=1e6
+        )
+        assert kind is DivergenceKind.PRIMAL_INFEASIBLE
+
+    def test_nan_treated_as_divergence(self):
+        kind = detect_divergence(
+            np.array([np.nan]), np.ones(2), bound=1e6
+        )
+        assert kind is DivergenceKind.DUAL_INFEASIBLE
+
+    def test_negative_magnitudes_count(self):
+        kind = detect_divergence(
+            np.array([-1e9]), np.ones(2), bound=1e6
+        )
+        assert kind is DivergenceKind.DUAL_INFEASIBLE
+
+
+class TestScaledBigM:
+    def test_scales_with_data(self, tiny_lp):
+        bound = scaled_big_m(tiny_lp, 1e6)
+        assert bound == pytest.approx(1e6 * max(np.abs(tiny_lp.b).max(),
+                                                np.abs(tiny_lp.c).max(),
+                                                1.0))
+
+    def test_floor_at_big_m(self, rng):
+        from repro.core import LinearProgram
+
+        lp = LinearProgram(
+            c=np.array([1e-3]),
+            A=np.array([[1e-3]]),
+            b=np.array([1e-3]),
+        )
+        assert scaled_big_m(lp, 1e6) == pytest.approx(1e6)
+
+
+class TestCollapseThreshold:
+    def test_grows_with_dynamic_range(self, tiny_lp):
+        low = collapse_threshold(tiny_lp, 100.0, 2.0)
+        high = collapse_threshold(tiny_lp, 1000.0, 2.0)
+        assert high > low
+
+    def test_shrinks_with_headroom(self, tiny_lp):
+        tight = collapse_threshold(tiny_lp, 1000.0, 1.0)
+        loose = collapse_threshold(tiny_lp, 1000.0, 4.0)
+        assert loose < tight
+
+    def test_scales_with_structural_magnitude(self, tiny_lp):
+        big = tiny_lp.scaled(1.0)
+        from repro.core import LinearProgram
+
+        scaled = LinearProgram(
+            c=tiny_lp.c, A=10.0 * tiny_lp.A, b=tiny_lp.b
+        )
+        assert collapse_threshold(scaled, 1000.0, 2.0) == pytest.approx(
+            10.0 * collapse_threshold(big, 1000.0, 2.0)
+        )

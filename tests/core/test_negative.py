@@ -1,0 +1,81 @@
+"""Tests for the compensation-variable transform (Eqn. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.core import eliminate_negatives
+
+
+class TestEliminateNegatives:
+    def test_augmented_matrix_non_negative(self, rng):
+        matrix = rng.uniform(-1, 1, size=(6, 6))
+        record = eliminate_negatives(matrix)
+        assert record.matrix.min() >= 0.0
+
+    def test_solution_equivalence(self, rng):
+        matrix = rng.uniform(-1, 1, size=(6, 6)) + 3 * np.eye(6)
+        r = rng.uniform(-1, 1, size=6)
+        reference = np.linalg.solve(matrix, r)
+        record = eliminate_negatives(matrix)
+        augmented = np.linalg.solve(
+            record.matrix, record.augment_rhs(r)
+        )
+        np.testing.assert_allclose(
+            record.extract(augmented), reference, rtol=1e-9
+        )
+
+    def test_augment_state_identity(self, rng):
+        # matrix @ augment_state(s) == [K s, 0] — the Eqn. 15b trick.
+        matrix = rng.uniform(-1, 1, size=(5, 5))
+        s = rng.uniform(-2, 2, size=5)
+        record = eliminate_negatives(matrix)
+        product = record.matrix @ record.augment_state(s)
+        np.testing.assert_allclose(
+            product[:5], matrix @ s, rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            product[5:], np.zeros(record.n_compensation), atol=1e-12
+        )
+
+    def test_only_negative_columns_compensated(self):
+        matrix = np.array([[1.0, -2.0], [3.0, 4.0]])
+        record = eliminate_negatives(matrix)
+        assert record.negative_columns == (1,)
+        assert record.n_compensation == 1
+        assert record.size == 3
+
+    def test_non_negative_matrix_unchanged(self, rng):
+        matrix = rng.uniform(0, 1, size=(4, 4))
+        record = eliminate_negatives(matrix)
+        assert record.n_compensation == 0
+        np.testing.assert_array_equal(record.matrix, matrix)
+
+    def test_all_negative_columns(self, rng):
+        matrix = -rng.uniform(0.1, 1, size=(3, 3))
+        record = eliminate_negatives(matrix)
+        assert record.n_compensation == 3
+        assert record.size == 6
+
+    def test_example_from_eqn13_structure(self):
+        # One negative at (0, 1): compensation column holds |A01|, the
+        # link row enforces x1 + xc = 0.
+        matrix = np.array([[2.0, -3.0], [1.0, 5.0]])
+        record = eliminate_negatives(matrix)
+        aug = record.matrix
+        assert aug[0, 1] == 0.0       # negative zeroed
+        assert aug[0, 2] == 3.0       # |negative| in compensation col
+        assert aug[2, 1] == 1.0       # link row selects x1
+        assert aug[2, 2] == 1.0       # link row selects xc
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            eliminate_negatives(np.ones((2, 3)))
+
+    def test_rhs_shape_validated(self, rng):
+        record = eliminate_negatives(rng.uniform(-1, 1, size=(4, 4)))
+        with pytest.raises(ValueError, match="shape"):
+            record.augment_rhs(np.zeros(5))
+        with pytest.raises(ValueError, match="shape"):
+            record.augment_state(np.zeros(5))
+        with pytest.raises(ValueError, match="shape"):
+            record.extract(np.zeros(2))

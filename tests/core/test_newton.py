@@ -1,0 +1,193 @@
+"""Tests for Newton-system assembly (Eqns. 12 and 14a)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AugmentedNewtonSystem, newton_matrix, newton_rhs
+from repro.workloads import random_feasible_lp
+
+
+@pytest.fixture
+def state(small_feasible, rng):
+    m, n = small_feasible.A.shape
+    return (
+        rng.uniform(0.5, 2.0, n),   # x
+        rng.uniform(0.5, 2.0, m),   # y
+        rng.uniform(0.5, 2.0, m),   # w
+        rng.uniform(0.5, 2.0, n),   # z
+    )
+
+
+class TestSignedSystem:
+    def test_shapes(self, small_feasible, state):
+        x, y, w, z = state
+        m, n = small_feasible.A.shape
+        M = newton_matrix(small_feasible, x, y, w, z)
+        r = newton_rhs(small_feasible, x, y, w, z, mu=0.1)
+        assert M.shape == (2 * (n + m), 2 * (n + m))
+        assert r.shape == (2 * (n + m),)
+
+    def test_solution_satisfies_linearized_kkt(self, small_feasible, state):
+        x, y, w, z = state
+        A = small_feasible.A
+        mu = 0.05
+        M = newton_matrix(small_feasible, x, y, w, z)
+        r = newton_rhs(small_feasible, x, y, w, z, mu)
+        delta = np.linalg.solve(M, r)
+        m, n = A.shape
+        dx, dy = delta[:n], delta[n:n + m]
+        dw, dz = delta[n + m:n + 2 * m], delta[n + 2 * m:]
+        # Eqn. 9a and 9b hold exactly for the Newton step.
+        np.testing.assert_allclose(
+            A @ dx + dw, small_feasible.b - A @ x - w, rtol=1e-8
+        )
+        np.testing.assert_allclose(
+            A.T @ dy - dz,
+            small_feasible.c - A.T @ y + z,
+            rtol=1e-8,
+        )
+        # Eqns. 9c / 9d.
+        np.testing.assert_allclose(z * dx + x * dz, mu - x * z, rtol=1e-8)
+        np.testing.assert_allclose(w * dy + y * dw, mu - y * w, rtol=1e-8)
+
+
+class TestAugmentedSystem:
+    def test_matrix_is_non_negative(self, small_feasible, state):
+        system = AugmentedNewtonSystem(small_feasible)
+        M = system.build_matrix(*state)
+        assert M.min() >= 0.0
+
+    def test_size_accounts_for_compensation(self, small_feasible):
+        system = AugmentedNewtonSystem(small_feasible)
+        m, n = small_feasible.A.shape
+        expected = 3 * (n + m) + system.k_x + system.k_y
+        assert system.size == expected
+
+    def test_augmented_solution_matches_signed(self, small_feasible, state):
+        x, y, w, z = state
+        mu = 0.05
+        signed = newton_matrix(small_feasible, x, y, w, z)
+        signed_rhs = newton_rhs(small_feasible, x, y, w, z, mu)
+        reference = np.linalg.solve(signed, signed_rhs)
+
+        system = AugmentedNewtonSystem(small_feasible)
+        M = system.build_matrix(x, y, w, z)
+        targets = system.rhs_targets(mu)
+        product = M @ system.state_vector(x, y, w, z)
+        r = system.residual_from_product(product, mu)
+        delta = np.linalg.solve(M, r)
+        dx, dy, dw, dz = system.extract_steps(delta)
+
+        m, n = small_feasible.A.shape
+        np.testing.assert_allclose(dx, reference[:n], rtol=1e-7, atol=1e-9)
+        np.testing.assert_allclose(
+            dy, reference[n:n + m], rtol=1e-7, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            dw, reference[n + m:n + 2 * m], rtol=1e-7, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            dz, reference[n + 2 * m:], rtol=1e-7, atol=1e-9
+        )
+        assert targets.shape == (system.size,)
+
+    def test_eqn15b_product_identity(self, small_feasible, state):
+        # M @ [x, y, w, z, -w, -z, p] = [Ax+w, A'y-z, 2XZe, 2YWe, 0...].
+        x, y, w, z = state
+        A = small_feasible.A
+        system = AugmentedNewtonSystem(small_feasible)
+        M = system.build_matrix(x, y, w, z)
+        product = M @ system.state_vector(x, y, w, z)
+        lay = system.layout
+        np.testing.assert_allclose(
+            product[lay.row_primal], A @ x + w, rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            product[lay.row_dual], A.T @ y - z, rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            product[lay.row_xz], 2 * x * z, rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            product[lay.row_yw], 2 * y * w, rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            product[lay.row_ulink], np.zeros(system.m), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            product[lay.row_plink],
+            np.zeros(system.k_x + system.k_y),
+            atol=1e-12,
+        )
+
+    def test_residual_matches_newton_rhs(self, small_feasible, state):
+        x, y, w, z = state
+        mu = 0.1
+        system = AugmentedNewtonSystem(small_feasible)
+        M = system.build_matrix(x, y, w, z)
+        product = M @ system.state_vector(x, y, w, z)
+        r = system.residual_from_product(product, mu)
+        reference = newton_rhs(small_feasible, x, y, w, z, mu)
+        lay = system.layout
+        m, n = small_feasible.A.shape
+        np.testing.assert_allclose(
+            r[lay.row_primal], reference[:m], rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            r[lay.row_dual], reference[m:m + n], rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            r[lay.row_xz], reference[m + n:m + 2 * n], rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            r[lay.row_yw], reference[m + 2 * n:], rtol=1e-10
+        )
+
+    def test_diagonal_update_is_2_n_plus_m_cells(self, small_feasible,
+                                                 state):
+        system = AugmentedNewtonSystem(small_feasible)
+        rows, cols, values = system.diagonal_update(*state)
+        m, n = small_feasible.A.shape
+        assert rows.shape == (2 * (n + m),)
+        assert np.all(values >= 0)
+
+    def test_diagonal_update_matches_build(self, small_feasible, state):
+        system = AugmentedNewtonSystem(small_feasible)
+        M = system.build_matrix(*state)
+        rows, cols, values = system.diagonal_update(*state)
+        np.testing.assert_allclose(M[rows, cols], values)
+
+    def test_infeasibility_norms(self, small_feasible, state):
+        x, y, w, z = state
+        system = AugmentedNewtonSystem(small_feasible)
+        M = system.build_matrix(x, y, w, z)
+        product = M @ system.state_vector(x, y, w, z)
+        r = system.residual_from_product(product, 0.1)
+        p_inf, d_inf = system.infeasibility_norms(r)
+        assert p_inf == pytest.approx(
+            np.max(np.abs(small_feasible.b - small_feasible.A @ x - w))
+        )
+        assert d_inf == pytest.approx(
+            np.max(
+                np.abs(small_feasible.c - small_feasible.A.T @ y + z)
+            )
+        )
+
+    def test_extract_rejects_bad_shape(self, small_feasible):
+        system = AugmentedNewtonSystem(small_feasible)
+        with pytest.raises(ValueError, match="shape"):
+            system.extract_steps(np.zeros(3))
+
+    def test_nonneg_matrix_clamps_negative_state(self, small_feasible):
+        # Solver 2-style negative iterates must not leak negatives in.
+        m, n = small_feasible.A.shape
+        system = AugmentedNewtonSystem(small_feasible)
+        x = -np.ones(n)
+        M = system.build_matrix(x, np.ones(m), np.ones(m), np.ones(n))
+        assert M.min() >= 0.0
+
+    def test_problem_without_negatives_has_no_compensation(self, rng):
+        lp = random_feasible_lp(9, rng=rng, coefficient_range=(0.1, 1.0))
+        system = AugmentedNewtonSystem(lp)
+        assert system.k_x == 0
+        assert system.k_y == 0

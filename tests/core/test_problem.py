@@ -1,0 +1,149 @@
+"""Tests for the LinearProgram problem type."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearProgram, from_minimization
+
+
+class TestValidation:
+    def test_shape_mismatch_c(self):
+        with pytest.raises(ValueError, match="c has shape"):
+            LinearProgram(
+                c=np.ones(3), A=np.ones((2, 2)), b=np.ones(2)
+            )
+
+    def test_shape_mismatch_b(self):
+        with pytest.raises(ValueError, match="b has shape"):
+            LinearProgram(
+                c=np.ones(2), A=np.ones((2, 2)), b=np.ones(3)
+            )
+
+    def test_rejects_1d_A(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LinearProgram(c=np.ones(2), A=np.ones(2), b=np.ones(1))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            LinearProgram(
+                c=np.array([np.nan]), A=np.ones((1, 1)), b=np.ones(1)
+            )
+
+    def test_dimensions(self, tiny_lp):
+        assert tiny_lp.n_variables == 2
+        assert tiny_lp.n_constraints == 2
+
+
+class TestObjectives:
+    def test_objective(self, tiny_lp):
+        assert tiny_lp.objective(np.array([4.0, 0.0])) == pytest.approx(12.0)
+
+    def test_dual_objective(self, tiny_lp):
+        assert tiny_lp.dual_objective(np.array([3.0, 0.0])) == (
+            pytest.approx(12.0)
+        )
+
+
+class TestFeasibility:
+    def test_feasible_point(self, tiny_lp):
+        assert tiny_lp.is_feasible(np.array([1.0, 1.0]))
+
+    def test_constraint_violation_positive_outside(self, tiny_lp):
+        assert tiny_lp.constraint_violation(np.array([10.0, 0.0])) > 0
+
+    def test_negative_x_is_infeasible(self, tiny_lp):
+        assert not tiny_lp.is_feasible(np.array([-0.1, 0.0]))
+
+    def test_violation_zero_inside(self, tiny_lp):
+        assert tiny_lp.constraint_violation(np.array([0.5, 0.5])) == 0.0
+
+
+class TestRelaxedCheck:
+    def test_exact_point_passes(self, tiny_lp):
+        assert tiny_lp.satisfies_relaxed_constraints(np.array([4.0, 0.0]))
+
+    def test_slightly_violating_point_passes(self, tiny_lp):
+        # Violates x1 + x2 <= 4 by ~2% of (|b| + 1): within alpha=1.05.
+        assert tiny_lp.satisfies_relaxed_constraints(
+            np.array([4.1, 0.0]), alpha=1.05
+        )
+
+    def test_grossly_violating_point_fails(self, tiny_lp):
+        assert not tiny_lp.satisfies_relaxed_constraints(
+            np.array([8.0, 0.0]), alpha=1.05
+        )
+
+    def test_alpha_below_one_rejected(self, tiny_lp):
+        with pytest.raises(ValueError, match="alpha"):
+            tiny_lp.satisfies_relaxed_constraints(np.zeros(2), alpha=0.9)
+
+    def test_extra_row_tolerance_loosens(self, tiny_lp):
+        x = np.array([5.0, 0.0])
+        assert not tiny_lp.satisfies_relaxed_constraints(x, alpha=1.01)
+        assert tiny_lp.satisfies_relaxed_constraints(
+            x, alpha=1.01, extra_row_tolerance=2.0
+        )
+
+
+class TestVariationTolerance:
+    def test_zero_variation_gives_zero_budget(self, tiny_lp):
+        np.testing.assert_array_equal(
+            tiny_lp.variation_row_tolerance(np.ones(2), 0.0), np.zeros(2)
+        )
+
+    def test_budget_scales_with_variation(self, tiny_lp):
+        x = np.ones(2)
+        lo = tiny_lp.variation_row_tolerance(x, 0.05)
+        hi = tiny_lp.variation_row_tolerance(x, 0.20)
+        assert np.all(hi > lo)
+
+    def test_budget_formula(self, tiny_lp):
+        x = np.array([1.0, 2.0])
+        expected = (
+            3.0 / np.sqrt(3.0) * 0.1
+            * np.sqrt((tiny_lp.A**2) @ (x**2))
+        )
+        np.testing.assert_allclose(
+            tiny_lp.variation_row_tolerance(x, 0.1), expected
+        )
+
+    def test_rejects_negative_magnitude(self, tiny_lp):
+        with pytest.raises(ValueError):
+            tiny_lp.variation_row_tolerance(np.ones(2), -0.1)
+
+
+class TestDuality:
+    def test_dual_shape(self, tiny_lp):
+        dual = tiny_lp.dual()
+        assert dual.n_variables == tiny_lp.n_constraints
+        assert dual.n_constraints == tiny_lp.n_variables
+
+    def test_dual_of_dual_is_primal(self, tiny_lp):
+        double = tiny_lp.dual().dual()
+        np.testing.assert_allclose(double.c, tiny_lp.c)
+        np.testing.assert_allclose(double.A, tiny_lp.A)
+        np.testing.assert_allclose(double.b, tiny_lp.b)
+
+    def test_weak_duality(self, tiny_lp, rng):
+        # Any primal-feasible x and dual-feasible y satisfy c'x <= b'y.
+        x = np.array([1.0, 0.5])
+        assert tiny_lp.is_feasible(x)
+        y = np.array([3.0, 0.5])
+        assert np.all(tiny_lp.A.T @ y >= tiny_lp.c)
+        assert tiny_lp.objective(x) <= tiny_lp.dual_objective(y)
+
+
+class TestTransforms:
+    def test_scaled(self, tiny_lp):
+        scaled = tiny_lp.scaled(2.0)
+        np.testing.assert_allclose(scaled.c, 2.0 * tiny_lp.c)
+        with pytest.raises(ValueError):
+            tiny_lp.scaled(-1.0)
+
+    def test_from_minimization(self):
+        problem = from_minimization(
+            c=np.array([1.0, 2.0]),
+            A_ub=np.eye(2),
+            b_ub=np.ones(2),
+        )
+        np.testing.assert_allclose(problem.c, [-1.0, -2.0])

@@ -1,0 +1,76 @@
+"""Tests for the mixed equality/inequality problem builder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import SolveStatus, solve_crossbar, with_equalities
+
+
+class TestWithEqualities:
+    def test_equality_encoded_as_pair(self):
+        problem = with_equalities(
+            c=np.array([1.0, 1.0]),
+            A_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([2.0]),
+        )
+        assert problem.n_constraints == 2
+        np.testing.assert_allclose(problem.A[0], -problem.A[1])
+        np.testing.assert_allclose(problem.b, [2.0, -2.0])
+
+    def test_exact_equality_enforced(self):
+        # max x1 s.t. x1 + x2 = 2, x1 <= 1.5.
+        problem = with_equalities(
+            c=np.array([1.0, 0.0]),
+            A_ub=np.array([[1.0, 0.0]]),
+            b_ub=np.array([1.5]),
+            A_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([2.0]),
+        )
+        result = solve_scipy(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.x[0] == pytest.approx(1.5)
+        assert result.x.sum() == pytest.approx(2.0)
+
+    def test_slack_restores_interior_for_analog_solver(self):
+        problem = with_equalities(
+            c=np.array([1.0, 0.5]),
+            A_ub=np.array([[1.0, 0.0], [0.0, 1.0]]),
+            b_ub=np.array([1.5, 2.0]),
+            A_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([2.0]),
+            equality_slack=0.05,
+        )
+        truth = solve_scipy(problem)
+        result = solve_crossbar(problem, rng=np.random.default_rng(0))
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(
+            truth.objective, rel=0.05
+        )
+
+    def test_inequality_only(self):
+        problem = with_equalities(
+            c=np.array([1.0]),
+            A_ub=np.array([[1.0]]),
+            b_ub=np.array([3.0]),
+        )
+        assert problem.n_constraints == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="together"):
+            with_equalities(
+                c=np.ones(2), A_ub=np.ones((1, 2)), b_ub=None
+            )
+        with pytest.raises(ValueError, match="together"):
+            with_equalities(
+                c=np.ones(2), A_eq=np.ones((1, 2)), b_eq=None
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            with_equalities(c=np.ones(2))
+        with pytest.raises(ValueError, match="slack"):
+            with_equalities(
+                c=np.ones(1),
+                A_eq=np.ones((1, 1)),
+                b_eq=np.ones(1),
+                equality_slack=-0.1,
+            )

@@ -1,0 +1,81 @@
+"""Tests for the software reference PDIP solver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import PDIPSettings, SolveStatus, solve_reference
+from repro.workloads import random_feasible_lp, random_infeasible_lp
+
+
+class TestOptimality:
+    def test_tiny_lp_exact(self, tiny_lp):
+        result = solve_reference(tiny_lp)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(12.0, rel=1e-6)
+        np.testing.assert_allclose(
+            result.x, [4.0, 0.0], atol=1e-5
+        )
+
+    def test_matches_scipy_on_random_batch(self, rng):
+        for _ in range(5):
+            problem = random_feasible_lp(15, rng=rng)
+            ours = solve_reference(problem)
+            truth = solve_scipy(problem)
+            assert ours.status is SolveStatus.OPTIMAL
+            assert ours.objective == pytest.approx(
+                truth.objective, rel=1e-5
+            )
+
+    def test_solution_is_feasible(self, small_feasible):
+        result = solve_reference(small_feasible)
+        assert small_feasible.is_feasible(result.x, tolerance=1e-6)
+
+    def test_duality_gap_closes(self, small_feasible):
+        result = solve_reference(small_feasible)
+        assert result.duality_gap < 1e-4
+
+    def test_dual_variables_certify(self, small_feasible):
+        # b'y >= c'x with near-equality at the optimum.
+        result = solve_reference(small_feasible)
+        primal = small_feasible.objective(result.x)
+        dual = small_feasible.dual_objective(result.y)
+        assert dual >= primal - 1e-4
+        assert dual == pytest.approx(primal, rel=1e-3)
+
+
+class TestInfeasibility:
+    def test_detects_planted_infeasibility(self, rng):
+        for _ in range(3):
+            problem = random_infeasible_lp(12, rng=rng)
+            result = solve_reference(problem)
+            assert result.status is SolveStatus.INFEASIBLE
+
+    def test_divergence_kind_reported(self, small_infeasible):
+        result = solve_reference(small_infeasible)
+        assert result.message in (
+            "primal_infeasible", "dual_infeasible"
+        )
+
+
+class TestControls:
+    def test_iteration_limit(self, small_feasible):
+        settings = PDIPSettings(max_iterations=2)
+        result = solve_reference(small_feasible, settings)
+        assert result.status is SolveStatus.ITERATION_LIMIT
+        assert result.iterations <= 2
+
+    def test_trace_records(self, small_feasible):
+        result = solve_reference(small_feasible, trace=True)
+        assert len(result.trace) == result.iterations
+        gaps = [record.duality_gap for record in result.trace]
+        # The gap decreases overall across the run.
+        assert gaps[-1] < gaps[0]
+
+    def test_no_crossbar_counters(self, small_feasible):
+        assert solve_reference(small_feasible).crossbar is None
+
+    def test_deterministic(self, small_feasible):
+        first = solve_reference(small_feasible)
+        second = solve_reference(small_feasible)
+        np.testing.assert_array_equal(first.x, second.x)

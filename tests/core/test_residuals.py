@@ -1,0 +1,80 @@
+"""Tests for residual and centering computations."""
+
+import numpy as np
+import pytest
+
+from repro.core.residuals import (
+    centering_mu,
+    converged,
+    dual_infeasibility,
+    dual_residual,
+    duality_gap,
+    primal_infeasibility,
+    primal_residual,
+)
+
+
+class TestResiduals:
+    def test_primal_residual_zero_when_consistent(self, tiny_lp, rng):
+        x = rng.uniform(0, 1, size=2)
+        w = tiny_lp.b - tiny_lp.A @ x
+        np.testing.assert_allclose(
+            primal_residual(tiny_lp, x, w), np.zeros(2), atol=1e-14
+        )
+        assert primal_infeasibility(tiny_lp, x, w) == pytest.approx(
+            0.0, abs=1e-14
+        )
+
+    def test_dual_residual_zero_when_consistent(self, tiny_lp, rng):
+        y = rng.uniform(1, 2, size=2)
+        z = tiny_lp.A.T @ y - tiny_lp.c
+        np.testing.assert_allclose(
+            dual_residual(tiny_lp, y, z), np.zeros(2), atol=1e-14
+        )
+
+    def test_infeasibility_is_infinity_norm(self, tiny_lp):
+        x = np.zeros(2)
+        w = np.zeros(2)
+        assert primal_infeasibility(tiny_lp, x, w) == pytest.approx(
+            np.max(np.abs(tiny_lp.b))
+        )
+        assert dual_infeasibility(tiny_lp, np.zeros(2), np.zeros(2)) == (
+            pytest.approx(np.max(np.abs(tiny_lp.c)))
+        )
+
+
+class TestGapAndMu:
+    def test_gap_formula(self, rng):
+        x, z = rng.uniform(0, 1, 4), rng.uniform(0, 1, 4)
+        y, w = rng.uniform(0, 1, 3), rng.uniform(0, 1, 3)
+        assert duality_gap(x, y, w, z) == pytest.approx(
+            float(z @ x + y @ w)
+        )
+
+    def test_mu_matches_eqn8(self, rng):
+        x, z = rng.uniform(0, 1, 4), rng.uniform(0, 1, 4)
+        y, w = rng.uniform(0, 1, 3), rng.uniform(0, 1, 3)
+        mu = centering_mu(x, y, w, z, delta=0.1)
+        assert mu == pytest.approx(0.1 * (z @ x + y @ w) / 7)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5, 2.0])
+    def test_mu_rejects_bad_delta(self, delta, rng):
+        v = np.ones(2)
+        with pytest.raises(ValueError, match="delta"):
+            centering_mu(v, v, v, v, delta=delta)
+
+
+class TestConverged:
+    def test_all_below(self):
+        assert converged(
+            1e-9, 1e-9, 1e-9,
+            eps_primal=1e-6, eps_dual=1e-6, eps_gap=1e-6,
+        )
+
+    @pytest.mark.parametrize(
+        "p,d,g", [(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0)]
+    )
+    def test_any_above_blocks(self, p, d, g):
+        assert not converged(
+            p, d, g, eps_primal=1e-6, eps_dual=1e-6, eps_gap=1e-6
+        )

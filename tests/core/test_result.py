@@ -1,0 +1,57 @@
+"""Tests for solver result types."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverResult, SolveStatus
+from repro.core.result import with_message, with_status
+
+
+def make_result(**overrides):
+    fields = dict(
+        status=SolveStatus.OPTIMAL,
+        x=np.array([1.0, 2.0]),
+        y=np.array([0.5]),
+        w=np.array([0.1]),
+        z=np.array([0.0, 0.3]),
+        objective=5.0,
+        iterations=10,
+    )
+    fields.update(overrides)
+    return SolverResult(**fields)
+
+
+class TestSolverResult:
+    def test_is_optimal(self):
+        assert make_result().is_optimal
+        assert not make_result(status=SolveStatus.INFEASIBLE).is_optimal
+
+    def test_duality_gap(self):
+        result = make_result()
+        expected = float(
+            result.z @ result.x + result.y @ result.w
+        )
+        assert result.duality_gap == pytest.approx(expected)
+
+    def test_status_string(self):
+        assert str(SolveStatus.OPTIMAL) == "optimal"
+        assert str(SolveStatus.INFEASIBLE) == "infeasible"
+
+
+class TestHelpers:
+    def test_with_message_appends(self):
+        result = make_result(message="first")
+        updated = with_message(result, "second")
+        assert updated.message == "first; second"
+        # Original untouched (frozen dataclass copies).
+        assert result.message == "first"
+
+    def test_with_message_on_empty(self):
+        assert with_message(make_result(), "only").message == "only"
+
+    def test_with_status(self):
+        result = make_result(message="stalled")
+        updated = with_status(result, SolveStatus.INFEASIBLE, "verdict")
+        assert updated.status is SolveStatus.INFEASIBLE
+        assert "verdict" in updated.message
+        assert updated.objective == result.objective

@@ -1,0 +1,161 @@
+"""Tests for Solver 2 (Algorithm 2, large-scale crossbar PDIP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import (
+    LargeScaleCrossbarPDIPSolver,
+    ScalableSolverSettings,
+    SolveStatus,
+    solve_crossbar_large_scale,
+)
+from repro.devices import UniformVariation
+from repro.workloads import random_feasible_lp, random_infeasible_lp
+
+
+class TestOptimality:
+    def test_tiny_lp(self, tiny_lp):
+        result = solve_crossbar_large_scale(
+            tiny_lp, rng=np.random.default_rng(0)
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(12.0, rel=0.05)
+
+    def test_ideal_hardware_accuracy_band(self, rng):
+        # Paper Fig. 5(b): 0.8%-8.5% inaccuracy.
+        for trial in range(3):
+            problem = random_feasible_lp(15, rng=rng)
+            truth = solve_scipy(problem)
+            result = solve_crossbar_large_scale(
+                problem, rng=np.random.default_rng(trial)
+            )
+            assert result.status is SolveStatus.OPTIMAL
+            error = abs(result.objective - truth.objective) / abs(
+                truth.objective
+            )
+            assert error < 0.06
+
+    def test_variation_accuracy_band(self, rng):
+        settings = ScalableSolverSettings(
+            variation=UniformVariation(0.10)
+        )
+        problem = random_feasible_lp(15, rng=rng)
+        truth = solve_scipy(problem)
+        result = solve_crossbar_large_scale(
+            problem, settings, rng=np.random.default_rng(7)
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        error = abs(result.objective - truth.objective) / abs(
+            truth.objective
+        )
+        assert error < 0.15
+
+    def test_fewer_iterations_than_solver1_system_size(self,
+                                                       small_feasible):
+        # The point of Solver 2: much smaller arrays.
+        from repro.core import AugmentedNewtonSystem, ScalableNewtonSystem
+
+        full = AugmentedNewtonSystem(small_feasible).size
+        split = ScalableNewtonSystem(small_feasible).size_m1
+        assert split < full
+
+
+class TestInfeasibility:
+    def test_detects_planted_infeasibility(self, rng):
+        problem = random_infeasible_lp(12, rng=rng)
+        result = solve_crossbar_large_scale(
+            problem, rng=np.random.default_rng(3)
+        )
+        assert result.status is SolveStatus.INFEASIBLE
+
+
+class TestLiteralPaperModes:
+    """The printed Eqns. 16c/17a/17b diverge; the ablation modes
+    reproduce that analytically-predicted failure."""
+
+    def test_constant_coupling_fails(self, small_feasible):
+        settings = ScalableSolverSettings(
+            coupling="constant",
+            rhs_mode="paper",
+            recovery="paper",
+            step_policy="constant",
+            retries=0,
+        )
+        result = solve_crossbar_large_scale(
+            small_feasible, settings, rng=np.random.default_rng(0)
+        )
+        # Diverges (reported as a spurious infeasibility/failure) or
+        # stalls far from optimum — never a clean optimal solve.
+        if result.status is SolveStatus.OPTIMAL:
+            truth = solve_scipy(small_feasible)
+            error = abs(result.objective - truth.objective) / abs(
+                truth.objective
+            )
+            assert error > 0.10
+        else:
+            assert result.status in (
+                SolveStatus.INFEASIBLE,
+                SolveStatus.NUMERICAL_FAILURE,
+                SolveStatus.ITERATION_LIMIT,
+            )
+
+    def test_paper_rhs_breaks_primal_convergence(self, small_feasible):
+        settings = ScalableSolverSettings(rhs_mode="paper", retries=0)
+        result = solve_crossbar_large_scale(
+            small_feasible, settings, rng=np.random.default_rng(0)
+        )
+        truth = solve_scipy(small_feasible)
+        if result.status is SolveStatus.OPTIMAL:
+            error = abs(result.objective - truth.objective) / abs(
+                truth.objective
+            )
+            exact = solve_crossbar_large_scale(
+                small_feasible,
+                ScalableSolverSettings(retries=0),
+                rng=np.random.default_rng(0),
+            )
+            exact_error = abs(exact.objective - truth.objective) / abs(
+                truth.objective
+            )
+            assert error >= exact_error
+
+
+class TestMechanics:
+    def test_counters_cover_four_arrays(self, small_feasible):
+        result = solve_crossbar_large_scale(
+            small_feasible, rng=np.random.default_rng(2)
+        )
+        counters = result.crossbar
+        assert counters is not None
+        # Per iteration: >= 3 multiplies (r1, M2 product, coupling)
+        # and >= 2 solves (M1, recovery).
+        assert counters.multiplies >= 2 * result.iterations
+        assert counters.solves >= result.iterations
+        assert counters.cells_written > 0
+
+    def test_trace(self, small_feasible):
+        solver = LargeScaleCrossbarPDIPSolver(
+            small_feasible, rng=np.random.default_rng(2)
+        )
+        result = solver.solve(trace=True)
+        assert len(result.trace) == result.iterations
+
+    def test_deterministic_given_seed(self, small_feasible):
+        first = solve_crossbar_large_scale(
+            small_feasible, rng=np.random.default_rng(11)
+        )
+        second = solve_crossbar_large_scale(
+            small_feasible, rng=np.random.default_rng(11)
+        )
+        assert first.objective == second.objective
+
+    def test_constant_step_policy_runs(self, small_feasible):
+        settings = ScalableSolverSettings(
+            step_policy="constant", constant_theta=0.4
+        )
+        result = solve_crossbar_large_scale(
+            small_feasible, settings, rng=np.random.default_rng(5)
+        )
+        # Must terminate with a classified status.
+        assert result.status in tuple(SolveStatus)

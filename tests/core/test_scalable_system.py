@@ -1,0 +1,213 @@
+"""Tests for Solver 2's system builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalableNewtonSystem
+from repro.workloads import random_feasible_lp
+
+
+@pytest.fixture
+def system(small_feasible):
+    return ScalableNewtonSystem(small_feasible)
+
+
+@pytest.fixture
+def state(small_feasible, rng):
+    m, n = small_feasible.A.shape
+    return (
+        rng.uniform(0.5, 2.0, n),
+        rng.uniform(0.5, 2.0, m),
+        rng.uniform(0.5, 2.0, m),
+        rng.uniform(0.5, 2.0, n),
+    )
+
+
+class TestM1Assembly:
+    def test_matrix_non_negative(self, system, state):
+        x, y, w, z = state
+        M = system.build_m1(x, y, w, z, with_coupling=True)
+        assert M.min() >= 0.0
+
+    def test_size(self, system, small_feasible):
+        m, n = small_feasible.A.shape
+        assert system.size_m1 == n + 2 * m + system.k_x
+
+    def test_augmented_equals_signed_reduced_system(
+        self, system, small_feasible, state
+    ):
+        # Solving the augmented non-negative M1 must give the same
+        # (dx, dy) as the signed reduced system [A -W/Y; Z/X A'].
+        x, y, w, z = state
+        A = small_feasible.A
+        m, n = A.shape
+        ru, rl = system.coupling_diagonals(x, y, w, z)
+        signed = np.zeros((m + n, m + n))
+        signed[:m, :n] = A
+        signed[:m, n:] = -np.diag(ru)
+        signed[m:, :n] = np.diag(rl)
+        signed[m:, n:] = A.T
+        rhs = np.concatenate(
+            [np.arange(1.0, m + 1) / m, np.arange(1.0, n + 1) / n]
+        )
+        reference = np.linalg.solve(signed, rhs)
+
+        M = system.build_m1(x, y, w, z, with_coupling=True)
+        r_aug = np.zeros(system.size_m1)
+        r_aug[: m + n] = rhs
+        delta = np.linalg.solve(M, r_aug)
+        dx, dy = system.extract_steps_m1(delta)
+        np.testing.assert_allclose(dx, reference[:n], rtol=1e-8)
+        np.testing.assert_allclose(dy, reference[n:], rtol=1e-8)
+
+    def test_multiply_matrix_identity(self, system, small_feasible, state):
+        # M1 (without coupling) @ [x, y, p, q] = [Ax, A'y, 0, 0].
+        x, y, w, z = state
+        A = small_feasible.A
+        m, n = A.shape
+        M = system.build_m1(x, y, w, z, with_coupling=False)
+        product = M @ system.state_vector_m1(x, y)
+        np.testing.assert_allclose(product[:m], A @ x, rtol=1e-10)
+        np.testing.assert_allclose(
+            product[m:m + n], A.T @ y, rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            product[m + n:], np.zeros(system.size_m1 - m - n), atol=1e-12
+        )
+
+    def test_coupling_update_cells(self, system, small_feasible, state):
+        x, y, w, z = state
+        m, n = small_feasible.A.shape
+        rows, cols, values = system.m1_coupling_update(x, y, w, z)
+        assert rows.shape == (n + m,)
+        M = system.build_m1(x, y, w, z, with_coupling=True)
+        np.testing.assert_allclose(M[rows, cols], values)
+
+    def test_residuals(self, system, small_feasible, state):
+        x, y, w, z = state
+        A = small_feasible.A
+        m, n = A.shape
+        mu = 0.1
+        M = system.build_m1(x, y, w, z, with_coupling=False)
+        product = M @ system.state_vector_m1(x, y)
+        r = system.residual_m1(product, mu / x, mu / y)
+        np.testing.assert_allclose(
+            r[:m], small_feasible.b - A @ x - mu / y, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            r[m:m + n],
+            small_feasible.c - A.T @ y + mu / x,
+            rtol=1e-9,
+        )
+        paper = system.paper_residual_m1(product, w, z)
+        np.testing.assert_allclose(
+            paper[:m], small_feasible.b - A @ x - w, rtol=1e-9
+        )
+
+    def test_infeasibility_norms(self, system, small_feasible, state):
+        x, y, w, z = state
+        A = small_feasible.A
+        M = system.build_m1(x, y, w, z, with_coupling=False)
+        product = M @ system.state_vector_m1(x, y)
+        p_inf, d_inf = system.infeasibility_norms(product, w, z)
+        assert p_inf == pytest.approx(
+            np.max(np.abs(small_feasible.b - A @ x - w))
+        )
+        assert d_inf == pytest.approx(
+            np.max(np.abs(small_feasible.c - A.T @ y + z))
+        )
+
+
+class TestCouplingModes:
+    def test_state_coupling_tracks_ratios(self, system, state):
+        x, y, w, z = state
+        ru, rl = system.coupling_diagonals(x, y, w, z)
+        np.testing.assert_allclose(ru, w / y)
+        np.testing.assert_allclose(rl, z / x)
+
+    def test_ratios_clamped(self, small_feasible):
+        system = ScalableNewtonSystem(
+            small_feasible, ratio_floor=1e-3, ratio_cap=10.0
+        )
+        m, n = small_feasible.A.shape
+        x = np.full(n, 1e-12)
+        z = np.ones(n)
+        ru, rl = system.coupling_diagonals(
+            x, np.ones(m), np.ones(m), z
+        )
+        assert np.all(rl <= 10.0)
+        assert np.all(ru >= 1e-3)
+
+    def test_constant_coupling(self, small_feasible, state):
+        system = ScalableNewtonSystem(
+            small_feasible, coupling="constant", regularization=0.01
+        )
+        ru, rl = system.coupling_diagonals(*state)
+        np.testing.assert_allclose(ru, 0.01)
+        np.testing.assert_allclose(rl, 0.01)
+
+    def test_validation(self, small_feasible):
+        with pytest.raises(ValueError, match="coupling"):
+            ScalableNewtonSystem(small_feasible, coupling="bogus")
+        with pytest.raises(ValueError, match="regularization"):
+            ScalableNewtonSystem(small_feasible, regularization=0.0)
+        with pytest.raises(ValueError, match="ratio_floor"):
+            ScalableNewtonSystem(
+                small_feasible, ratio_floor=2.0, ratio_cap=1.0
+            )
+
+
+class TestM2AndD:
+    def test_m2_is_diag_xy(self, system, state):
+        x, y, w, z = state
+        M2 = system.build_m2(x, y)
+        np.testing.assert_allclose(
+            np.diag(M2), np.concatenate([x, y])
+        )
+        assert np.count_nonzero(M2 - np.diag(np.diag(M2))) == 0
+
+    def test_d_is_diag_zw(self, system, state):
+        x, y, w, z = state
+        D = system.build_d(z, w)
+        np.testing.assert_allclose(
+            np.diag(D), np.concatenate([z, w])
+        )
+
+    def test_recovery_residual(self, system, state):
+        x, y, w, z = state
+        mu = 0.07
+        xz_yw = np.concatenate([x * z, y * w])
+        dx = np.ones_like(x) * 0.1
+        dy = np.ones_like(y) * 0.2
+        coupling = np.concatenate([z * dx, w * dy])
+        r2 = system.residual_m2(mu, xz_yw, coupling)
+        expected = mu - xz_yw - coupling
+        np.testing.assert_allclose(r2, expected)
+        r2_paper = system.residual_m2(mu, xz_yw, None)
+        np.testing.assert_allclose(r2_paper, mu - xz_yw)
+
+    def test_recovery_solves_eqn_9c_9d(self, system, small_feasible,
+                                       state):
+        # X dz = mu - XZe - Z dx  and  Y dw = mu - YWe - W dy.
+        x, y, w, z = state
+        m, n = small_feasible.A.shape
+        mu = 0.05
+        dx = np.linspace(-0.1, 0.1, n)
+        dy = np.linspace(0.1, -0.1, m)
+        xz_yw = np.concatenate([x * z, y * w])
+        coupling = np.concatenate([z * dx, w * dy])
+        r2 = system.residual_m2(mu, xz_yw, coupling)
+        delta2 = np.linalg.solve(system.build_m2(x, y), r2)
+        dz, dw = system.extract_steps_m2(delta2)
+        np.testing.assert_allclose(
+            z * dx + x * dz, mu - x * z, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            w * dy + y * dw, mu - y * w, rtol=1e-9
+        )
+
+    def test_extract_shape_checks(self, system):
+        with pytest.raises(ValueError, match="shape"):
+            system.extract_steps_m1(np.zeros(2))
+        with pytest.raises(ValueError, match="shape"):
+            system.extract_steps_m2(np.zeros(2))

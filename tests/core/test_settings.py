@@ -1,0 +1,113 @@
+"""Tests for solver settings validation."""
+
+import pytest
+
+from repro.core import (
+    CrossbarSolverSettings,
+    PDIPSettings,
+    ScalableSolverSettings,
+)
+
+
+class TestPDIPSettings:
+    def test_defaults_valid(self):
+        PDIPSettings()
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1])
+    def test_delta_range(self, delta):
+        with pytest.raises(ValueError, match="delta"):
+            PDIPSettings(delta=delta)
+
+    @pytest.mark.parametrize("scale", [0.0, 1.0])
+    def test_step_scale_range(self, scale):
+        with pytest.raises(ValueError, match="step_scale"):
+            PDIPSettings(step_scale=scale)
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            PDIPSettings(max_iterations=0)
+
+    @pytest.mark.parametrize(
+        "field", ["eps_primal", "eps_dual", "eps_gap"]
+    )
+    def test_tolerances_positive(self, field):
+        with pytest.raises(ValueError, match=field):
+            PDIPSettings(**{field: 0.0})
+
+    def test_big_m_bound(self):
+        with pytest.raises(ValueError, match="big_m"):
+            PDIPSettings(big_m=1.0)
+
+    def test_alpha_bound(self):
+        with pytest.raises(ValueError, match="alpha"):
+            PDIPSettings(alpha=0.99)
+
+    def test_initial_value_positive(self):
+        with pytest.raises(ValueError, match="initial_value"):
+            PDIPSettings(initial_value=0.0)
+
+
+class TestCrossbarSettings:
+    def test_defaults_valid(self):
+        settings = CrossbarSolverSettings()
+        assert settings.dac_bits == 8
+        assert settings.adc_bits == 8
+
+    def test_headroom_bound(self):
+        with pytest.raises(ValueError, match="headroom"):
+            CrossbarSolverSettings(scale_headroom=0.9)
+
+    def test_stall_positive(self):
+        with pytest.raises(ValueError, match="stall"):
+            CrossbarSolverSettings(stall_iterations=0)
+
+    def test_retries_non_negative(self):
+        with pytest.raises(ValueError, match="retries"):
+            CrossbarSolverSettings(retries=-1)
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CrossbarSolverSettings().retries = 5
+
+
+class TestScalableSettings:
+    def test_defaults_valid(self):
+        settings = ScalableSolverSettings()
+        assert settings.coupling == "state"
+        assert settings.rhs_mode == "exact"
+        assert settings.recovery == "coupled"
+        assert settings.row_scaling is True
+
+    @pytest.mark.parametrize("theta", [0.0, 1.5])
+    def test_theta_range(self, theta):
+        with pytest.raises(ValueError, match="theta"):
+            ScalableSolverSettings(constant_theta=theta)
+
+    def test_regularization_positive(self):
+        with pytest.raises(ValueError, match="regularization"):
+            ScalableSolverSettings(regularization=0.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("coupling", "bogus"),
+            ("rhs_mode", "bogus"),
+            ("recovery", "bogus"),
+            ("step_policy", "bogus"),
+        ],
+    )
+    def test_mode_strings_validated(self, field, value):
+        with pytest.raises(ValueError, match="unknown"):
+            ScalableSolverSettings(**{field: value})
+
+    def test_ratio_bounds(self):
+        with pytest.raises(ValueError, match="ratio_cap"):
+            ScalableSolverSettings(ratio_cap=0.0)
+        with pytest.raises(ValueError, match="ratio_floor"):
+            ScalableSolverSettings(ratio_floor=10.0, ratio_cap=1.0)
+
+    def test_positivity_floor(self):
+        with pytest.raises(ValueError, match="positivity_floor"):
+            ScalableSolverSettings(positivity_floor=0.0)

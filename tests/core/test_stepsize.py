@@ -1,0 +1,84 @@
+"""Tests for step-length policies (Eqn. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stepsize import constant_theta, ratio_test_theta
+
+
+class TestRatioTest:
+    def test_full_damped_step_when_unblocked(self):
+        state = np.ones(4)
+        step = np.ones(4)  # all increasing: no boundary in the way
+        assert ratio_test_theta(state, step, step_scale=0.99) == 0.99
+
+    def test_blocks_at_boundary(self):
+        state = np.array([1.0, 2.0])
+        step = np.array([-2.0, 0.0])  # x1 hits zero at theta = 0.5
+        theta = ratio_test_theta(state, step, step_scale=0.99)
+        assert theta == pytest.approx(0.99 * 0.5)
+        # Applying the step keeps positivity.
+        assert np.all(state + theta * step > 0)
+
+    def test_most_binding_component_wins(self):
+        state = np.array([1.0, 1.0, 1.0])
+        step = np.array([-0.5, -4.0, -1.0])
+        theta = ratio_test_theta(state, step, step_scale=0.99)
+        assert theta == pytest.approx(0.99 / 4.0)
+
+    def test_positivity_invariant_random(self, rng):
+        for _ in range(50):
+            state = rng.uniform(0.01, 2.0, size=10)
+            step = rng.normal(size=10)
+            theta = ratio_test_theta(state, step, step_scale=0.95)
+            assert np.all(state + theta * step > 0)
+
+    def test_ignore_below_excludes_pinned_variables(self):
+        # A variable pinned at the floor with a tiny negative step must
+        # not freeze the global step.
+        state = np.array([1.0, 1e-12])
+        step = np.array([1.0, -1e-6])
+        frozen = ratio_test_theta(state, step, step_scale=0.99)
+        assert frozen < 1e-5
+        freed = ratio_test_theta(
+            state, step, step_scale=0.99, ignore_below=1e-8
+        )
+        assert freed == 0.99
+
+    def test_all_pinned_gives_full_step(self):
+        state = np.full(3, 1e-12)
+        step = -np.ones(3)
+        theta = ratio_test_theta(
+            state, step, step_scale=0.9, ignore_below=1e-8
+        )
+        assert theta == 0.9
+
+    def test_rejects_nonpositive_state(self):
+        with pytest.raises(ValueError, match="positive"):
+            ratio_test_theta(np.array([1.0, 0.0]), np.ones(2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            ratio_test_theta(np.ones(3), np.ones(2))
+
+    @pytest.mark.parametrize("scale", [0.0, 1.0, 1.5])
+    def test_rejects_bad_step_scale(self, scale):
+        with pytest.raises(ValueError, match="step_scale"):
+            ratio_test_theta(np.ones(2), np.ones(2), step_scale=scale)
+
+    def test_rejects_negative_ignore_below(self):
+        with pytest.raises(ValueError, match="ignore_below"):
+            ratio_test_theta(
+                np.ones(2), np.ones(2), ignore_below=-1.0
+            )
+
+
+class TestConstantTheta:
+    def test_passthrough(self):
+        assert constant_theta(0.5) == 0.5
+        assert constant_theta(1.0) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError, match="theta"):
+            constant_theta(bad)

@@ -1,0 +1,125 @@
+"""Tests for the latency/energy cost model (Figs. 6-7 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_crossbar, solve_reference
+from repro.costmodel import (
+    CpuModelParameters,
+    calibrate_local,
+    cpu_energy,
+    estimate_energy,
+    estimate_latency,
+    linprog_latency,
+    software_pdip_latency,
+)
+from repro.devices import YAKOPCIC_NAECON14
+from repro.workloads import random_feasible_lp
+
+
+@pytest.fixture(scope="module")
+def solved():
+    rng = np.random.default_rng(3)
+    problem = random_feasible_lp(15, rng=rng)
+    result = solve_crossbar(problem, rng=np.random.default_rng(0))
+    return problem, result
+
+
+class TestLatencyEstimate:
+    def test_breakdown_positive_and_sums(self, solved):
+        _, result = solved
+        breakdown = estimate_latency(result, YAKOPCIC_NAECON14)
+        assert breakdown.write_s > 0
+        assert breakdown.analog_s > 0
+        assert breakdown.conversion_s > 0
+        assert breakdown.digital_s > 0
+        assert breakdown.total_s == pytest.approx(
+            breakdown.write_s
+            + breakdown.analog_s
+            + breakdown.conversion_s
+            + breakdown.digital_s
+        )
+
+    def test_writes_dominate(self, solved):
+        # The paper's O(N) claim rests on writes being the per-
+        # iteration bottleneck.
+        _, result = solved
+        breakdown = estimate_latency(result, YAKOPCIC_NAECON14)
+        assert breakdown.write_s > breakdown.analog_s
+        assert breakdown.write_s > breakdown.conversion_s
+
+    def test_rejects_software_result(self, solved):
+        problem, _ = solved
+        reference = solve_reference(problem)
+        with pytest.raises(ValueError, match="counters"):
+            estimate_latency(reference, YAKOPCIC_NAECON14)
+
+
+class TestEnergyEstimate:
+    def test_breakdown_positive_and_sums(self, solved):
+        _, result = solved
+        breakdown = estimate_energy(result, YAKOPCIC_NAECON14)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.write_j
+            + breakdown.analog_j
+            + breakdown.conversion_j
+            + breakdown.digital_j
+        )
+        assert breakdown.total_j > 0
+
+    def test_density_scales_analog_term(self, solved):
+        _, result = solved
+        sparse = estimate_energy(
+            result, YAKOPCIC_NAECON14, cell_density=0.1
+        )
+        dense = estimate_energy(
+            result, YAKOPCIC_NAECON14, cell_density=1.0
+        )
+        assert dense.analog_j == pytest.approx(10 * sparse.analog_j)
+
+    def test_rejects_bad_density(self, solved):
+        _, result = solved
+        with pytest.raises(ValueError, match="density"):
+            estimate_energy(result, YAKOPCIC_NAECON14, cell_density=0.0)
+
+
+class TestCpuModel:
+    def test_anchor_reproduced(self):
+        params = CpuModelParameters()
+        assert linprog_latency(1024, params=params) == pytest.approx(
+            6.23, rel=1e-6
+        )
+        assert linprog_latency(
+            1024, infeasible=True, params=params
+        ) == pytest.approx(30.0, rel=1e-6)
+
+    def test_cubic_scaling(self):
+        # Away from the overhead floor, halving N cuts ~8x.
+        t_full = linprog_latency(1024) - 5e-3
+        t_half = linprog_latency(512) - 5e-3
+        assert t_full / t_half == pytest.approx(8.0, rel=0.02)
+
+    def test_overhead_floor_dominates_small(self):
+        assert linprog_latency(4) == pytest.approx(5e-3, rel=0.05)
+
+    def test_pdip_matlab_factor(self):
+        assert software_pdip_latency(256) == pytest.approx(
+            2.0 * linprog_latency(256)
+        )
+
+    def test_energy_at_package_power(self):
+        assert cpu_energy(6.23) == pytest.approx(218.05, rel=1e-3)
+        with pytest.raises(ValueError):
+            cpu_energy(-1.0)
+
+    def test_calibrate_local_returns_sane_params(self, rng):
+        params = calibrate_local(
+            sizes=(16, 32), trials=1, rng=rng
+        )
+        assert params.linprog_anchor_seconds > 0
+        assert params.overhead_seconds > 0
+        # Infeasible/feasible ratio preserved from the paper.
+        assert (
+            params.linprog_infeasible_anchor_seconds
+            / params.linprog_anchor_seconds
+        ) == pytest.approx(30.0 / 6.23, rel=1e-6)

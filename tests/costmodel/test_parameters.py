@@ -1,0 +1,58 @@
+"""Tests for cost-model parameter bundles and their provenance."""
+
+import dataclasses
+
+import pytest
+
+from repro.costmodel import (
+    DEFAULT_COST_MODEL,
+    CostModelParameters,
+    CpuModelParameters,
+    PeripheralParameters,
+)
+
+
+class TestCpuAnchors:
+    def test_power_consistent_with_paper_energy(self):
+        # 218.1 J / 6.23 s ≈ 35 W; the second anchor (1023.1 J / 30 s)
+        # gives 34.1 W — the preset must sit between them.
+        params = CpuModelParameters()
+        assert 34.0 <= params.power_w <= 35.1
+        assert params.power_w * params.linprog_anchor_seconds == (
+            pytest.approx(218.1, rel=0.01)
+        )
+
+    def test_infeasible_anchor_slower(self):
+        params = CpuModelParameters()
+        assert (
+            params.linprog_infeasible_anchor_seconds
+            > params.linprog_anchor_seconds
+        )
+
+    def test_anchor_size_is_paper_grid_max(self):
+        assert CpuModelParameters().anchor_constraints == 1024
+
+
+class TestPeripherals:
+    def test_adc_slower_and_costlier_than_dac(self):
+        # 8-bit SAR ADCs lag DACs at comparable power budgets.
+        peri = PeripheralParameters()
+        assert peri.adc_latency_s >= peri.dac_latency_s
+        assert peri.adc_energy_j >= peri.dac_energy_j
+
+    def test_all_constants_positive(self):
+        peri = PeripheralParameters()
+        for field in dataclasses.fields(peri):
+            assert getattr(peri, field.name) > 0, field.name
+
+
+class TestBundle:
+    def test_default_bundle_composes_presets(self):
+        assert isinstance(
+            DEFAULT_COST_MODEL.peripherals, PeripheralParameters
+        )
+        assert isinstance(DEFAULT_COST_MODEL.cpu, CpuModelParameters)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CostModelParameters().cpu = None

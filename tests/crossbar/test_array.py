@@ -1,0 +1,157 @@
+"""Tests for the crossbar array simulator."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarArray, map_matrix
+from repro.devices import HP_TIO2, YAKOPCIC_NAECON14, UniformVariation
+from repro.exceptions import CrossbarSolveError, MappingError
+
+
+def programmed_array(rng, n=6, variation=None, params=YAKOPCIC_NAECON14):
+    matrix = rng.uniform(0.2, 1.0, size=(n, n))
+    mapping = map_matrix(matrix, params)
+    array = CrossbarArray(
+        n, n, params=params, variation=variation, rng=rng
+    )
+    array.program_mapping(mapping)
+    return array, matrix, mapping
+
+
+class TestConstruction:
+    def test_blank_array_is_off(self):
+        array = CrossbarArray(3, 4)
+        assert np.all(array.nominal_conductances == 0.0)
+        assert array.actual_conductances.shape == (3, 4)
+
+    @pytest.mark.parametrize("rows,cols", [(0, 3), (3, 0), (-1, 2)])
+    def test_rejects_bad_dimensions(self, rows, cols):
+        with pytest.raises(ValueError):
+            CrossbarArray(rows, cols)
+
+    def test_rejects_bad_g_sense(self):
+        with pytest.raises(ValueError, match="g_sense"):
+            CrossbarArray(2, 2, g_sense=-1.0)
+
+
+class TestProgramming:
+    def test_program_validates_range(self):
+        array = CrossbarArray(2, 2, params=HP_TIO2)
+        with pytest.raises(MappingError, match="negative"):
+            array.program(np.full((2, 2), -1.0))
+        with pytest.raises(MappingError, match="above"):
+            array.program(np.full((2, 2), HP_TIO2.g_on * 2))
+        with pytest.raises(MappingError, match="finite"):
+            array.program(np.full((2, 2), np.nan))
+
+    def test_program_shape_checked(self):
+        array = CrossbarArray(2, 3)
+        with pytest.raises(MappingError, match="shape"):
+            array.program(np.zeros((3, 2)))
+
+    def test_program_cells_updates_selectively(self, rng):
+        array, _, mapping = programmed_array(rng)
+        before = array.nominal_conductances
+        rows = np.array([0, 1])
+        cols = np.array([2, 3])
+        targets = np.full(2, YAKOPCIC_NAECON14.g_on * 0.5)
+        array.program_cells(rows, cols, targets)
+        after = array.nominal_conductances
+        assert after[0, 2] == pytest.approx(targets[0])
+        untouched = np.ones_like(before, dtype=bool)
+        untouched[rows, cols] = False
+        np.testing.assert_array_equal(after[untouched], before[untouched])
+
+    def test_program_cells_redraws_variation_only_for_written(self, rng):
+        array, _, mapping = programmed_array(
+            rng, variation=UniformVariation(0.1)
+        )
+        before_actual = array.actual_conductances
+        array.program_cells(
+            np.array([0]), np.array([0]),
+            np.array([YAKOPCIC_NAECON14.g_on * 0.3]),
+        )
+        after_actual = array.actual_conductances
+        # Unwritten cells keep their physical deviation.
+        mask = np.ones_like(before_actual, dtype=bool)
+        mask[0, 0] = False
+        np.testing.assert_array_equal(
+            after_actual[mask], before_actual[mask]
+        )
+
+    def test_program_cells_index_bounds(self, rng):
+        array, _, _ = programmed_array(rng, n=4)
+        with pytest.raises(IndexError):
+            array.program_cells(
+                np.array([9]), np.array([0]), np.array([0.0])
+            )
+
+    def test_empty_cell_update_is_free(self, rng):
+        array, _, _ = programmed_array(rng)
+        report = array.program_cells(
+            np.empty(0, dtype=int), np.empty(0, dtype=int), np.empty(0)
+        )
+        assert report.cells_written == 0
+
+    def test_write_log_accumulates(self, rng):
+        array, _, _ = programmed_array(rng)
+        n_events = len(array.write_log)
+        array.program_cells(
+            np.array([0]), np.array([0]),
+            np.array([YAKOPCIC_NAECON14.g_on * 0.7]),
+        )
+        assert len(array.write_log) == n_events + 1
+        assert array.total_write_report.cells_written >= 1
+
+
+class TestMultiply:
+    def test_matches_eqn5_closed_form(self, rng):
+        array, _, _ = programmed_array(rng)
+        v_in = rng.uniform(-0.5, 0.5, size=array.n_rows)
+        g = array.actual_conductances
+        expected = (g.T @ v_in) / (array.g_sense + g.sum(axis=0))
+        np.testing.assert_allclose(array.multiply(v_in), expected)
+
+    def test_output_bounded_by_input_peak(self, rng):
+        array, _, _ = programmed_array(rng)
+        v_in = rng.uniform(-0.5, 0.5, size=array.n_rows)
+        assert np.max(np.abs(array.multiply(v_in))) <= np.max(np.abs(v_in))
+
+    def test_shape_validation(self, rng):
+        array, _, _ = programmed_array(rng, n=5)
+        with pytest.raises(ValueError, match="shape"):
+            array.multiply(np.zeros(4))
+
+    def test_nominal_denominators(self, rng):
+        array, _, _ = programmed_array(rng)
+        expected = array.g_sense + array.nominal_conductances.sum(axis=0)
+        np.testing.assert_allclose(
+            array.nominal_denominators(), expected
+        )
+
+
+class TestSolve:
+    def test_solve_inverts_multiply_relation(self, rng):
+        array, _, _ = programmed_array(rng)
+        v_out = rng.uniform(-0.3, 0.3, size=array.n_cols)
+        v_in = array.solve(v_out)
+        g = array.actual_conductances
+        np.testing.assert_allclose(
+            g.T @ v_in, array.g_sense * v_out, rtol=1e-9, atol=1e-12
+        )
+
+    def test_requires_square(self):
+        array = CrossbarArray(3, 4)
+        with pytest.raises(CrossbarSolveError, match="square"):
+            array.solve(np.zeros(4))
+
+    def test_singular_system_raises(self):
+        array = CrossbarArray(3, 3, params=HP_TIO2)
+        # Leave the array blank: all-zero conductances are singular.
+        with pytest.raises(CrossbarSolveError, match="singular"):
+            array.solve(np.ones(3))
+
+    def test_shape_validation(self, rng):
+        array, _, _ = programmed_array(rng, n=4)
+        with pytest.raises(ValueError, match="shape"):
+            array.solve(np.zeros(5))

@@ -1,0 +1,103 @@
+"""Tests for the detailed nodal-analysis circuit model."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import DetailedCrossbarCircuit
+
+
+def conductances(rng, n=6, m=6):
+    return rng.uniform(1e-4, 1e-3, size=(n, m))
+
+
+class TestIdealWires:
+    def test_matches_eqn5_closed_form(self, rng):
+        g = conductances(rng)
+        circuit = DetailedCrossbarCircuit(g, g_sense=1e-3)
+        v = rng.uniform(-0.5, 0.5, size=6)
+        np.testing.assert_allclose(
+            circuit.multiply(v), circuit.ideal_multiply(v), rtol=1e-12
+        )
+
+    def test_network_solution_approaches_ideal(self, rng):
+        # Tiny (but nonzero) wire resistance: the sparse network solve
+        # path must agree with the closed form.
+        g = conductances(rng)
+        circuit = DetailedCrossbarCircuit(
+            g, g_sense=1e-3, wire_resistance=1e-9
+        )
+        v = rng.uniform(-0.5, 0.5, size=6)
+        np.testing.assert_allclose(
+            circuit.multiply(v), circuit.ideal_multiply(v), rtol=1e-4
+        )
+
+    def test_zero_error_for_ideal(self, rng):
+        g = conductances(rng)
+        circuit = DetailedCrossbarCircuit(g, g_sense=1e-3)
+        v = rng.uniform(0, 0.5, size=6)
+        assert circuit.ir_drop_error(v) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestParasitics:
+    def test_ir_drop_grows_with_wire_resistance(self, rng):
+        g = conductances(rng, 8, 8)
+        v = rng.uniform(0, 0.5, size=8)
+        errors = [
+            DetailedCrossbarCircuit(
+                g, g_sense=1e-3, wire_resistance=r
+            ).ir_drop_error(v)
+            for r in (0.1, 1.0, 10.0)
+        ]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_ir_drop_grows_with_array_size(self, rng):
+        v_small = rng.uniform(0.1, 0.5, size=4)
+        v_large = rng.uniform(0.1, 0.5, size=16)
+        g_small = rng.uniform(5e-4, 1e-3, size=(4, 4))
+        g_large = rng.uniform(5e-4, 1e-3, size=(16, 16))
+        err_small = DetailedCrossbarCircuit(
+            g_small, g_sense=1e-3, wire_resistance=2.0
+        ).ir_drop_error(v_small)
+        err_large = DetailedCrossbarCircuit(
+            g_large, g_sense=1e-3, wire_resistance=2.0
+        ).ir_drop_error(v_large)
+        assert err_large > err_small
+
+    def test_driver_resistance_also_degrades(self, rng):
+        g = conductances(rng)
+        v = rng.uniform(0.1, 0.5, size=6)
+        clean = DetailedCrossbarCircuit(g, g_sense=1e-3).multiply(v)
+        loaded = DetailedCrossbarCircuit(
+            g, g_sense=1e-3, driver_resistance=50.0
+        ).multiply(v)
+        assert not np.allclose(clean, loaded, rtol=1e-6)
+
+    def test_isolated_crosspoints_supported(self, rng):
+        g = conductances(rng)
+        g[0, :] = 0.0
+        circuit = DetailedCrossbarCircuit(
+            g, g_sense=1e-3, wire_resistance=1.0
+        )
+        out = circuit.multiply(rng.uniform(0, 0.5, size=6))
+        assert np.all(np.isfinite(out))
+
+
+class TestValidation:
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DetailedCrossbarCircuit(np.array([[-1.0]]), g_sense=1.0)
+
+    def test_rejects_bad_g_sense(self):
+        with pytest.raises(ValueError, match="g_sense"):
+            DetailedCrossbarCircuit(np.ones((2, 2)), g_sense=0.0)
+
+    def test_rejects_negative_parasitics(self):
+        with pytest.raises(ValueError, match="parasitic"):
+            DetailedCrossbarCircuit(
+                np.ones((2, 2)), g_sense=1.0, wire_resistance=-1.0
+            )
+
+    def test_rejects_1d_input(self, rng):
+        circuit = DetailedCrossbarCircuit(np.ones((2, 2)), g_sense=1.0)
+        with pytest.raises(ValueError, match="shape"):
+            circuit.multiply(np.zeros(3))

@@ -1,0 +1,137 @@
+"""Tests for matrix -> conductance mapping."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import map_matrix, shared_scale
+from repro.crossbar.mapping import map_matrix_per_row
+from repro.devices import HP_TIO2, YAKOPCIC_NAECON14
+from repro.exceptions import MappingError
+
+
+class TestMapMatrix:
+    def test_fast_mapping_scale(self, rng):
+        matrix = rng.uniform(0.1, 3.0, size=(4, 6))
+        mapping = map_matrix(matrix, HP_TIO2)
+        assert mapping.scale == pytest.approx(HP_TIO2.g_on / matrix.max())
+        assert mapping.conductances.shape == (6, 4)
+
+    def test_transpose_orientation(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(3, 5))
+        mapping = map_matrix(matrix, HP_TIO2)
+        np.testing.assert_allclose(
+            mapping.conductances.T, mapping.scale * matrix
+        )
+
+    def test_decode_roundtrip(self, rng):
+        matrix = rng.uniform(0.5, 2.0, size=(5, 5))
+        mapping = map_matrix(matrix, YAKOPCIC_NAECON14)
+        np.testing.assert_allclose(mapping.decode_matrix(), matrix)
+
+    def test_zero_off_state_truncates(self):
+        matrix = np.array([[1.0, 1e-9]])
+        mapping = map_matrix(matrix, HP_TIO2, off_state="zero")
+        assert mapping.conductances[1, 0] == 0.0
+        assert mapping.floored[1, 0]
+
+    def test_leak_off_state_clamps_up(self):
+        matrix = np.array([[1.0, 1e-9]])
+        mapping = map_matrix(matrix, HP_TIO2, off_state="leak")
+        assert mapping.conductances[1, 0] == pytest.approx(HP_TIO2.g_off)
+        assert mapping.floor == HP_TIO2.g_off
+
+    def test_explicit_scale(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(3, 3))
+        scale = HP_TIO2.g_on / 10.0
+        mapping = map_matrix(matrix, HP_TIO2, scale=scale)
+        assert mapping.scale == scale
+
+    def test_scale_overflow_rejected(self):
+        matrix = np.array([[2.0]])
+        with pytest.raises(MappingError, match="above"):
+            map_matrix(matrix, HP_TIO2, scale=HP_TIO2.g_on)
+
+    def test_all_zero_matrix(self):
+        mapping = map_matrix(np.zeros((3, 3)), HP_TIO2)
+        assert np.all(mapping.conductances == 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(MappingError, match="negative"):
+            map_matrix(np.array([[-1.0]]), HP_TIO2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(MappingError, match="finite"):
+            map_matrix(np.array([[np.nan]]), HP_TIO2)
+
+    def test_rejects_empty_and_1d(self):
+        with pytest.raises(MappingError):
+            map_matrix(np.empty((0, 3)), HP_TIO2)
+        with pytest.raises(MappingError):
+            map_matrix(np.ones(4), HP_TIO2)
+
+    def test_rejects_unknown_off_state(self):
+        with pytest.raises(MappingError, match="off_state"):
+            map_matrix(np.ones((2, 2)), HP_TIO2, off_state="weird")
+
+    def test_global_mapping_not_per_row(self, rng):
+        mapping = map_matrix(rng.uniform(0, 1, (3, 3)), HP_TIO2)
+        assert not mapping.per_row
+        assert mapping.scale_vector.shape == (3,)
+
+
+class TestMapMatrixPerRow:
+    def test_each_row_uses_own_scale(self):
+        matrix = np.array([[1.0, 0.5], [100.0, 50.0]])
+        mapping = map_matrix_per_row(matrix, YAKOPCIC_NAECON14)
+        assert mapping.per_row
+        scales = mapping.scale_vector
+        assert scales[0] == pytest.approx(YAKOPCIC_NAECON14.g_on / 1.0)
+        assert scales[1] == pytest.approx(YAKOPCIC_NAECON14.g_on / 100.0)
+
+    def test_decode_roundtrip_wide_dynamic_range(self):
+        # A global mapping would truncate the small row entirely.
+        matrix = np.array([[1e-4, 5e-5], [1e3, 5e2]])
+        mapping = map_matrix_per_row(matrix, YAKOPCIC_NAECON14)
+        np.testing.assert_allclose(mapping.decode_matrix(), matrix)
+
+    def test_headroom_lowers_scales(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(4, 4))
+        tight = map_matrix_per_row(matrix, HP_TIO2, headroom=1.0)
+        loose = map_matrix_per_row(matrix, HP_TIO2, headroom=4.0)
+        assert np.all(loose.scale_vector < tight.scale_vector)
+
+    def test_zero_row_handled(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 2.0]])
+        mapping = map_matrix_per_row(matrix, HP_TIO2)
+        np.testing.assert_array_equal(mapping.conductances[:, 0], 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(MappingError, match="negative"):
+            map_matrix_per_row(np.array([[-1.0]]), HP_TIO2)
+
+    def test_rejects_bad_headroom(self):
+        with pytest.raises(MappingError, match="headroom"):
+            map_matrix_per_row(np.ones((2, 2)), HP_TIO2, headroom=0.5)
+
+
+class TestSharedScale:
+    def test_scale_spans_all_matrices(self, rng):
+        blocks = [rng.uniform(0, peak, size=(3, 3)) for peak in (1, 5, 2)]
+        scale = shared_scale(blocks, HP_TIO2)
+        overall_max = max(float(b.max()) for b in blocks)
+        assert scale == pytest.approx(HP_TIO2.g_on / overall_max)
+
+    def test_usable_by_map_matrix(self, rng):
+        blocks = [rng.uniform(0, 4, size=(3, 3)) for _ in range(3)]
+        scale = shared_scale(blocks, HP_TIO2)
+        for block in blocks:
+            mapping = map_matrix(block, HP_TIO2, scale=scale)
+            assert mapping.conductances.max() <= HP_TIO2.g_on * (1 + 1e-12)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(MappingError):
+            shared_scale([], HP_TIO2)
+
+    def test_all_zero_blocks(self):
+        scale = shared_scale([np.zeros((2, 2))], HP_TIO2)
+        assert scale == pytest.approx(HP_TIO2.g_on)

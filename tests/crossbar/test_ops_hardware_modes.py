@@ -1,0 +1,114 @@
+"""Cross-cutting hardware-mode tests for the analog operator."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import AnalogMatrixOperator
+from repro.devices import HP_TIO2, YAKOPCIC_NAECON14, UniformVariation
+
+
+def op(rng, matrix, **kwargs):
+    kwargs.setdefault("params", YAKOPCIC_NAECON14)
+    kwargs.setdefault("rng", rng)
+    return AnalogMatrixOperator(matrix, **kwargs)
+
+
+class TestQuantizationModes:
+    def test_entry_mode_handles_wide_dynamic_range_inputs(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(5, 5)) + np.eye(5)
+        operator = op(rng, matrix, quantization="entry")
+        x = np.array([1e-6, 1e-3, 1.0, 1e3, 1e6])
+        y = operator.multiply(x)
+        ref = matrix @ x
+        assert np.max(np.abs(y - ref)) <= 0.02 * np.max(np.abs(ref))
+
+    def test_vector_mode_loses_small_components(self, rng):
+        matrix = np.eye(3)
+        operator = op(rng, matrix, quantization="vector")
+        x = np.array([1.0, 1e-6, 0.5])
+        y = operator.multiply(x)
+        # The 1e-6 component falls below one LSB of the peak-referenced
+        # grid and vanishes.
+        assert y[1] == 0.0
+
+    def test_modes_agree_on_benign_inputs(self, rng):
+        matrix = rng.uniform(0.5, 1.5, size=(4, 4))
+        x = rng.uniform(0.5, 1.0, size=4)
+        y_entry = op(
+            rng, matrix.copy(), quantization="entry"
+        ).multiply(x)
+        y_vector = op(
+            rng, matrix.copy(), quantization="vector"
+        ).multiply(x)
+        np.testing.assert_allclose(y_entry, y_vector, rtol=0.02)
+
+
+class TestDevicePresets:
+    def test_wider_window_represents_smaller_coefficients(self, rng):
+        matrix = np.array([[1.0, 0.003], [0.003, 1.0]])
+        hp = op(rng, matrix, params=HP_TIO2, dac_bits=None,
+                adc_bits=None)
+        yak = op(rng, matrix, params=YAKOPCIC_NAECON14, dac_bits=None,
+                 adc_bits=None)
+        x = np.ones(2)
+        # HP's 160:1 window truncates the 0.003 entries (below
+        # a_max/160); Yakopcic's 1000:1 window keeps them.
+        hp_err = np.max(np.abs(hp.multiply(x) - matrix @ x))
+        yak_err = np.max(np.abs(yak.multiply(x) - matrix @ x))
+        assert yak_err < hp_err
+
+    def test_g_sense_override(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(3, 3))
+        custom = op(
+            rng, matrix, g_sense=YAKOPCIC_NAECON14.g_on * 5
+        )
+        assert custom.array.g_sense == pytest.approx(
+            YAKOPCIC_NAECON14.g_on * 5
+        )
+        x = rng.uniform(-1, 1, size=3)
+        ref = matrix @ x
+        assert np.max(
+            np.abs(custom.multiply(x) - ref)
+        ) <= 0.02 * np.max(np.abs(ref))
+
+
+class TestVariationInteractions:
+    def test_each_reprogram_redraws_variation(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(4, 4))
+        operator = op(
+            rng, matrix, variation=UniformVariation(0.2),
+            dac_bits=None, adc_bits=None,
+        )
+        x = rng.uniform(-1, 1, size=4)
+        first = operator.multiply(x)
+        # Rewriting the same coefficients re-rolls the written cells'
+        # deviations ("process variation differs from each time of
+        # writing").
+        idx = np.arange(4)
+        operator.update_coefficients(
+            np.repeat(idx, 4), np.tile(idx, 4), matrix.ravel()
+        )
+        second = operator.multiply(x)
+        assert not np.allclose(first, second)
+
+    def test_variation_error_scales_with_level(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(12, 12))
+        x = rng.uniform(-1, 1, size=12)
+        ref = matrix @ x
+        errors = []
+        for level in (0.05, 0.20):
+            trials = []
+            for seed in range(6):
+                operator = AnalogMatrixOperator(
+                    matrix,
+                    params=YAKOPCIC_NAECON14,
+                    variation=UniformVariation(level),
+                    rng=np.random.default_rng(seed),
+                    dac_bits=None,
+                    adc_bits=None,
+                )
+                trials.append(
+                    np.max(np.abs(operator.multiply(x) - ref))
+                )
+            errors.append(np.mean(trials))
+        assert errors[1] > errors[0]

@@ -1,0 +1,107 @@
+"""Tests for DAC/ADC quantization."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import IdealConverter, Quantizer, quantize_auto
+
+
+class TestQuantizer:
+    def test_rounds_to_grid(self):
+        q = Quantizer(bits=8, full_scale=1.0)
+        values = np.array([0.0, 0.1, -0.1, 0.5])
+        out = q.quantize(values)
+        np.testing.assert_allclose(out, values, atol=q.max_error)
+
+    def test_codes_are_integers_in_range(self):
+        q = Quantizer(bits=8, full_scale=1.0)
+        codes = q.codes(np.linspace(-2, 2, 101))
+        assert codes.dtype == np.int64
+        assert codes.min() >= -128
+        assert codes.max() <= 127
+
+    def test_saturates_out_of_range(self):
+        q = Quantizer(bits=8, full_scale=1.0)
+        out = q.quantize(np.array([5.0, -5.0]))
+        assert out[0] == pytest.approx(127 * q.step)
+        assert out[1] == pytest.approx(-128 * q.step)
+
+    def test_max_error_is_half_step(self):
+        q = Quantizer(bits=4, full_scale=2.0)
+        assert q.max_error == pytest.approx(q.step / 2)
+
+    def test_more_bits_less_error(self):
+        coarse = Quantizer(bits=4, full_scale=1.0)
+        fine = Quantizer(bits=12, full_scale=1.0)
+        assert fine.max_error < coarse.max_error
+
+    @pytest.mark.parametrize("bits,scale", [(0, 1.0), (8, 0.0), (8, -1.0)])
+    def test_validation(self, bits, scale):
+        with pytest.raises(ValueError):
+            Quantizer(bits=bits, full_scale=scale)
+
+    def test_callable(self):
+        q = Quantizer(bits=8, full_scale=1.0)
+        v = np.array([0.3])
+        np.testing.assert_array_equal(q(v), q.quantize(v))
+
+
+class TestQuantizeAuto:
+    def test_none_bits_is_identity(self, rng):
+        values = rng.normal(size=17)
+        np.testing.assert_array_equal(
+            quantize_auto(values, None), values
+        )
+
+    def test_entry_mode_relative_error_bound(self, rng):
+        # Per-entry mode: every value keeps 8 bits of relative precision
+        # regardless of the vector's dynamic range.
+        values = rng.normal(size=50) * np.logspace(-8, 4, 50)
+        out = quantize_auto(values, 8, "entry")
+        rel = np.abs(out / values - 1.0)
+        assert np.max(rel) <= 2.0**-8
+
+    def test_vector_mode_error_relative_to_peak(self, rng):
+        values = rng.uniform(-3, 3, size=40)
+        out = quantize_auto(values, 8, "vector")
+        peak = np.abs(values).max()
+        # One quantizer step of a grid referenced to the peak (values at
+        # +full-scale saturate to the top code, one step below).
+        step = 2.0 * peak / 2**8
+        assert np.max(np.abs(out - values)) <= step * (1 + 1e-9)
+
+    def test_vector_mode_flushes_tiny_entries(self):
+        values = np.array([1.0, 1e-9])
+        out = quantize_auto(values, 8, "vector")
+        assert out[1] == 0.0
+
+    def test_entry_mode_preserves_tiny_entries(self):
+        values = np.array([1.0, 1e-9])
+        out = quantize_auto(values, 8, "entry")
+        assert out[1] == pytest.approx(1e-9, rel=2.0**-8)
+
+    def test_zero_vector(self):
+        out = quantize_auto(np.zeros(5), 8, "vector")
+        np.testing.assert_array_equal(out, np.zeros(5))
+        out = quantize_auto(np.zeros(5), 8, "entry")
+        np.testing.assert_array_equal(out, np.zeros(5))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            quantize_auto(np.ones(3), 8, "bogus")
+
+    def test_idempotent(self, rng):
+        values = rng.normal(size=20)
+        once = quantize_auto(values, 8, "entry")
+        twice = quantize_auto(once, 8, "entry")
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestIdealConverter:
+    def test_passthrough_copy(self, rng):
+        values = rng.normal(size=9)
+        converter = IdealConverter()
+        out = converter.quantize(values)
+        np.testing.assert_array_equal(out, values)
+        out[0] = 99.0
+        assert values[0] != 99.0

@@ -1,0 +1,94 @@
+"""Tests for the stuck-at fault model (extension study)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CrossbarSolverSettings,
+    SolveStatus,
+    solve_crossbar,
+)
+from repro.devices import (
+    YAKOPCIC_NAECON14,
+    StuckAtFaults,
+    UniformVariation,
+)
+from repro.workloads import random_feasible_lp
+
+
+class TestModel:
+    def test_no_faults_is_identity(self, rng):
+        model = StuckAtFaults(YAKOPCIC_NAECON14)
+        matrix = rng.uniform(1e-4, 1e-3, size=(10, 10))
+        np.testing.assert_array_equal(
+            model.perturb(matrix, rng), matrix
+        )
+
+    def test_stuck_on_cells_at_g_on(self, rng):
+        model = StuckAtFaults(
+            YAKOPCIC_NAECON14, stuck_on_rate=0.2
+        )
+        matrix = np.full((50, 50), 1e-4)
+        out = model.perturb(matrix, rng)
+        stuck = out == YAKOPCIC_NAECON14.g_on
+        fraction = stuck.mean()
+        assert 0.1 < fraction < 0.3
+
+    def test_stuck_off_cells_at_zero(self, rng):
+        model = StuckAtFaults(
+            YAKOPCIC_NAECON14, stuck_off_rate=0.2
+        )
+        matrix = np.full((50, 50), 1e-4)
+        out = model.perturb(matrix, rng)
+        fraction = (out == 0.0).mean()
+        assert 0.1 < fraction < 0.3
+
+    def test_composes_with_soft_variation(self, rng):
+        model = StuckAtFaults(
+            YAKOPCIC_NAECON14,
+            stuck_off_rate=0.05,
+            base=UniformVariation(0.1),
+        )
+        matrix = np.full((40, 40), 1e-4)
+        out = model.perturb(matrix, rng)
+        healthy = out[(out != 0.0) & (out != YAKOPCIC_NAECON14.g_on)]
+        ratio = healthy / 1e-4
+        assert np.all(ratio >= 0.9 - 1e-12)
+        assert np.all(ratio <= 1.1 + 1e-12)
+        assert model.relative_magnitude == pytest.approx(0.1)
+
+    def test_fresh_fault_positions_each_draw(self, rng):
+        model = StuckAtFaults(
+            YAKOPCIC_NAECON14, stuck_off_rate=0.1
+        )
+        matrix = np.full((30, 30), 1e-4)
+        first = model.perturb(matrix, rng) == 0.0
+        second = model.perturb(matrix, rng) == 0.0
+        assert not np.array_equal(first, second)
+
+    @pytest.mark.parametrize("rate", [-0.1, 0.5, 0.9])
+    def test_rate_validation(self, rate):
+        with pytest.raises(ValueError):
+            StuckAtFaults(YAKOPCIC_NAECON14, stuck_on_rate=rate)
+
+
+class TestSolverUnderFaults:
+    def test_low_fault_rate_still_solves(self, rng):
+        problem = random_feasible_lp(15, rng=rng)
+        settings = CrossbarSolverSettings(
+            variation=StuckAtFaults(
+                YAKOPCIC_NAECON14,
+                stuck_off_rate=0.002,
+                base=UniformVariation(0.05),
+            ),
+            retries=4,
+        )
+        result = solve_crossbar(
+            problem, settings, rng=np.random.default_rng(0)
+        )
+        # The retry scheme (fresh fault draw per reprogram) rescues
+        # solves at realistic fault rates.
+        assert result.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.ITERATION_LIMIT,
+        )

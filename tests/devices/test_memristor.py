@@ -1,0 +1,89 @@
+"""Tests for the single-device memristor model."""
+
+import pytest
+
+from repro.devices import HP_TIO2, Memristor
+
+
+class TestConstruction:
+    def test_initial_state_off(self):
+        device = Memristor()
+        assert device.x == 0.0
+        assert device.resistance == pytest.approx(HP_TIO2.r_off)
+
+    def test_initial_state_on(self):
+        device = Memristor(x0=1.0)
+        assert device.resistance == pytest.approx(HP_TIO2.r_on)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rejects_out_of_range_x0(self, bad):
+        with pytest.raises(ValueError, match="x0"):
+            Memristor(x0=bad)
+
+    def test_state_snapshot(self):
+        device = Memristor(x0=0.5)
+        state = device.state()
+        assert state.x == 0.5
+        assert state.conductance == pytest.approx(1.0 / state.resistance)
+
+
+class TestThresholdSwitching:
+    def test_subthreshold_voltage_does_not_switch(self):
+        device = Memristor(x0=0.5)
+        device.apply_voltage(HP_TIO2.v_threshold * 0.9, duration=1e-3)
+        assert device.x == 0.5
+
+    def test_positive_pulse_moves_toward_on(self):
+        device = Memristor(x0=0.2)
+        device.apply_voltage(HP_TIO2.v_write, duration=1e-6)
+        assert device.x > 0.2
+
+    def test_negative_pulse_moves_toward_off(self):
+        device = Memristor(x0=0.8)
+        device.apply_voltage(-HP_TIO2.v_write, duration=1e-6)
+        assert device.x < 0.8
+
+    def test_state_clamps_at_window_edges(self):
+        device = Memristor(x0=0.9)
+        device.apply_voltage(HP_TIO2.v_write, duration=10.0)
+        assert device.x == 1.0
+        device.apply_voltage(-HP_TIO2.v_write, duration=10.0)
+        assert device.x == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            Memristor().apply_voltage(2.0, duration=-1.0)
+
+
+class TestOhmicRead:
+    def test_current_is_ohmic(self):
+        device = Memristor(x0=0.5)
+        v = 0.3
+        assert device.current(v) == pytest.approx(v / device.resistance)
+
+    def test_read_does_not_change_state(self):
+        device = Memristor(x0=0.5)
+        device.current(0.3)
+        assert device.x == 0.5
+
+
+class TestProgramming:
+    def test_program_reaches_target(self):
+        device = Memristor()
+        target = 0.5 * (HP_TIO2.g_on + HP_TIO2.g_off)
+        device.program_to_conductance(target)
+        assert device.conductance == pytest.approx(target, rel=1e-9)
+
+    def test_pulse_count_scales_with_swing(self):
+        device = Memristor(x0=0.0)
+        pulses_full = device.program_to_conductance(HP_TIO2.g_on)
+        assert pulses_full == HP_TIO2.write_pulses_full_swing
+        # Already there: no pulses needed.
+        assert device.program_to_conductance(HP_TIO2.g_on) == 0
+
+    def test_rejects_out_of_range_target(self):
+        device = Memristor()
+        with pytest.raises(ValueError, match="range"):
+            device.program_to_conductance(HP_TIO2.g_on * 2)
+        with pytest.raises(ValueError, match="range"):
+            device.program_to_conductance(HP_TIO2.g_off / 2)

@@ -1,0 +1,98 @@
+"""Tests for device parameter bundles."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices import HP_TIO2, YAKOPCIC_NAECON14, DeviceParameters
+
+
+class TestPresets:
+    def test_hp_preset_is_consistent(self):
+        assert HP_TIO2.r_on < HP_TIO2.r_off
+        assert HP_TIO2.g_on > HP_TIO2.g_off
+        assert HP_TIO2.g_on == pytest.approx(1.0 / HP_TIO2.r_on)
+
+    def test_yakopcic_preset_has_wider_dynamic_range(self):
+        assert (
+            YAKOPCIC_NAECON14.resistance_ratio > HP_TIO2.resistance_ratio
+        )
+
+    def test_conductance_range_ordering(self):
+        lo, hi = HP_TIO2.conductance_range
+        assert lo < hi
+
+    def test_half_select_bias_below_threshold(self):
+        for preset in (HP_TIO2, YAKOPCIC_NAECON14):
+            assert abs(preset.v_write) / 2 <= abs(preset.v_threshold)
+            assert abs(preset.v_read) < abs(preset.v_threshold)
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        fields = dict(
+            name="test",
+            r_on=100.0,
+            r_off=10_000.0,
+            v_threshold=1.0,
+            v_write=2.0,
+            v_read=0.5,
+            film_thickness=10e-9,
+            dopant_mobility=1e-14,
+            write_pulse_width=10e-9,
+            write_pulses_full_swing=100,
+            write_energy_per_pulse=1e-12,
+            read_settle_time=10e-9,
+            read_energy_per_cell=1e-15,
+        )
+        fields.update(overrides)
+        return DeviceParameters(**fields)
+
+    def test_valid_construction(self):
+        params = self._base()
+        assert params.resistance_ratio == pytest.approx(100.0)
+
+    def test_rejects_inverted_resistances(self):
+        with pytest.raises(ValueError, match="r_on"):
+            self._base(r_on=20_000.0)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ValueError, match="positive"):
+            self._base(r_on=-1.0)
+
+    def test_rejects_subthreshold_write(self):
+        with pytest.raises(ValueError, match="exceed the threshold"):
+            self._base(v_write=0.5)
+
+    def test_rejects_disturbing_half_select(self):
+        with pytest.raises(ValueError, match="half-select"):
+            self._base(v_write=3.0)
+
+    def test_rejects_superthreshold_read(self):
+        with pytest.raises(ValueError, match="read voltage"):
+            self._base(v_read=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            self._base().r_on = 1.0
+
+
+class TestWriteCosts:
+    def test_write_time_scales_with_swing(self):
+        full = HP_TIO2.write_time(1.0)
+        half = HP_TIO2.write_time(0.5)
+        assert full == pytest.approx(2 * half)
+        assert HP_TIO2.write_time(0.0) == 0.0
+
+    def test_write_energy_scales_with_swing(self):
+        assert HP_TIO2.write_energy(1.0) == pytest.approx(
+            HP_TIO2.write_pulses_full_swing
+            * HP_TIO2.write_energy_per_pulse
+        )
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_out_of_range_fraction(self, bad):
+        with pytest.raises(ValueError, match="fraction"):
+            HP_TIO2.write_time(bad)
+        with pytest.raises(ValueError, match="fraction"):
+            HP_TIO2.write_energy(bad)

@@ -1,0 +1,111 @@
+"""Tests for process-variation models."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    LognormalVariation,
+    NoVariation,
+    UniformVariation,
+    variation_from_percent,
+)
+
+
+class TestNoVariation:
+    def test_identity(self, rng):
+        matrix = rng.uniform(0, 1, size=(5, 7))
+        out = NoVariation().perturb(matrix, rng)
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_returns_copy(self, rng):
+        matrix = np.ones((3, 3))
+        out = NoVariation().perturb(matrix, rng)
+        out[0, 0] = 99.0
+        assert matrix[0, 0] == 1.0
+
+    def test_zero_magnitude(self):
+        assert NoVariation().relative_magnitude == 0.0
+
+
+class TestUniformVariation:
+    def test_deviation_bounded(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(20, 20))
+        model = UniformVariation(0.2)
+        out = model.perturb(matrix, rng)
+        ratio = out / matrix
+        assert np.all(ratio >= 0.8 - 1e-12)
+        assert np.all(ratio <= 1.2 + 1e-12)
+
+    def test_does_not_mutate_input(self, rng):
+        matrix = np.ones((4, 4))
+        UniformVariation(0.1).perturb(matrix, rng)
+        np.testing.assert_array_equal(matrix, np.ones((4, 4)))
+
+    def test_zero_entries_stay_zero(self, rng):
+        matrix = np.zeros((3, 3))
+        out = UniformVariation(0.2).perturb(matrix, rng)
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_fresh_draw_each_call(self, rng):
+        matrix = np.ones((8, 8))
+        model = UniformVariation(0.2)
+        first = model.perturb(matrix, rng)
+        second = model.perturb(matrix, rng)
+        assert not np.allclose(first, second)
+
+    def test_zero_fraction_is_identity(self, rng):
+        matrix = rng.uniform(0, 1, size=(4, 4))
+        out = UniformVariation(0.0).perturb(matrix, rng)
+        np.testing.assert_array_equal(out, matrix)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 2.0])
+    def test_rejects_bad_fraction(self, bad):
+        with pytest.raises(ValueError, match="max_fraction"):
+            UniformVariation(bad)
+
+    def test_magnitude_matches_fraction(self):
+        assert UniformVariation(0.15).relative_magnitude == 0.15
+
+    def test_callable_interface(self, rng):
+        matrix = np.ones((2, 2))
+        model = UniformVariation(0.1)
+        np.testing.assert_array_equal(
+            model(matrix, np.random.default_rng(7)),
+            model.perturb(matrix, np.random.default_rng(7)),
+        )
+
+
+class TestLognormalVariation:
+    def test_output_positive(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(10, 10))
+        out = LognormalVariation(0.5).perturb(matrix, rng)
+        assert np.all(out > 0)
+
+    def test_sigma_zero_is_identity(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(4, 4))
+        out = LognormalVariation(0.0).perturb(matrix, rng)
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            LognormalVariation(-0.5)
+
+    def test_magnitude_is_two_sigma(self):
+        model = LognormalVariation(0.1)
+        assert model.relative_magnitude == pytest.approx(
+            np.expm1(0.2)
+        )
+
+
+class TestFromPercent:
+    def test_zero_gives_ideal(self):
+        assert isinstance(variation_from_percent(0), NoVariation)
+
+    def test_positive_gives_uniform(self):
+        model = variation_from_percent(10)
+        assert isinstance(model, UniformVariation)
+        assert model.max_fraction == pytest.approx(0.10)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="percent"):
+            variation_from_percent(-5)

@@ -1,0 +1,66 @@
+"""Tests for the wire-parasitics tile-size study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    max_usable_tile,
+    parasitics_sweep,
+    render_parasitics,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return parasitics_sweep(
+        sizes=(4, 8, 16),
+        wire_resistances=(0.5, 2.0),
+        samples=2,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestSweep:
+    def test_grid_covered(self, rows):
+        assert len(rows) == 3 * 2
+        assert {r.size for r in rows} == {4, 8, 16}
+
+    def test_error_grows_with_size(self, rows):
+        for resistance in (0.5, 2.0):
+            series = sorted(
+                (r.size, r.ir_drop_error)
+                for r in rows
+                if r.wire_resistance == resistance
+            )
+            errors = [e for _, e in series]
+            assert errors == sorted(errors)
+
+    def test_error_grows_with_resistance(self, rows):
+        for size in (4, 8, 16):
+            by_r = {
+                r.wire_resistance: r.ir_drop_error
+                for r in rows
+                if r.size == size
+            }
+            assert by_r[2.0] > by_r[0.5]
+
+    def test_render(self, rows):
+        text = render_parasitics(rows)
+        assert "ir_drop_rel_err" in text
+        assert str(16) in text
+
+
+class TestBudget:
+    def test_budget_selects_largest_within(self, rows):
+        generous = max_usable_tile(rows, 0.5)
+        assert all(size == 16 for size in generous.values())
+
+    def test_tight_budget_shrinks_tiles(self, rows):
+        loose = max_usable_tile(rows, 0.5)
+        tight = max_usable_tile(rows, 1e-4)
+        for resistance in loose:
+            assert tight[resistance] <= loose[resistance]
+
+    def test_validation(self, rows):
+        with pytest.raises(ValueError, match="budget"):
+            max_usable_tile(rows, 0.0)

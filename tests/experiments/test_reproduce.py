@@ -1,0 +1,43 @@
+"""Tests for the one-call reproduction driver."""
+
+import json
+
+import pytest
+
+from repro.experiments import SweepConfig, reproduce_all
+
+TINY = SweepConfig(sizes=(8,), variations=(0,), trials=1)
+
+
+class TestReproduceAll:
+    def test_selected_subset_writes_artifacts(self, tmp_path):
+        artifacts = reproduce_all(
+            tmp_path, TINY, experiments=("fig5a", "parasitics")
+        )
+        names = [a.name for a in artifacts]
+        assert names == ["fig5a", "parasitics"]
+        for artifact in artifacts:
+            assert artifact.table_path.exists()
+            assert artifact.csv_path.exists()
+            assert artifact.json_path.exists()
+            assert artifact.rows
+
+    def test_json_is_machine_readable(self, tmp_path):
+        (artifact,) = reproduce_all(
+            tmp_path, TINY, experiments=("fig5b",)
+        )
+        records = json.loads(artifact.json_path.read_text())
+        assert records[0]["solver"] == "large_scale"
+        assert records[0]["constraints"] == 8
+
+    def test_table_contains_headers(self, tmp_path):
+        (artifact,) = reproduce_all(
+            tmp_path, TINY, experiments=("fig6a",)
+        )
+        text = artifact.table_path.read_text()
+        assert "crossbar_ms" in text
+
+    def test_creates_missing_directory(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        reproduce_all(target, TINY, experiments=("fig5a",))
+        assert (target / "fig5a.txt").exists()

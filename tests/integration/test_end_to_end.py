@@ -1,0 +1,156 @@
+"""Integration tests: full solver stacks on realistic workloads."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy, solve_simplex
+from repro.core import (
+    CrossbarSolverSettings,
+    ScalableSolverSettings,
+    SolveStatus,
+    solve_crossbar,
+    solve_crossbar_large_scale,
+    solve_reference,
+)
+from repro.costmodel import estimate_energy, estimate_latency
+from repro.devices import UniformVariation
+from repro.workloads import (
+    flow_value,
+    machine_scheduling_lp,
+    max_flow_lp,
+    production_planning_lp,
+    random_feasible_lp,
+    random_routing_network,
+)
+
+
+class TestAllSolversAgree:
+    """Every solver in the package must agree on the same problems."""
+
+    def test_agreement_on_random_lp(self, rng):
+        problem = random_feasible_lp(18, rng=rng)
+        truth = solve_scipy(problem).objective
+        assert solve_reference(problem).objective == pytest.approx(
+            truth, rel=1e-5
+        )
+        assert solve_simplex(problem).objective == pytest.approx(
+            truth, rel=1e-7
+        )
+        xbar = solve_crossbar(problem, rng=np.random.default_rng(0))
+        assert xbar.objective == pytest.approx(truth, rel=0.05)
+        large = solve_crossbar_large_scale(
+            problem, rng=np.random.default_rng(1)
+        )
+        assert large.objective == pytest.approx(truth, rel=0.05)
+
+    def test_agreement_under_variation(self, rng):
+        problem = random_feasible_lp(18, rng=rng)
+        truth = solve_scipy(problem).objective
+        settings = CrossbarSolverSettings(
+            variation=UniformVariation(0.05)
+        )
+        result = solve_crossbar(
+            problem, settings, rng=np.random.default_rng(2)
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(truth, rel=0.12)
+
+
+class TestRoutingOnCrossbar:
+    def test_max_flow_solved_in_analog(self, rng):
+        graph = random_routing_network(6, rng=rng)
+        problem, edges = max_flow_lp(graph, 0, 5)
+        reference = nx.maximum_flow_value(graph, 0, 5)
+        result = solve_crossbar(problem, rng=np.random.default_rng(0))
+        assert result.status is SolveStatus.OPTIMAL
+        assert flow_value(result.x, edges, graph, 0) == pytest.approx(
+            reference, rel=0.05
+        )
+
+
+class TestSchedulingOnCrossbar:
+    def test_production_planning(self, rng):
+        problem = production_planning_lp(6, 4, rng=rng)
+        truth = solve_scipy(problem).objective
+        result = solve_crossbar(problem, rng=np.random.default_rng(0))
+        assert result.objective == pytest.approx(truth, rel=0.05)
+
+    def test_machine_scheduling_large_scale_solver(self, rng):
+        problem, _ = machine_scheduling_lp(4, 3, rng=rng)
+        truth = solve_scipy(problem).objective
+        result = solve_crossbar_large_scale(
+            problem, rng=np.random.default_rng(0)
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(truth, rel=0.06)
+
+
+class TestCostPipeline:
+    def test_solve_to_estimates(self, rng):
+        settings = CrossbarSolverSettings(
+            variation=UniformVariation(0.10)
+        )
+        problem = random_feasible_lp(24, rng=rng)
+        result = solve_crossbar(
+            problem, settings, rng=np.random.default_rng(0)
+        )
+        latency = estimate_latency(result, settings.device)
+        energy = estimate_energy(result, settings.device)
+        assert 0 < latency.total_s < 1.0
+        assert 0 < energy.total_j < 10.0
+
+    def test_solver2_cheaper_arrays_than_solver1(self, rng):
+        problem = random_feasible_lp(30, rng=rng)
+        s1 = solve_crossbar(problem, rng=np.random.default_rng(0))
+        s2 = solve_crossbar_large_scale(
+            problem, rng=np.random.default_rng(1)
+        )
+        assert s2.crossbar.array_size < s1.crossbar.array_size
+
+
+class TestAccuracyTrendsMatchPaper:
+    """Shape checks on the paper's headline claims (small scale)."""
+
+    def test_error_grows_with_variation(self, rng):
+        problem = random_feasible_lp(24, rng=rng)
+        truth = solve_scipy(problem).objective
+        errors = {}
+        for percent in (0, 20):
+            settings = CrossbarSolverSettings(
+                variation=UniformVariation(percent / 100.0)
+                if percent
+                else CrossbarSolverSettings().variation,
+            )
+            samples = []
+            for seed in range(4):
+                result = solve_crossbar(
+                    problem,
+                    settings,
+                    rng=np.random.default_rng(seed),
+                )
+                if result.status is SolveStatus.OPTIMAL:
+                    samples.append(
+                        abs(result.objective - truth) / abs(truth)
+                    )
+            errors[percent] = np.mean(samples)
+        assert errors[20] > errors[0]
+
+    def test_solver2_error_within_paper_band(self, rng):
+        # Fig. 5(b): 0.8%-8.5% across the sweep.
+        settings = ScalableSolverSettings(
+            variation=UniformVariation(0.10)
+        )
+        errors = []
+        for seed in range(4):
+            problem = random_feasible_lp(24, rng=rng)
+            truth = solve_scipy(problem).objective
+            result = solve_crossbar_large_scale(
+                problem, settings, rng=np.random.default_rng(seed)
+            )
+            if result.status is SolveStatus.OPTIMAL:
+                errors.append(
+                    abs(result.objective - truth) / abs(truth)
+                )
+        assert errors, "no solves succeeded"
+        assert np.mean(errors) < 0.10

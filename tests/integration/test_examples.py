@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "software PDIP" in out
+        assert "Solver 2" in out
+
+    def test_large_scale_noc(self, capsys):
+        run_example("large_scale_noc.py")
+        out = capsys.readouterr().out
+        assert "Tiled multiply" in out
+        assert "hierarchical" in out
+
+    def test_reproduce_figures_cli(self, capsys):
+        run_example(
+            "reproduce_figures.py", argv=["fig5a", "--trials", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "fig5a" in out
+        assert "mean_rel_err" in out
+
+    @pytest.mark.slow
+    def test_routing_network(self, capsys):
+        run_example("routing_network.py")
+        out = capsys.readouterr().out
+        assert "max flow" in out
+
+    @pytest.mark.slow
+    def test_production_scheduling(self, capsys):
+        run_example("production_scheduling.py")
+        out = capsys.readouterr().out
+        assert "Product mix" in out

@@ -1,0 +1,114 @@
+"""Cross-solver invariants on traces, duals, and counters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import (
+    CrossbarPDIPSolver,
+    CrossbarSolverSettings,
+    LargeScaleCrossbarPDIPSolver,
+    SolveStatus,
+    solve_reference,
+)
+from repro.workloads import random_feasible_lp
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return random_feasible_lp(18, rng=np.random.default_rng(77))
+
+
+class TestTraceInvariants:
+    def test_reference_gap_strictly_decreases_mostly(self, problem):
+        result = solve_reference(problem, trace=True)
+        gaps = [record.duality_gap for record in result.trace]
+        decreasing = sum(
+            1 for a, b in zip(gaps, gaps[1:]) if b < a
+        )
+        assert decreasing >= 0.9 * (len(gaps) - 1)
+
+    def test_crossbar_trace_thetas_within_bounds(self, problem):
+        solver = CrossbarPDIPSolver(
+            problem, rng=np.random.default_rng(0)
+        )
+        result = solver.solve(trace=True)
+        for record in result.trace:
+            assert 0.0 < record.theta <= 0.99
+
+    def test_crossbar_trace_mu_tracks_gap(self, problem):
+        settings = CrossbarSolverSettings()
+        solver = CrossbarPDIPSolver(
+            problem, settings, rng=np.random.default_rng(0)
+        )
+        result = solver.solve(trace=True)
+        m, n = problem.A.shape
+        for record in result.trace:
+            # mu = delta * gap / (n + m) with the *pre-update* gap, so
+            # it is bounded by delta times the running maximum gap.
+            assert record.mu <= settings.delta * max(
+                rec.duality_gap for rec in result.trace
+            ) / (n + m) * 10
+
+    def test_solver2_trace_constant_capped_theta(self, problem):
+        from repro.core import ScalableSolverSettings
+
+        settings = ScalableSolverSettings(constant_theta=0.5)
+        solver = LargeScaleCrossbarPDIPSolver(
+            problem, settings, rng=np.random.default_rng(0)
+        )
+        result = solver.solve(trace=True)
+        for record in result.trace:
+            assert record.theta <= 0.5 + 1e-12
+
+
+class TestDualCertificates:
+    def test_crossbar_duals_nearly_certify(self, problem):
+        solver = CrossbarPDIPSolver(
+            problem, rng=np.random.default_rng(1)
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        primal = problem.objective(result.x)
+        dual = problem.dual_objective(result.y)
+        # Weak duality within analog noise.
+        assert dual >= primal - 0.05 * (1 + abs(primal))
+        # Strong duality approximately.
+        assert dual == pytest.approx(primal, rel=0.1, abs=0.5)
+
+    def test_final_gap_small(self, problem):
+        solver = CrossbarPDIPSolver(
+            problem, rng=np.random.default_rng(1)
+        )
+        result = solver.solve()
+        initial_gap = 2.0 * sum(problem.A.shape)
+        assert result.duality_gap < 0.05 * initial_gap
+
+
+class TestCounterConsistency:
+    def test_write_latency_consistent_with_pulses(self, problem):
+        settings = CrossbarSolverSettings()
+        solver = CrossbarPDIPSolver(
+            problem, settings, rng=np.random.default_rng(2)
+        )
+        result = solver.solve()
+        counters = result.crossbar
+        assert counters.write_latency_s == pytest.approx(
+            counters.write_pulses * settings.device.write_pulse_width
+        )
+
+    def test_one_multiply_per_iteration_minimum(self, problem):
+        solver = CrossbarPDIPSolver(
+            problem, rng=np.random.default_rng(2)
+        )
+        result = solver.solve()
+        assert result.crossbar.multiplies >= result.iterations
+
+    def test_objective_matches_x(self, problem):
+        solver = CrossbarPDIPSolver(
+            problem, rng=np.random.default_rng(2)
+        )
+        result = solver.solve()
+        assert result.objective == pytest.approx(
+            problem.objective(result.x)
+        )

@@ -1,0 +1,75 @@
+"""Tests for NoC topologies (Fig. 3)."""
+
+import pytest
+
+from repro.noc import HierarchicalNoc, MeshNoc, NocParameters
+
+
+class TestMesh:
+    def test_manhattan_distance(self):
+        mesh = MeshNoc(4, 4)
+        assert mesh.hops((0, 0), (3, 3)) == 6
+        assert mesh.hops((1, 2), (1, 2)) == 0
+        assert mesh.hops((0, 3), (3, 0)) == 6
+
+    def test_symmetric(self):
+        mesh = MeshNoc(5, 5)
+        assert mesh.hops((0, 1), (4, 2)) == mesh.hops((4, 2), (0, 1))
+
+    def test_bounds_checked(self):
+        mesh = MeshNoc(2, 2)
+        with pytest.raises(ValueError, match="outside"):
+            mesh.hops((0, 0), (2, 0))
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="positive"):
+            MeshNoc(0, 4)
+
+
+class TestHierarchical:
+    def test_same_tile_zero_hops(self):
+        noc = HierarchicalNoc(4, 4)
+        assert noc.hops((2, 2), (2, 2)) == 0
+
+    def test_same_quad_two_hops(self):
+        noc = HierarchicalNoc(4, 4)
+        # (0,0) and (1,1) share the level-1 arbiter: up once, down once.
+        assert noc.hops((0, 0), (1, 1)) == 2
+
+    def test_opposite_corners_climb_the_tree(self):
+        noc = HierarchicalNoc(4, 4)
+        assert noc.hops((0, 0), (3, 3)) == 4
+
+    def test_hierarchy_beats_mesh_for_far_corners(self):
+        # Logarithmic vs linear diameter on a large grid.
+        h = HierarchicalNoc(16, 16)
+        m = MeshNoc(16, 16)
+        assert h.hops((0, 0), (15, 15)) < m.hops((0, 0), (15, 15))
+
+
+class TestRouteReduction:
+    def test_transfer_report_accounting(self):
+        mesh = MeshNoc(1, 4, NocParameters(hop_latency_s=1e-9))
+        sources = [(0, c) for c in range(4)]
+        report = mesh.route_reduction(sources, (0, 0))
+        assert report.transfers == 4
+        assert report.total_hops == 0 + 1 + 2 + 3
+        assert report.critical_path_hops == 3
+        assert report.latency_s == pytest.approx(3e-9)
+        assert report.energy_j > 0
+
+    def test_latency_follows_critical_path_not_sum(self):
+        params = NocParameters(hop_latency_s=1e-9)
+        mesh = MeshNoc(4, 4, params)
+        sources = [(r, c) for r in range(4) for c in range(4)]
+        report = mesh.route_reduction(sources, (0, 0))
+        assert report.latency_s == pytest.approx(
+            report.critical_path_hops * params.hop_latency_s
+        )
+        assert report.total_hops > report.critical_path_hops
+
+    def test_empty_sources(self):
+        mesh = MeshNoc(2, 2)
+        report = mesh.route_reduction([], (0, 0))
+        assert report.transfers == 0
+        assert report.latency_s == 0.0

@@ -1,0 +1,131 @@
+"""Tests for the tiled (NoC) matrix operator."""
+
+import numpy as np
+import pytest
+
+from repro.devices import YAKOPCIC_NAECON14, UniformVariation
+from repro.exceptions import CrossbarSolveError, MappingError
+from repro.noc import HierarchicalNoc, TiledMatrixOperator
+
+
+def tiled(rng, matrix, tile=8, **kwargs):
+    kwargs.setdefault("params", YAKOPCIC_NAECON14)
+    kwargs.setdefault("rng", rng)
+    return TiledMatrixOperator(matrix, tile, **kwargs)
+
+
+class TestMultiply:
+    def test_matches_dense_ideal(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(20, 14))
+        op = tiled(rng, matrix, dac_bits=None, adc_bits=None)
+        x = rng.uniform(-1, 1, size=14)
+        np.testing.assert_allclose(op.multiply(x), matrix @ x, rtol=1e-9)
+
+    def test_matches_dense_8bit(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(20, 20))
+        op = tiled(rng, matrix)
+        x = rng.uniform(-1, 1, size=20)
+        ref = matrix @ x
+        assert np.max(np.abs(op.multiply(x) - ref)) <= 0.02 * np.max(
+            np.abs(ref)
+        )
+
+    def test_tile_count(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(20, 14))
+        op = tiled(rng, matrix, tile=8)
+        assert op.n_tiles == 3 * 2
+
+    def test_variation_propagates(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(16, 16))
+        x = rng.uniform(-1, 1, size=16)
+        noisy = tiled(
+            rng,
+            matrix,
+            variation=UniformVariation(0.2),
+            dac_bits=None,
+            adc_bits=None,
+        ).multiply(x)
+        assert not np.allclose(noisy, matrix @ x, rtol=1e-6)
+
+    def test_noc_costs_accumulate(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(20, 20))
+        op = tiled(rng, matrix)
+        op.multiply(rng.uniform(-1, 1, size=20))
+        assert op.noc_transfers > 0
+        assert op.noc_latency_s > 0
+        assert op.noc_energy_j > 0
+
+    def test_zero_input(self, rng):
+        op = tiled(rng, np.ones((10, 10)))
+        np.testing.assert_array_equal(
+            op.multiply(np.zeros(10)), np.zeros(10)
+        )
+
+    def test_hierarchical_topology_supported(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(16, 16))
+        op = TiledMatrixOperator(
+            matrix,
+            8,
+            params=YAKOPCIC_NAECON14,
+            rng=rng,
+            topology=HierarchicalNoc(2, 2),
+        )
+        x = rng.uniform(-1, 1, size=16)
+        ref = matrix @ x
+        assert np.max(np.abs(op.multiply(x) - ref)) <= 0.02 * np.max(
+            np.abs(ref)
+        )
+
+
+class TestSolve:
+    def test_block_refinement_converges(self, rng):
+        matrix = rng.uniform(0.0, 0.2, size=(24, 24)) + np.diag(
+            np.full(24, 8.0)
+        )
+        op = tiled(rng, matrix)
+        b = rng.uniform(-1, 1, size=24)
+        x = op.solve(b)
+        ref = np.linalg.solve(matrix, b)
+        assert np.max(np.abs(x - ref)) <= 0.05 * np.max(np.abs(ref))
+        assert op.tile_solves > 0
+
+    def test_requires_square(self, rng):
+        op = tiled(rng, np.ones((10, 8)))
+        with pytest.raises(CrossbarSolveError, match="square"):
+            op.solve(np.ones(10))
+
+    def test_non_convergence_raises(self, rng):
+        # Strongly coupled off-diagonal blocks: block Jacobi diverges.
+        matrix = rng.uniform(0.9, 1.0, size=(16, 16)) + np.eye(16)
+        op = tiled(rng, matrix)
+        with pytest.raises(CrossbarSolveError, match="converge"):
+            op.solve(np.ones(16), max_refinements=5)
+
+    def test_zero_rhs(self, rng):
+        matrix = np.diag(np.full(8, 2.0))
+        op = tiled(rng, matrix, tile=4)
+        np.testing.assert_array_equal(
+            op.solve(np.zeros(8)), np.zeros(8)
+        )
+
+
+class TestValidation:
+    def test_rejects_negative_matrix(self, rng):
+        with pytest.raises(MappingError, match="negative"):
+            tiled(rng, np.array([[-1.0]]))
+
+    def test_rejects_bad_headroom(self, rng):
+        with pytest.raises(ValueError, match="headroom"):
+            tiled(rng, np.ones((4, 4)), scale_headroom=0.5)
+
+    def test_input_shape_checked(self, rng):
+        op = tiled(rng, np.ones((8, 6)))
+        with pytest.raises(ValueError, match="shape"):
+            op.multiply(np.zeros(8))
+
+    def test_write_report_covers_all_tiles(self, rng):
+        matrix = rng.uniform(0.1, 1.0, size=(20, 20))
+        op = tiled(rng, matrix, tile=8)
+        report = op.write_report
+        assert report.cells_written > 0
+        assert report.latency_s > 0

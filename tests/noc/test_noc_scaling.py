@@ -1,0 +1,68 @@
+"""Topology scaling behavior across grid sizes."""
+
+import numpy as np
+import pytest
+
+from repro.noc import HierarchicalNoc, MeshNoc, NocParameters
+
+
+class TestDiameterScaling:
+    def test_mesh_diameter_linear(self):
+        diameters = [
+            MeshNoc(g, g).hops((0, 0), (g - 1, g - 1))
+            for g in (4, 8, 16, 32)
+        ]
+        # Manhattan diameter is 2(g-1): doubling g roughly doubles it.
+        for g, diameter in zip((4, 8, 16, 32), diameters):
+            assert diameter == 2 * (g - 1)
+
+    def test_hierarchical_diameter_logarithmic(self):
+        diameters = [
+            HierarchicalNoc(g, g).hops((0, 0), (g - 1, g - 1))
+            for g in (2, 4, 8, 16)
+        ]
+        # +2 hops (one tree level) per grid doubling.
+        differences = [
+            b - a for a, b in zip(diameters, diameters[1:])
+        ]
+        assert all(d == 2 for d in differences)
+
+    def test_crossover_grid_size(self):
+        # Mesh wins tiny grids (hops 2 vs 2 at 2x2), hierarchy wins
+        # large grids.
+        small_mesh = MeshNoc(2, 2).hops((0, 0), (1, 1))
+        small_hier = HierarchicalNoc(2, 2).hops((0, 0), (1, 1))
+        assert small_hier >= small_mesh
+        big_mesh = MeshNoc(32, 32).hops((0, 0), (31, 31))
+        big_hier = HierarchicalNoc(32, 32).hops((0, 0), (31, 31))
+        assert big_hier < big_mesh
+
+
+class TestReductionScaling:
+    @pytest.mark.parametrize("grid", [2, 4, 8])
+    def test_total_hops_grow_with_grid(self, grid):
+        mesh = MeshNoc(grid, grid)
+        sources = [(r, c) for r in range(grid) for c in range(grid)]
+        report = mesh.route_reduction(sources, (0, 0))
+        # Sum of Manhattan distances to the corner of a g x g grid.
+        expected = sum(r + c for r in range(grid) for c in range(grid))
+        assert report.total_hops == expected
+
+    def test_energy_proportional_to_lines(self):
+        narrow = NocParameters(lines_per_transfer=32)
+        wide = NocParameters(lines_per_transfer=128)
+        sources = [(0, c) for c in range(4)]
+        e_narrow = MeshNoc(1, 4, narrow).route_reduction(
+            sources, (0, 0)
+        ).energy_j
+        e_wide = MeshNoc(1, 4, wide).route_reduction(
+            sources, (0, 0)
+        ).energy_j
+        assert e_wide == pytest.approx(4 * e_narrow)
+
+    def test_destination_choice_changes_critical_path(self):
+        mesh = MeshNoc(1, 8)
+        sources = [(0, c) for c in range(8)]
+        corner = mesh.route_reduction(sources, (0, 0))
+        center = mesh.route_reduction(sources, (0, 4))
+        assert center.critical_path_hops < corner.critical_path_hops

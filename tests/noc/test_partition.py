@@ -1,0 +1,70 @@
+"""Tests for block partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.noc import BlockPartition
+
+
+class TestGeometry:
+    def test_exact_division(self):
+        part = BlockPartition(32, 32, 16)
+        assert part.grid_rows == 2
+        assert part.grid_cols == 2
+        assert part.n_tiles == 4
+
+    def test_ragged_edges(self):
+        part = BlockPartition(40, 20, 16)
+        assert part.grid_rows == 3
+        assert part.grid_cols == 2
+        assert part.row_slice(2) == slice(32, 40)
+        assert part.col_slice(1) == slice(16, 20)
+
+    def test_single_tile(self):
+        part = BlockPartition(8, 8, 16)
+        assert part.n_tiles == 1
+        assert part.row_slice(0) == slice(0, 8)
+
+    def test_tiles_enumeration(self):
+        part = BlockPartition(20, 20, 10)
+        assert part.tiles() == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    @pytest.mark.parametrize(
+        "n_out,n_in,tile", [(0, 4, 2), (4, 0, 2), (4, 4, 0)]
+    )
+    def test_validation(self, n_out, n_in, tile):
+        with pytest.raises(PartitionError):
+            BlockPartition(n_out, n_in, tile)
+
+    def test_index_bounds(self):
+        part = BlockPartition(16, 16, 8)
+        with pytest.raises(PartitionError, match="out of range"):
+            part.row_slice(5)
+        with pytest.raises(PartitionError, match="out of range"):
+            part.col_slice(-1)
+
+
+class TestBlocks:
+    def test_blocks_tile_the_matrix(self, rng):
+        matrix = rng.uniform(size=(25, 18))
+        part = BlockPartition(25, 18, 8)
+        reassembled = np.zeros_like(matrix)
+        for r, c in part.tiles():
+            reassembled[part.row_slice(r), part.col_slice(c)] = (
+                part.block(matrix, r, c)
+            )
+        np.testing.assert_array_equal(reassembled, matrix)
+
+    def test_block_shape_bounded_by_tile(self, rng):
+        matrix = rng.uniform(size=(25, 18))
+        part = BlockPartition(25, 18, 8)
+        for r, c in part.tiles():
+            block = part.block(matrix, r, c)
+            assert block.shape[0] <= 8
+            assert block.shape[1] <= 8
+
+    def test_shape_mismatch_rejected(self, rng):
+        part = BlockPartition(10, 10, 4)
+        with pytest.raises(PartitionError, match="shape"):
+            part.block(np.ones((9, 10)), 0, 0)

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import LinearProgram, eliminate_negatives
+from repro.core.stepsize import ratio_test_theta
+from repro.crossbar import map_matrix, quantize_auto
+from repro.crossbar.mapping import map_matrix_per_row
+from repro.devices import YAKOPCIC_NAECON14
+from repro.noc import BlockPartition
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False,
+    allow_infinity=False,
+)
+positive_floats = st.floats(
+    min_value=1e-3, max_value=100.0, allow_nan=False,
+    allow_infinity=False,
+)
+
+
+def square_matrices(min_side=2, max_side=6, elements=finite_floats):
+    return st.integers(min_side, max_side).flatmap(
+        lambda n: hnp.arrays(
+            np.float64, (n, n), elements=elements
+        )
+    )
+
+
+class TestNegativeElimination:
+    @given(matrix=square_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_augmented_matrix_always_non_negative(self, matrix):
+        record = eliminate_negatives(matrix)
+        assert record.matrix.min() >= 0.0
+
+    @given(matrix=square_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_product_identity_holds_for_any_state(self, matrix):
+        n = matrix.shape[0]
+        state = np.linspace(-1.0, 1.0, n)
+        record = eliminate_negatives(matrix)
+        product = record.matrix @ record.augment_state(state)
+        np.testing.assert_allclose(
+            product[:n], matrix @ state, rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            product[n:], 0.0, atol=1e-9
+        )
+
+    @given(matrix=square_matrices(elements=st.floats(
+        min_value=-10, max_value=10, allow_nan=False,
+        allow_infinity=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_solution_equivalence_when_nonsingular(self, matrix):
+        n = matrix.shape[0]
+        matrix = matrix + (np.abs(matrix).sum() + n) * np.eye(n)
+        rhs = np.arange(1.0, n + 1)
+        reference = np.linalg.solve(matrix, rhs)
+        record = eliminate_negatives(matrix)
+        augmented = np.linalg.solve(
+            record.matrix, record.augment_rhs(rhs)
+        )
+        np.testing.assert_allclose(
+            record.extract(augmented), reference, rtol=1e-6, atol=1e-8
+        )
+
+
+class TestQuantization:
+    @given(
+        values=hnp.arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False,
+                allow_infinity=False,
+            ),
+        ),
+        bits=st.integers(2, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_entry_mode_relative_error_bound(self, values, bits):
+        out = quantize_auto(values, bits, "entry")
+        nonzero = values != 0.0
+        if np.any(nonzero):
+            rel = np.abs(
+                out[nonzero] / values[nonzero] - 1.0
+            )
+            assert np.max(rel) <= 2.0**-bits + 1e-12
+        assert np.all(out[~nonzero] == 0.0)
+
+    @given(
+        values=hnp.arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=finite_floats,
+        ),
+        bits=st.integers(2, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vector_mode_error_bounded_by_step(self, values, bits):
+        out = quantize_auto(values, bits, "vector")
+        peak = float(np.max(np.abs(values)))
+        if peak > 0:
+            step = 2.0 * peak / 2**bits
+            assert np.max(np.abs(out - values)) <= step * (1 + 1e-9)
+
+    @given(
+        values=hnp.arrays(
+            np.float64, st.integers(1, 20), elements=finite_floats
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_quantization_idempotent(self, values):
+        once = quantize_auto(values, 8, "entry")
+        np.testing.assert_array_equal(
+            quantize_auto(once, 8, "entry"), once
+        )
+
+
+class TestMapping:
+    @given(
+        matrix=st.integers(1, 5).flatmap(
+            lambda m: st.integers(1, 5).flatmap(
+                lambda n: hnp.arrays(
+                    np.float64, (m, n), elements=positive_floats
+                )
+            )
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fast_mapping_roundtrip(self, matrix):
+        mapping = map_matrix(matrix, YAKOPCIC_NAECON14)
+        decoded = mapping.decode_matrix()
+        representable = ~mapping.floored.T
+        np.testing.assert_allclose(
+            decoded[representable], matrix[representable], rtol=1e-9
+        )
+
+    @given(
+        matrix=st.integers(1, 5).flatmap(
+            lambda m: st.integers(1, 5).flatmap(
+                lambda n: hnp.arrays(
+                    np.float64,
+                    (m, n),
+                    elements=st.floats(
+                        min_value=1e-6,
+                        max_value=1e6,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                )
+            )
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_per_row_mapping_roundtrip_any_row_scale(self, matrix):
+        mapping = map_matrix_per_row(matrix, YAKOPCIC_NAECON14)
+        decoded = mapping.decode_matrix()
+        representable = ~mapping.floored.T
+        np.testing.assert_allclose(
+            decoded[representable], matrix[representable], rtol=1e-9
+        )
+
+    @given(
+        matrix=square_matrices(elements=positive_floats)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conductances_within_device_window(self, matrix):
+        mapping = map_matrix(matrix, YAKOPCIC_NAECON14)
+        g = mapping.conductances
+        on_cells = g > 0
+        assert np.all(
+            g[on_cells] <= YAKOPCIC_NAECON14.g_on * (1 + 1e-12)
+        )
+
+
+class TestRatioTest:
+    @given(
+        state=hnp.arrays(
+            np.float64, st.integers(1, 20), elements=positive_floats
+        ),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_positivity_preserved(self, state, seed):
+        step = np.random.default_rng(seed).normal(size=state.shape)
+        theta = ratio_test_theta(state, step, step_scale=0.95)
+        assert 0.0 < theta <= 0.95
+        assert np.all(state + theta * step > 0)
+
+
+class TestPartition:
+    @given(
+        n_out=st.integers(1, 40),
+        n_in=st.integers(1, 40),
+        tile=st.integers(1, 17),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_cover_exactly(self, n_out, n_in, tile):
+        part = BlockPartition(n_out, n_in, tile)
+        covered = np.zeros((n_out, n_in), dtype=int)
+        for r, c in part.tiles():
+            covered[part.row_slice(r), part.col_slice(c)] += 1
+        assert np.all(covered == 1)
+
+
+class TestLinearProgram:
+    @given(
+        m=st.integers(1, 6),
+        n=st.integers(1, 6),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dual_of_dual_is_identity(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        problem = LinearProgram(
+            c=rng.normal(size=n),
+            A=rng.normal(size=(m, n)),
+            b=rng.normal(size=m),
+        )
+        double = problem.dual().dual()
+        np.testing.assert_allclose(double.c, problem.c)
+        np.testing.assert_allclose(double.A, problem.A)
+        np.testing.assert_allclose(double.b, problem.b)

@@ -1,0 +1,97 @@
+"""Property-based tests on solver-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import solve_simplex
+from repro.core import SolveStatus, solve_reference
+from repro.crossbar import AnalogMatrixOperator
+from repro.devices import YAKOPCIC_NAECON14
+from repro.workloads import random_feasible_lp
+
+
+class TestLPScalingInvariance:
+    @given(
+        seed=st.integers(0, 2**31),
+        factor=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_objective_scales_linearly(self, seed, factor):
+        problem = random_feasible_lp(
+            9, rng=np.random.default_rng(seed)
+        )
+        base = solve_reference(problem)
+        scaled = solve_reference(problem.scaled(factor))
+        assert base.status is SolveStatus.OPTIMAL
+        assert scaled.objective == pytest.approx(
+            factor * base.objective, rel=1e-4, abs=1e-6
+        )
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_simplex_and_pdip_agree(self, seed):
+        problem = random_feasible_lp(
+            9, rng=np.random.default_rng(seed)
+        )
+        simplex = solve_simplex(problem)
+        pdip = solve_reference(problem)
+        if simplex.status is SolveStatus.OPTIMAL and (
+            pdip.status is SolveStatus.OPTIMAL
+        ):
+            assert simplex.objective == pytest.approx(
+                pdip.objective, rel=1e-4, abs=1e-6
+            )
+
+
+class TestCrossbarLinearity:
+    @given(
+        seed=st.integers(0, 2**31),
+        alpha=st.floats(
+            min_value=-2.0, max_value=2.0, allow_subnormal=False
+        ),
+        beta=st.floats(
+            min_value=-2.0, max_value=2.0, allow_subnormal=False
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_multiply_is_linear_without_quantization(
+        self, seed, alpha, beta
+    ):
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(0.1, 1.0, size=(5, 5))
+        operator = AnalogMatrixOperator(
+            matrix,
+            params=YAKOPCIC_NAECON14,
+            rng=rng,
+            dac_bits=None,
+            adc_bits=None,
+        )
+        u = rng.uniform(-1, 1, size=5)
+        v = rng.uniform(-1, 1, size=5)
+        combined = operator.multiply(alpha * u + beta * v)
+        separate = alpha * operator.multiply(u) + beta * (
+            operator.multiply(v)
+        )
+        np.testing.assert_allclose(
+            combined, separate, rtol=1e-9, atol=1e-12
+        )
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_solve_inverts_multiply(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(0.1, 1.0, size=(5, 5)) + 2 * np.eye(5)
+        operator = AnalogMatrixOperator(
+            matrix,
+            params=YAKOPCIC_NAECON14,
+            rng=rng,
+            dac_bits=None,
+            adc_bits=None,
+        )
+        b = rng.uniform(-1, 1, size=5)
+        x = operator.solve(b)
+        np.testing.assert_allclose(
+            operator.multiply(x), b, rtol=1e-8, atol=1e-10
+        )

@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestSolveCommand:
+    def test_solve_runs(self, capsys):
+        code = main(
+            ["solve", "--constraints", "10", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scipy optimum" in out
+        assert "relative error" in out
+        assert "modeled hardware" in out
+
+    def test_reference_solver_has_no_hardware_line(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--constraints",
+                "10",
+                "--solver",
+                "reference",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modeled hardware" not in out
+
+    def test_variation_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--constraints",
+                    "10",
+                    "--variation",
+                    "10",
+                ]
+            )
+            == 0
+        )
+
+
+class TestParasiticsCommand:
+    def test_runs_and_reports_budget(self, capsys):
+        assert main(["parasitics", "--budget", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "ir_drop_rel_err" in out
+        assert "budget" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+    def test_figures_all_accepted(self):
+        args = build_parser().parse_args(["figures", "all"])
+        assert args.targets == ["all"]

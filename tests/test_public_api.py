@@ -1,0 +1,53 @@
+"""Public-API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.crossbar",
+            "repro.devices",
+            "repro.noc",
+            "repro.baselines",
+            "repro.costmodel",
+            "repro.workloads",
+            "repro.experiments",
+            "repro.analysis",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for cls in (
+            exceptions.MappingError,
+            exceptions.CrossbarSolveError,
+            exceptions.ConvergenceError,
+            exceptions.InfeasibleProblemError,
+            exceptions.PartitionError,
+        ):
+            assert issubclass(cls, exceptions.ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_catchable_via_base(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.MappingError("negative coefficient")

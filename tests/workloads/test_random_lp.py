@@ -1,0 +1,99 @@
+"""Tests for the random LP generators (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import SolveStatus
+from repro.workloads import (
+    paper_sizes,
+    paper_test_suite,
+    random_feasible_lp,
+    random_infeasible_lp,
+    variables_for_constraints,
+)
+
+
+class TestPaperGrid:
+    def test_sizes_double_from_4(self):
+        assert paper_sizes(1024) == [4, 8, 16, 32, 64, 128, 256, 512,
+                                     1024]
+
+    def test_sizes_respect_cap(self):
+        assert paper_sizes(64)[-1] == 64
+
+    def test_variable_rule_is_one_third(self):
+        assert variables_for_constraints(1024) == 341
+        assert variables_for_constraints(4) == 1
+        assert variables_for_constraints(3) == 1  # floor at 1
+
+
+class TestFeasibleGenerator:
+    def test_generated_problems_are_feasible_and_bounded(self, rng):
+        for _ in range(6):
+            problem = random_feasible_lp(12, rng=rng)
+            result = solve_scipy(problem)
+            assert result.status is SolveStatus.OPTIMAL
+
+    def test_shape_follows_paper_rule(self, rng):
+        problem = random_feasible_lp(30, rng=rng)
+        assert problem.n_constraints == 30
+        assert problem.n_variables == 10
+
+    def test_explicit_variable_count(self, rng):
+        problem = random_feasible_lp(10, 7, rng=rng)
+        assert problem.n_variables == 7
+
+    def test_interior_point_planted(self, rng):
+        # b = A x0 + slack guarantees a strictly feasible point exists.
+        problem = random_feasible_lp(15, rng=rng)
+        result = solve_scipy(problem)
+        assert problem.is_feasible(result.x, tolerance=1e-6)
+
+    def test_deterministic_given_seed(self):
+        a = random_feasible_lp(10, rng=np.random.default_rng(5))
+        b = random_feasible_lp(10, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.A, b.A)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_feasible_lp(1, rng=rng)
+        with pytest.raises(ValueError):
+            random_feasible_lp(10, 0, rng=rng)
+
+
+class TestInfeasibleGenerator:
+    def test_generated_problems_are_infeasible(self, rng):
+        for _ in range(6):
+            problem = random_infeasible_lp(12, rng=rng)
+            result = solve_scipy(problem)
+            assert result.status is SolveStatus.INFEASIBLE
+
+    def test_contradiction_is_planted_in_last_rows(self, rng):
+        problem = random_infeasible_lp(12, rng=rng)
+        np.testing.assert_allclose(
+            problem.A[-2, :], -problem.A[-1, :]
+        )
+        # b[-2] < -(b[-1]) certifies emptiness of the pair.
+        assert problem.b[-2] < -problem.b[-1]
+
+    def test_margin_scales_with_size(self, rng):
+        small = random_infeasible_lp(12, rng=np.random.default_rng(1))
+        large = random_infeasible_lp(192, rng=np.random.default_rng(1))
+        margin_small = -(small.b[-1] + small.b[-2])
+        margin_large = -(large.b[-1] + large.b[-2])
+        assert margin_large > margin_small
+
+    def test_minimum_size(self, rng):
+        with pytest.raises(ValueError, match="at least 3"):
+            random_infeasible_lp(2, rng=rng)
+
+
+class TestSuiteBuilder:
+    def test_counts(self, rng):
+        feasible, infeasible = paper_test_suite(
+            8, rng=rng, n_feasible=3, n_infeasible=2
+        )
+        assert len(feasible) == 3
+        assert len(infeasible) == 2
+        assert all("feasible" in p.name for p in feasible)

@@ -1,0 +1,139 @@
+"""Tests for routing LPs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import SolveStatus
+from repro.workloads import (
+    flow_value,
+    max_flow_lp,
+    multicommodity_routing_lp,
+    random_routing_network,
+)
+
+
+@pytest.fixture
+def diamond():
+    """s -> {a, b} -> t with known max flow 15."""
+    g = nx.DiGraph()
+    g.add_edge("s", "a", capacity=10.0)
+    g.add_edge("s", "b", capacity=5.0)
+    g.add_edge("a", "t", capacity=10.0)
+    g.add_edge("b", "t", capacity=10.0)
+    return g
+
+
+class TestMaxFlow:
+    def test_known_value(self, diamond):
+        problem, edges = max_flow_lp(diamond, "s", "t")
+        result = solve_scipy(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        assert flow_value(result.x, edges, diamond, "s") == (
+            pytest.approx(15.0)
+        )
+
+    def test_matches_networkx_on_random_graphs(self, rng):
+        for seed in range(3):
+            graph = random_routing_network(
+                6, rng=np.random.default_rng(seed)
+            )
+            # Zero slack: the LP must reproduce the combinatorial
+            # max-flow value exactly.
+            problem, edges = max_flow_lp(
+                graph, 0, 5, conservation_slack=0.0
+            )
+            result = solve_scipy(problem)
+            reference = nx.maximum_flow_value(graph, 0, 5)
+            assert flow_value(result.x, edges, graph, 0) == (
+                pytest.approx(reference, rel=1e-6)
+            )
+
+    def test_slack_bounds_value_inflation(self, rng):
+        graph = random_routing_network(6, rng=np.random.default_rng(1))
+        exact = nx.maximum_flow_value(graph, 0, 5)
+        problem, edges = max_flow_lp(
+            graph, 0, 5, conservation_slack=0.05
+        )
+        result = solve_scipy(problem)
+        value = flow_value(result.x, edges, graph, 0)
+        internal = graph.number_of_nodes() - 2
+        assert value <= exact + 0.05 * internal + 1e-9
+        assert value >= exact - 1e-9
+
+    def test_flow_conservation_within_slack(self, diamond):
+        problem, edges = max_flow_lp(
+            diamond, "s", "t", conservation_slack=0.05
+        )
+        result = solve_scipy(problem)
+        inflow = result.x[edges[("s", "a")]]
+        outflow = result.x[edges[("a", "t")]]
+        assert abs(inflow - outflow) <= 0.05 + 1e-9
+
+    def test_exact_conservation_with_zero_slack(self, diamond):
+        problem, edges = max_flow_lp(
+            diamond, "s", "t", conservation_slack=0.0
+        )
+        result = solve_scipy(problem)
+        inflow = result.x[edges[("s", "a")]]
+        outflow = result.x[edges[("a", "t")]]
+        assert inflow == pytest.approx(outflow, abs=1e-8)
+
+    def test_validation(self, diamond):
+        with pytest.raises(ValueError, match="nodes"):
+            max_flow_lp(diamond, "s", "zzz")
+        with pytest.raises(ValueError, match="differ"):
+            max_flow_lp(diamond, "s", "s")
+
+    def test_missing_capacity_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="capacity"):
+            max_flow_lp(g, 0, 1)
+
+
+class TestMulticommodity:
+    def test_single_commodity_reduces_to_max_flow(self, diamond):
+        single, _ = multicommodity_routing_lp(
+            diamond, [("s", "t", 1.0)]
+        )
+        result = solve_scipy(single)
+        assert result.objective == pytest.approx(15.0)
+
+    def test_capacity_shared_between_commodities(self, diamond):
+        problem, var = multicommodity_routing_lp(
+            diamond, [("s", "t", 1.0), ("s", "t", 1.0)]
+        )
+        result = solve_scipy(problem)
+        # Two identical commodities share the same 15 units.
+        assert result.objective == pytest.approx(15.0)
+
+    def test_weights_bias_allocation(self, diamond):
+        problem, var = multicommodity_routing_lp(
+            diamond, [("s", "t", 3.0), ("s", "t", 1.0)]
+        )
+        result = solve_scipy(problem)
+        assert result.objective == pytest.approx(45.0)
+
+    def test_validation(self, diamond):
+        with pytest.raises(ValueError, match="demand"):
+            multicommodity_routing_lp(diamond, [])
+
+
+class TestRandomNetwork:
+    def test_backbone_guarantees_connectivity(self, rng):
+        graph = random_routing_network(8, rng=rng)
+        assert nx.has_path(graph, 0, 7)
+
+    def test_capacities_in_range(self, rng):
+        graph = random_routing_network(
+            6, rng=rng, capacity_range=(2.0, 3.0)
+        )
+        caps = [d["capacity"] for _, _, d in graph.edges(data=True)]
+        assert min(caps) >= 2.0
+        assert max(caps) <= 3.0
+
+    def test_minimum_size(self, rng):
+        with pytest.raises(ValueError, match="two nodes"):
+            random_routing_network(1, rng=rng)

@@ -1,0 +1,77 @@
+"""Tests for scheduling LPs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import SolveStatus
+from repro.workloads import machine_scheduling_lp, production_planning_lp
+
+
+class TestProductionPlanning:
+    def test_solvable_and_bounded(self, rng):
+        problem = production_planning_lp(6, 4, rng=rng)
+        result = solve_scipy(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective > 0
+
+    def test_shape(self, rng):
+        problem = production_planning_lp(6, 4, rng=rng)
+        assert problem.n_variables == 6
+        assert problem.n_constraints == 4 + 6  # resources + demand caps
+
+    def test_demand_caps_respected(self, rng):
+        problem = production_planning_lp(5, 3, rng=rng)
+        result = solve_scipy(problem)
+        demand_caps = problem.b[3:]
+        assert np.all(result.x <= demand_caps + 1e-8)
+
+    def test_resource_constraints_respected(self, rng):
+        problem = production_planning_lp(5, 3, rng=rng)
+        result = solve_scipy(problem)
+        usage = problem.A[:3]
+        assert np.all(usage @ result.x <= problem.b[:3] + 1e-8)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            production_planning_lp(0, 3, rng=rng)
+
+
+class TestMachineScheduling:
+    def test_solvable(self, rng):
+        problem, times = machine_scheduling_lp(5, 3, rng=rng)
+        result = solve_scipy(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        assert times.shape == (5, 3)
+
+    def test_jobs_not_overcompleted(self, rng):
+        problem, _ = machine_scheduling_lp(5, 3, rng=rng)
+        result = solve_scipy(problem)
+        fractions = result.x.reshape(5, 3)
+        assert np.all(fractions.sum(axis=1) <= 1.0 + 1e-8)
+
+    def test_machine_budgets_respected(self, rng):
+        horizon = 6.0
+        problem, times = machine_scheduling_lp(
+            5, 3, rng=rng, horizon=horizon
+        )
+        result = solve_scipy(problem)
+        fractions = result.x.reshape(5, 3)
+        busy = (fractions * times).sum(axis=0)
+        assert np.all(busy <= horizon + 1e-8)
+
+    def test_generous_horizon_completes_everything(self, rng):
+        problem, _ = machine_scheduling_lp(
+            4, 3, rng=rng, horizon=1000.0
+        )
+        result = solve_scipy(problem)
+        fractions = result.x.reshape(4, 3)
+        np.testing.assert_allclose(
+            fractions.sum(axis=1), np.ones(4), atol=1e-6
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="horizon"):
+            machine_scheduling_lp(3, 2, rng=rng, horizon=0.0)
+        with pytest.raises(ValueError):
+            machine_scheduling_lp(0, 2, rng=rng)

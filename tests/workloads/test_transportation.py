@@ -1,0 +1,84 @@
+"""Tests for transportation LPs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy
+from repro.core import SolveStatus, solve_crossbar
+from repro.workloads import (
+    random_transportation_lp,
+    shipping_cost,
+    transportation_lp,
+)
+
+
+@pytest.fixture
+def two_by_two():
+    """Hand-checked instance: optimum ships on the cheap diagonal."""
+    supply = np.array([3.0, 3.0])
+    demand = np.array([2.0, 2.0])
+    cost = np.array([[1.0, 5.0], [5.0, 1.0]])
+    return transportation_lp(supply, demand, cost), cost
+
+
+class TestTransportation:
+    def test_known_optimum(self, two_by_two):
+        (problem, shape), cost = two_by_two
+        result = solve_scipy(problem)
+        assert result.status is SolveStatus.OPTIMAL
+        # Ship 2 units on each diagonal at cost 1: total cost 4.
+        assert -result.objective == pytest.approx(4.0, abs=1e-6)
+        assert shipping_cost(result.x, cost) == pytest.approx(
+            4.0, abs=1e-6
+        )
+
+    def test_demand_satisfied(self, two_by_two):
+        (problem, shape), _ = two_by_two
+        result = solve_scipy(problem)
+        plan = result.x.reshape(shape)
+        np.testing.assert_array_less(
+            np.array([2.0, 2.0]) - 1e-8, plan.sum(axis=0) + 1e-12
+        )
+
+    def test_supply_respected(self, two_by_two):
+        (problem, shape), _ = two_by_two
+        result = solve_scipy(problem)
+        plan = result.x.reshape(shape)
+        assert np.all(plan.sum(axis=1) <= 3.0 + 1e-8)
+
+    def test_random_instances_feasible(self, rng):
+        for _ in range(4):
+            (problem, _), = (random_transportation_lp(4, 5, rng=rng),)
+            result = solve_scipy(problem)
+            assert result.status is SolveStatus.OPTIMAL
+
+    def test_crossbar_solves_transportation(self, rng):
+        problem, shape = random_transportation_lp(3, 4, rng=rng)
+        truth = solve_scipy(problem)
+        result = solve_crossbar(problem, rng=np.random.default_rng(0))
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(
+            truth.objective, rel=0.08, abs=0.3
+        )
+
+    def test_overdemand_infeasible(self):
+        problem, _ = transportation_lp(
+            supply=np.array([1.0]),
+            demand=np.array([5.0]),
+            cost=np.array([[1.0]]),
+        )
+        assert solve_scipy(problem).status is SolveStatus.INFEASIBLE
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            transportation_lp(
+                np.ones(2), np.ones(2), np.ones((3, 2))
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            transportation_lp(
+                np.ones(1), np.ones(1), -np.ones((1, 1))
+            )
+        with pytest.raises(ValueError, match="1-D"):
+            transportation_lp(
+                np.ones((1, 1)), np.ones(1), np.ones((1, 1))
+            )
