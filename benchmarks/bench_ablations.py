@@ -10,6 +10,9 @@
   without dummy-row compensation).
 - ABL-DELTA     — centering parameter delta.
 - ABL-RETRY     — value of the paper's "double checking scheme".
+- ABL-RELIABILITY — recovery-ladder rungs under stuck-at faults:
+  retry-only (the paper's scheme) vs probe+remap vs the full ladder
+  with a digital fallback.
 """
 
 import numpy as np
@@ -254,3 +257,66 @@ def test_abl_retry_scheme(benchmark):
     no_retry = int(rows[0][1].split("/")[0])
     with_retry = int(rows[1][1].split("/")[0])
     assert with_retry >= no_retry
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_abl_reliability_ladder(benchmark):
+    """Recovery-ladder rungs under 2% stuck-OFF faults.
+
+    The paper's retry scheme alone leaves a fraction of runs failed;
+    probing + remapping recovers more, and the full ladder with a
+    digital fallback terminates every run.
+    """
+    from repro.core import CrossbarPDIPSolver
+    from repro.devices import YAKOPCIC_NAECON14, StuckAtFaults
+    from repro.reliability import ProbePolicy, RecoveryPolicy
+
+    problems, truths = _problems()
+    settings = CrossbarSolverSettings(
+        variation=StuckAtFaults(
+            YAKOPCIC_NAECON14,
+            stuck_off_rate=0.02,
+            base=UniformVariation(0.05),
+        ),
+    )
+    ladders = [
+        (
+            "retry-only (paper 4.5)",
+            RecoveryPolicy(reprograms=2, remaps=0, probe=None),
+        ),
+        (
+            "probe + remap",
+            RecoveryPolicy(reprograms=2, remaps=2, probe=ProbePolicy()),
+        ),
+        (
+            "full ladder + fallback",
+            RecoveryPolicy(
+                reprograms=2,
+                remaps=2,
+                probe=ProbePolicy(),
+                digital_fallback="scipy",
+            ),
+        ),
+    ]
+
+    def run():
+        rows = []
+        for label, policy in ladders:
+            solved, mean_error = _score(
+                lambda p, rng, pol=policy: CrossbarPDIPSolver(
+                    p, settings, rng=rng, recovery=pol
+                ).solve(),
+                problems,
+                truths,
+            )
+            rows.append([label, f"{solved}/{TRIALS}", mean_error])
+        print()
+        print("=== ABL-RELIABILITY: recovery ladder rungs ===")
+        print(render_table(["ladder", "solved", "mean_rel_err"], rows))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    retry_only = int(rows[0][1].split("/")[0])
+    full = int(rows[2][1].split("/")[0])
+    assert full >= retry_only
+    assert full == TRIALS  # the fallback terminates every run

@@ -24,6 +24,8 @@ Subpackages
   Solver 2) and problem types.
 - :mod:`repro.crossbar` — the analog crossbar simulator.
 - :mod:`repro.devices` — memristor device models and variation.
+- :mod:`repro.reliability` — write–verify programming, health probes,
+  and the recovery escalation ladder.
 - :mod:`repro.noc` — multi-tile scale-out (Fig. 3).
 - :mod:`repro.baselines` — simplex, iterative solvers, scipy adapter.
 - :mod:`repro.costmodel` — latency/energy estimation (Figs. 6-7).
@@ -34,6 +36,7 @@ Subpackages
 from repro.core import (
     CrossbarPDIPSolver,
     CrossbarSolverSettings,
+    FailureReason,
     LargeScaleCrossbarPDIPSolver,
     LinearProgram,
     PDIPSettings,
@@ -53,6 +56,11 @@ from repro.devices import (
     UniformVariation,
     variation_from_percent,
 )
+from repro.reliability import (
+    ProbePolicy,
+    RecoveryPolicy,
+    WriteVerifyPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -61,6 +69,7 @@ __all__ = [
     "LinearProgram",
     "SolverResult",
     "SolveStatus",
+    "FailureReason",
     "PDIPSettings",
     "CrossbarSolverSettings",
     "ScalableSolverSettings",
@@ -76,4 +85,7 @@ __all__ = [
     "NoVariation",
     "UniformVariation",
     "variation_from_percent",
+    "RecoveryPolicy",
+    "ProbePolicy",
+    "WriteVerifyPolicy",
 ]

@@ -12,11 +12,20 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 
 import numpy as np
 
 from repro.baselines import solve_scipy
 from repro.costmodel import estimate_energy, estimate_latency
+from repro.devices import variation_from_percent
+from repro.devices.faults import StuckAtFaults
+from repro.reliability import (
+    ProbePolicy,
+    RecoveryPolicy,
+    WriteVerifyPolicy,
+    describe_attempts,
+)
 from repro.experiments import (
     SweepConfig,
     accuracy_sweep,
@@ -51,11 +60,65 @@ _FIGURES = {
 }
 
 
+def _reliability_solver(args: argparse.Namespace):
+    """A solver callable honouring the CLI's reliability flags."""
+    from repro.core import (
+        CrossbarPDIPSolver,
+        LargeScaleCrossbarPDIPSolver,
+    )
+
+    overrides: dict = {}
+    if args.write_verify is not None:
+        overrides["write_verify"] = WriteVerifyPolicy(
+            tolerance=args.write_verify
+        )
+    settings = settings_for(args.solver, args.variation, **overrides)
+    if args.stuck_off > 0 or args.stuck_on > 0:
+        settings = dataclasses.replace(
+            settings,
+            variation=StuckAtFaults(
+                settings.device,
+                stuck_on_rate=args.stuck_on,
+                stuck_off_rate=args.stuck_off,
+                base=variation_from_percent(args.variation),
+            ),
+        )
+    recovery = RecoveryPolicy(
+        reprograms=settings.retries,
+        remaps=args.remaps,
+        digital_fallback=(
+            None if args.fallback == "none" else args.fallback
+        ),
+        probe=ProbePolicy() if args.probe else None,
+    )
+    cls = (
+        CrossbarPDIPSolver
+        if args.solver == "crossbar"
+        else LargeScaleCrossbarPDIPSolver
+    )
+
+    def solve(problem, rng):
+        return cls(problem, settings, rng=rng, recovery=recovery).solve()
+
+    return solve, settings
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     problem = random_feasible_lp(args.constraints, rng=rng)
     truth = solve_scipy(problem)
-    solve = solver_for(args.solver, args.variation)
+    reliability_flags = (
+        args.stuck_off > 0
+        or args.stuck_on > 0
+        or args.fallback != "none"
+        or args.probe
+        or args.remaps > 0
+        or args.write_verify is not None
+    )
+    if reliability_flags and args.solver != "reference":
+        solve, _ = _reliability_solver(args)
+    else:
+        solve = solver_for(args.solver, args.variation)
     result = solve(problem, np.random.default_rng(args.seed + 1))
     print(f"problem: {problem}")
     print(f"scipy optimum: {truth.objective:.6g}")
@@ -77,6 +140,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"modeled hardware: {latency.total_s * 1e3:.3f} ms, "
             f"{energy.total_j * 1e3:.3f} mJ"
         )
+    if result.failure_reason.value != "none":
+        print(f"failure reason: {result.failure_reason.value}")
+    if result.attempts:
+        print("attempt history:")
+        for line in describe_attempts(result.attempts).splitlines():
+            print(f"  {line}")
     return 0
 
 
@@ -118,6 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--variation", type=float, default=0.0,
                        help="process variation percent (e.g. 10)")
     solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--stuck-off", type=float, default=0.0,
+                       help="stuck-OFF (open cell) fault rate")
+    solve.add_argument("--stuck-on", type=float, default=0.0,
+                       help="stuck-ON (shorted cell) fault rate")
+    solve.add_argument("--remaps", type=int, default=0,
+                       help="remap-to-fresh-array rungs in the ladder")
+    solve.add_argument("--fallback",
+                       choices=("none", "reference", "scipy"),
+                       default="none",
+                       help="digital fallback after analog attempts")
+    solve.add_argument("--probe", action="store_true",
+                       help="run array health probes before solving")
+    solve.add_argument("--write-verify", type=float, default=None,
+                       metavar="TOL",
+                       help="closed-loop write-verify tolerance")
     solve.set_defaults(func=_cmd_solve)
 
     figures = sub.add_parser(

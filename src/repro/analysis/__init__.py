@@ -1,6 +1,11 @@
 """Metrics and report rendering."""
 
-from repro.analysis.export import rows_to_records, write_csv, write_json
+from repro.analysis.export import (
+    attempt_records,
+    rows_to_records,
+    write_csv,
+    write_json,
+)
 from repro.analysis.metrics import SampleStats, relative_error
 from repro.analysis.tables import format_cell, render_table
 
@@ -10,6 +15,7 @@ __all__ = [
     "render_table",
     "format_cell",
     "rows_to_records",
+    "attempt_records",
     "write_csv",
     "write_json",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import enum
 import json
 from pathlib import Path
 
@@ -20,9 +21,26 @@ def _flatten(record: dict, prefix: str = "") -> dict:
         name = f"{prefix}{key}"
         if isinstance(value, dict):
             flat.update(_flatten(value, prefix=f"{name}."))
+        elif isinstance(value, enum.Enum):
+            flat[name] = value.value
         else:
             flat[name] = value
     return flat
+
+
+def attempt_records(result) -> list[dict]:
+    """Flatten a :class:`SolverResult`'s recovery attempt history.
+
+    One record per :class:`~repro.reliability.telemetry.AttemptRecord`
+    with enum fields rendered to their string values — ready for
+    :func:`write_csv` / :func:`write_json` via plain dict rows, or for
+    a dataframe.  Empty when the result carries no attempt history.
+    """
+    records = []
+    for attempt in getattr(result, "attempts", ()):
+        record = _flatten(dataclasses.asdict(attempt))
+        records.append(record)
+    return records
 
 
 def rows_to_records(rows: list) -> list[dict]:

@@ -28,6 +28,7 @@ from repro.core.problem import (
 from repro.core.reference_pdip import solve_reference
 from repro.core.result import (
     CrossbarCounters,
+    FailureReason,
     IterationRecord,
     SolverResult,
     SolveStatus,
@@ -49,6 +50,7 @@ __all__ = [
     "with_equalities",
     "SolverResult",
     "SolveStatus",
+    "FailureReason",
     "IterationRecord",
     "CrossbarCounters",
     "PDIPSettings",

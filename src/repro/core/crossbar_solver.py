@@ -15,9 +15,11 @@ augmented non-negative Newton matrix M of Eqn. 14a; every iteration
    criteria using the residual the crossbar already produced.
 
 Non-convergence under process variation (singular perturbed arrays,
-stalls at the analog noise floor) is handled by the paper's
-"double checking scheme" (Section 4.5): reprogram the array — which
-re-rolls the variation — and solve again.
+stalls at the analog noise floor) is handled by the recovery ladder of
+:mod:`repro.reliability`: the paper's "double checking scheme"
+(Section 4.5) is its first rung (reprogram, fresh variation draw),
+optionally followed by remapping onto a fresh array and a digital
+fallback.
 """
 
 from __future__ import annotations
@@ -35,16 +37,18 @@ from repro.core.problem import LinearProgram
 from repro.core.residuals import centering_mu, converged, duality_gap
 from repro.core.result import (
     CrossbarCounters,
+    FailureReason,
     IterationRecord,
     SolverResult,
     SolveStatus,
-    with_message,
-    with_status,
 )
 from repro.core.settings import CrossbarSolverSettings
 from repro.core.stepsize import ratio_test_theta
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError
+from repro.reliability.policy import RecoveryPolicy
+from repro.reliability.probe import ProbeReport, probe_operator
+from repro.reliability.recovery import solve_with_recovery
 
 
 class CrossbarPDIPSolver:
@@ -58,6 +62,11 @@ class CrossbarPDIPSolver:
         Algorithm and hardware configuration.
     rng:
         Random generator driving the process-variation draws.
+    recovery:
+        Escalation policy.  Defaults to
+        :meth:`RecoveryPolicy.from_settings`, i.e. the paper's retry
+        scheme (``settings.retries`` reprogram attempts, no probe, no
+        remap, no fallback).
     """
 
     def __init__(
@@ -66,58 +75,91 @@ class CrossbarPDIPSolver:
         settings: CrossbarSolverSettings | None = None,
         *,
         rng: np.random.Generator | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.problem = problem
         self.settings = (
             settings if settings is not None else CrossbarSolverSettings()
         )
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.recovery = (
+            recovery
+            if recovery is not None
+            else RecoveryPolicy.from_settings(self.settings)
+        )
         self.system = AugmentedNewtonSystem(problem)
 
     # -- public API ----------------------------------------------------------
 
     def solve(self, *, trace: bool = False) -> SolverResult:
-        """Run Algorithm 1, retrying on analog failure.
+        """Run Algorithm 1 under the recovery ladder.
 
-        A run that ends in numerical failure or stalls without a
-        feasible iterate is retried up to ``settings.retries`` times;
-        each retry reprograms the crossbar, drawing fresh process
-        variation ("solve the problem again if fail to converge",
-        Section 4.5).
+        The ladder's first rung is the paper's Section 4.5 "double
+        checking scheme" (reprogram, drawing fresh process variation);
+        the configured :class:`RecoveryPolicy` may escalate further to
+        remapping and a digital fallback.  The returned result carries
+        the full attempt history.
         """
-        attempts = self.settings.retries + 1
-        result = None
-        all_stalled_infeasible = True
-        for attempt in range(attempts):
-            result = self._solve_once(trace=trace)
-            if result.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
-                if attempt:
-                    result = with_message(
-                        result, f"succeeded on retry {attempt}"
-                    )
-                return result
-            all_stalled_infeasible = all_stalled_infeasible and (
-                "without a feasible iterate" in result.message
-            )
-        if all_stalled_infeasible:
-            # Section 3.2 / 4.5: the final constraints check
-            # A x <= alpha b is the paper's feasibility verdict.  Every
-            # attempt (each with a fresh variation draw) stalled without
-            # any iterate passing it: report infeasible.
-            return with_status(
-                result,
-                SolveStatus.INFEASIBLE,
-                "no attempt produced an iterate passing A x <= alpha b",
-            )
-        return result
+        return solve_with_recovery(
+            lambda rng: self._solve_once(rng=rng, trace=trace),
+            self.recovery,
+            self.problem,
+            self.rng,
+        )
 
     # -- one attempt -----------------------------------------------------------
 
-    def _solve_once(self, *, trace: bool) -> SolverResult:
+    def _probe_rejection(
+        self,
+        probe: ProbeReport,
+        operator: AnalogMatrixOperator,
+        multiplies: int,
+    ) -> SolverResult:
+        """Short-circuit result for an array the health probe rejected."""
+        problem = self.problem
+        m, n = problem.A.shape
+        report = operator.write_report
+        counters = CrossbarCounters(
+            multiplies=multiplies,
+            solves=0,
+            cells_written=report.cells_written,
+            write_pulses=report.pulses,
+            write_latency_s=report.latency_s,
+            write_energy_j=report.energy_j,
+            array_size=self.system.size,
+            verify_reads=report.verify_reads,
+            verify_repulsed=report.repulsed_cells,
+            verify_unverified=report.unverified_cells,
+        )
+        x = np.zeros(n)
+        return SolverResult(
+            status=SolveStatus.NUMERICAL_FAILURE,
+            x=x,
+            y=np.zeros(m),
+            w=np.zeros(m),
+            z=np.zeros(n),
+            objective=problem.objective(x),
+            iterations=0,
+            crossbar=counters,
+            message=(
+                f"health probe rejected array: relative error "
+                f"{probe.max_rel_error:.3g} exceeds tolerance "
+                f"{probe.tolerance:.3g}"
+            ),
+            failure_reason=FailureReason.PROBE_UNHEALTHY,
+        )
+
+    def _solve_once(
+        self,
+        *,
+        rng: np.random.Generator | None = None,
+        trace: bool = False,
+    ) -> tuple[SolverResult, ProbeReport | None]:
         problem = self.problem
         settings = self.settings
         system = self.system
         m, n = problem.A.shape
+        rng = rng if rng is not None else self.rng
 
         x = np.full(n, settings.initial_value)
         z = np.full(n, settings.initial_value)
@@ -128,15 +170,28 @@ class CrossbarPDIPSolver:
             system.build_matrix(x, y, w, z),
             params=settings.device,
             variation=settings.variation,
-            rng=self.rng,
+            rng=rng,
             dac_bits=settings.dac_bits,
             adc_bits=settings.adc_bits,
             scale_headroom=settings.scale_headroom,
             row_scaling=settings.row_scaling,
             off_state=settings.off_state,
+            write_verify=settings.write_verify,
         )
         multiplies = 0
         solves = 0
+
+        probe = None
+        if self.recovery.probe is not None:
+            probe = probe_operator(
+                operator, self.recovery.probe, rng, label="M"
+            )
+            multiplies += probe.vectors
+            if not probe.healthy:
+                return (
+                    self._probe_rejection(probe, operator, multiplies),
+                    probe,
+                )
 
         eps_primal = settings.eps_primal * (
             1.0 + float(np.max(np.abs(problem.b), initial=0.0))
@@ -166,6 +221,7 @@ class CrossbarPDIPSolver:
         iterations = 0
         status = SolveStatus.ITERATION_LIMIT
         message = ""
+        reason = FailureReason.NONE
 
         for iteration in range(settings.max_iterations):
             mu = centering_mu(x, y, w, z, settings.delta)
@@ -239,6 +295,7 @@ class CrossbarPDIPSolver:
                     else:
                         status = SolveStatus.ITERATION_LIMIT
                         message = "stalled without a feasible iterate"
+                        reason = FailureReason.NO_FEASIBLE_ITERATE
                     break
 
             try:
@@ -257,6 +314,7 @@ class CrossbarPDIPSolver:
                 else:
                     status = SolveStatus.NUMERICAL_FAILURE
                     message = str(exc)
+                    reason = FailureReason.SINGULAR_SYSTEM
                 break
             solves += 1
 
@@ -311,6 +369,7 @@ class CrossbarPDIPSolver:
                 )
             else:
                 message = "iteration limit without a feasible iterate"
+                reason = FailureReason.NO_FEASIBLE_ITERATE
 
         if status is SolveStatus.OPTIMAL and not (
             problem.satisfies_relaxed_constraints(
@@ -326,6 +385,10 @@ class CrossbarPDIPSolver:
             # violating A x <= alpha b as optimal.
             status = SolveStatus.NUMERICAL_FAILURE
             message = "final constraint check A x <= alpha b failed"
+            reason = FailureReason.FINAL_CHECK_FAILED
+
+        if status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
+            reason = FailureReason.NONE
 
         report = operator.write_report
         counters = CrossbarCounters(
@@ -336,8 +399,11 @@ class CrossbarPDIPSolver:
             write_latency_s=report.latency_s,
             write_energy_j=report.energy_j,
             array_size=system.size,
+            verify_reads=report.verify_reads,
+            verify_repulsed=report.repulsed_cells,
+            verify_unverified=report.unverified_cells,
         )
-        return SolverResult(
+        result = SolverResult(
             status=status,
             x=x,
             y=y,
@@ -348,7 +414,9 @@ class CrossbarPDIPSolver:
             trace=tuple(records),
             crossbar=counters,
             message=message,
+            failure_reason=reason,
         )
+        return result, probe
 
 
 def solve_crossbar(
@@ -356,7 +424,9 @@ def solve_crossbar(
     settings: CrossbarSolverSettings | None = None,
     *,
     rng: np.random.Generator | None = None,
+    recovery: RecoveryPolicy | None = None,
     trace: bool = False,
 ) -> SolverResult:
     """Functional wrapper around :class:`CrossbarPDIPSolver`."""
-    return CrossbarPDIPSolver(problem, settings, rng=rng).solve(trace=trace)
+    solver = CrossbarPDIPSolver(problem, settings, rng=rng, recovery=recovery)
+    return solver.solve(trace=trace)

@@ -20,6 +20,35 @@ class SolveStatus(enum.Enum):
         return self.value
 
 
+class FailureReason(enum.Enum):
+    """Machine-readable cause of an unsuccessful solve attempt.
+
+    The recovery ladder (:mod:`repro.reliability.recovery`) branches on
+    this enum instead of matching substrings of the human-readable
+    ``message``.  ``NONE`` marks a conclusive attempt (OPTIMAL or
+    INFEASIBLE — both are answers, not failures).
+    """
+
+    NONE = "none"
+    #: Stalled at the analog noise floor, or hit the iteration cap,
+    #: without any iterate passing the A x <= alpha b check.
+    NO_FEASIBLE_ITERATE = "no_feasible_iterate"
+    #: The analog solve failed: the perturbed conductance matrix was
+    #: singular or produced non-finite rails (Section 4.3).
+    SINGULAR_SYSTEM = "singular_system"
+    #: Converged, but the final constraints check A x <= alpha b
+    #: rejected the returned point (Section 3.2).
+    FINAL_CHECK_FAILED = "final_check_failed"
+    #: The post-programming health probe rejected the array before the
+    #: PDIP loop started (stuck cells / corrupted mapping).
+    PROBE_UNHEALTHY = "probe_unhealthy"
+    #: The digital fallback solver itself failed to classify.
+    FALLBACK_FAILED = "fallback_failed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
 @dataclasses.dataclass(frozen=True)
 class IterationRecord:
     """One PDIP iteration's diagnostics.
@@ -78,6 +107,13 @@ class CrossbarCounters:
     write_latency_s: float = 0.0
     write_energy_j: float = 0.0
     array_size: int = 0
+    #: Write-verify accounting (0 when verification is disabled):
+    #: cell read-backs performed, cells that needed corrective
+    #: re-pulses, and cells still out of tolerance when the pulse
+    #: budget ran out (persistent / stuck deviations).
+    verify_reads: int = 0
+    verify_repulsed: int = 0
+    verify_unverified: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,6 +137,14 @@ class SolverResult:
         Analog operation counters, or ``None`` for software solvers.
     message:
         Human-readable detail (failure reason, retry count, ...).
+    failure_reason:
+        Machine-readable cause when the run was not conclusive;
+        :attr:`FailureReason.NONE` for OPTIMAL / INFEASIBLE results.
+    attempts:
+        Recovery-ladder history: one
+        :class:`~repro.reliability.telemetry.AttemptRecord` per solve
+        attempt (empty for software solvers and single-shot runs that
+        bypass the ladder).
     """
 
     status: SolveStatus
@@ -113,6 +157,8 @@ class SolverResult:
     trace: tuple[IterationRecord, ...] = ()
     crossbar: CrossbarCounters | None = None
     message: str = ""
+    failure_reason: FailureReason = FailureReason.NONE
+    attempts: tuple = ()
 
     @property
     def is_optimal(self) -> bool:
@@ -137,8 +183,29 @@ def with_message(result: SolverResult, extra: str) -> SolverResult:
 
 
 def with_status(
-    result: SolverResult, status: SolveStatus, extra: str
+    result: SolverResult,
+    status: SolveStatus,
+    extra: str,
+    *,
+    failure_reason: FailureReason | None = None,
 ) -> SolverResult:
-    """Copy of ``result`` with a new status and appended message."""
+    """Copy of ``result`` with a new status and appended message.
+
+    The failure reason follows the status unless given explicitly: a
+    reclassification to OPTIMAL / INFEASIBLE clears it to ``NONE``,
+    any other status keeps the original reason.
+    """
     message = f"{result.message}; {extra}" if result.message else extra
-    return dataclasses.replace(result, status=status, message=message)
+    if failure_reason is None:
+        conclusive = status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+        failure_reason = (
+            FailureReason.NONE if conclusive else result.failure_reason
+        )
+    return dataclasses.replace(
+        result, status=status, message=message, failure_reason=failure_reason
+    )
+
+
+def with_attempts(result: SolverResult, attempts) -> SolverResult:
+    """Copy of ``result`` carrying the given attempt history."""
+    return dataclasses.replace(result, attempts=tuple(attempts))

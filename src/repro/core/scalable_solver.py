@@ -38,17 +38,19 @@ from repro.core.problem import LinearProgram
 from repro.core.residuals import centering_mu, converged, duality_gap
 from repro.core.result import (
     CrossbarCounters,
+    FailureReason,
     IterationRecord,
     SolverResult,
     SolveStatus,
-    with_message,
-    with_status,
 )
 from repro.core.scalable_system import ScalableNewtonSystem
 from repro.core.settings import ScalableSolverSettings
 from repro.core.stepsize import ratio_test_theta
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError
+from repro.reliability.policy import RecoveryPolicy
+from repro.reliability.probe import ProbeReport, probe_operators
+from repro.reliability.recovery import solve_with_recovery
 
 
 class LargeScaleCrossbarPDIPSolver:
@@ -62,6 +64,11 @@ class LargeScaleCrossbarPDIPSolver:
         Algorithm and hardware configuration.
     rng:
         Random generator driving the process-variation draws.
+    recovery:
+        Escalation policy.  Defaults to
+        :meth:`RecoveryPolicy.from_settings`, i.e. the paper's retry
+        scheme (``settings.retries`` reprogram attempts, no probe, no
+        remap, no fallback).
     """
 
     def __init__(
@@ -70,12 +77,18 @@ class LargeScaleCrossbarPDIPSolver:
         settings: ScalableSolverSettings | None = None,
         *,
         rng: np.random.Generator | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.problem = problem
         self.settings = (
             settings if settings is not None else ScalableSolverSettings()
         )
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.recovery = (
+            recovery
+            if recovery is not None
+            else RecoveryPolicy.from_settings(self.settings)
+        )
         self.system = ScalableNewtonSystem(
             problem,
             coupling=self.settings.coupling,
@@ -85,36 +98,72 @@ class LargeScaleCrossbarPDIPSolver:
         )
 
     def solve(self, *, trace: bool = False) -> SolverResult:
-        """Run Algorithm 2 with the retry ("double checking") scheme."""
-        attempts = self.settings.retries + 1
-        result = None
-        all_stalled_infeasible = True
-        for attempt in range(attempts):
-            result = self._solve_once(trace=trace)
-            if result.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
-                if attempt:
-                    result = with_message(
-                        result, f"succeeded on retry {attempt}"
-                    )
-                return result
-            all_stalled_infeasible = all_stalled_infeasible and (
-                "without a feasible iterate" in result.message
-            )
-        if all_stalled_infeasible:
-            # The paper's final constraints check A x <= alpha b is the
-            # feasibility verdict; no attempt ever passed it.
-            return with_status(
-                result,
-                SolveStatus.INFEASIBLE,
-                "no attempt produced an iterate passing A x <= alpha b",
-            )
-        return result
+        """Run Algorithm 2 under the recovery ladder.
 
-    def _solve_once(self, *, trace: bool) -> SolverResult:
+        The ladder's first rung is the paper's Section 4.5 "double
+        checking scheme" (reprogram all four arrays, drawing fresh
+        process variation); the configured :class:`RecoveryPolicy` may
+        escalate further to remapping and a digital fallback.  The
+        returned result carries the full attempt history.
+        """
+        return solve_with_recovery(
+            lambda rng: self._solve_once(rng=rng, trace=trace),
+            self.recovery,
+            self.problem,
+            self.rng,
+        )
+
+    def _probe_rejection(
+        self,
+        probe: ProbeReport,
+        total_writes,
+        multiplies: int,
+    ) -> SolverResult:
+        """Short-circuit result for arrays the health probe rejected."""
+        problem = self.problem
+        system = self.system
+        m, n = problem.A.shape
+        counters = CrossbarCounters(
+            multiplies=multiplies,
+            solves=0,
+            cells_written=total_writes.cells_written,
+            write_pulses=total_writes.pulses,
+            write_latency_s=total_writes.latency_s,
+            write_energy_j=total_writes.energy_j,
+            array_size=max(system.size_m1, system.size_m2),
+            verify_reads=total_writes.verify_reads,
+            verify_repulsed=total_writes.repulsed_cells,
+            verify_unverified=total_writes.unverified_cells,
+        )
+        x = np.zeros(n)
+        return SolverResult(
+            status=SolveStatus.NUMERICAL_FAILURE,
+            x=x,
+            y=np.zeros(m),
+            w=np.zeros(m),
+            z=np.zeros(n),
+            objective=problem.objective(x),
+            iterations=0,
+            crossbar=counters,
+            message=(
+                f"health probe rejected array {probe.label!r}: relative "
+                f"error {probe.max_rel_error:.3g} exceeds tolerance "
+                f"{probe.tolerance:.3g}"
+            ),
+            failure_reason=FailureReason.PROBE_UNHEALTHY,
+        )
+
+    def _solve_once(
+        self,
+        *,
+        rng: np.random.Generator | None = None,
+        trace: bool = False,
+    ) -> tuple[SolverResult, ProbeReport | None]:
         problem = self.problem
         settings = self.settings
         system = self.system
         m, n = problem.A.shape
+        rng = rng if rng is not None else self.rng
 
         x = np.full(n, settings.initial_value)
         z = np.full(n, settings.initial_value)
@@ -124,11 +173,12 @@ class LargeScaleCrossbarPDIPSolver:
         hardware = dict(
             params=settings.device,
             variation=settings.variation,
-            rng=self.rng,
+            rng=rng,
             dac_bits=settings.dac_bits,
             adc_bits=settings.adc_bits,
             off_state=settings.off_state,
             row_scaling=settings.row_scaling,
+            write_verify=settings.write_verify,
         )
         m1_solve = AnalogMatrixOperator(
             system.build_m1(x, y, w, z, with_coupling=True),
@@ -152,6 +202,31 @@ class LargeScaleCrossbarPDIPSolver:
         )
         multiplies = 0
         solves = 0
+
+        probe = None
+        if self.recovery.probe is not None:
+            probe = probe_operators(
+                [
+                    ("m1_solve", m1_solve),
+                    ("m1_mult", m1_mult),
+                    ("m2", m2),
+                    ("d", d_array),
+                ],
+                self.recovery.probe,
+                rng,
+            )
+            multiplies += probe.vectors
+            if not probe.healthy:
+                total_writes = (
+                    m1_solve.write_report
+                    + m1_mult.write_report
+                    + m2.write_report
+                    + d_array.write_report
+                )
+                return (
+                    self._probe_rejection(probe, total_writes, multiplies),
+                    probe,
+                )
 
         eps_primal = settings.eps_primal * (
             1.0 + float(np.max(np.abs(problem.b), initial=0.0))
@@ -183,6 +258,7 @@ class LargeScaleCrossbarPDIPSolver:
         iterations = 0
         status = SolveStatus.ITERATION_LIMIT
         message = ""
+        reason = FailureReason.NONE
 
         def clamped_update(operator, values):
             rows, cols, vals = system.diag_update(values)
@@ -257,6 +333,7 @@ class LargeScaleCrossbarPDIPSolver:
                     else:
                         status = SolveStatus.ITERATION_LIMIT
                         message = "stalled without a feasible iterate"
+                        reason = FailureReason.NO_FEASIBLE_ITERATE
                     break
 
             try:
@@ -298,6 +375,7 @@ class LargeScaleCrossbarPDIPSolver:
                 else:
                     status = SolveStatus.NUMERICAL_FAILURE
                     message = str(exc)
+                    reason = FailureReason.SINGULAR_SYSTEM
                 break
 
             if settings.step_policy == "capped_ratio":
@@ -350,6 +428,7 @@ class LargeScaleCrossbarPDIPSolver:
                 )
             else:
                 message = "iteration limit without a feasible iterate"
+                reason = FailureReason.NO_FEASIBLE_ITERATE
 
         if status is SolveStatus.OPTIMAL and not (
             problem.satisfies_relaxed_constraints(
@@ -362,6 +441,10 @@ class LargeScaleCrossbarPDIPSolver:
         ):
             status = SolveStatus.NUMERICAL_FAILURE
             message = "final constraint check A x <= alpha b failed"
+            reason = FailureReason.FINAL_CHECK_FAILED
+
+        if status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
+            reason = FailureReason.NONE
 
         total_writes = (
             m1_solve.write_report
@@ -377,8 +460,11 @@ class LargeScaleCrossbarPDIPSolver:
             write_latency_s=total_writes.latency_s,
             write_energy_j=total_writes.energy_j,
             array_size=max(system.size_m1, system.size_m2),
+            verify_reads=total_writes.verify_reads,
+            verify_repulsed=total_writes.repulsed_cells,
+            verify_unverified=total_writes.unverified_cells,
         )
-        return SolverResult(
+        result = SolverResult(
             status=status,
             x=x,
             y=y,
@@ -389,7 +475,9 @@ class LargeScaleCrossbarPDIPSolver:
             trace=tuple(records),
             crossbar=counters,
             message=message,
+            failure_reason=reason,
         )
+        return result, probe
 
 
 def solve_crossbar_large_scale(
@@ -397,9 +485,11 @@ def solve_crossbar_large_scale(
     settings: ScalableSolverSettings | None = None,
     *,
     rng: np.random.Generator | None = None,
+    recovery: RecoveryPolicy | None = None,
     trace: bool = False,
 ) -> SolverResult:
     """Functional wrapper around :class:`LargeScaleCrossbarPDIPSolver`."""
-    return LargeScaleCrossbarPDIPSolver(problem, settings, rng=rng).solve(
-        trace=trace
+    solver = LargeScaleCrossbarPDIPSolver(
+        problem, settings, rng=rng, recovery=recovery
     )
+    return solver.solve(trace=trace)

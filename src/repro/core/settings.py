@@ -27,6 +27,7 @@ import dataclasses
 
 from repro.devices.models import YAKOPCIC_NAECON14, DeviceParameters
 from repro.devices.variation import NoVariation, VariationModel
+from repro.reliability.verify import WriteVerifyPolicy
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,7 +88,17 @@ class CrossbarSolverSettings(PDIPSettings):
     scale_headroom: float = 2.0
     row_scaling: bool = False
     stall_iterations: int = 25
+    #: Legacy retry count (the paper's Section 4.5 "double checking
+    #: scheme").  Only consulted when no explicit
+    #: :class:`~repro.reliability.policy.RecoveryPolicy` is passed to
+    #: the solver: the default policy then uses this many reprogram
+    #: attempts with no remap/probe/fallback rungs.
     retries: int = 2
+    #: Closed-loop programming: read back written cells and re-pulse
+    #: out-of-tolerance ones (see
+    #: :class:`~repro.reliability.verify.WriteVerifyPolicy`).  ``None``
+    #: keeps the paper's open-loop programming.
+    write_verify: WriteVerifyPolicy | None = None
     #: Iterates are clamped at this floor after every update so analog
     #: noise cannot push a variable to exactly zero and freeze the
     #: Eqn. 11 ratio test.

@@ -35,6 +35,7 @@ from repro.crossbar.programming import WriteReport, plan_write
 from repro.devices.models import HP_TIO2, DeviceParameters
 from repro.devices.variation import NoVariation, VariationModel
 from repro.exceptions import CrossbarSolveError, MappingError
+from repro.reliability.verify import WriteVerifyPolicy
 
 
 class CrossbarArray:
@@ -54,6 +55,11 @@ class CrossbarArray:
     rng:
         Random generator for variation draws.  Defaults to a fresh
         ``default_rng()``; pass an explicit generator in experiments.
+    write_verify:
+        Closed-loop programming policy: after every programming event
+        the written cells are read back and out-of-tolerance cells are
+        re-pulsed up to the policy's round budget.  ``None`` (default)
+        keeps the paper's open-loop programming.
     """
 
     def __init__(
@@ -65,6 +71,7 @@ class CrossbarArray:
         variation: VariationModel | None = None,
         g_sense: float | None = None,
         rng: np.random.Generator | None = None,
+        write_verify: WriteVerifyPolicy | None = None,
     ) -> None:
         if n_rows < 1 or n_cols < 1:
             raise ValueError("array dimensions must be positive")
@@ -76,6 +83,7 @@ class CrossbarArray:
         if self.g_sense <= 0:
             raise ValueError("g_sense must be positive")
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.write_verify = write_verify
 
         # Nominal (programmed) and actual (variation-perturbed) states.
         # A blank array has every cell isolated (1T1R off state).
@@ -112,6 +120,12 @@ class CrossbarArray:
         report = plan_write(self._nominal, conductances, self.params)
         self._nominal = conductances.copy()
         self._actual = self.variation.perturb(self._nominal, self.rng)
+        grid_rows, grid_cols = np.meshgrid(
+            np.arange(self.n_rows), np.arange(self.n_cols), indexing="ij"
+        )
+        report = self._verify_written(
+            grid_rows.ravel(), grid_cols.ravel(), report
+        )
         self.write_log.append(report)
         return report
 
@@ -163,8 +177,79 @@ class CrossbarArray:
         new_actual = self._actual.copy()
         new_actual[rows, cols] = perturbed
         self._actual = new_actual
+        report = self._verify_written(rows, cols, report)
         self.write_log.append(report)
         return report
+
+    def _verify_written(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        report: WriteReport,
+    ) -> WriteReport:
+        """Write–verify loop over the cells just written.
+
+        Reads back the realized conductances, re-pulses cells whose
+        deviation from target exceeds the policy tolerance (relative
+        to the target, with ``g_off`` as the reference for off-state
+        targets), and folds the extra pulses/latency/energy plus the
+        verify counters into the returned :class:`WriteReport`.
+        Re-pulsing redraws soft variation but cannot move persistent
+        deviations (see :meth:`VariationModel.reperturb`); cells still
+        out of tolerance when the round budget runs out are counted as
+        ``unverified_cells``.
+        """
+        policy = self.write_verify
+        if policy is None or rows.size == 0:
+            return report
+        targets = self._nominal[rows, cols]
+        reference = np.maximum(np.abs(targets), self.params.g_off)
+        reads = 0
+        repulsed = np.zeros(rows.size, dtype=bool)
+        bad = np.zeros(rows.size, dtype=bool)
+        for _ in range(policy.max_rounds):
+            actual = self._actual[rows, cols]
+            reads += rows.size
+            bad = (
+                np.abs(actual - targets) > policy.tolerance * reference
+            )
+            if not bad.any():
+                break
+            repulsed |= bad
+            bad_rows = rows[bad]
+            bad_cols = cols[bad]
+            pulse_cost = plan_write(
+                actual[bad].reshape(1, -1),
+                targets[bad].reshape(1, -1),
+                self.params,
+            )
+            report = report + WriteReport(
+                cells_written=0,
+                pulses=pulse_cost.pulses,
+                latency_s=pulse_cost.latency_s,
+                energy_j=pulse_cost.energy_j,
+            )
+            self._actual[bad_rows, bad_cols] = self.variation.reperturb(
+                targets[bad].reshape(1, -1),
+                self._actual[bad_rows, bad_cols].reshape(1, -1),
+                self.rng,
+            ).ravel()
+        else:
+            # Budget exhausted: take a final read to count survivors.
+            actual = self._actual[rows, cols]
+            reads += rows.size
+            bad = (
+                np.abs(actual - targets) > policy.tolerance * reference
+            )
+        return report + WriteReport(
+            cells_written=0,
+            pulses=0,
+            latency_s=0.0,
+            energy_j=0.0,
+            verify_reads=reads,
+            repulsed_cells=int(np.count_nonzero(repulsed)),
+            unverified_cells=int(np.count_nonzero(bad)),
+        )
 
     def _validate_range(self, conductances: np.ndarray) -> None:
         # Targets are either exactly 0 (cell isolated, 1T1R off state)

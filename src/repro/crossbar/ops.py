@@ -42,6 +42,7 @@ from repro.crossbar.quantization import quantize_auto
 from repro.devices.models import HP_TIO2, DeviceParameters
 from repro.devices.variation import NoVariation, VariationModel
 from repro.exceptions import MappingError
+from repro.reliability.verify import WriteVerifyPolicy
 
 #: A row is rescaled when its peak conductance target would exceed
 #: ``g_on`` (overflow) or fall below ``g_on / (headroom * HYSTERESIS)``
@@ -88,6 +89,10 @@ class AnalogMatrixOperator:
         Ignored in ``"zero"`` mode.
     g_sense:
         Sense-resistor conductance; defaults to the device ``g_on``.
+    write_verify:
+        Closed-loop programming policy forwarded to the underlying
+        :class:`~repro.crossbar.array.CrossbarArray`; ``None`` keeps
+        open-loop programming.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class AnalogMatrixOperator:
         off_state: str = "zero",
         compensate_leak: bool = True,
         g_sense: float | None = None,
+        write_verify: WriteVerifyPolicy | None = None,
     ) -> None:
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2:
@@ -144,6 +150,7 @@ class AnalogMatrixOperator:
             variation=self.variation,
             g_sense=g_sense,
             rng=self.rng,
+            write_verify=write_verify,
         )
         self._scales = self._fresh_scales()
         self._floored = np.zeros((self.n_in, self.n_out), dtype=bool)

@@ -42,12 +42,23 @@ class WriteReport:
     energy_j:
         Total energy of the write phase, including half-select
         overhead, joules.
+    verify_reads:
+        Cell read-backs performed by the write–verify loop (0 when
+        verification is disabled).
+    repulsed_cells:
+        Cells that needed at least one corrective re-pulse round.
+    unverified_cells:
+        Cells still out of tolerance when the verify pulse budget ran
+        out — persistent deviations (e.g. stuck-at faults).
     """
 
     cells_written: int
     pulses: int
     latency_s: float
     energy_j: float
+    verify_reads: int = 0
+    repulsed_cells: int = 0
+    unverified_cells: int = 0
 
     def __add__(self, other: "WriteReport") -> "WriteReport":
         return WriteReport(
@@ -55,6 +66,11 @@ class WriteReport:
             pulses=self.pulses + other.pulses,
             latency_s=self.latency_s + other.latency_s,
             energy_j=self.energy_j + other.energy_j,
+            verify_reads=self.verify_reads + other.verify_reads,
+            repulsed_cells=self.repulsed_cells + other.repulsed_cells,
+            unverified_cells=(
+                self.unverified_cells + other.unverified_cells
+            ),
         )
 
 

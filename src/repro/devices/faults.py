@@ -70,6 +70,33 @@ class StuckAtFaults(VariationModel):
         perturbed = np.where(stuck_off, 0.0, perturbed)
         return perturbed
 
+    def reperturb(
+        self,
+        matrix: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Re-pulse within one programming event: hard faults persist.
+
+        A fresh fault draw models mapping onto a *different* physical
+        array (see the class docstring); the write–verify loop instead
+        re-pulses the *same* cells, which trims soft variation but
+        cannot move a shorted or open device.  Cells whose previous
+        read-back sits exactly at the stuck levels while commanded
+        elsewhere are kept stuck; all other cells re-roll their soft
+        deviation.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        previous = np.asarray(previous, dtype=float)
+        fresh = self.base.reperturb(matrix, previous, rng)
+        stuck_on = (previous == self.params.g_on) & (
+            matrix != self.params.g_on
+        )
+        stuck_off = (previous == 0.0) & (matrix > 0.0)
+        fresh = np.where(stuck_on, self.params.g_on, fresh)
+        fresh = np.where(stuck_off, 0.0, fresh)
+        return fresh
+
     @property
     def relative_magnitude(self) -> float:
         """Spec value for acceptance budgeting.

@@ -52,6 +52,22 @@ class VariationModel(abc.ABC):
         corresponding propagated amount without being wrong.
         """
 
+    def reperturb(
+        self,
+        matrix: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Redraw after a corrective re-pulse (write–verify loop).
+
+        ``previous`` is the realized conductance the read-back found
+        out of tolerance.  The default is a fresh independent draw —
+        soft variation is re-rolled by every pulse train.  Models with
+        *persistent* deviations (e.g. stuck-at faults) override this:
+        re-pulsing a hard-faulted cell cannot move it.
+        """
+        return self.perturb(matrix, rng)
+
     def __call__(
         self, matrix: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:

@@ -1,0 +1,89 @@
+"""The configurable recovery escalation policy.
+
+The paper's only failure handling is Section 4.5's "double checking
+scheme": reprogram and resolve, a fixed number of times.
+:class:`RecoveryPolicy` generalizes that into a deterministic ladder:
+
+1. **reprogram** — rewrite the same array (fresh process-variation
+   draw) and solve again; cheap, fixes soft-variation bad luck;
+2. **remap** — allocate a fresh physical array: new variation *and*
+   stuck-at fault draw; fixes arrays with hard faults;
+3. **digital fallback** — give up on analog and solve with the
+   software reference PDIP or scipy/HiGHS; always terminates with a
+   classified answer.
+
+Health probing (:mod:`repro.reliability.probe`) gates each analog
+attempt so a corrupted array is rejected in O(probe vectors) analog
+multiplies instead of a full PDIP iteration budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.reliability.probe import ProbePolicy
+
+#: Valid ``digital_fallback`` selectors -> description.
+FALLBACK_SOLVERS = ("reference", "scipy")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPolicy:
+    """Escalation ladder configuration.
+
+    Parameters
+    ----------
+    reprograms:
+        Extra attempts on rung 1 (reprogram, fresh variation draw)
+        after the initial attempt fails.
+    remaps:
+        Attempts on rung 2 (remap onto a fresh array, fresh fault
+        draw) after the reprogram budget is exhausted.
+    digital_fallback:
+        ``"reference"`` (software PDIP), ``"scipy"`` (HiGHS), or
+        ``None`` to disable rung 3.
+    probe:
+        Health-probe policy applied after programming, before each
+        attempt's PDIP loop; ``None`` disables probing.
+    """
+
+    reprograms: int = 2
+    remaps: int = 1
+    digital_fallback: str | None = None
+    probe: ProbePolicy | None = dataclasses.field(
+        default_factory=ProbePolicy
+    )
+
+    def __post_init__(self) -> None:
+        if self.reprograms < 0:
+            raise ValueError("reprograms must be non-negative")
+        if self.remaps < 0:
+            raise ValueError("remaps must be non-negative")
+        if (
+            self.digital_fallback is not None
+            and self.digital_fallback not in FALLBACK_SOLVERS
+        ):
+            raise ValueError(
+                f"unknown digital fallback {self.digital_fallback!r}; "
+                f"expected one of {FALLBACK_SOLVERS} or None"
+            )
+
+    @property
+    def analog_attempts(self) -> int:
+        """Total analog attempts the ladder will make."""
+        return 1 + self.reprograms + self.remaps
+
+    @classmethod
+    def from_settings(cls, settings) -> "RecoveryPolicy":
+        """The paper-faithful legacy policy implied by ``settings``.
+
+        ``settings.retries`` reprogram attempts, no remap rung, no
+        probe, no fallback — exactly the Section 4.5 behavior the
+        solvers had before the reliability layer existed.
+        """
+        return cls(
+            reprograms=settings.retries,
+            remaps=0,
+            digital_fallback=None,
+            probe=None,
+        )

@@ -1,0 +1,167 @@
+"""The recovery-ladder executor.
+
+:func:`solve_with_recovery` runs a solver's single-attempt callable
+through the rungs of a :class:`~repro.reliability.policy.RecoveryPolicy`
+and assembles the structured attempt history.  Both crossbar solvers
+delegate their ``solve()`` to this engine, replacing the ad-hoc retry
+loops that classified failures by message-substring matching.
+
+Semantics preserved from the paper's scheme:
+
+- an attempt ending OPTIMAL or INFEASIBLE is conclusive and returns
+  immediately (with "succeeded on retry k" appended when k > 0);
+- if *every* analog attempt stalled without a feasible iterate (the
+  Section 3.2 / 4.5 reading: no iterate ever passed ``A x <= alpha b``)
+  and no digital fallback is configured, the verdict is INFEASIBLE;
+- otherwise the last attempt's result is returned as-is.
+
+New semantics: with ``digital_fallback`` configured, exhausting the
+analog rungs escalates to the software solver, which always terminates
+with a classified answer — ``solve()`` never surfaces an unclassified
+NUMERICAL_FAILURE when a fallback is available.
+
+Every analog attempt draws a fresh 63-bit seed from the solver's
+generator and runs on ``default_rng(seed)``; the seed lands in the
+:class:`~repro.reliability.telemetry.AttemptRecord` so a failing
+analog attempt can be replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+from repro.core.result import (
+    FailureReason,
+    SolverResult,
+    SolveStatus,
+    with_attempts,
+    with_message,
+    with_status,
+)
+from repro.reliability.policy import RecoveryPolicy
+from repro.reliability.probe import ProbeReport
+from repro.reliability.telemetry import AttemptRecord, RecoveryAction
+
+#: An analog solve attempt: takes the attempt RNG, returns the result
+#: and the health-probe report (``None`` when probing is disabled).
+AttemptFn = Callable[
+    [np.random.Generator], "tuple[SolverResult, ProbeReport | None]"
+]
+
+_CONCLUSIVE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+
+
+def _record_for(
+    index: int,
+    action: RecoveryAction,
+    result: SolverResult,
+    seed: int | None,
+    probe: ProbeReport | None,
+) -> AttemptRecord:
+    counters = result.crossbar
+    return AttemptRecord(
+        index=index,
+        action=action,
+        status=result.status,
+        failure_reason=result.failure_reason,
+        iterations=result.iterations,
+        seed=seed,
+        message=result.message,
+        probe=probe,
+        verify_repulsed=counters.verify_repulsed if counters else 0,
+        verify_unverified=counters.verify_unverified if counters else 0,
+    )
+
+
+def run_digital_fallback(
+    kind: str, problem: LinearProgram
+) -> SolverResult:
+    """Rung 3: solve digitally with the selected software solver.
+
+    Imported lazily — the fallback solvers import the settings module,
+    which itself imports this package.
+    """
+    if kind == "reference":
+        from repro.core.reference_pdip import solve_reference
+
+        result = solve_reference(problem)
+    elif kind == "scipy":
+        from repro.baselines.scipy_linprog import solve_scipy
+
+        result = solve_scipy(problem)
+    else:  # pragma: no cover - policy validates on construction
+        raise ValueError(f"unknown digital fallback {kind!r}")
+    if result.status not in _CONCLUSIVE:
+        result = dataclasses.replace(
+            result, failure_reason=FailureReason.FALLBACK_FAILED
+        )
+    return result
+
+
+def solve_with_recovery(
+    attempt: AttemptFn,
+    policy: RecoveryPolicy,
+    problem: LinearProgram,
+    rng: np.random.Generator,
+) -> SolverResult:
+    """Run ``attempt`` through the recovery ladder of ``policy``."""
+    schedule = (
+        [RecoveryAction.INITIAL]
+        + [RecoveryAction.REPROGRAM] * policy.reprograms
+        + [RecoveryAction.REMAP] * policy.remaps
+    )
+    records: list[AttemptRecord] = []
+    last: SolverResult | None = None
+    for index, action in enumerate(schedule):
+        seed = int(rng.integers(0, 2**63))
+        result, probe = attempt(np.random.default_rng(seed))
+        records.append(_record_for(index, action, result, seed, probe))
+        last = result
+        if result.status in _CONCLUSIVE:
+            if index:
+                result = with_message(
+                    result, f"succeeded on retry {index} ({action.value})"
+                )
+            return with_attempts(result, records)
+
+    assert last is not None  # schedule always has the initial rung
+
+    if policy.digital_fallback is not None:
+        result = run_digital_fallback(policy.digital_fallback, problem)
+        result = with_message(
+            result,
+            f"digital fallback ({policy.digital_fallback}) after "
+            f"{len(records)} analog attempts",
+        )
+        records.append(
+            _record_for(
+                len(records),
+                RecoveryAction.DIGITAL_FALLBACK,
+                result,
+                None,
+                None,
+            )
+        )
+        return with_attempts(result, records)
+
+    if all(
+        record.failure_reason is FailureReason.NO_FEASIBLE_ITERATE
+        for record in records
+    ):
+        # Section 3.2 / 4.5: the final constraints check A x <= alpha b
+        # is the paper's feasibility verdict.  Every attempt (each with
+        # a fresh variation draw) stalled without any iterate passing
+        # it: report infeasible.
+        return with_attempts(
+            with_status(
+                last,
+                SolveStatus.INFEASIBLE,
+                "no attempt produced an iterate passing A x <= alpha b",
+            ),
+            records,
+        )
+    return with_attempts(last, records)

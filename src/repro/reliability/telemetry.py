@@ -1,0 +1,106 @@
+"""Structured failure telemetry for the recovery ladder.
+
+Every solve attempt — the initial analog run, each recovery rung, and
+the digital fallback — leaves an :class:`AttemptRecord` in the final
+:attr:`~repro.core.result.SolverResult.attempts` history, so a
+production service can answer "which rung produced this answer, and
+why did the earlier ones fail?" without parsing log strings.
+
+Each analog attempt also records the RNG seed that drove its process-
+variation and fault draws: re-running the solver's ``_solve_once``
+with ``numpy.random.default_rng(record.seed)`` reproduces the failing
+attempt bit-for-bit (same problem and settings assumed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.core.result import FailureReason, SolveStatus
+from repro.reliability.probe import ProbeReport
+
+
+class RecoveryAction(enum.Enum):
+    """Which rung of the escalation ladder produced an attempt."""
+
+    #: First analog solve on the freshly programmed array.
+    INITIAL = "initial"
+    #: Reprogram the same array (fresh variation draw) — the paper's
+    #: Section 4.5 "double checking scheme".
+    REPROGRAM = "reprogram"
+    #: Remap onto a fresh physical array: new variation *and* fault
+    #: draw (fault maps are per-array, see devices/faults.py).
+    REMAP = "remap"
+    #: Give up on analog and solve digitally.
+    DIGITAL_FALLBACK = "digital_fallback"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class AttemptRecord:
+    """One rung's outcome in the recovery ladder.
+
+    Attributes
+    ----------
+    index:
+        Position in the ladder (0 = initial attempt).
+    action:
+        The :class:`RecoveryAction` that produced this attempt.
+    status:
+        Terminal status of the attempt.
+    failure_reason:
+        Machine-readable cause if the attempt was inconclusive.
+    iterations:
+        PDIP iterations the attempt executed (0 when a probe rejected
+        the array before the loop started).
+    seed:
+        RNG seed that drove the attempt's variation/fault draws;
+        ``None`` for the digital fallback (deterministic).
+    message:
+        The attempt's human-readable detail.
+    probe:
+        Health-probe outcome for the attempt's arrays, if probing was
+        enabled.
+    verify_repulsed / verify_unverified:
+        Write-verify counters accumulated during the attempt: cells
+        that needed corrective re-pulses, and cells left out of
+        tolerance (persistent faults).
+    """
+
+    index: int
+    action: RecoveryAction
+    status: SolveStatus
+    failure_reason: FailureReason
+    iterations: int
+    seed: int | None
+    message: str = ""
+    probe: ProbeReport | None = None
+    verify_repulsed: int = 0
+    verify_unverified: int = 0
+
+    @property
+    def conclusive(self) -> bool:
+        """Whether this attempt settled the problem."""
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+
+
+def describe_attempts(attempts) -> str:
+    """One line per attempt, for CLI output and logs."""
+    lines = []
+    for record in attempts:
+        seed = "-" if record.seed is None else str(record.seed)
+        detail = record.failure_reason.value
+        if record.probe is not None and not record.probe.healthy:
+            detail += (
+                f" (probe {record.probe.label or 'array'}:"
+                f" {record.probe.max_rel_error:.3g}"
+                f" > {record.probe.tolerance:.3g})"
+            )
+        lines.append(
+            f"[{record.index}] {record.action.value:<16}"
+            f" {record.status.value:<17} reason={detail} seed={seed}"
+        )
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ import pytest
 from repro.core import (
     CrossbarPDIPSolver,
     CrossbarSolverSettings,
+    FailureReason,
     LargeScaleCrossbarPDIPSolver,
     ScalableSolverSettings,
     SolveStatus,
@@ -59,6 +60,8 @@ class TestSolver1Retry:
         result = solver.solve()
         assert result.status is SolveStatus.OPTIMAL
         assert "retry" in result.message
+        assert result.failure_reason is FailureReason.NONE
+        assert len(result.attempts) == 2
 
     def test_no_retries_surfaces_failure(self, flaky, small_feasible):
         flaky(10)
@@ -70,6 +73,7 @@ class TestSolver1Retry:
         result = solver.solve()
         assert result.status is SolveStatus.NUMERICAL_FAILURE
         assert "injected" in result.message
+        assert result.failure_reason is FailureReason.SINGULAR_SYSTEM
 
     def test_exhausted_retries_return_last_result(self, flaky,
                                                   small_feasible):
@@ -81,6 +85,12 @@ class TestSolver1Retry:
         )
         result = solver.solve()
         assert result.status is SolveStatus.NUMERICAL_FAILURE
+        assert result.failure_reason is FailureReason.SINGULAR_SYSTEM
+        assert len(result.attempts) == 3
+        assert all(
+            a.failure_reason is FailureReason.SINGULAR_SYSTEM
+            for a in result.attempts
+        )
 
 
 class TestSolver2Retry:
@@ -104,3 +114,5 @@ class TestSolver2Retry:
         result = solver.solve()
         assert result.status is SolveStatus.NUMERICAL_FAILURE
         assert "injected" in result.message
+        assert result.failure_reason is FailureReason.SINGULAR_SYSTEM
+        assert result.attempts[0].seed is not None

@@ -155,3 +155,59 @@ class TestSolve:
         array, _, _ = programmed_array(rng, n=4)
         with pytest.raises(ValueError, match="shape"):
             array.solve(np.zeros(5))
+
+
+class TestFullyOpenCells:
+    """Regression: stuck-OFF (conductance 0.0) cells must never produce
+    division by zero — not in the analog primitives, not in the mapping
+    scales, not in the operator decode path."""
+
+    def test_multiply_finite_with_all_cells_open(self):
+        array = CrossbarArray(4, 4, params=HP_TIO2)
+        # Blank array: every cell fully open (actual conductance 0.0).
+        out = array.multiply(np.ones(4))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, np.zeros(4))
+
+    def test_denominators_positive_with_open_columns(self):
+        array = CrossbarArray(4, 4, params=HP_TIO2)
+        targets = np.full((4, 4), HP_TIO2.g_on * 0.5)
+        targets[:, 2] = 0.0  # whole bit-line open
+        array.program(targets)
+        assert np.all(array.nominal_denominators() > 0)
+        out = array.multiply(np.ones(4))
+        assert np.all(np.isfinite(out))
+
+    def test_solve_raises_instead_of_returning_nonfinite(self):
+        array = CrossbarArray(3, 3, params=HP_TIO2)
+        targets = np.full((3, 3), HP_TIO2.g_on * 0.5)
+        targets[:, 1] = 0.0  # open column makes the system singular
+        array.program(targets)
+        with pytest.raises(CrossbarSolveError):
+            array.solve(np.ones(3))
+
+    def test_fast_mapping_scales_finite_for_zero_matrices(self):
+        from repro.crossbar.mapping import map_matrix_per_row
+
+        zero = np.zeros((3, 3))
+        for mapping in (
+            map_matrix(zero, HP_TIO2),
+            map_matrix_per_row(zero, HP_TIO2),
+        ):
+            assert np.all(np.isfinite(mapping.scale_vector))
+            assert np.all(mapping.scale_vector > 0)
+            assert np.all(np.isfinite(mapping.decode_matrix()))
+
+    def test_operator_decode_finite_with_stuck_open_cells(self):
+        from repro.crossbar.ops import AnalogMatrixOperator
+        from repro.devices.faults import StuckAtFaults
+
+        matrix = np.abs(np.random.default_rng(0).normal(size=(5, 5))) + 0.1
+        operator = AnalogMatrixOperator(
+            matrix,
+            params=HP_TIO2,
+            variation=StuckAtFaults(HP_TIO2, stuck_off_rate=0.45),
+            rng=np.random.default_rng(1),
+        )
+        out = operator.multiply(np.ones(5))
+        assert np.all(np.isfinite(out))

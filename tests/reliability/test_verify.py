@@ -1,0 +1,166 @@
+"""Write–verify programming: closed-loop read-back and re-pulsing."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.ops import AnalogMatrixOperator
+from repro.devices.faults import StuckAtFaults
+from repro.devices.models import HP_TIO2
+from repro.devices.variation import NoVariation, UniformVariation
+from repro.reliability import WriteVerifyPolicy
+
+
+class TestWriteVerifyPolicy:
+    def test_defaults(self):
+        policy = WriteVerifyPolicy()
+        assert 0.0 < policy.tolerance < 1.0
+        assert policy.max_rounds >= 1
+
+    @pytest.mark.parametrize("tolerance", [0.0, -0.1])
+    def test_rejects_bad_tolerance(self, tolerance):
+        with pytest.raises(ValueError):
+            WriteVerifyPolicy(tolerance=tolerance)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            WriteVerifyPolicy(max_rounds=0)
+
+
+def _targets(rng, shape):
+    lo, hi = HP_TIO2.g_off, HP_TIO2.g_on
+    return rng.uniform(lo * 10, hi, size=shape)
+
+
+class TestArrayWriteVerify:
+    def test_disabled_reports_no_verify_activity(self):
+        array = CrossbarArray(4, 4, rng=np.random.default_rng(0))
+        report = array.program(_targets(np.random.default_rng(1), (4, 4)))
+        assert report.verify_reads == 0
+        assert report.repulsed_cells == 0
+        assert report.unverified_cells == 0
+
+    def test_ideal_hardware_verifies_first_read(self):
+        array = CrossbarArray(
+            4,
+            4,
+            variation=NoVariation(),
+            rng=np.random.default_rng(0),
+            write_verify=WriteVerifyPolicy(tolerance=0.05),
+        )
+        report = array.program(_targets(np.random.default_rng(1), (4, 4)))
+        assert report.verify_reads == 16  # one read round, no re-pulses
+        assert report.repulsed_cells == 0
+        assert report.unverified_cells == 0
+
+    def test_repulsing_tightens_soft_variation(self):
+        rng = np.random.default_rng(7)
+        targets = _targets(np.random.default_rng(1), (8, 8))
+        policy = WriteVerifyPolicy(tolerance=0.05, max_rounds=12)
+        array = CrossbarArray(
+            8,
+            8,
+            variation=UniformVariation(0.2),
+            rng=rng,
+            write_verify=policy,
+        )
+        report = array.program(targets)
+        assert report.repulsed_cells > 0  # 20% variation vs 5% tolerance
+        assert report.verify_reads >= 2 * targets.size
+        # Post-verify the array honours the tolerance except for the
+        # cells the report declares unverified.
+        deviation = np.abs(array.actual_conductances - targets)
+        reference = np.maximum(np.abs(targets), HP_TIO2.g_off)
+        bad = deviation > policy.tolerance * reference
+        assert int(bad.sum()) == report.unverified_cells
+
+    def test_repulses_cost_extra_pulses(self):
+        targets = _targets(np.random.default_rng(1), (8, 8))
+        open_loop = CrossbarArray(
+            8, 8, variation=UniformVariation(0.2),
+            rng=np.random.default_rng(3),
+        )
+        closed_loop = CrossbarArray(
+            8, 8, variation=UniformVariation(0.2),
+            rng=np.random.default_rng(3),
+            write_verify=WriteVerifyPolicy(tolerance=0.05, max_rounds=12),
+        )
+        plain = open_loop.program(targets)
+        verified = closed_loop.program(targets)
+        assert verified.pulses > plain.pulses
+        assert verified.energy_j > plain.energy_j
+        assert verified.latency_s > plain.latency_s
+
+    def test_stuck_cells_stay_unverified(self):
+        # Re-pulsing must not "heal" a hard fault: stuck-OFF cells
+        # commanded to a nonzero target remain out of tolerance.
+        rng = np.random.default_rng(11)
+        targets = _targets(np.random.default_rng(1), (10, 10))
+        array = CrossbarArray(
+            10,
+            10,
+            variation=StuckAtFaults(HP_TIO2, stuck_off_rate=0.2),
+            rng=rng,
+            write_verify=WriteVerifyPolicy(tolerance=0.05, max_rounds=5),
+        )
+        report = array.program(targets)
+        stuck = int((array.actual_conductances == 0.0).sum())
+        assert stuck > 0
+        assert report.unverified_cells >= stuck
+
+    def test_program_cells_also_verifies(self):
+        array = CrossbarArray(
+            6,
+            6,
+            variation=UniformVariation(0.2),
+            rng=np.random.default_rng(5),
+            write_verify=WriteVerifyPolicy(tolerance=0.05, max_rounds=12),
+        )
+        rows = np.arange(6)
+        cols = np.arange(6)
+        values = _targets(np.random.default_rng(2), (6,))
+        report = array.program_cells(rows, cols, values)
+        assert report.verify_reads >= rows.size
+
+    def test_empty_cell_write_skips_verify(self):
+        array = CrossbarArray(
+            4,
+            4,
+            rng=np.random.default_rng(0),
+            write_verify=WriteVerifyPolicy(),
+        )
+        report = array.program_cells(
+            np.array([], dtype=int),
+            np.array([], dtype=int),
+            np.array([], dtype=float),
+        )
+        assert report.verify_reads == 0
+
+
+class TestOperatorWriteVerify:
+    def test_operator_forwards_policy(self):
+        matrix = np.abs(np.random.default_rng(0).normal(size=(6, 6))) + 0.1
+        operator = AnalogMatrixOperator(
+            matrix,
+            variation=UniformVariation(0.2),
+            rng=np.random.default_rng(1),
+            write_verify=WriteVerifyPolicy(tolerance=0.05, max_rounds=6),
+        )
+        report = operator.write_report
+        assert report.verify_reads > 0
+
+    def test_counters_flow_into_solver_result(self):
+        from repro.core import CrossbarSolverSettings, solve_crossbar
+        from repro.workloads import random_feasible_lp
+
+        problem = random_feasible_lp(8, rng=np.random.default_rng(0))
+        settings = CrossbarSolverSettings(
+            variation=UniformVariation(0.1),
+            write_verify=WriteVerifyPolicy(tolerance=0.05, max_rounds=4),
+            retries=0,
+        )
+        result = solve_crossbar(
+            problem, settings, rng=np.random.default_rng(1)
+        )
+        assert result.crossbar is not None
+        assert result.crossbar.verify_reads > 0
