@@ -1,0 +1,71 @@
+"""EXP-OBS: traced-solve smoke benchmark and perf record.
+
+Runs one Solver 1 solve of a 48-variable LP with a recording tracer
+attached, round-trips the trace through the JSONL sink, and checks
+that replaying the spans/counters reconciles *exactly* with the
+result's :class:`~repro.core.result.CrossbarCounters` and iteration
+count.  With ``REPRO_BENCH_OUT`` set, the trace, the Prometheus
+snapshot, and a machine-readable ``BENCH_*.json`` perf record land in
+that directory (CI uploads them as artifacts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import reconcile_with_counters, span_totals
+from repro.core.crossbar_solver import CrossbarPDIPSolver
+from repro.core.result import SolveStatus
+from repro.obs import (
+    RecordingTracer,
+    read_trace_jsonl,
+    write_metrics_textfile,
+    write_trace_jsonl,
+)
+from repro.workloads import random_feasible_lp
+
+from conftest import bench_out_dir
+
+
+@pytest.mark.benchmark(group="observability")
+def test_traced_solve_reconciles(benchmark, perf_record, tmp_path):
+    problem = random_feasible_lp(
+        48, 48, rng=np.random.default_rng(2016)
+    )
+    tracer = RecordingTracer()
+
+    def run():
+        solver = CrossbarPDIPSolver(
+            problem, rng=np.random.default_rng(7), tracer=tracer
+        )
+        return solver.solve()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.status is SolveStatus.OPTIMAL
+
+    out = bench_out_dir() or tmp_path
+    trace_path = write_trace_jsonl(tracer, out / "trace.jsonl")
+    write_metrics_textfile(tracer, out / "metrics.prom")
+
+    # The acceptance check: the on-disk trace replays to totals that
+    # reconcile exactly with the solver's own counters.
+    events = read_trace_jsonl(trace_path)
+    rows = reconcile_with_counters(events, result)
+    mismatched = [row.name for row in rows if not row.matches]
+    assert not mismatched, mismatched
+
+    totals = span_totals(events)
+    perf_record.update(
+        {
+            "bench": "traced_solve_48",
+            "constraints": int(problem.A.shape[0]),
+            "variables": int(problem.A.shape[1]),
+            "status": result.status.value,
+            "iterations": result.iterations,
+            "elapsed_seconds": result.elapsed_seconds,
+            "reconciled": True,
+            "spans": {
+                name: {"calls": calls, "seconds": seconds}
+                for name, (calls, seconds) in sorted(totals.items())
+            },
+        }
+    )

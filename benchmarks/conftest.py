@@ -7,9 +7,16 @@ a scaled-down grid by default so ``pytest benchmarks/
 figure's *shape* (who wins, how errors trend with size/variation).
 
 Set ``REPRO_BENCH_SCALE=paper`` to run the full Section 4.2 grid.
+
+Set ``REPRO_BENCH_OUT=<dir>`` to have benches that use the
+``perf_record`` fixture drop machine-readable ``BENCH_<name>.json``
+performance records (plus any trace/metrics artifacts) there — CI
+uploads that directory.
 """
 
+import json
 import os
+import pathlib
 
 import pytest
 
@@ -42,3 +49,30 @@ def sweep_config():
 @pytest.fixture(scope="session")
 def small_sweep_config():
     return quick_config()
+
+
+def bench_out_dir() -> pathlib.Path | None:
+    """The artifact directory, or ``None`` when REPRO_BENCH_OUT unset."""
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if not out:
+        return None
+    path = pathlib.Path(out)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def perf_record(request):
+    """Fill the yielded dict; it lands in BENCH_<test>.json on teardown.
+
+    A no-op (the dict is discarded) when ``REPRO_BENCH_OUT`` is unset,
+    so local runs leave no files behind.
+    """
+    record: dict = {}
+    yield record
+    out = bench_out_dir()
+    if out is None or not record:
+        return
+    name = request.node.name.replace("/", "_")
+    path = out / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import pathlib
 
 import numpy as np
 
@@ -43,6 +44,11 @@ from repro.experiments import (
     settings_for,
     solver_for,
 )
+from repro.obs import (
+    RecordingTracer,
+    write_metrics_textfile,
+    write_trace_jsonl,
+)
 from repro.workloads import random_feasible_lp
 
 _FIGURES = {
@@ -60,7 +66,7 @@ _FIGURES = {
 }
 
 
-def _reliability_solver(args: argparse.Namespace):
+def _reliability_solver(args: argparse.Namespace, tracer=None):
     """A solver callable honouring the CLI's reliability flags."""
     from repro.core import (
         CrossbarPDIPSolver,
@@ -98,7 +104,9 @@ def _reliability_solver(args: argparse.Namespace):
     )
 
     def solve(problem, rng):
-        return cls(problem, settings, rng=rng, recovery=recovery).solve()
+        return cls(
+            problem, settings, rng=rng, recovery=recovery, tracer=tracer
+        ).solve()
 
     return solve, settings
 
@@ -107,6 +115,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     problem = random_feasible_lp(args.constraints, rng=rng)
     truth = solve_scipy(problem)
+    tracer = (
+        RecordingTracer()
+        if (args.trace_out or args.metrics_out)
+        else None
+    )
     reliability_flags = (
         args.stuck_off > 0
         or args.stuck_on > 0
@@ -116,12 +129,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         or args.write_verify is not None
     )
     if reliability_flags and args.solver != "reference":
-        solve, _ = _reliability_solver(args)
+        solve, _ = _reliability_solver(args, tracer)
     else:
-        solve = solver_for(args.solver, args.variation)
+        solve = solver_for(args.solver, args.variation, tracer=tracer)
     result = solve(problem, np.random.default_rng(args.seed + 1))
     print(f"problem: {problem}")
     print(f"scipy optimum: {truth.objective:.6g}")
+    # elapsed_seconds is deliberately not printed: same-seed output is
+    # byte-identical, and a wall-clock field would break that.
     print(
         f"{args.solver}: status={result.status} "
         f"objective={result.objective:.6g} "
@@ -146,6 +161,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("attempt history:")
         for line in describe_attempts(result.attempts).splitlines():
             print(f"  {line}")
+    if tracer is not None:
+        if args.trace_out:
+            path = write_trace_jsonl(
+                tracer, pathlib.Path(args.trace_out)
+            )
+            print(f"trace written: {path}")
+        if args.metrics_out:
+            path = write_metrics_textfile(
+                tracer, pathlib.Path(args.metrics_out)
+            )
+            print(f"metrics written: {path}")
     return 0
 
 
@@ -202,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--write-verify", type=float, default=None,
                        metavar="TOL",
                        help="closed-loop write-verify tolerance")
+    solve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a JSONL span/counter trace here")
+    solve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus-style textfile here")
     solve.set_defaults(func=_cmd_solve)
 
     figures = sub.add_parser(

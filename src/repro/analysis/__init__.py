@@ -7,6 +7,15 @@ from repro.analysis.export import (
     write_json,
 )
 from repro.analysis.metrics import SampleStats, relative_error
+from repro.analysis.spans import (
+    ReconcileRow,
+    reconcile_with_counters,
+    render_reconciliation,
+    render_span_summary,
+    replay_counters,
+    replay_gauges,
+    span_totals,
+)
 from repro.analysis.tables import format_cell, render_table
 
 __all__ = [
@@ -18,4 +27,11 @@ __all__ = [
     "attempt_records",
     "write_csv",
     "write_json",
+    "span_totals",
+    "replay_counters",
+    "replay_gauges",
+    "render_span_summary",
+    "ReconcileRow",
+    "reconcile_with_counters",
+    "render_reconciliation",
 ]

@@ -20,10 +20,21 @@ def _flatten(record: dict, prefix: str = "") -> dict:
     for key, value in record.items():
         name = f"{prefix}{key}"
         if isinstance(value, dict):
-            flat.update(_flatten(value, prefix=f"{name}."))
+            nested = _flatten(value, prefix=f"{name}.")
+            collisions = flat.keys() & nested.keys()
+            if collisions:
+                raise ValueError(
+                    "flattening produced colliding keys: "
+                    f"{sorted(collisions)}"
+                )
+            flat.update(nested)
         elif isinstance(value, enum.Enum):
             flat[name] = value.value
         else:
+            if name in flat:
+                raise ValueError(
+                    f"flattening produced colliding keys: [{name!r}]"
+                )
             flat[name] = value
     return flat
 
@@ -44,18 +55,26 @@ def attempt_records(result) -> list[dict]:
 
 
 def rows_to_records(rows: list) -> list[dict]:
-    """Flatten a list of experiment dataclasses to plain dicts.
+    """Flatten a list of experiment rows to plain dicts.
 
-    Nested dataclasses (e.g. ``error: SampleStats``) become dotted
+    Rows may be dataclasses or plain dicts (e.g. the output of
+    :func:`attempt_records`); both are flattened the same way.  Nested
+    mappings/dataclasses (e.g. ``error: SampleStats``) become dotted
     columns (``error.mean``); computed properties that the row classes
     expose (speedups, rates) are not included — recompute them from
     the flattened fields or read them off the rendered tables.
     """
     records = []
     for row in rows:
-        if not dataclasses.is_dataclass(row):
-            raise TypeError(f"expected a dataclass row, got {type(row)}")
-        records.append(_flatten(dataclasses.asdict(row)))
+        if dataclasses.is_dataclass(row) and not isinstance(row, type):
+            record = dataclasses.asdict(row)
+        elif isinstance(row, dict):
+            record = row
+        else:
+            raise TypeError(
+                f"expected a dataclass or dict row, got {type(row)}"
+            )
+        records.append(_flatten(record))
     return records
 
 
@@ -64,9 +83,17 @@ def write_csv(rows: list, path: str | Path) -> Path:
     records = rows_to_records(rows)
     if not records:
         raise ValueError("no rows to write")
+    # Rows may have heterogeneous shapes (e.g. a probe-rejected attempt
+    # carries probe.* columns later attempts lack): take the union of
+    # keys in first-seen order and leave absent cells empty.
+    fieldnames: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
     path = Path(path)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
         writer.writeheader()
         writer.writerows(records)
     return path

@@ -8,13 +8,12 @@ wall-clock anchors the CPU latency model.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 from scipy import optimize
 
 from repro.core.problem import LinearProgram
 from repro.core.result import SolverResult, SolveStatus
+from repro.obs.clock import Stopwatch
 
 
 def solve_scipy(
@@ -24,16 +23,18 @@ def solve_scipy(
 
     Returns a :class:`SolverResult` with the scipy status mapped onto
     the package's statuses (HiGHS "infeasible" -> INFEASIBLE, anything
-    else unsuccessful -> NUMERICAL_FAILURE).
+    else unsuccessful -> NUMERICAL_FAILURE) and ``elapsed_seconds``
+    measured on the shared monotonic clock.
     """
     m, n = problem.A.shape
-    outcome = optimize.linprog(
-        -problem.c,
-        A_ub=problem.A,
-        b_ub=problem.b,
-        bounds=[(0, None)] * n,
-        method=method,
-    )
+    with Stopwatch() as clock:
+        outcome = optimize.linprog(
+            -problem.c,
+            A_ub=problem.A,
+            b_ub=problem.b,
+            bounds=[(0, None)] * n,
+            method=method,
+        )
     if outcome.status == 0:
         x = np.asarray(outcome.x, dtype=float)
         w = problem.b - problem.A @ x
@@ -51,6 +52,7 @@ def solve_scipy(
             z=z,
             objective=problem.objective(x),
             iterations=int(getattr(outcome, "nit", 0)),
+            elapsed_seconds=clock.elapsed_seconds,
         )
     status = (
         SolveStatus.INFEASIBLE
@@ -66,6 +68,7 @@ def solve_scipy(
         objective=0.0,
         iterations=int(getattr(outcome, "nit", 0)),
         message=str(outcome.message),
+        elapsed_seconds=clock.elapsed_seconds,
     )
 
 
@@ -74,9 +77,9 @@ def timed_solve_scipy(
 ) -> tuple[SolverResult, float]:
     """Solve and return (result, wall_clock_seconds).
 
-    Used to calibrate the CPU cost model against this machine.
+    Used to calibrate the CPU cost model against this machine.  The
+    elapsed time is the result's own ``elapsed_seconds``; the tuple
+    form survives for callers of the original API.
     """
-    start = time.perf_counter()
     result = solve_scipy(problem, method=method)
-    elapsed = time.perf_counter() - start
-    return result, elapsed
+    return result, result.elapsed_seconds

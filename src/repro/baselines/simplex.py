@@ -15,10 +15,13 @@ variables finds a feasible basis first (or proves infeasibility).
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.problem import LinearProgram
 from repro.core.result import SolverResult, SolveStatus
+from repro.obs.clock import Stopwatch
 
 
 class _SimplexOutcome:
@@ -124,8 +127,20 @@ def solve_simplex(
         unbounded problems / pivot-cap hits (with an explanatory
         message — the standard form cannot express "unbounded" in
         :class:`SolveStatus`, which mirrors the paper's solver
-        statuses).
+        statuses).  ``elapsed_seconds`` covers both phases.
     """
+    with Stopwatch() as clock:
+        result = _solve_simplex(problem, max_pivots=max_pivots)
+    return dataclasses.replace(
+        result, elapsed_seconds=clock.elapsed_seconds
+    )
+
+
+def _solve_simplex(
+    problem: LinearProgram,
+    *,
+    max_pivots: int | None = None,
+) -> SolverResult:
     A = problem.A
     b = problem.b
     c = problem.c

@@ -24,6 +24,8 @@ fallback.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.feasibility import (
@@ -46,6 +48,8 @@ from repro.core.settings import CrossbarSolverSettings
 from repro.core.stepsize import ratio_test_theta
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError
+from repro.obs.clock import Stopwatch
+from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport, probe_operator
 from repro.reliability.recovery import solve_with_recovery
@@ -67,6 +71,12 @@ class CrossbarPDIPSolver:
         :meth:`RecoveryPolicy.from_settings`, i.e. the paper's retry
         scheme (``settings.retries`` reprogram attempts, no probe, no
         remap, no fallback).
+    tracer:
+        Observability hook (:mod:`repro.obs`): per-iteration spans for
+        the algorithm phases (reformulation, programming, residual
+        read-out, analog solve, step selection) plus the analog-op
+        counters of the crossbar layer.  Defaults to the zero-overhead
+        no-op tracer.
     """
 
     def __init__(
@@ -76,6 +86,7 @@ class CrossbarPDIPSolver:
         *,
         rng: np.random.Generator | None = None,
         recovery: RecoveryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.problem = problem
         self.settings = (
@@ -87,6 +98,7 @@ class CrossbarPDIPSolver:
             if recovery is not None
             else RecoveryPolicy.from_settings(self.settings)
         )
+        self.tracer = tracer if tracer is not None else NOOP
         self.system = AugmentedNewtonSystem(problem)
 
     # -- public API ----------------------------------------------------------
@@ -98,13 +110,20 @@ class CrossbarPDIPSolver:
         checking scheme" (reprogram, drawing fresh process variation);
         the configured :class:`RecoveryPolicy` may escalate further to
         remapping and a digital fallback.  The returned result carries
-        the full attempt history.
+        the full attempt history and its wall-clock duration.
         """
-        return solve_with_recovery(
-            lambda rng: self._solve_once(rng=rng, trace=trace),
-            self.recovery,
-            self.problem,
-            self.rng,
+        with Stopwatch() as clock, self.tracer.span(
+            "solve", solver="crossbar", constraints=self.problem.A.shape[0]
+        ):
+            result = solve_with_recovery(
+                lambda rng: self._solve_once(rng=rng, trace=trace),
+                self.recovery,
+                self.problem,
+                self.rng,
+                tracer=self.tracer,
+            )
+        return dataclasses.replace(
+            result, elapsed_seconds=clock.elapsed_seconds
         )
 
     # -- one attempt -----------------------------------------------------------
@@ -158,6 +177,7 @@ class CrossbarPDIPSolver:
         problem = self.problem
         settings = self.settings
         system = self.system
+        tracer = self.tracer
         m, n = problem.A.shape
         rng = rng if rng is not None else self.rng
 
@@ -166,28 +186,36 @@ class CrossbarPDIPSolver:
         y = np.full(m, settings.initial_value)
         w = np.full(m, settings.initial_value)
 
-        operator = AnalogMatrixOperator(
-            system.build_matrix(x, y, w, z),
-            params=settings.device,
-            variation=settings.variation,
-            rng=rng,
-            dac_bits=settings.dac_bits,
-            adc_bits=settings.adc_bits,
-            scale_headroom=settings.scale_headroom,
-            row_scaling=settings.row_scaling,
-            off_state=settings.off_state,
-            write_verify=settings.write_verify,
-        )
+        # Eqn. 13/14a: eliminate negatives via compensation variables
+        # and assemble the augmented non-negative Newton matrix.
+        with tracer.span("reformulate"):
+            matrix = system.build_matrix(x, y, w, z)
+        with tracer.span("program", array="M"):
+            operator = AnalogMatrixOperator(
+                matrix,
+                params=settings.device,
+                variation=settings.variation,
+                rng=rng,
+                dac_bits=settings.dac_bits,
+                adc_bits=settings.adc_bits,
+                scale_headroom=settings.scale_headroom,
+                row_scaling=settings.row_scaling,
+                off_state=settings.off_state,
+                write_verify=settings.write_verify,
+                tracer=tracer,
+            )
         multiplies = 0
         solves = 0
 
         probe = None
         if self.recovery.probe is not None:
-            probe = probe_operator(
-                operator, self.recovery.probe, rng, label="M"
-            )
+            with tracer.span("probe", array="M"):
+                probe = probe_operator(
+                    operator, self.recovery.probe, rng, label="M"
+                )
             multiplies += probe.vectors
             if not probe.healthy:
+                tracer.gauge("solver.iterations", 0)
                 return (
                     self._probe_rejection(probe, operator, multiplies),
                     probe,
@@ -224,22 +252,26 @@ class CrossbarPDIPSolver:
         reason = FailureReason.NONE
 
         for iteration in range(settings.max_iterations):
+          with tracer.span("iteration", index=iteration):
             mu = centering_mu(x, y, w, z, settings.delta)
             if iteration:
-                rows, cols, values = system.diagonal_update(x, y, w, z)
+                with tracer.span("newton_assembly"):
+                    rows, cols, values = system.diagonal_update(x, y, w, z)
                 # The complementarity diagonals must stay nonzero or the
                 # programmed system turns singular; clamp at the smallest
                 # representable coefficient.
-                operator.update_coefficients(
-                    rows, cols, values, floor_to_representable=True
-                )
+                with tracer.span("program", array="M"):
+                    operator.update_coefficients(
+                        rows, cols, values, floor_to_representable=True
+                    )
 
-            state = system.state_vector(x, y, w, z)
-            product = operator.multiply(state)
-            multiplies += 1
-            residual = system.residual_from_product(product, mu)
-            p_inf, d_inf = system.infeasibility_norms(residual)
-            gap = duality_gap(x, y, w, z)
+            with tracer.span("residual"):
+                state = system.state_vector(x, y, w, z)
+                product = operator.multiply(state)
+                multiplies += 1
+                residual = system.residual_from_product(product, mu)
+                p_inf, d_inf = system.infeasibility_norms(residual)
+                gap = duality_gap(x, y, w, z)
 
             # The converters bound how small a residual the controller
             # can resolve: the analog product carries ~2^-bits relative
@@ -299,7 +331,8 @@ class CrossbarPDIPSolver:
                     break
 
             try:
-                delta = operator.solve(residual)
+                with tracer.span("analog_solve"):
+                    delta = operator.solve(residual)
             except CrossbarSolveError as exc:
                 iterate_peak = max(
                     float(np.max(np.abs(x), initial=0.0)),
@@ -318,18 +351,19 @@ class CrossbarPDIPSolver:
                 break
             solves += 1
 
-            dx, dy, dw, dz = system.extract_steps(delta)
-            theta = ratio_test_theta(
-                np.concatenate([x, y, w, z]),
-                np.concatenate([dx, dy, dw, dz]),
-                step_scale=settings.step_scale,
-                ignore_below=settings.positivity_floor * 1e4,
-            )
-            floor = settings.positivity_floor
-            x = np.maximum(x + theta * dx, floor)
-            y = np.maximum(y + theta * dy, floor)
-            w = np.maximum(w + theta * dw, floor)
-            z = np.maximum(z + theta * dz, floor)
+            with tracer.span("step"):
+                dx, dy, dw, dz = system.extract_steps(delta)
+                theta = ratio_test_theta(
+                    np.concatenate([x, y, w, z]),
+                    np.concatenate([dx, dy, dw, dz]),
+                    step_scale=settings.step_scale,
+                    ignore_below=settings.positivity_floor * 1e4,
+                )
+                floor = settings.positivity_floor
+                x = np.maximum(x + theta * dx, floor)
+                y = np.maximum(y + theta * dy, floor)
+                w = np.maximum(w + theta * dw, floor)
+                z = np.maximum(z + theta * dz, floor)
             iterations = iteration + 1
 
             divergence = detect_divergence(x, y, divergence_bound)
@@ -390,6 +424,7 @@ class CrossbarPDIPSolver:
         if status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
             reason = FailureReason.NONE
 
+        tracer.gauge("solver.iterations", iterations)
         report = operator.write_report
         counters = CrossbarCounters(
             multiplies=multiplies,
@@ -426,7 +461,10 @@ def solve_crossbar(
     rng: np.random.Generator | None = None,
     recovery: RecoveryPolicy | None = None,
     trace: bool = False,
+    tracer: Tracer | None = None,
 ) -> SolverResult:
     """Functional wrapper around :class:`CrossbarPDIPSolver`."""
-    solver = CrossbarPDIPSolver(problem, settings, rng=rng, recovery=recovery)
+    solver = CrossbarPDIPSolver(
+        problem, settings, rng=rng, recovery=recovery, tracer=tracer
+    )
     return solver.solve(trace=trace)

@@ -29,6 +29,7 @@ from repro.core.residuals import (
 from repro.core.result import IterationRecord, SolverResult, SolveStatus
 from repro.core.settings import PDIPSettings
 from repro.core.stepsize import ratio_test_theta
+from repro.obs.clock import monotonic
 
 
 def solve_reference(
@@ -55,6 +56,7 @@ def solve_reference(
         ITERATION_LIMIT, or NUMERICAL_FAILURE (singular Newton system).
     """
     settings = settings if settings is not None else PDIPSettings()
+    start = monotonic()
     m, n = problem.A.shape
     x = np.full(n, settings.initial_value)
     z = np.full(n, settings.initial_value)
@@ -160,4 +162,5 @@ def solve_reference(
         trace=tuple(records),
         crossbar=None,
         message=message,
+        elapsed_seconds=monotonic() - start,
     )

@@ -145,6 +145,11 @@ class SolverResult:
         :class:`~repro.reliability.telemetry.AttemptRecord` per solve
         attempt (empty for software solvers and single-shot runs that
         bypass the ladder).
+    elapsed_seconds:
+        Wall-clock duration of the ``solve()`` call on the shared
+        monotonic clock (:mod:`repro.obs.clock`), covering every
+        recovery rung; ``0.0`` when the path was not timed (e.g. a
+        bare ``_solve_once``).
     """
 
     status: SolveStatus
@@ -159,6 +164,7 @@ class SolverResult:
     message: str = ""
     failure_reason: FailureReason = FailureReason.NONE
     attempts: tuple = ()
+    elapsed_seconds: float = 0.0
 
     @property
     def is_optimal(self) -> bool:

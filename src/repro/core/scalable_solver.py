@@ -26,6 +26,8 @@ demonstrate their divergence).
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.feasibility import (
@@ -48,6 +50,8 @@ from repro.core.settings import ScalableSolverSettings
 from repro.core.stepsize import ratio_test_theta
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError
+from repro.obs.clock import Stopwatch
+from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport, probe_operators
 from repro.reliability.recovery import solve_with_recovery
@@ -69,6 +73,11 @@ class LargeScaleCrossbarPDIPSolver:
         :meth:`RecoveryPolicy.from_settings`, i.e. the paper's retry
         scheme (``settings.retries`` reprogram attempts, no probe, no
         remap, no fallback).
+    tracer:
+        Observability sink (:class:`repro.obs.Tracer`).  Defaults to
+        the zero-overhead no-op tracer; pass a
+        :class:`repro.obs.RecordingTracer` to capture per-phase spans
+        and analog-op counters.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class LargeScaleCrossbarPDIPSolver:
         *,
         rng: np.random.Generator | None = None,
         recovery: RecoveryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.problem = problem
         self.settings = (
@@ -89,6 +99,7 @@ class LargeScaleCrossbarPDIPSolver:
             if recovery is not None
             else RecoveryPolicy.from_settings(self.settings)
         )
+        self.tracer = tracer if tracer is not None else NOOP
         self.system = ScalableNewtonSystem(
             problem,
             coupling=self.settings.coupling,
@@ -106,11 +117,20 @@ class LargeScaleCrossbarPDIPSolver:
         escalate further to remapping and a digital fallback.  The
         returned result carries the full attempt history.
         """
-        return solve_with_recovery(
-            lambda rng: self._solve_once(rng=rng, trace=trace),
-            self.recovery,
-            self.problem,
-            self.rng,
+        with Stopwatch() as clock, self.tracer.span(
+            "solve",
+            solver="large_scale",
+            constraints=self.problem.A.shape[0],
+        ):
+            result = solve_with_recovery(
+                lambda rng: self._solve_once(rng=rng, trace=trace),
+                self.recovery,
+                self.problem,
+                self.rng,
+                tracer=self.tracer,
+            )
+        return dataclasses.replace(
+            result, elapsed_seconds=clock.elapsed_seconds
         )
 
     def _probe_rejection(
@@ -170,6 +190,7 @@ class LargeScaleCrossbarPDIPSolver:
         y = np.full(m, settings.initial_value)
         w = np.full(m, settings.initial_value)
 
+        tracer = self.tracer
         hardware = dict(
             params=settings.device,
             variation=settings.variation,
@@ -179,42 +200,53 @@ class LargeScaleCrossbarPDIPSolver:
             off_state=settings.off_state,
             row_scaling=settings.row_scaling,
             write_verify=settings.write_verify,
+            tracer=tracer,
         )
-        m1_solve = AnalogMatrixOperator(
-            system.build_m1(x, y, w, z, with_coupling=True),
-            scale_headroom=settings.scale_headroom,
-            **hardware,
-        )
-        m1_mult = AnalogMatrixOperator(
-            system.build_m1(x, y, w, z, with_coupling=False),
-            scale_headroom=1.0,
-            **hardware,
-        )
-        m2 = AnalogMatrixOperator(
-            system.build_m2(x, y),
-            scale_headroom=settings.scale_headroom,
-            **hardware,
-        )
-        d_array = AnalogMatrixOperator(
-            system.build_d(z, w),
-            scale_headroom=settings.scale_headroom,
-            **hardware,
-        )
+        with tracer.span("reformulate"):
+            m1_coupled = system.build_m1(x, y, w, z, with_coupling=True)
+            m1_plain = system.build_m1(x, y, w, z, with_coupling=False)
+            m2_matrix = system.build_m2(x, y)
+            d_matrix = system.build_d(z, w)
+        with tracer.span("program", array="m1_solve"):
+            m1_solve = AnalogMatrixOperator(
+                m1_coupled,
+                scale_headroom=settings.scale_headroom,
+                **hardware,
+            )
+        with tracer.span("program", array="m1_mult"):
+            m1_mult = AnalogMatrixOperator(
+                m1_plain,
+                scale_headroom=1.0,
+                **hardware,
+            )
+        with tracer.span("program", array="m2"):
+            m2 = AnalogMatrixOperator(
+                m2_matrix,
+                scale_headroom=settings.scale_headroom,
+                **hardware,
+            )
+        with tracer.span("program", array="d"):
+            d_array = AnalogMatrixOperator(
+                d_matrix,
+                scale_headroom=settings.scale_headroom,
+                **hardware,
+            )
         multiplies = 0
         solves = 0
 
         probe = None
         if self.recovery.probe is not None:
-            probe = probe_operators(
-                [
-                    ("m1_solve", m1_solve),
-                    ("m1_mult", m1_mult),
-                    ("m2", m2),
-                    ("d", d_array),
-                ],
-                self.recovery.probe,
-                rng,
-            )
+            with tracer.span("probe"):
+                probe = probe_operators(
+                    [
+                        ("m1_solve", m1_solve),
+                        ("m1_mult", m1_mult),
+                        ("m2", m2),
+                        ("d", d_array),
+                    ],
+                    self.recovery.probe,
+                    rng,
+                )
             multiplies += probe.vectors
             if not probe.healthy:
                 total_writes = (
@@ -223,6 +255,7 @@ class LargeScaleCrossbarPDIPSolver:
                     + m2.write_report
                     + d_array.write_report
                 )
+                tracer.gauge("solver.iterations", 0)
                 return (
                     self._probe_rejection(probe, total_writes, multiplies),
                     probe,
@@ -267,21 +300,31 @@ class LargeScaleCrossbarPDIPSolver:
             )
 
         for iteration in range(settings.max_iterations):
+          with tracer.span("iteration", index=iteration):
             gap = duality_gap(x, y, w, z)
             mu = centering_mu(x, y, w, z, settings.delta)
 
             if iteration:
-                rows, cols, values = system.m1_coupling_update(x, y, w, z)
-                m1_solve.update_coefficients(
-                    rows, cols, values, floor_to_representable=True
-                )
-                clamped_update(m2, system.m2_diagonal(x, y))
-                clamped_update(d_array, system.d_diagonal(z, w))
+                with tracer.span("newton_assembly"):
+                    rows, cols, values = system.m1_coupling_update(
+                        x, y, w, z
+                    )
+                    m2_diag = system.m2_diagonal(x, y)
+                    d_diag = system.d_diagonal(z, w)
+                with tracer.span("program", array="m1_solve"):
+                    m1_solve.update_coefficients(
+                        rows, cols, values, floor_to_representable=True
+                    )
+                with tracer.span("program", array="m2"):
+                    clamped_update(m2, m2_diag)
+                with tracer.span("program", array="d"):
+                    clamped_update(d_array, d_diag)
 
             # --- residuals via the constant multiply array ------------
-            product1 = m1_mult.multiply(system.state_vector_m1(x, y))
-            multiplies += 1
-            p_inf, d_inf = system.infeasibility_norms(product1, w, z)
+            with tracer.span("residual"):
+                product1 = m1_mult.multiply(system.state_vector_m1(x, y))
+                multiplies += 1
+                p_inf, d_inf = system.infeasibility_norms(product1, w, z)
 
             # Converter noise floor on the residual read-out (see the
             # matching comment in crossbar_solver).
@@ -337,31 +380,35 @@ class LargeScaleCrossbarPDIPSolver:
                     break
 
             try:
-                # --- first half: Δx, Δy from M1 -----------------------
-                if settings.rhs_mode == "exact":
-                    # The controller holds x, y digitally (it programs
-                    # the M2 diagonal from them every iteration), so the
-                    # central-path targets mu/x, mu/y are O(N) digital
-                    # scalar ops, like the summing-amplifier subtraction.
-                    r1 = system.residual_m1(product1, mu / x, mu / y)
-                else:
-                    r1 = system.paper_residual_m1(product1, w, z)
-                delta1 = m1_solve.solve(r1)
-                solves += 1
-                dx, dy = system.extract_steps_m1(delta1)
+                with tracer.span("analog_solve"):
+                    # --- first half: Δx, Δy from M1 -------------------
+                    if settings.rhs_mode == "exact":
+                        # The controller holds x, y digitally (it
+                        # programs the M2 diagonal from them every
+                        # iteration), so the central-path targets mu/x,
+                        # mu/y are O(N) digital scalar ops, like the
+                        # summing-amplifier subtraction.
+                        r1 = system.residual_m1(product1, mu / x, mu / y)
+                    else:
+                        r1 = system.paper_residual_m1(product1, w, z)
+                    delta1 = m1_solve.solve(r1)
+                    solves += 1
+                    dx, dy = system.extract_steps_m1(delta1)
 
-                # --- second half: Δz, Δw from M2 (recovery) -----------
-                product2 = m2.multiply(np.concatenate([z, w]))
-                multiplies += 1
-                if settings.recovery == "coupled":
-                    coupling = d_array.multiply(np.concatenate([dx, dy]))
+                    # --- second half: Δz, Δw from M2 (recovery) -------
+                    product2 = m2.multiply(np.concatenate([z, w]))
                     multiplies += 1
-                else:
-                    coupling = None
-                r2 = system.residual_m2(mu, product2, coupling)
-                delta2 = m2.solve(r2)
-                solves += 1
-                dz, dw = system.extract_steps_m2(delta2)
+                    if settings.recovery == "coupled":
+                        coupling = d_array.multiply(
+                            np.concatenate([dx, dy])
+                        )
+                        multiplies += 1
+                    else:
+                        coupling = None
+                    r2 = system.residual_m2(mu, product2, coupling)
+                    delta2 = m2.solve(r2)
+                    solves += 1
+                    dz, dw = system.extract_steps_m2(delta2)
             except CrossbarSolveError as exc:
                 iterate_peak = max(
                     float(np.max(np.abs(x), initial=0.0)),
@@ -378,20 +425,21 @@ class LargeScaleCrossbarPDIPSolver:
                     reason = FailureReason.SINGULAR_SYSTEM
                 break
 
-            if settings.step_policy == "capped_ratio":
-                theta = min(
-                    settings.constant_theta,
-                    ratio_test_theta(
-                        np.concatenate([x, y, w, z]),
-                        np.concatenate([dx, dy, dw, dz]),
-                        step_scale=settings.step_scale,
-                        ignore_below=settings.positivity_floor * 1e4,
-                    ),
-                )
-            x = np.maximum(x + theta * dx, floor)
-            y = np.maximum(y + theta * dy, floor)
-            z = np.maximum(z + theta * dz, floor)
-            w = np.maximum(w + theta * dw, floor)
+            with tracer.span("step"):
+                if settings.step_policy == "capped_ratio":
+                    theta = min(
+                        settings.constant_theta,
+                        ratio_test_theta(
+                            np.concatenate([x, y, w, z]),
+                            np.concatenate([dx, dy, dw, dz]),
+                            step_scale=settings.step_scale,
+                            ignore_below=settings.positivity_floor * 1e4,
+                        ),
+                    )
+                x = np.maximum(x + theta * dx, floor)
+                y = np.maximum(y + theta * dy, floor)
+                z = np.maximum(z + theta * dz, floor)
+                w = np.maximum(w + theta * dw, floor)
             iterations = iteration + 1
 
             divergence = detect_divergence(x, y, divergence_bound)
@@ -446,6 +494,7 @@ class LargeScaleCrossbarPDIPSolver:
         if status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
             reason = FailureReason.NONE
 
+        tracer.gauge("solver.iterations", iterations)
         total_writes = (
             m1_solve.write_report
             + m1_mult.write_report
@@ -487,9 +536,10 @@ def solve_crossbar_large_scale(
     rng: np.random.Generator | None = None,
     recovery: RecoveryPolicy | None = None,
     trace: bool = False,
+    tracer: Tracer | None = None,
 ) -> SolverResult:
     """Functional wrapper around :class:`LargeScaleCrossbarPDIPSolver`."""
     solver = LargeScaleCrossbarPDIPSolver(
-        problem, settings, rng=rng, recovery=recovery
+        problem, settings, rng=rng, recovery=recovery, tracer=tracer
     )
     return solver.solve(trace=trace)

@@ -35,6 +35,7 @@ from repro.crossbar.programming import WriteReport, plan_write
 from repro.devices.models import HP_TIO2, DeviceParameters
 from repro.devices.variation import NoVariation, VariationModel
 from repro.exceptions import CrossbarSolveError, MappingError
+from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.verify import WriteVerifyPolicy
 
 
@@ -60,6 +61,11 @@ class CrossbarArray:
         the written cells are read back and out-of-tolerance cells are
         re-pulsed up to the policy's round budget.  ``None`` (default)
         keeps the paper's open-loop programming.
+    tracer:
+        Observability hook (:mod:`repro.obs`): every programming event
+        bumps the ``crossbar.*`` counters (cells written, pulses,
+        verify outcomes, physical write cost).  Defaults to the
+        zero-overhead no-op tracer.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class CrossbarArray:
         g_sense: float | None = None,
         rng: np.random.Generator | None = None,
         write_verify: WriteVerifyPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if n_rows < 1 or n_cols < 1:
             raise ValueError("array dimensions must be positive")
@@ -84,6 +91,7 @@ class CrossbarArray:
             raise ValueError("g_sense must be positive")
         self.rng = rng if rng is not None else np.random.default_rng()
         self.write_verify = write_verify
+        self.tracer = tracer if tracer is not None else NOOP
 
         # Nominal (programmed) and actual (variation-perturbed) states.
         # A blank array has every cell isolated (1T1R off state).
@@ -127,6 +135,7 @@ class CrossbarArray:
             grid_rows.ravel(), grid_cols.ravel(), report
         )
         self.write_log.append(report)
+        self._record_write(report)
         return report
 
     def program_mapping(self, mapping: ConductanceMapping) -> WriteReport:
@@ -154,7 +163,7 @@ class CrossbarArray:
         if rows.size == 0:
             report = WriteReport(0, 0, 0.0, 0.0)
             self.write_log.append(report)
-            return report
+            return report  # nothing written: no events to record
         if rows.min() < 0 or rows.max() >= self.n_rows:
             raise IndexError("row index out of range")
         if cols.min() < 0 or cols.max() >= self.n_cols:
@@ -179,7 +188,27 @@ class CrossbarArray:
         self._actual = new_actual
         report = self._verify_written(rows, cols, report)
         self.write_log.append(report)
+        self._record_write(report)
         return report
+
+    def _record_write(self, report: WriteReport) -> None:
+        """Emit one programming event's totals to the tracer.
+
+        Guarded on ``tracer.enabled`` so the open-loop hot path (an
+        O(N) cell rewrite per PDIP iteration) pays one attribute check
+        when tracing is off.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        tracer.count("crossbar.writes")
+        tracer.count("crossbar.cells_written", report.cells_written)
+        tracer.count("crossbar.write_pulses", report.pulses)
+        tracer.count("crossbar.write_latency_s", report.latency_s)
+        tracer.count("crossbar.write_energy_j", report.energy_j)
+        tracer.count("crossbar.verify_reads", report.verify_reads)
+        tracer.count("crossbar.verify_repulsed", report.repulsed_cells)
+        tracer.count("crossbar.verify_unverified", report.unverified_cells)
 
     def _verify_written(
         self,

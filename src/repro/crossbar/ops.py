@@ -42,6 +42,7 @@ from repro.crossbar.quantization import quantize_auto
 from repro.devices.models import HP_TIO2, DeviceParameters
 from repro.devices.variation import NoVariation, VariationModel
 from repro.exceptions import MappingError
+from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.verify import WriteVerifyPolicy
 
 #: A row is rescaled when its peak conductance target would exceed
@@ -93,6 +94,12 @@ class AnalogMatrixOperator:
         Closed-loop programming policy forwarded to the underlying
         :class:`~repro.crossbar.array.CrossbarArray`; ``None`` keeps
         open-loop programming.
+    tracer:
+        Observability hook (:mod:`repro.obs`): analog multiplies and
+        solves are wrapped in ``op.multiply`` / ``op.solve`` spans and
+        bump the ``analog.*`` counters; the tracer is forwarded to the
+        underlying array for write accounting.  Defaults to the
+        zero-overhead no-op tracer.
     """
 
     def __init__(
@@ -111,6 +118,7 @@ class AnalogMatrixOperator:
         compensate_leak: bool = True,
         g_sense: float | None = None,
         write_verify: WriteVerifyPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2:
@@ -141,6 +149,7 @@ class AnalogMatrixOperator:
         self.off_state = off_state
         self.compensate_leak = bool(compensate_leak)
 
+        self.tracer = tracer if tracer is not None else NOOP
         self.n_out, self.n_in = matrix.shape
         self._coefficients = matrix.copy()
         self.array = CrossbarArray(
@@ -151,6 +160,7 @@ class AnalogMatrixOperator:
             g_sense=g_sense,
             rng=self.rng,
             write_verify=write_verify,
+            tracer=self.tracer,
         )
         self._scales = self._fresh_scales()
         self._floored = np.zeros((self.n_in, self.n_out), dtype=bool)
@@ -377,27 +387,30 @@ class AnalogMatrixOperator:
             raise ValueError(
                 f"expected vector of shape ({self.n_in},), got {x.shape}"
             )
-        peak = float(np.max(np.abs(x)))
-        if peak < 1e-300:
-            # Zero or subnormal drive: below any representable input
-            # voltage (and the gain s_x would overflow).
-            return np.zeros(self.n_out)
-        s_x = self.params.v_read / peak
-        v_in = quantize_auto(x * s_x, self.dac_bits, self.quantization)
-        v_out = self.array.multiply(v_in)
-        v_out = quantize_auto(v_out, self.adc_bits, self.quantization)
-        denominators = self.array.nominal_denominators()
-        currents = v_out * denominators
-        if (
-            self.off_state == "leak"
-            and self.compensate_leak
-            and self._floored.any()
-        ):
-            # Dummy-row correction: the controller knows which cells sit
-            # at the conductance floor and what it drove into them.
-            leak = self.params.g_off * (self._floored.T @ v_in)
-            currents = currents - leak
-        return currents / (self._scales * s_x)
+        with self.tracer.span("op.multiply"):
+            self.tracer.count("analog.multiplies")
+            peak = float(np.max(np.abs(x)))
+            if peak < 1e-300:
+                # Zero or subnormal drive: below any representable input
+                # voltage (and the gain s_x would overflow).
+                return np.zeros(self.n_out)
+            s_x = self.params.v_read / peak
+            v_in = quantize_auto(x * s_x, self.dac_bits, self.quantization)
+            v_out = self.array.multiply(v_in)
+            v_out = quantize_auto(v_out, self.adc_bits, self.quantization)
+            denominators = self.array.nominal_denominators()
+            currents = v_out * denominators
+            if (
+                self.off_state == "leak"
+                and self.compensate_leak
+                and self._floored.any()
+            ):
+                # Dummy-row correction: the controller knows which cells
+                # sit at the conductance floor and what it drove into
+                # them.
+                leak = self.params.g_off * (self._floored.T @ v_in)
+                currents = currents - leak
+            return currents / (self._scales * s_x)
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Analog linear-system solve ``x ≈ A^{-1} b`` in problem units.
@@ -417,17 +430,23 @@ class AnalogMatrixOperator:
             raise ValueError(
                 f"expected vector of shape ({self.n_out},), got {b.shape}"
             )
-        peak = float(np.max(np.abs(b)))
-        if peak < 1e-300:
-            # Zero or subnormal target: below any representable voltage.
-            return np.zeros(self.n_in)
-        s_b = self.params.v_read / peak
-        scale_ref = float(np.max(self._scales))
-        v_out = quantize_auto(b * s_b, self.dac_bits, self.quantization)
-        v_out = v_out * (self._scales / scale_ref)
-        v_in = self.array.solve(v_out)
-        v_in = quantize_auto(v_in, self.adc_bits, self.quantization)
-        return v_in * scale_ref / (self.array.g_sense * s_b)
+        with self.tracer.span("op.solve"):
+            peak = float(np.max(np.abs(b)))
+            if peak < 1e-300:
+                # Zero or subnormal target: below any representable
+                # voltage.
+                self.tracer.count("analog.solves")
+                return np.zeros(self.n_in)
+            s_b = self.params.v_read / peak
+            scale_ref = float(np.max(self._scales))
+            v_out = quantize_auto(b * s_b, self.dac_bits, self.quantization)
+            v_out = v_out * (self._scales / scale_ref)
+            v_in = self.array.solve(v_out)
+            v_in = quantize_auto(v_in, self.adc_bits, self.quantization)
+            # Counted only after the array solve succeeds: the solvers'
+            # ``solves`` tally skips attempts that raised.
+            self.tracer.count("analog.solves")
+            return v_in * scale_ref / (self.array.g_sense * s_b)
 
     # -- bookkeeping --------------------------------------------------------
 

@@ -96,7 +96,11 @@ def quantize_auto(
         return np.ldexp(np.round(mantissa * scale) / scale, exponent)
     if mode == "vector":
         peak = float(np.max(np.abs(values))) if values.size else 0.0
-        if peak == 0.0:
+        if peak < 1e-300:
+            # Zero or subnormal peak: below any representable converter
+            # reference voltage, and the step computation would
+            # underflow to zero.  Treat as zero drive (matching the
+            # analog operators' zero-input handling).
             return np.zeros_like(values)
         return Quantizer(bits=bits, full_scale=peak).quantize(values)
     raise ValueError(f"unknown quantization mode {mode!r}")

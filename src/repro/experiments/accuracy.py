@@ -18,6 +18,7 @@ from repro.analysis.tables import render_table
 from repro.baselines.scipy_linprog import solve_scipy
 from repro.core.result import SolveStatus
 from repro.experiments.runner import SweepConfig, cell_seed, solver_for
+from repro.obs.tracer import NOOP, Tracer
 from repro.workloads.random_lp import random_feasible_lp
 
 
@@ -53,13 +54,25 @@ class AccuracyRow:
 def accuracy_sweep(
     solver: str = "crossbar",
     config: SweepConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
 ) -> list[AccuracyRow]:
-    """Run the Fig. 5 sweep and return one row per cell."""
+    """Run the Fig. 5 sweep and return one row per cell.
+
+    With a recording ``tracer``, each cell runs inside a
+    ``sweep_cell`` span (attributes: size, variation) and the
+    ``sweep.trials`` / ``sweep.solved`` counters accumulate across the
+    grid, so a trace shows where a long sweep spends its time.
+    """
     config = config if config is not None else SweepConfig()
+    tracer = tracer if tracer is not None else NOOP
     rows: list[AccuracyRow] = []
     for m in config.sizes:
         for variation in config.variations:
-            solve = solver_for(solver, variation)
+          with tracer.span(
+              "sweep_cell", solver=solver, size=m, variation=variation
+          ):
+            solve = solver_for(solver, variation, tracer=tracer)
             errors: list[float] = []
             iteration_counts: list[float] = []
             solved = 0
@@ -70,9 +83,11 @@ def accuracy_sweep(
                 truth = solve_scipy(problem)
                 if truth.status is not SolveStatus.OPTIMAL:
                     continue  # extraordinarily rare; skip the trial
+                tracer.count("sweep.trials")
                 result = solve(problem, np.random.default_rng(seed.spawn(1)[0]))
                 if result.status is SolveStatus.OPTIMAL:
                     solved += 1
+                    tracer.count("sweep.solved")
                     errors.append(
                         relative_error(result.objective, truth.objective)
                     )

@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     settings_for,
     solver_for,
 )
+from repro.obs.tracer import NOOP, Tracer
 from repro.workloads.random_lp import random_infeasible_lp
 
 
@@ -56,13 +57,24 @@ class InfeasibilityRow:
 def infeasibility_sweep(
     solver: str = "crossbar",
     config: SweepConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
 ) -> list[InfeasibilityRow]:
-    """Run the detection sweep and return one row per cell."""
+    """Run the detection sweep and return one row per cell.
+
+    Instrumented like :func:`repro.experiments.accuracy_sweep`: one
+    ``sweep_cell`` span per grid cell, ``sweep.trials`` /
+    ``sweep.detected`` counters across the run.
+    """
     config = config if config is not None else SweepConfig()
+    tracer = tracer if tracer is not None else NOOP
     rows: list[InfeasibilityRow] = []
     for m in config.sizes:
         for variation in config.variations:
-            solve = solver_for(solver, variation)
+          with tracer.span(
+              "sweep_cell", solver=solver, size=m, variation=variation
+          ):
+            solve = solver_for(solver, variation, tracer=tracer)
             settings = settings_for(solver, variation)
             iteration_samples: list[float] = []
             latency_samples: list[float] = []
@@ -71,11 +83,13 @@ def infeasibility_sweep(
                 seed = cell_seed(config, m, variation, trial)
                 rng = np.random.default_rng(seed)
                 problem = random_infeasible_lp(m, rng=rng)
+                tracer.count("sweep.trials")
                 result = solve(
                     problem, np.random.default_rng(seed.spawn(1)[0])
                 )
                 if result.status is SolveStatus.INFEASIBLE:
                     detected += 1
+                    tracer.count("sweep.detected")
                     iteration_samples.append(float(result.iterations))
                     if result.crossbar is not None:
                         breakdown = estimate_latency(

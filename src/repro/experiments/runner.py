@@ -29,6 +29,7 @@ from repro.core.settings import (
 from repro.core.crossbar_solver import solve_crossbar
 from repro.core.scalable_solver import solve_crossbar_large_scale
 from repro.devices.variation import variation_from_percent
+from repro.obs.tracer import Tracer
 
 #: Solver registry: name -> factory(variation_percent) -> callable.
 SOLVER_NAMES = ("crossbar", "large_scale", "reference")
@@ -82,6 +83,7 @@ def solver_for(
     variation_percent: float,
     *,
     overrides: dict | None = None,
+    tracer: Tracer | None = None,
 ) -> SolverFn:
     """Build a configured solver callable by registry name.
 
@@ -95,6 +97,9 @@ def solver_for(
         Process-variation level for the hardware model.
     overrides:
         Extra settings fields (e.g. ``{"adc_bits": None}``).
+    tracer:
+        Observability sink forwarded to the hardware solvers (the
+        reference solver has no analog phases to trace).
     """
     overrides = dict(overrides or {})
     if name == "crossbar":
@@ -102,14 +107,14 @@ def solver_for(
             variation=variation_from_percent(variation_percent), **overrides
         )
         return lambda problem, rng: solve_crossbar(
-            problem, settings, rng=rng
+            problem, settings, rng=rng, tracer=tracer
         )
     if name == "large_scale":
         settings = ScalableSolverSettings(
             variation=variation_from_percent(variation_percent), **overrides
         )
         return lambda problem, rng: solve_crossbar_large_scale(
-            problem, settings, rng=rng
+            problem, settings, rng=rng, tracer=tracer
         )
     if name == "reference":
         settings = PDIPSettings(**overrides)

@@ -1,0 +1,48 @@
+"""Observability: spans, analog-op metrics, and trace export.
+
+The measurement substrate for the solver stack (DESIGN.md §9):
+
+- :mod:`repro.obs.clock` — the shared monotonic clock and
+  :class:`Stopwatch` behind every ``elapsed_seconds``.
+- :mod:`repro.obs.tracer` — the hierarchical :class:`Tracer` API
+  (spans / counters / gauges), its zero-overhead :data:`NOOP` default
+  and the in-memory :class:`RecordingTracer`.
+- :mod:`repro.obs.sinks` — JSONL event-stream export and the
+  Prometheus-style textfile snapshot.
+
+Summary tables and reconciliation against
+:class:`~repro.core.result.CrossbarCounters` live in
+:mod:`repro.analysis.spans` (the analysis layer depends on obs, never
+the reverse).
+"""
+
+from repro.obs.clock import Stopwatch, monotonic
+from repro.obs.sinks import (
+    read_trace_jsonl,
+    render_metrics,
+    write_metrics_textfile,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import (
+    NOOP,
+    CountEvent,
+    GaugeEvent,
+    RecordingTracer,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "monotonic",
+    "Stopwatch",
+    "Tracer",
+    "RecordingTracer",
+    "NOOP",
+    "SpanEvent",
+    "CountEvent",
+    "GaugeEvent",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "write_metrics_textfile",
+    "render_metrics",
+]

@@ -1,0 +1,52 @@
+"""Shared monotonic-clock helpers.
+
+Every wall-clock measurement in the package goes through this module
+so timestamps are mutually comparable: span start/end times recorded
+by :mod:`repro.obs.tracer` and the ``elapsed_seconds`` stamped onto
+:class:`~repro.core.result.SolverResult` all read the same monotonic
+performance clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic() -> float:
+    """Seconds on the process-wide monotonic performance clock."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Context manager measuring elapsed monotonic seconds.
+
+    >>> with Stopwatch() as clock:
+    ...     do_work()
+    >>> clock.elapsed_seconds
+    0.0123...
+
+    ``elapsed_seconds`` is also readable inside the ``with`` block
+    (time since entry so far).
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = monotonic()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._elapsed = monotonic() - self._start
+        return False
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Elapsed time; final once the block exits, running before."""
+        if self._start is None:
+            return 0.0
+        if self._elapsed is None:
+            return monotonic() - self._start
+        return self._elapsed

@@ -1,0 +1,134 @@
+"""Trace export sinks.
+
+Two machine-readable formats for a :class:`~repro.obs.tracer.
+RecordingTracer`'s contents:
+
+- **JSONL event stream** (:func:`write_trace_jsonl`) — one JSON object
+  per line; the first line is a ``meta`` header, every following line
+  a span / count / gauge event.  :func:`read_trace_jsonl` loads it
+  back for replay (see :mod:`repro.analysis.spans`).
+- **Prometheus-style textfile** (:func:`write_metrics_textfile`) — the
+  aggregated counters and gauges plus per-span-name call counts and
+  cumulative seconds, in the node-exporter textfile-collector format.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs.tracer import RecordingTracer, SpanEvent
+
+#: Format tag written into the JSONL meta header.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def write_trace_jsonl(tracer: RecordingTracer, path: str | Path) -> Path:
+    """Write the tracer's event stream as JSONL; returns the path."""
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "kind": "meta",
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+                "events": len(tracer.events),
+            }
+        )
+    ]
+    lines.extend(
+        json.dumps(event.to_dict(), sort_keys=True)
+        for event in tracer.events
+    )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_trace_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL trace; returns the event dicts (header excluded).
+
+    Raises ``ValueError`` if the file does not carry the expected
+    format header.
+    """
+    path = Path(path)
+    records = [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+    if not records or records[0].get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path} is not a {TRACE_FORMAT} JSONL trace")
+    return records[1:]
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """Sanitize an event name into a Prometheus metric name."""
+    return "repro_" + _METRIC_NAME.sub("_", name) + suffix
+
+
+def render_metrics(tracer: RecordingTracer) -> str:
+    """The Prometheus textfile body for the tracer's aggregates."""
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value: float, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {value:.12g}")
+
+    for name in sorted(tracer.counters):
+        emit(
+            metric_name(name, "_total"),
+            "counter",
+            tracer.counters[name],
+            f"accumulated total of {name}",
+        )
+    for name in sorted(tracer.gauges):
+        emit(
+            metric_name(name),
+            "gauge",
+            tracer.gauges[name],
+            f"last observed value of {name}",
+        )
+
+    calls: dict[str, int] = {}
+    seconds: dict[str, float] = {}
+    for event in tracer.events:
+        if isinstance(event, SpanEvent):
+            calls[event.name] = calls.get(event.name, 0) + 1
+            seconds[event.name] = (
+                seconds.get(event.name, 0.0) + event.duration_s
+            )
+    if calls:
+        lines.append(
+            "# HELP repro_span_calls_total times each span was entered"
+        )
+        lines.append("# TYPE repro_span_calls_total counter")
+        for name in sorted(calls):
+            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_span_calls_total{{span="{label}"}} {calls[name]}'
+            )
+        lines.append(
+            "# HELP repro_span_seconds_total cumulative seconds per span"
+        )
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in sorted(seconds):
+            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'repro_span_seconds_total{{span="{label}"}} '
+                f"{seconds[name]:.12g}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_textfile(
+    tracer: RecordingTracer, path: str | Path
+) -> Path:
+    """Write the Prometheus-style snapshot; returns the path."""
+    path = Path(path)
+    path.write_text(render_metrics(tracer))
+    return path

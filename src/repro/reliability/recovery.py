@@ -42,6 +42,7 @@ from repro.core.result import (
     with_message,
     with_status,
 )
+from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport
 from repro.reliability.telemetry import AttemptRecord, RecoveryAction
@@ -107,8 +108,17 @@ def solve_with_recovery(
     policy: RecoveryPolicy,
     problem: LinearProgram,
     rng: np.random.Generator,
+    *,
+    tracer: Tracer | None = None,
 ) -> SolverResult:
-    """Run ``attempt`` through the recovery ladder of ``policy``."""
+    """Run ``attempt`` through the recovery ladder of ``policy``.
+
+    Each rung runs inside an ``attempt`` span (attributes: ladder
+    index, action, and — once known — the outcome) and bumps the
+    ``recovery.attempts`` counter, so a trace can apportion wall-clock
+    time and analog-op counts to individual rungs.
+    """
+    tracer = tracer if tracer is not None else NOOP
     schedule = (
         [RecoveryAction.INITIAL]
         + [RecoveryAction.REPROGRAM] * policy.reprograms
@@ -118,7 +128,14 @@ def solve_with_recovery(
     last: SolverResult | None = None
     for index, action in enumerate(schedule):
         seed = int(rng.integers(0, 2**63))
-        result, probe = attempt(np.random.default_rng(seed))
+        with tracer.span(
+            "attempt", index=index, action=action.value
+        ) as span:
+            tracer.count("recovery.attempts")
+            result, probe = attempt(np.random.default_rng(seed))
+            span.set(
+                status=result.status.value, iterations=result.iterations
+            )
         records.append(_record_for(index, action, result, seed, probe))
         last = result
         if result.status in _CONCLUSIVE:
@@ -131,7 +148,17 @@ def solve_with_recovery(
     assert last is not None  # schedule always has the initial rung
 
     if policy.digital_fallback is not None:
-        result = run_digital_fallback(policy.digital_fallback, problem)
+        with tracer.span(
+            "attempt",
+            index=len(records),
+            action=RecoveryAction.DIGITAL_FALLBACK.value,
+            kind=policy.digital_fallback,
+        ) as span:
+            tracer.count("recovery.attempts")
+            result = run_digital_fallback(policy.digital_fallback, problem)
+            span.set(
+                status=result.status.value, iterations=result.iterations
+            )
         result = with_message(
             result,
             f"digital fallback ({policy.digital_fallback}) after "

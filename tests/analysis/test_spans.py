@@ -1,0 +1,134 @@
+"""Tests for trace replay and counter reconciliation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    reconcile_with_counters,
+    render_reconciliation,
+    render_span_summary,
+    replay_counters,
+    replay_gauges,
+    span_totals,
+)
+from repro.core.crossbar_solver import CrossbarPDIPSolver
+from repro.core.reference_pdip import solve_reference
+from repro.core.result import SolveStatus
+from repro.obs import RecordingTracer
+from repro.workloads import random_feasible_lp
+
+
+def _span(name, span_id, parent_id=None, duration=1.0):
+    return {
+        "kind": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_s": 0.0,
+        "duration_s": duration,
+        "attrs": {},
+    }
+
+
+def _count(name, value, span_id):
+    return {
+        "kind": "count",
+        "name": name,
+        "value": value,
+        "t_s": 0.0,
+        "span_id": span_id,
+    }
+
+
+#: Two attempts: counts in the first must not leak into a replay
+#: scoped to the last one.
+TWO_ATTEMPTS = [
+    _count("analog.multiplies", 3.0, span_id=2),
+    _span("iteration", 2, parent_id=1),
+    _span("attempt", 1, duration=2.0),
+    _count("analog.multiplies", 5.0, span_id=4),
+    _span("iteration", 4, parent_id=3),
+    _span("attempt", 3, duration=2.0),
+    _count("outside.any.span", 1.0, span_id=None),
+]
+
+
+class TestReplay:
+    def test_span_totals_accumulate_calls_and_seconds(self):
+        totals = span_totals(TWO_ATTEMPTS)
+        assert totals["attempt"] == (2, 4.0)
+        assert totals["iteration"] == (2, 2.0)
+
+    def test_unscoped_replay_sums_everything(self):
+        totals = replay_counters(TWO_ATTEMPTS)
+        assert totals["analog.multiplies"] == 8.0
+        assert totals["outside.any.span"] == 1.0
+
+    def test_scoped_replay_uses_last_attempt_subtree(self):
+        totals = replay_counters(TWO_ATTEMPTS, within="attempt")
+        assert totals["analog.multiplies"] == 5.0
+        assert "outside.any.span" not in totals
+
+    def test_scoping_to_missing_span_errors(self):
+        with pytest.raises(ValueError, match="no span named"):
+            replay_counters(TWO_ATTEMPTS, within="nonexistent")
+
+    def test_gauge_replay_last_wins(self):
+        events = [
+            {"kind": "gauge", "name": "g", "value": 1.0, "t_s": 0.0,
+             "span_id": None},
+            {"kind": "gauge", "name": "g", "value": 7.0, "t_s": 1.0,
+             "span_id": None},
+        ]
+        assert replay_gauges(events) == {"g": 7.0}
+
+    def test_render_span_summary_sorted_by_seconds(self):
+        table = render_span_summary(TWO_ATTEMPTS)
+        lines = table.splitlines()
+        assert "span" in lines[0]
+        assert lines[2].split()[0] == "attempt"  # 4.0 s before 2.0 s
+
+
+class TestReconciliation:
+    @pytest.fixture(scope="class")
+    def traced_solve(self):
+        problem = random_feasible_lp(16, rng=np.random.default_rng(11))
+        tracer = RecordingTracer()
+        solver = CrossbarPDIPSolver(
+            problem, rng=np.random.default_rng(5), tracer=tracer
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        return tracer, result
+
+    def test_live_solve_reconciles_exactly(self, traced_solve):
+        tracer, result = traced_solve
+        rows = reconcile_with_counters(tracer.event_dicts(), result)
+        assert [row.name for row in rows if not row.matches] == []
+        names = {row.name for row in rows}
+        assert "analog.multiplies" in names
+        assert "solver.iterations" in names
+
+    def test_render_marks_matches(self, traced_solve):
+        tracer, result = traced_solve
+        rows = reconcile_with_counters(tracer.event_dicts(), result)
+        table = render_reconciliation(rows)
+        assert "yes" in table
+        assert "NO" not in table
+
+    def test_mismatch_detected(self, traced_solve):
+        tracer, result = traced_solve
+        events = [
+            e
+            for e in tracer.event_dicts()
+            if not (e["kind"] == "count" and e["name"] == "analog.solves")
+        ]
+        rows = reconcile_with_counters(events, result)
+        bad = {row.name for row in rows if not row.matches}
+        assert bad == {"analog.solves"}
+
+    def test_software_result_rejected(self):
+        problem = random_feasible_lp(8, rng=np.random.default_rng(0))
+        result = solve_reference(problem)
+        with pytest.raises(ValueError, match="no crossbar counters"):
+            reconcile_with_counters([], result)

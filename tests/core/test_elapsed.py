@@ -1,0 +1,55 @@
+"""Every solver stamps elapsed_seconds from the shared clock."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_scipy, solve_simplex, timed_solve_scipy
+from repro.core import solve_crossbar, solve_crossbar_large_scale
+from repro.core.reference_pdip import solve_reference
+from repro.core.result import SolverResult, SolveStatus
+from repro.workloads import random_feasible_lp
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return random_feasible_lp(12, rng=np.random.default_rng(3))
+
+
+@pytest.mark.parametrize(
+    "solve",
+    [
+        solve_reference,
+        solve_scipy,
+        solve_simplex,
+        lambda p: solve_crossbar(p, rng=np.random.default_rng(1)),
+        lambda p: solve_crossbar_large_scale(
+            p, rng=np.random.default_rng(1)
+        ),
+    ],
+    ids=["reference", "scipy", "simplex", "crossbar", "large_scale"],
+)
+def test_solvers_stamp_elapsed(problem, solve):
+    result = solve(problem)
+    assert result.status is SolveStatus.OPTIMAL
+    assert result.elapsed_seconds > 0.0
+    # Sanity ceiling: these are sub-second problems.
+    assert result.elapsed_seconds < 60.0
+
+
+def test_default_is_zero():
+    result = SolverResult(
+        status=SolveStatus.OPTIMAL,
+        x=np.zeros(1),
+        y=np.zeros(1),
+        w=np.zeros(1),
+        z=np.zeros(1),
+        objective=0.0,
+        iterations=0,
+    )
+    assert result.elapsed_seconds == 0.0
+
+
+def test_timed_scipy_returns_results_own_elapsed(problem):
+    result, elapsed = timed_solve_scipy(problem)
+    assert elapsed == result.elapsed_seconds
+    assert elapsed > 0.0

@@ -1,0 +1,85 @@
+"""Tests for the JSONL and Prometheus trace sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RecordingTracer,
+    read_trace_jsonl,
+    render_metrics,
+    write_metrics_textfile,
+    write_trace_jsonl,
+)
+from repro.obs.sinks import TRACE_FORMAT, metric_name
+
+
+@pytest.fixture
+def tracer():
+    tracer = RecordingTracer()
+    with tracer.span("solve", solver="crossbar"):
+        with tracer.span("iteration", index=0):
+            tracer.count("analog.multiplies")
+            tracer.count("analog.multiplies")
+        tracer.gauge("solver.iterations", 1.0)
+    return tracer
+
+
+class TestJsonl:
+    def test_roundtrip_preserves_events(self, tracer, tmp_path):
+        path = write_trace_jsonl(tracer, tmp_path / "trace.jsonl")
+        events = read_trace_jsonl(path)
+        assert events == tracer.event_dicts()
+
+    def test_header_declares_format_and_count(self, tracer, tmp_path):
+        path = write_trace_jsonl(tracer, tmp_path / "trace.jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == TRACE_FORMAT
+        assert header["events"] == len(tracer.events)
+
+    def test_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"kind": "span"}\n')
+        with pytest.raises(ValueError, match="repro-trace"):
+            read_trace_jsonl(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="repro-trace"):
+            read_trace_jsonl(path)
+
+
+class TestMetrics:
+    def test_metric_name_sanitized(self):
+        assert metric_name("analog.multiplies", "_total") == (
+            "repro_analog_multiplies_total"
+        )
+        assert metric_name("a b-c") == "repro_a_b_c"
+
+    def test_counters_and_gauges_rendered(self, tracer):
+        body = render_metrics(tracer)
+        assert "repro_analog_multiplies_total 2" in body
+        assert "repro_solver_iterations 1" in body
+        assert "# TYPE repro_analog_multiplies_total counter" in body
+        assert "# TYPE repro_solver_iterations gauge" in body
+
+    def test_span_series_have_labels(self, tracer):
+        body = render_metrics(tracer)
+        assert 'repro_span_calls_total{span="iteration"} 1' in body
+        assert 'repro_span_seconds_total{span="solve"}' in body
+
+    def test_textfile_syntax(self, tracer, tmp_path):
+        path = write_metrics_textfile(tracer, tmp_path / "m.prom")
+        for line in path.read_text().splitlines():
+            assert line, "no blank lines in textfile-collector format"
+            if line.startswith("#"):
+                assert line.split()[1] in ("HELP", "TYPE")
+            else:
+                name, value = line.rsplit(" ", 1)
+                assert name
+                float(value)  # every sample parses as a number
+
+    def test_empty_tracer_renders(self, tmp_path):
+        body = render_metrics(RecordingTracer())
+        assert body == "\n"

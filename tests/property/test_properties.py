@@ -105,7 +105,11 @@ class TestQuantization:
     def test_vector_mode_error_bounded_by_step(self, values, bits):
         out = quantize_auto(values, bits, "vector")
         peak = float(np.max(np.abs(values)))
-        if peak > 0:
+        if peak < 1e-300:
+            # Subnormal peaks are treated as zero drive: the converter
+            # step would underflow, so the whole vector quantizes to 0.
+            assert np.all(out == 0.0)
+        else:
             step = 2.0 * peak / 2**bits
             assert np.max(np.abs(out - values)) <= step * (1 + 1e-9)
 

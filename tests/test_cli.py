@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.obs import read_trace_jsonl
 
 
 class TestSolveCommand:
@@ -43,6 +46,102 @@ class TestSolveCommand:
             )
             == 0
         )
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_valid_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "solve",
+                "--constraints",
+                "10",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        events = read_trace_jsonl(trace)
+        # Every line is standalone JSON with a known event kind.
+        kinds = {event["kind"] for event in events}
+        assert kinds <= {"span", "count", "gauge"}
+        span_names = {
+            e["name"] for e in events if e["kind"] == "span"
+        }
+        assert {"solve", "attempt", "iteration"} <= span_names
+
+    def test_metrics_out_writes_prometheus_textfile(
+        self, capsys, tmp_path
+    ):
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "solve",
+                "--constraints",
+                "10",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "metrics written" in capsys.readouterr().out
+        body = metrics.read_text()
+        assert "repro_analog_multiplies_total" in body
+        for line in body.splitlines():
+            if not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])
+
+    def test_both_flags_with_reliability_path(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.prom"
+        code = main(
+            [
+                "solve",
+                "--constraints",
+                "10",
+                "--probe",
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        events = read_trace_jsonl(trace)
+        span_names = {
+            e["name"] for e in events if e["kind"] == "span"
+        }
+        assert "probe" in span_names
+        assert metrics.read_text().startswith("# HELP")
+
+    def test_default_leaves_no_files(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["solve", "--constraints", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written" not in out
+        assert "metrics written" not in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_works_for_reference_solver(self, capsys, tmp_path):
+        # The reference solver accepts the flags; the trace is just a
+        # valid (possibly empty) event stream.
+        trace = tmp_path / "ref.jsonl"
+        code = main(
+            [
+                "solve",
+                "--constraints",
+                "10",
+                "--solver",
+                "reference",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        header = json.loads(trace.read_text().splitlines()[0])
+        assert header["format"] == "repro-trace"
 
 
 class TestParasiticsCommand:

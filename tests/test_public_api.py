@@ -25,6 +25,8 @@ class TestExports:
             "repro.workloads",
             "repro.experiments",
             "repro.analysis",
+            "repro.obs",
+            "repro.reliability",
         ],
     )
     def test_subpackage_all_resolves(self, module):
