@@ -1,0 +1,69 @@
+"""EXP-ENGINE: serial vs parallel sweep engine benchmark.
+
+Runs the accuracy sweep once inline (``workers=1``) and once through
+the process pool (``workers=4``) on the benchmark grid, asserts the
+two produce byte-identical rendered tables (the engine's determinism
+contract), and records both wall-clock times plus the measured
+speedup in a ``BENCH_*.json`` perf record.
+
+The speedup is bounded by the host: on a single-core container the
+pool adds fork overhead and the ratio sits near (or below) 1.0, while
+on the 4-vCPU CI runners the embarrassingly parallel grid approaches
+the worker count.  ``cpu_count`` is recorded alongside the timings so
+the number can be judged in context.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import run_sweep
+from repro.experiments.engine import resolve_spec
+from repro.obs.clock import monotonic
+
+from conftest import bench_config
+
+WORKERS = 4
+
+
+@pytest.mark.benchmark(group="sweep-engine")
+def test_parallel_sweep_identical_and_timed(benchmark, perf_record):
+    config = bench_config()
+    spec = resolve_spec("accuracy")
+
+    started = monotonic()
+    serial = run_sweep("accuracy", "crossbar", config, workers=1)
+    serial_s = monotonic() - started
+
+    def run():
+        return run_sweep(
+            "accuracy", "crossbar", config, workers=WORKERS
+        )
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    parallel_s = parallel.elapsed_seconds
+
+    # Determinism contract: rows and rendered tables are
+    # byte-identical at any worker count.
+    assert serial.rows == parallel.rows
+    assert spec.render(serial.rows) == spec.render(parallel.rows)
+    assert not serial.failures and not parallel.failures
+
+    perf_record.update(
+        {
+            "bench": "sweep_engine_accuracy",
+            "grid": {
+                "sizes": list(config.sizes),
+                "variations": list(config.variations),
+                "trials": config.trials,
+            },
+            "cells": serial.executed,
+            "workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else None,
+            "identical_rows": True,
+            "fingerprint": serial.fingerprint,
+        }
+    )

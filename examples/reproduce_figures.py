@@ -2,17 +2,22 @@
 
 Usage:
     python examples/reproduce_figures.py fig5a [--paper-scale]
-    python examples/reproduce_figures.py fig5b fig6a fig7b
-    python examples/reproduce_figures.py all
+    python examples/reproduce_figures.py fig5b fig6a fig7b --workers 4
+    python examples/reproduce_figures.py all --workers 4 --cache-dir .sweeps
 
 Targets: fig5a fig5b fig6a fig6b fig7a fig7b infeasibility all
 
 ``--paper-scale`` runs the full Section 4.2 grid (constraints to 1024,
-100 trials per cell) — hours of simulation; the default grid preserves
-every figure's shape in minutes.
+100 trials per cell); the default grid preserves every figure's shape
+in minutes.  ``--workers N`` fans the grid out to N processes with
+bit-identical tables; ``--cache-dir`` keeps a per-target JSONL cell
+cache so an interrupted (paper-scale) run resumes instead of
+restarting.  Run with ``--help`` for a walkthrough mapping each paper
+figure to its experiment module and CLI entry point.
 """
 
 import argparse
+from pathlib import Path
 
 from repro.experiments import (
     SweepConfig,
@@ -44,10 +49,45 @@ RUNNERS = {
     "infeasibility": (infeasibility_sweep, render_infeasibility),
 }
 
+WALKTHROUGH = """\
+walkthrough — paper figure -> module -> invocation:
+
+  fig5a / fig5b (accuracy, Fig. 5).  repro/experiments/accuracy.py
+  solves random feasible LPs on Solver 1 (fig5a) or Solver 2 (fig5b)
+  and reports relative error against scipy HiGHS (the paper's Matlab
+  linprog stand-in).  Equivalent CLI:
+  `python -m repro sweep accuracy --solver crossbar|large_scale`.
+
+  fig6a / fig6b (latency, Fig. 6).  repro/experiments/latency.py
+  prices each solve's measured iteration/write counters with the
+  device + periphery cost model (repro/costmodel/latency.py) and
+  compares against the anchored CPU models.  Equivalent CLI:
+  `python -m repro sweep latency --solver crossbar|large_scale`.
+
+  fig7a / fig7b (energy, Fig. 7).  repro/experiments/energy.py —
+  same methodology priced in joules (repro/costmodel/energy.py), CPU
+  side at the paper-implied ~35 W.  Equivalent CLI:
+  `python -m repro sweep energy --solver crossbar|large_scale`.
+
+  infeasibility (Section 4.4).  repro/experiments/infeasibility.py
+  plants contradictory constraints and measures how fast the big-M
+  divergence certificate fires — the paper's 113x headline.
+  Equivalent CLI: `python -m repro sweep infeasibility`.
+
+  All four run on the sweep engine (repro/experiments/engine.py):
+  deterministic per-cell seeding means any --workers count produces
+  bit-identical tables, and a --cache-dir cell cache makes long runs
+  resumable.  The parasitics study (`python -m repro parasitics`) and
+  the NoC comparison (benchmarks/bench_noc.py) have no sweep grid and
+  run separately.
+"""
+
 
 def main():
     parser = argparse.ArgumentParser(
-        description="Regenerate the paper's figures as text tables."
+        description="Regenerate the paper's figures as text tables.",
+        epilog=WALKTHROUGH,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "targets",
@@ -63,6 +103,14 @@ def main():
     parser.add_argument(
         "--trials", type=int, default=None,
         help="override trials per cell",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (tables identical at any count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="keep per-target cell caches here; re-runs resume",
     )
     args = parser.parse_args()
 
@@ -81,8 +129,22 @@ def main():
     for target in targets:
         experiment, solver = TARGETS[target]
         sweep, render = RUNNERS[experiment]
+        cache = None
+        if args.cache_dir:
+            cache_dir = Path(args.cache_dir)
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            cache = cache_dir / f"{target}.cells.jsonl"
         print(f"\n=== {target} ({experiment}, {solver}) ===")
-        print(render(sweep(solver, config)))
+        print(
+            render(
+                sweep(
+                    solver,
+                    config,
+                    workers=args.workers,
+                    cache_path=cache,
+                )
+            )
+        )
 
 
 if __name__ == "__main__":

@@ -4,6 +4,8 @@ Commands
 --------
 - ``solve`` — solve a random LP of a given size on a chosen solver and
   print the outcome (a smoke test of the whole stack).
+- ``sweep`` — run one experiment sweep on the parallel, resumable
+  engine (``--workers N --resume cache.jsonl``).
 - ``figures`` — regenerate the paper's figure tables (same engine as
   ``examples/reproduce_figures.py``).
 - ``parasitics`` — the IR-drop tile-size study.
@@ -29,6 +31,7 @@ from repro.reliability import (
 )
 from repro.experiments import (
     SweepConfig,
+    run_sweep,
     accuracy_sweep,
     energy_sweep,
     infeasibility_sweep,
@@ -44,6 +47,7 @@ from repro.experiments import (
     settings_for,
     solver_for,
 )
+from repro.experiments.engine import SPEC_REFS, resolve_spec
 from repro.obs import (
     RecordingTracer,
     write_metrics_textfile,
@@ -181,8 +185,73 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     for target in targets:
         sweep, render, solver = _FIGURES[target]
         print(f"\n=== {target} ({solver}) ===")
-        print(render(sweep(solver, config)))
+        print(render(sweep(solver, config, workers=args.workers)))
     return 0
+
+
+def _sweep_grid(args: argparse.Namespace) -> SweepConfig:
+    """The grid a ``repro sweep`` invocation selects."""
+    base = paper_scale() if args.paper_scale else SweepConfig()
+    return SweepConfig(
+        sizes=(
+            tuple(int(m) for m in args.sizes.split(","))
+            if args.sizes
+            else base.sizes
+        ),
+        variations=(
+            tuple(int(v) for v in args.variations.split(","))
+            if args.variations
+            else base.variations
+        ),
+        trials=args.trials if args.trials is not None else base.trials,
+        seed=args.seed if args.seed is not None else base.seed,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = resolve_spec(args.experiment)
+    config = _sweep_grid(args)
+    tracer = (
+        RecordingTracer()
+        if (args.trace_out or args.metrics_out)
+        else None
+    )
+    run = run_sweep(
+        args.experiment,
+        args.solver,
+        config,
+        workers=args.workers,
+        tracer=tracer,
+        cache_path=args.resume,
+    )
+    print(spec.render(run.rows))
+    cells = len(run.outcomes)
+    print(
+        f"\n{cells} cells: {run.executed} executed, "
+        f"{run.skipped} restored from cache, "
+        f"{len(run.failures)} failed "
+        f"({run.workers} worker(s), {run.elapsed_seconds:.2f} s, "
+        f"fingerprint {run.fingerprint})"
+    )
+    if args.resume:
+        print(f"cell cache: {args.resume}")
+    for outcome in run.failures:
+        f = outcome.failure
+        print(
+            f"FAILED cell size={outcome.key.size} "
+            f"variation={outcome.key.variation} trial={outcome.key.trial}: "
+            f"{f.failure_reason} ({f.error_type}: {f.message})"
+        )
+    if tracer is not None:
+        if args.trace_out:
+            path = write_trace_jsonl(tracer, pathlib.Path(args.trace_out))
+            print(f"trace written: {path}")
+        if args.metrics_out:
+            path = write_metrics_textfile(
+                tracer, pathlib.Path(args.metrics_out)
+            )
+            print(f"metrics written: {path}")
+    return 1 if run.failures else 0
 
 
 def _cmd_parasitics(args: argparse.Namespace) -> int:
@@ -234,6 +303,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Prometheus-style textfile here")
     solve.set_defaults(func=_cmd_solve)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run one experiment sweep (parallel, resumable)",
+        description=(
+            "Run one experiment grid on the sweep execution engine. "
+            "Rows are bit-identical at any --workers count; --resume "
+            "keeps a JSONL cell cache so an interrupted run skips "
+            "completed cells when re-invoked."
+        ),
+    )
+    sweep.add_argument(
+        "experiment",
+        metavar="experiment",
+        help=f"one of {', '.join(sorted(SPEC_REFS))}, or any "
+             "importable module:SPEC reference",
+    )
+    sweep.add_argument(
+        "--solver",
+        choices=("crossbar", "large_scale", "reference"),
+        default="crossbar",
+    )
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool width (1 = inline)")
+    sweep.add_argument("--resume", default=None, metavar="CACHE",
+                       help="JSONL cell cache; created if absent, "
+                            "completed cells are skipped on re-run")
+    sweep.add_argument("--paper-scale", action="store_true",
+                       help="start from the full Section 4.2 grid")
+    sweep.add_argument("--sizes", default=None,
+                       help="comma-separated constraint counts")
+    sweep.add_argument("--variations", default=None,
+                       help="comma-separated variation percents")
+    sweep.add_argument("--trials", type=int, default=None,
+                       help="trials per (size, variation) cell")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="base seed of the cell_seed derivation")
+    sweep.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the merged JSONL trace here")
+    sweep.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a Prometheus-style textfile here")
+    sweep.set_defaults(func=_cmd_sweep)
+
     figures = sub.add_parser(
         "figures", help="regenerate the paper's figure tables"
     )
@@ -241,6 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
         "targets", nargs="+", choices=sorted(_FIGURES) + ["all"]
     )
     figures.add_argument("--paper-scale", action="store_true")
+    figures.add_argument("--workers", type=int, default=1,
+                         help="process-pool width for each sweep")
     figures.set_defaults(func=_cmd_figures)
 
     parasitics = sub.add_parser(

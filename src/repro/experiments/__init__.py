@@ -1,9 +1,28 @@
-"""Table/figure regeneration harness (Figs. 5-7, Section 4.4 anchors)."""
+"""Table/figure regeneration harness (Figs. 5-7, Section 4.4 anchors).
+
+Every sweep executes on the parallel, resumable engine
+(:mod:`repro.experiments.engine`); pass ``workers=N`` /
+``cache_path=...`` to any ``*_sweep`` function, or call
+:func:`~repro.experiments.engine.run_sweep` directly for the full
+:class:`~repro.experiments.engine.SweepRunResult` (failures, cache
+hits, fingerprint).
+"""
 
 from repro.experiments.accuracy import (
     AccuracyRow,
     accuracy_sweep,
     render_accuracy,
+)
+from repro.experiments.engine import (
+    CellFailure,
+    CellKey,
+    CellOutcome,
+    SweepCache,
+    SweepRunResult,
+    SweepSpec,
+    grid_keys,
+    run_sweep,
+    sweep_fingerprint,
 )
 from repro.experiments.energy import EnergyRow, energy_sweep, render_energy
 from repro.experiments.infeasibility import (
@@ -37,6 +56,15 @@ from repro.experiments.runner import (
 __all__ = [
     "SweepConfig",
     "paper_scale",
+    "run_sweep",
+    "sweep_fingerprint",
+    "grid_keys",
+    "SweepSpec",
+    "SweepRunResult",
+    "SweepCache",
+    "CellKey",
+    "CellOutcome",
+    "CellFailure",
     "solver_for",
     "settings_for",
     "SOLVER_NAMES",

@@ -5,11 +5,19 @@ random feasible LPs on the chosen crossbar solver and compare the
 optimal values against the software ground truth (scipy HiGHS — the
 "Matlab linprog" stand-in), exactly the relative-error measure plotted
 in Fig. 5(a) (Solver 1) and Fig. 5(b) (Solver 2).
+
+Execution goes through the sweep engine
+(:mod:`repro.experiments.engine`): the per-trial work is
+:func:`accuracy_trial`, the per-cell fold is
+:func:`aggregate_accuracy`, and :data:`SPEC` registers both — so
+``accuracy_sweep(..., workers=N, cache_path=...)`` runs the grid in
+parallel and resumably with bit-identical rows.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 
 import numpy as np
 
@@ -17,8 +25,9 @@ from repro.analysis.metrics import SampleStats, relative_error
 from repro.analysis.tables import render_table
 from repro.baselines.scipy_linprog import solve_scipy
 from repro.core.result import SolveStatus
+from repro.experiments.engine import SweepSpec, run_sweep
 from repro.experiments.runner import SweepConfig, cell_seed, solver_for
-from repro.obs.tracer import NOOP, Tracer
+from repro.obs.tracer import Tracer
 from repro.workloads.random_lp import random_feasible_lp
 
 
@@ -51,59 +60,91 @@ class AccuracyRow:
     iterations: SampleStats
 
 
+def accuracy_trial(
+    solver: str,
+    size: int,
+    variation: int,
+    trial: int,
+    config: SweepConfig,
+    tracer: Tracer,
+) -> dict:
+    """One Fig. 5 trial: solve a random feasible LP, compare to truth.
+
+    Runs in a sweep-engine worker; all randomness derives from
+    :func:`~repro.experiments.runner.cell_seed`, so the payload is
+    identical wherever (and whenever) the cell executes.
+    """
+    seed = cell_seed(config, size, variation, trial)
+    rng = np.random.default_rng(seed)
+    problem = random_feasible_lp(size, rng=rng)
+    truth = solve_scipy(problem)
+    if truth.status is not SolveStatus.OPTIMAL:
+        return {"counted": False}  # extraordinarily rare; skip
+    tracer.count("sweep.trials")
+    solve = solver_for(solver, variation, tracer=tracer)
+    result = solve(problem, np.random.default_rng(seed.spawn(1)[0]))
+    payload: dict = {"counted": True, "solved": False}
+    if result.status is SolveStatus.OPTIMAL:
+        tracer.count("sweep.solved")
+        payload.update(
+            solved=True,
+            error=relative_error(result.objective, truth.objective),
+            iterations=float(result.iterations),
+        )
+    return payload
+
+
+def aggregate_accuracy(
+    solver: str,
+    size: int,
+    variation: int,
+    config: SweepConfig,
+    payloads: list[dict | None],
+) -> AccuracyRow:
+    """Fold one cell's per-trial payloads (trial order) into a row."""
+    solved_payloads = [
+        p for p in payloads if p is not None and p.get("solved")
+    ]
+    return AccuracyRow(
+        solver=solver,
+        constraints=size,
+        variation_percent=variation,
+        trials=config.trials,
+        solved=len(solved_payloads),
+        error=SampleStats.from_samples(
+            [p["error"] for p in solved_payloads]
+        ),
+        iterations=SampleStats.from_samples(
+            [p["iterations"] for p in solved_payloads]
+        ),
+    )
+
+
 def accuracy_sweep(
     solver: str = "crossbar",
     config: SweepConfig | None = None,
     *,
     tracer: Tracer | None = None,
+    workers: int = 1,
+    cache_path: str | pathlib.Path | None = None,
 ) -> list[AccuracyRow]:
     """Run the Fig. 5 sweep and return one row per cell.
 
-    With a recording ``tracer``, each cell runs inside a
-    ``sweep_cell`` span (attributes: size, variation) and the
-    ``sweep.trials`` / ``sweep.solved`` counters accumulate across the
-    grid, so a trace shows where a long sweep spends its time.
+    With a recording ``tracer``, each trial runs inside a
+    ``sweep_cell`` span (attributes: solver, size, variation, trial,
+    worker) and the ``sweep.trials`` / ``sweep.solved`` counters
+    accumulate across the grid.  ``workers`` fans trials out to a
+    process pool (rows are bit-identical at any worker count);
+    ``cache_path`` makes the run resumable.
     """
-    config = config if config is not None else SweepConfig()
-    tracer = tracer if tracer is not None else NOOP
-    rows: list[AccuracyRow] = []
-    for m in config.sizes:
-        for variation in config.variations:
-          with tracer.span(
-              "sweep_cell", solver=solver, size=m, variation=variation
-          ):
-            solve = solver_for(solver, variation, tracer=tracer)
-            errors: list[float] = []
-            iteration_counts: list[float] = []
-            solved = 0
-            for trial in range(config.trials):
-                seed = cell_seed(config, m, variation, trial)
-                rng = np.random.default_rng(seed)
-                problem = random_feasible_lp(m, rng=rng)
-                truth = solve_scipy(problem)
-                if truth.status is not SolveStatus.OPTIMAL:
-                    continue  # extraordinarily rare; skip the trial
-                tracer.count("sweep.trials")
-                result = solve(problem, np.random.default_rng(seed.spawn(1)[0]))
-                if result.status is SolveStatus.OPTIMAL:
-                    solved += 1
-                    tracer.count("sweep.solved")
-                    errors.append(
-                        relative_error(result.objective, truth.objective)
-                    )
-                    iteration_counts.append(float(result.iterations))
-            rows.append(
-                AccuracyRow(
-                    solver=solver,
-                    constraints=m,
-                    variation_percent=variation,
-                    trials=config.trials,
-                    solved=solved,
-                    error=SampleStats.from_samples(errors),
-                    iterations=SampleStats.from_samples(iteration_counts),
-                )
-            )
-    return rows
+    return run_sweep(
+        "accuracy",
+        solver,
+        config,
+        tracer=tracer,
+        workers=workers,
+        cache_path=cache_path,
+    ).rows
 
 
 def render_accuracy(rows: list[AccuracyRow]) -> str:
@@ -132,3 +173,12 @@ def render_accuracy(rows: list[AccuracyRow]) -> str:
         ],
         table,
     )
+
+
+#: Engine registration: per-trial work + per-cell fold + renderer.
+SPEC = SweepSpec(
+    name="accuracy",
+    trial=accuracy_trial,
+    aggregate=aggregate_accuracy,
+    render=render_accuracy,
+)

@@ -3,11 +3,16 @@
 Same methodology as the latency experiment (measured counters priced
 by the device + periphery model) with the CPU side converted to energy
 at the paper-implied package power (~35 W).
+
+Execution goes through the sweep engine
+(:mod:`repro.experiments.engine`) via :func:`energy_trial` /
+:func:`aggregate_energy`, registered as :data:`SPEC`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 
 import numpy as np
 
@@ -20,12 +25,14 @@ from repro.costmodel.cpu import (
     software_pdip_latency,
 )
 from repro.costmodel.energy import estimate_energy
+from repro.experiments.engine import SweepSpec, run_sweep
 from repro.experiments.runner import (
     SweepConfig,
     cell_seed,
     settings_for,
     solver_for,
 )
+from repro.obs.tracer import Tracer
 from repro.workloads.random_lp import random_feasible_lp
 
 
@@ -50,43 +57,75 @@ class EnergyRow:
         return self.linprog_j / self.crossbar.mean
 
 
+def energy_trial(
+    solver: str,
+    size: int,
+    variation: int,
+    trial: int,
+    config: SweepConfig,
+    tracer: Tracer,
+) -> dict:
+    """One Fig. 7 trial: solve, then price the measured counters."""
+    seed = cell_seed(config, size, variation, trial)
+    rng = np.random.default_rng(seed)
+    problem = random_feasible_lp(size, rng=rng)
+    tracer.count("sweep.trials")
+    solve = solver_for(solver, variation, tracer=tracer)
+    result = solve(problem, np.random.default_rng(seed.spawn(1)[0]))
+    payload: dict = {"solved": False}
+    if result.status is SolveStatus.OPTIMAL:
+        tracer.count("sweep.solved")
+        settings = settings_for(solver, variation)
+        breakdown = estimate_energy(result, settings.device)
+        payload.update(solved=True, energy_j=breakdown.total_j)
+    return payload
+
+
+def aggregate_energy(
+    solver: str,
+    size: int,
+    variation: int,
+    config: SweepConfig,
+    payloads: list[dict | None],
+) -> EnergyRow:
+    """Fold one cell's per-trial payloads (trial order) into a row."""
+    solved = [p for p in payloads if p is not None and p.get("solved")]
+    return EnergyRow(
+        solver=solver,
+        constraints=size,
+        variation_percent=variation,
+        solved=len(solved),
+        trials=config.trials,
+        crossbar=SampleStats.from_samples(
+            [p["energy_j"] for p in solved]
+        ),
+        linprog_j=cpu_energy(linprog_latency(size)),
+        pdip_matlab_j=cpu_energy(software_pdip_latency(size)),
+    )
+
+
 def energy_sweep(
     solver: str = "crossbar",
     config: SweepConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
+    workers: int = 1,
+    cache_path: str | pathlib.Path | None = None,
 ) -> list[EnergyRow]:
-    """Run the Fig. 7 sweep and return one row per cell."""
-    config = config if config is not None else SweepConfig()
-    rows: list[EnergyRow] = []
-    for m in config.sizes:
-        for variation in config.variations:
-            solve = solver_for(solver, variation)
-            settings = settings_for(solver, variation)
-            samples: list[float] = []
-            solved = 0
-            for trial in range(config.trials):
-                seed = cell_seed(config, m, variation, trial)
-                rng = np.random.default_rng(seed)
-                problem = random_feasible_lp(m, rng=rng)
-                result = solve(
-                    problem, np.random.default_rng(seed.spawn(1)[0])
-                )
-                if result.status is SolveStatus.OPTIMAL:
-                    solved += 1
-                    breakdown = estimate_energy(result, settings.device)
-                    samples.append(breakdown.total_j)
-            rows.append(
-                EnergyRow(
-                    solver=solver,
-                    constraints=m,
-                    variation_percent=variation,
-                    solved=solved,
-                    trials=config.trials,
-                    crossbar=SampleStats.from_samples(samples),
-                    linprog_j=cpu_energy(linprog_latency(m)),
-                    pdip_matlab_j=cpu_energy(software_pdip_latency(m)),
-                )
-            )
-    return rows
+    """Run the Fig. 7 sweep and return one row per cell.
+
+    ``workers`` / ``cache_path`` enable parallel and resumable
+    execution with bit-identical rows (see
+    :mod:`repro.experiments.engine`).
+    """
+    return run_sweep(
+        "energy",
+        solver,
+        config,
+        tracer=tracer,
+        workers=workers,
+        cache_path=cache_path,
+    ).rows
 
 
 def render_energy(rows: list[EnergyRow]) -> str:
@@ -117,3 +156,12 @@ def render_energy(rows: list[EnergyRow]) -> str:
         ],
         table,
     )
+
+
+#: Engine registration: per-trial work + per-cell fold + renderer.
+SPEC = SweepSpec(
+    name="energy",
+    trial=energy_trial,
+    aggregate=aggregate_energy,
+    render=render_energy,
+)

@@ -5,11 +5,17 @@ m = 1024, Matlab linprog needs ~30 s to certify infeasibility while
 the crossbar solver's big-M divergence test fires in ~265 ms (113x).
 This experiment measures detection rate, iterations-to-detection, and
 estimated detection latency on batches of planted-contradiction LPs.
+
+Execution goes through the sweep engine
+(:mod:`repro.experiments.engine`) via :func:`infeasibility_trial` /
+:func:`aggregate_infeasibility`, registered as :data:`SPEC` — so the
+sweep parallelizes and resumes like every other experiment.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 
 import numpy as np
 
@@ -18,13 +24,14 @@ from repro.analysis.tables import render_table
 from repro.core.result import SolveStatus
 from repro.costmodel.cpu import linprog_latency
 from repro.costmodel.latency import estimate_latency
+from repro.experiments.engine import SweepSpec, run_sweep
 from repro.experiments.runner import (
     SweepConfig,
     cell_seed,
     settings_for,
     solver_for,
 )
-from repro.obs.tracer import NOOP, Tracer
+from repro.obs.tracer import Tracer
 from repro.workloads.random_lp import random_infeasible_lp
 
 
@@ -54,61 +61,83 @@ class InfeasibilityRow:
         return self.linprog_s / self.latency.mean
 
 
+def infeasibility_trial(
+    solver: str,
+    size: int,
+    variation: int,
+    trial: int,
+    config: SweepConfig,
+    tracer: Tracer,
+) -> dict:
+    """One detection trial: planted-infeasible LP, big-M divergence."""
+    seed = cell_seed(config, size, variation, trial)
+    rng = np.random.default_rng(seed)
+    problem = random_infeasible_lp(size, rng=rng)
+    tracer.count("sweep.trials")
+    solve = solver_for(solver, variation, tracer=tracer)
+    result = solve(problem, np.random.default_rng(seed.spawn(1)[0]))
+    payload: dict = {"detected": False}
+    if result.status is SolveStatus.INFEASIBLE:
+        tracer.count("sweep.detected")
+        payload.update(detected=True, iterations=float(result.iterations))
+        if result.crossbar is not None:
+            settings = settings_for(solver, variation)
+            breakdown = estimate_latency(result, settings.device)
+            payload["latency_s"] = breakdown.total_s
+    return payload
+
+
+def aggregate_infeasibility(
+    solver: str,
+    size: int,
+    variation: int,
+    config: SweepConfig,
+    payloads: list[dict | None],
+) -> InfeasibilityRow:
+    """Fold one cell's per-trial payloads (trial order) into a row."""
+    detected = [
+        p for p in payloads if p is not None and p.get("detected")
+    ]
+    return InfeasibilityRow(
+        solver=solver,
+        constraints=size,
+        variation_percent=variation,
+        trials=config.trials,
+        detected=len(detected),
+        iterations=SampleStats.from_samples(
+            [p["iterations"] for p in detected]
+        ),
+        latency=SampleStats.from_samples(
+            [p["latency_s"] for p in detected if "latency_s" in p]
+        ),
+        linprog_s=linprog_latency(size, infeasible=True),
+    )
+
+
 def infeasibility_sweep(
     solver: str = "crossbar",
     config: SweepConfig | None = None,
     *,
     tracer: Tracer | None = None,
+    workers: int = 1,
+    cache_path: str | pathlib.Path | None = None,
 ) -> list[InfeasibilityRow]:
     """Run the detection sweep and return one row per cell.
 
     Instrumented like :func:`repro.experiments.accuracy_sweep`: one
-    ``sweep_cell`` span per grid cell, ``sweep.trials`` /
-    ``sweep.detected`` counters across the run.
+    ``sweep_cell`` span per trial (attributes include the worker pid),
+    ``sweep.trials`` / ``sweep.detected`` counters across the run.
+    ``workers`` / ``cache_path`` enable parallel and resumable
+    execution with bit-identical rows.
     """
-    config = config if config is not None else SweepConfig()
-    tracer = tracer if tracer is not None else NOOP
-    rows: list[InfeasibilityRow] = []
-    for m in config.sizes:
-        for variation in config.variations:
-          with tracer.span(
-              "sweep_cell", solver=solver, size=m, variation=variation
-          ):
-            solve = solver_for(solver, variation, tracer=tracer)
-            settings = settings_for(solver, variation)
-            iteration_samples: list[float] = []
-            latency_samples: list[float] = []
-            detected = 0
-            for trial in range(config.trials):
-                seed = cell_seed(config, m, variation, trial)
-                rng = np.random.default_rng(seed)
-                problem = random_infeasible_lp(m, rng=rng)
-                tracer.count("sweep.trials")
-                result = solve(
-                    problem, np.random.default_rng(seed.spawn(1)[0])
-                )
-                if result.status is SolveStatus.INFEASIBLE:
-                    detected += 1
-                    tracer.count("sweep.detected")
-                    iteration_samples.append(float(result.iterations))
-                    if result.crossbar is not None:
-                        breakdown = estimate_latency(
-                            result, settings.device
-                        )
-                        latency_samples.append(breakdown.total_s)
-            rows.append(
-                InfeasibilityRow(
-                    solver=solver,
-                    constraints=m,
-                    variation_percent=variation,
-                    trials=config.trials,
-                    detected=detected,
-                    iterations=SampleStats.from_samples(iteration_samples),
-                    latency=SampleStats.from_samples(latency_samples),
-                    linprog_s=linprog_latency(m, infeasible=True),
-                )
-            )
-    return rows
+    return run_sweep(
+        "infeasibility",
+        solver,
+        config,
+        tracer=tracer,
+        workers=workers,
+        cache_path=cache_path,
+    ).rows
 
 
 def render_infeasibility(rows: list[InfeasibilityRow]) -> str:
@@ -139,3 +168,12 @@ def render_infeasibility(rows: list[InfeasibilityRow]) -> str:
         ],
         table,
     )
+
+
+#: Engine registration: per-trial work + per-cell fold + renderer.
+SPEC = SweepSpec(
+    name="infeasibility",
+    trial=infeasibility_trial,
+    aggregate=aggregate_infeasibility,
+    render=render_infeasibility,
+)

@@ -6,11 +6,16 @@ write counters, price them with the device + periphery cost model,
 and compare against the anchored CPU models of Matlab ``linprog`` and
 PDIP-in-Matlab (Fig. 6(a): Solver 1 vs both CPU curves; Fig. 6(b):
 Solver 2 vs linprog).
+
+Execution goes through the sweep engine
+(:mod:`repro.experiments.engine`) via :func:`latency_trial` /
+:func:`aggregate_latency`, registered as :data:`SPEC`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 
 import numpy as np
 
@@ -19,12 +24,14 @@ from repro.analysis.tables import render_table
 from repro.core.result import SolveStatus
 from repro.costmodel.cpu import linprog_latency, software_pdip_latency
 from repro.costmodel.latency import estimate_latency
+from repro.experiments.engine import SweepSpec, run_sweep
 from repro.experiments.runner import (
     SweepConfig,
     cell_seed,
     settings_for,
     solver_for,
 )
+from repro.obs.tracer import Tracer
 from repro.workloads.random_lp import random_feasible_lp
 
 
@@ -53,43 +60,75 @@ class LatencyRow:
         return self.linprog_s / self.crossbar.mean
 
 
+def latency_trial(
+    solver: str,
+    size: int,
+    variation: int,
+    trial: int,
+    config: SweepConfig,
+    tracer: Tracer,
+) -> dict:
+    """One Fig. 6 trial: solve, then price the measured counters."""
+    seed = cell_seed(config, size, variation, trial)
+    rng = np.random.default_rng(seed)
+    problem = random_feasible_lp(size, rng=rng)
+    tracer.count("sweep.trials")
+    solve = solver_for(solver, variation, tracer=tracer)
+    result = solve(problem, np.random.default_rng(seed.spawn(1)[0]))
+    payload: dict = {"solved": False}
+    if result.status is SolveStatus.OPTIMAL:
+        tracer.count("sweep.solved")
+        settings = settings_for(solver, variation)
+        breakdown = estimate_latency(result, settings.device)
+        payload.update(solved=True, latency_s=breakdown.total_s)
+    return payload
+
+
+def aggregate_latency(
+    solver: str,
+    size: int,
+    variation: int,
+    config: SweepConfig,
+    payloads: list[dict | None],
+) -> LatencyRow:
+    """Fold one cell's per-trial payloads (trial order) into a row."""
+    solved = [p for p in payloads if p is not None and p.get("solved")]
+    return LatencyRow(
+        solver=solver,
+        constraints=size,
+        variation_percent=variation,
+        solved=len(solved),
+        trials=config.trials,
+        crossbar=SampleStats.from_samples(
+            [p["latency_s"] for p in solved]
+        ),
+        linprog_s=linprog_latency(size),
+        pdip_matlab_s=software_pdip_latency(size),
+    )
+
+
 def latency_sweep(
     solver: str = "crossbar",
     config: SweepConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
+    workers: int = 1,
+    cache_path: str | pathlib.Path | None = None,
 ) -> list[LatencyRow]:
-    """Run the Fig. 6 sweep and return one row per cell."""
-    config = config if config is not None else SweepConfig()
-    rows: list[LatencyRow] = []
-    for m in config.sizes:
-        for variation in config.variations:
-            solve = solver_for(solver, variation)
-            settings = settings_for(solver, variation)
-            samples: list[float] = []
-            solved = 0
-            for trial in range(config.trials):
-                seed = cell_seed(config, m, variation, trial)
-                rng = np.random.default_rng(seed)
-                problem = random_feasible_lp(m, rng=rng)
-                result = solve(
-                    problem, np.random.default_rng(seed.spawn(1)[0])
-                )
-                if result.status is SolveStatus.OPTIMAL:
-                    solved += 1
-                    breakdown = estimate_latency(result, settings.device)
-                    samples.append(breakdown.total_s)
-            rows.append(
-                LatencyRow(
-                    solver=solver,
-                    constraints=m,
-                    variation_percent=variation,
-                    solved=solved,
-                    trials=config.trials,
-                    crossbar=SampleStats.from_samples(samples),
-                    linprog_s=linprog_latency(m),
-                    pdip_matlab_s=software_pdip_latency(m),
-                )
-            )
-    return rows
+    """Run the Fig. 6 sweep and return one row per cell.
+
+    ``workers`` / ``cache_path`` enable parallel and resumable
+    execution with bit-identical rows (see
+    :mod:`repro.experiments.engine`).
+    """
+    return run_sweep(
+        "latency",
+        solver,
+        config,
+        tracer=tracer,
+        workers=workers,
+        cache_path=cache_path,
+    ).rows
 
 
 def render_latency(rows: list[LatencyRow]) -> str:
@@ -120,3 +159,12 @@ def render_latency(rows: list[LatencyRow]) -> str:
         ],
         table,
     )
+
+
+#: Engine registration: per-trial work + per-cell fold + renderer.
+SPEC = SweepSpec(
+    name="latency",
+    trial=latency_trial,
+    aggregate=aggregate_latency,
+    render=render_latency,
+)

@@ -75,6 +75,7 @@ def reproduce_all(
     config: SweepConfig | None = None,
     *,
     experiments: tuple[str, ...] | None = None,
+    workers: int = 1,
 ) -> list[ReproductionArtifact]:
     """Run the experiment set and write artifacts under ``output_dir``.
 
@@ -87,6 +88,9 @@ def reproduce_all(
         :class:`~repro.experiments.runner.SweepConfig`.
     experiments:
         Optional subset of experiment names (plus ``"parasitics"``).
+    workers:
+        Process-pool width for each sweep (the engine guarantees
+        identical rows at any worker count).
 
     Returns
     -------
@@ -102,7 +106,7 @@ def reproduce_all(
     for name, sweep, render, solver in _EXPERIMENTS:
         if selected is not None and name not in selected:
             continue
-        rows = sweep(solver, config)
+        rows = sweep(solver, config, workers=workers)
         artifacts.append(_write(output, name, rows, render(rows)))
     if selected is None or "parasitics" in selected:
         rows = parasitics_sweep()

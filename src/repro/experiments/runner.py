@@ -9,6 +9,12 @@ every experiment module runs the same way.
 
 Defaults are scaled down (sizes to 64, a few trials) so the benchmark
 suite completes in minutes; pass ``paper_scale()`` for the full grid.
+
+:func:`cell_seed` is the determinism anchor: a sweep cell's entire
+random stream derives from ``(config.seed, size, variation, trial)``,
+which is what lets the execution engine
+(:mod:`repro.experiments.engine`) run cells in any order, on any
+number of workers, and still produce bit-identical tables.
 """
 
 from __future__ import annotations

@@ -1,0 +1,114 @@
+"""Merging worker traces into a parent tracer.
+
+The sweep engine (:mod:`repro.experiments.engine`) runs each grid
+cell in a worker process with its own :class:`~repro.obs.tracer.
+RecordingTracer`, ships the serialized event stream back, and calls
+:func:`absorb_events` to splice it into the parent tracer:
+
+- every worker span id is remapped into the parent's id space, so the
+  merged stream has globally unique ids and intact parent links;
+- worker *root* spans (no parent inside the absorbed stream) are
+  re-parented onto the parent tracer's innermost open span, so an
+  absorbed ``sweep_cell`` subtree nests where the merge happened;
+- counter / gauge events update the parent's aggregate maps, keeping
+  :func:`~repro.obs.sinks.render_metrics` and
+  :mod:`repro.analysis.spans` replay consistent.
+
+Span *durations* are exact; span *start times* stay on the worker's
+monotonic clock (process-local origin), so ordering across absorbed
+subtrees is only meaningful within one worker.  Replay helpers never
+compare start times across subtrees, so this does not affect
+``span_totals`` or ``reconcile_with_counters``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.tracer import (
+    CountEvent,
+    GaugeEvent,
+    RecordingTracer,
+    SpanEvent,
+)
+
+
+def absorb_events(
+    tracer: RecordingTracer,
+    events: Iterable[dict],
+    *,
+    root_attrs: dict | None = None,
+) -> int:
+    """Splice a serialized child event stream into ``tracer``.
+
+    Parameters
+    ----------
+    tracer:
+        The parent tracer receiving the events.
+    events:
+        Event dicts as produced by
+        :meth:`~repro.obs.tracer.RecordingTracer.event_dicts` (or read
+        back from a JSONL trace / sweep cache).
+    root_attrs:
+        Extra attributes merged into the absorbed stream's *root*
+        spans (e.g. ``{"worker": pid}``).
+
+    Returns
+    -------
+    int
+        Number of events absorbed.
+    """
+    events = list(events)
+    attach_to = tracer._stack[-1] if tracer._stack else None
+    # Two passes: spans close child-before-parent, so a child's
+    # parent_id can reference a span that appears later in the stream.
+    id_map = {
+        event["span_id"]: next(tracer._ids)
+        for event in events
+        if event["kind"] == "span"
+    }
+    absorbed = 0
+    for event in events:
+        kind = event["kind"]
+        if kind == "span":
+            parent = event["parent_id"]
+            is_root = parent is None or parent not in id_map
+            attrs = dict(event["attrs"])
+            if is_root and root_attrs:
+                attrs.update(root_attrs)
+            tracer.events.append(
+                SpanEvent(
+                    name=event["name"],
+                    span_id=id_map[event["span_id"]],
+                    parent_id=attach_to if is_root else id_map[parent],
+                    start_s=event["start_s"],
+                    duration_s=event["duration_s"],
+                    attrs=attrs,
+                )
+            )
+        elif kind == "count":
+            tracer.counters[event["name"]] = (
+                tracer.counters.get(event["name"], 0.0) + event["value"]
+            )
+            tracer.events.append(
+                CountEvent(
+                    name=event["name"],
+                    value=event["value"],
+                    t_s=event["t_s"],
+                    span_id=id_map.get(event["span_id"], attach_to),
+                )
+            )
+        elif kind == "gauge":
+            tracer.gauges[event["name"]] = event["value"]
+            tracer.events.append(
+                GaugeEvent(
+                    name=event["name"],
+                    value=event["value"],
+                    t_s=event["t_s"],
+                    span_id=id_map.get(event["span_id"], attach_to),
+                )
+            )
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+        absorbed += 1
+    return absorbed

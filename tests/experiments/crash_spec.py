@@ -1,0 +1,38 @@
+"""A minimal SweepSpec whose trial crashes on demand.
+
+Used by the engine tests to exercise failed-cell isolation; lives in
+an importable module (not inside a test function) so process-pool
+workers can unpickle and resolve it via its ``module:attr`` reference.
+"""
+
+from repro.experiments.engine import SweepSpec
+
+#: ``(size, variation, trial)`` combinations that raise.
+CRASH_CELLS = {(8, 0, 1)}
+
+
+def crashing_trial(solver, size, variation, trial, config, tracer):
+    if (size, variation, trial) in CRASH_CELLS:
+        raise RuntimeError(f"planted crash in cell {(size, variation, trial)}")
+    tracer.count("sweep.trials")
+    return {"value": size * 1000 + variation * 10 + trial}
+
+
+def aggregate(solver, size, variation, config, payloads):
+    return {
+        "size": size,
+        "variation": variation,
+        "values": [None if p is None else p["value"] for p in payloads],
+    }
+
+
+def render(rows):
+    return "\n".join(str(row) for row in rows)
+
+
+SPEC = SweepSpec(
+    name="crash-test",
+    trial=crashing_trial,
+    aggregate=aggregate,
+    render=render,
+)

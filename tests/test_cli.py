@@ -164,3 +164,81 @@ class TestParser:
     def test_figures_all_accepted(self):
         args = build_parser().parse_args(["figures", "all"])
         assert args.targets == ["all"]
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep",
+        "accuracy",
+        "--solver",
+        "reference",
+        "--sizes",
+        "8",
+        "--variations",
+        "0",
+        "--trials",
+        "2",
+    ]
+
+    def test_sweep_runs_and_prints_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "mean_rel_err" in out
+        assert "2 executed" in out
+
+    def test_sweep_resume_skips_cached_cells(self, capsys, tmp_path):
+        cache = tmp_path / "cells.jsonl"
+        assert main(self.ARGS + ["--resume", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 restored" in first
+        assert main(self.ARGS + ["--resume", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 restored" in second
+        # The table itself is byte-identical across the resume.
+        assert first.splitlines()[:4] == second.splitlines()[:4]
+
+    def test_sweep_workers_match_serial_output(self, capsys):
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out.splitlines()[:4]
+        assert main(self.ARGS + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out.splitlines()[:4]
+        assert serial == parallel
+
+    def test_sweep_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "sweep-trace.jsonl"
+        assert main(self.ARGS + ["--trace-out", str(trace)]) == 0
+        events = read_trace_jsonl(trace)
+        cells = [
+            e
+            for e in events
+            if e["kind"] == "span" and e["name"] == "sweep_cell"
+        ]
+        assert len(cells) == 2
+        assert all("worker" in c["attrs"] for c in cells)
+
+    def test_sweep_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            main(["sweep", "bogus"])
+
+    def test_sweep_accepts_module_spec_reference(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "tests.experiments.crash_spec:SPEC",
+                "--solver",
+                "reference",
+                "--sizes",
+                "8",
+                "--variations",
+                "0",
+                "--trials",
+                "2",
+            ]
+        )
+        # The planted (8, 0, 1) crash is isolated, reported, and
+        # turned into a nonzero exit — not a crashed sweep.
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "FAILED cell size=8 variation=0 trial=1" in out
+        assert "cell_crashed" in out

@@ -1,0 +1,83 @@
+"""Markdown link check over the top-level docs.
+
+Every relative link in README / DESIGN / EXPERIMENTS (plus the file
+and module paths they name in backticks) must resolve inside the
+repository, so the cross-reference web the docs rely on cannot rot
+silently.  External http(s) links are not fetched.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+# `path/to/file.ext`, `dir/` or bare `file.ext` spans in prose.
+_CODE_PATH = re.compile(
+    r"`((?:[\w.-]+/)+[\w.-]+\.(?:py|md|yml|json|toml)"
+    r"|(?:[\w.-]+/)+"
+    r"|[\w-]+\.(?:py|md|yml|json|toml))`"
+)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def doc_links(name: str) -> list[str]:
+    return _LINK.findall((REPO / name).read_text())
+
+
+@pytest.mark.parametrize("name", DOCS)
+def test_relative_links_resolve(name):
+    broken = []
+    text = (REPO / name).read_text()
+    slugs = {github_slug(h) for h in _HEADING.findall(text)}
+    for target in doc_links(name):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            if not (REPO / path_part).exists():
+                broken.append(f"{name}: missing file {target}")
+                continue
+            if anchor:
+                other = (REPO / path_part).read_text()
+                other_slugs = {
+                    github_slug(h) for h in _HEADING.findall(other)
+                }
+                if anchor not in other_slugs:
+                    broken.append(f"{name}: missing anchor {target}")
+        elif anchor and anchor not in slugs:
+            broken.append(f"{name}: missing anchor #{anchor}")
+    assert not broken, broken
+
+
+@pytest.mark.parametrize("name", DOCS)
+def test_backticked_paths_exist(name):
+    """File/directory paths quoted in the docs must exist."""
+    text = (REPO / name).read_text()
+    missing = []
+    for path in set(_CODE_PATH.findall(text)):
+        if "/" in path:
+            candidates = (
+                REPO / path,
+                REPO / "src" / path,
+                REPO / "src" / "repro" / path,
+            )
+            found = any(c.exists() for c in candidates)
+        else:
+            # Bare filename: anywhere in the tree counts.
+            found = any(
+                REPO.glob(f"**/{path}")
+            ) or (REPO / path).exists()
+        if not found:
+            missing.append(f"{name}: `{path}`")
+    assert not missing, missing
