@@ -1,0 +1,66 @@
+"""SERVICE: throughput and programming-cache benchmark.
+
+Runs the same 50-job / 5-group batch through the solver service twice
+— cache enabled and cache disabled (every placement cold) — asserts
+the cache measurably reduces ``crossbar.cells_written``, and records
+jobs/sec, the cache hit rate, and the measured write saving in a
+``BENCH_*.json`` perf record (dropped under ``REPRO_BENCH_OUT``).
+"""
+
+import pytest
+
+from repro.obs.tracer import RecordingTracer
+from repro.service import ServiceConfig, SolverService, synthesize_jobs
+
+JOBS = 50
+GROUPS = 5
+POOL = 5
+CONSTRAINTS = 12
+
+
+def run_batch(cache_enabled: bool):
+    tracer = RecordingTracer()
+    service = SolverService(
+        ServiceConfig(
+            pool_size=POOL, base_seed=7, cache_enabled=cache_enabled
+        ),
+        tracer=tracer,
+    )
+    specs = synthesize_jobs(JOBS, groups=GROUPS, constraints=CONSTRAINTS)
+    records, summary = service.batch(specs)
+    return records, summary, tracer
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_throughput_and_cache_saving(benchmark, perf_record):
+    _, cold_summary, cold_tracer = run_batch(cache_enabled=False)
+
+    def run():
+        return run_batch(cache_enabled=True)
+
+    records, summary, tracer = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    assert summary.failed == 0 and cold_summary.failed == 0
+    cached_cells = tracer.counters["crossbar.cells_written"]
+    cold_cells = cold_tracer.counters["crossbar.cells_written"]
+    assert cached_cells < cold_cells
+
+    perf_record.update(
+        {
+            "bench": "service_batch",
+            "jobs": JOBS,
+            "groups": GROUPS,
+            "pool_size": POOL,
+            "constraints": CONSTRAINTS,
+            "jobs_per_second": summary.jobs_per_second,
+            "cache_hit_rate": summary.cache_hit_rate,
+            "warm_acquires": summary.warm_acquires,
+            "cold_acquires": summary.cold_acquires,
+            "cells_written_cached": cached_cells,
+            "cells_written_cold": cold_cells,
+            "write_saving_fraction": 1.0 - cached_cells / cold_cells,
+            "elapsed_seconds": summary.elapsed_seconds,
+        }
+    )

@@ -3,18 +3,27 @@
 Commands
 --------
 - ``solve`` — solve a random LP of a given size on a chosen solver and
-  print the outcome (a smoke test of the whole stack).
+  print the outcome (a smoke test of the whole stack); exits non-zero
+  when the solve is inconclusive.
 - ``sweep`` — run one experiment sweep on the parallel, resumable
   engine (``--workers N --resume cache.jsonl``).
 - ``figures`` — regenerate the paper's figure tables (same engine as
   ``examples/reproduce_figures.py``).
 - ``parasitics`` — the IR-drop tile-size study.
+- ``serve`` — run a synthetic job batch through the solver service
+  (crossbar fleet pool + programming cache + job queue).
+- ``batch`` — run a JSONL job file through the solver service and emit
+  per-job result records.
+
+Installed as the ``repro`` console script (``pip install -e .``), or
+runnable as ``python -m repro``.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import pathlib
 
 import numpy as np
@@ -52,6 +61,12 @@ from repro.obs import (
     RecordingTracer,
     write_metrics_textfile,
     write_trace_jsonl,
+)
+from repro.service import (
+    ServiceConfig,
+    SolverService,
+    read_jobs_jsonl,
+    synthesize_jobs,
 )
 from repro.workloads import random_feasible_lp
 
@@ -176,7 +191,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 tracer, pathlib.Path(args.metrics_out)
             )
             print(f"metrics written: {path}")
-    return 0
+    # A conclusive classification (optimal / infeasible) is success;
+    # anything else exits non-zero so scripts and CI can gate on it.
+    return 0 if result.success else 1
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -263,6 +280,121 @@ def _cmd_parasitics(args: argparse.Namespace) -> int:
         label = str(size) if size else "none sampled"
         print(f"  wire {resistance:4.1f} ohm -> {label}")
     return 0
+
+
+def _service_from_args(args: argparse.Namespace, tracer):
+    """Build the configured :class:`SolverService` for serve/batch."""
+    config = ServiceConfig(
+        pool_size=args.pool_size,
+        queue_depth=args.queue_depth,
+        max_attempts=args.max_attempts,
+        cache_enabled=not args.no_cache,
+        base_seed=args.seed,
+        digital_fallback=(
+            None if args.fallback == "none" else args.fallback
+        ),
+    )
+    service = SolverService(config, tracer=tracer)
+    if args.inject_fault is not None:
+        if not 0 <= args.inject_fault < args.pool_size:
+            raise SystemExit(
+                f"--inject-fault {args.inject_fault} out of range for "
+                f"pool size {args.pool_size}"
+            )
+        service.pool.inject_fault(args.inject_fault, 0.5)
+    return service
+
+
+def _run_service(args: argparse.Namespace, specs) -> int:
+    """Shared serve/batch body: run, report, export."""
+    tracer = (
+        RecordingTracer()
+        if (args.trace_out or args.metrics_out)
+        else None
+    )
+    service = _service_from_args(args, tracer)
+    records, summary = service.batch(specs)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(record.to_dict(), sort_keys=True) + "\n"
+                )
+        print(f"records written: {out}")
+    for record in records:
+        marker = "warm" if record.warm else "cold"
+        placement = (
+            "fallback"
+            if record.fallback
+            else f"member {record.member} ({marker})"
+        )
+        line = (
+            f"{record.spec.job_id}: {record.result.status.value:<17} "
+            f"{placement}"
+        )
+        if record.requeues:
+            line += f" requeues={record.requeues}"
+        print(line)
+    print()
+    print(summary.render())
+    if tracer is not None:
+        if args.trace_out:
+            path = write_trace_jsonl(tracer, pathlib.Path(args.trace_out))
+            print(f"trace written: {path}")
+        if args.metrics_out:
+            path = write_metrics_textfile(
+                tracer, pathlib.Path(args.metrics_out)
+            )
+            print(f"metrics written: {path}")
+    return 1 if summary.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    specs = synthesize_jobs(
+        args.jobs,
+        groups=args.groups,
+        constraints=args.constraints,
+        variation=args.variation,
+        infeasible_every=args.infeasible_every,
+    )
+    return _run_service(args, specs)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    specs = list(read_jobs_jsonl(args.jobs_file))
+    if not specs:
+        raise SystemExit(f"no jobs in {args.jobs_file}")
+    return _run_service(args, specs)
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pool-size", type=int, default=2,
+                        help="crossbar fleet members")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="admission bound of the job queue")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="analog attempts per job before fallback")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed of all derived randomness")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the programming cache "
+                             "(every placement reprograms)")
+    parser.add_argument("--fallback",
+                        choices=("none", "reference", "scipy"),
+                        default="none",
+                        help="digital fallback after analog attempts")
+    parser.add_argument("--inject-fault", type=int, default=None,
+                        metavar="MEMBER",
+                        help="knock half the rows of this pool member "
+                             "stuck-OFF before the batch")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write per-job JSONL records here")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the merged JSONL trace here")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a Prometheus-style textfile here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -361,6 +493,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parasitics.add_argument("--budget", type=float, default=0.02)
     parasitics.set_defaults(func=_cmd_parasitics)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a synthetic job batch through the solver service",
+        description=(
+            "Synthesize a deterministic job batch and run it through "
+            "the serving layer: crossbar fleet pool, fingerprint-keyed "
+            "programming cache, and bounded priority job queue."
+        ),
+    )
+    serve.add_argument("--jobs", type=int, default=20,
+                       help="number of synthetic jobs")
+    serve.add_argument("--groups", type=int, default=2,
+                       help="structure-sharing groups (jobs in a group "
+                            "share the constraint matrix, hence warm "
+                            "placements)")
+    serve.add_argument("--constraints", type=int, default=24,
+                       help="constraints per job")
+    serve.add_argument("--variation", type=float, default=0.0,
+                       help="process variation percent per job")
+    serve.add_argument("--infeasible-every", type=int, default=0,
+                       help="plant an infeasible job every k-th job")
+    _add_service_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSONL job file through the solver service",
+        description=(
+            "Each input line is a JobSpec object (job_id, constraints, "
+            "group, kind, priority, variation).  Emits one JSONL "
+            "result record per job with --out."
+        ),
+    )
+    batch.add_argument("jobs_file", metavar="jobs.jsonl",
+                       help="job specs, one JSON object per line")
+    _add_service_options(batch)
+    batch.set_defaults(func=_cmd_batch)
     return parser
 
 

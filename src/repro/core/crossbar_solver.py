@@ -47,7 +47,7 @@ from repro.core.result import (
 from repro.core.settings import CrossbarSolverSettings
 from repro.core.stepsize import ratio_test_theta
 from repro.crossbar.ops import AnalogMatrixOperator
-from repro.exceptions import CrossbarSolveError
+from repro.exceptions import CrossbarSolveError, MappingError
 from repro.obs.clock import Stopwatch
 from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
@@ -126,18 +126,75 @@ class CrossbarPDIPSolver:
             result, elapsed_seconds=clock.elapsed_seconds
         )
 
+    def solve_on(
+        self,
+        operator: AnalogMatrixOperator,
+        *,
+        trace: bool = False,
+    ) -> SolverResult:
+        """Run ONE attempt on a pre-programmed (warm) operator.
+
+        The serving layer (:mod:`repro.service`) keeps arrays
+        programmed between jobs: when a job's structural blocks
+        (A/Aᵀ + compensation) match what ``operator`` already holds,
+        this entry point skips the full-array programming and pays only
+        the O(N) diagonal rewrite — the paper's per-iteration cost,
+        amortized across *requests*.  No recovery ladder runs here;
+        rescheduling is the caller's concern.  The returned counters
+        cover only this attempt's writes (the operator's lifetime
+        totals are baselined out).
+        """
+        with Stopwatch() as clock, self.tracer.span(
+            "solve",
+            solver="crossbar",
+            constraints=self.problem.A.shape[0],
+            warm=True,
+        ):
+            result, _ = self._solve_once(
+                rng=self.rng, trace=trace, operator=operator
+            )
+        return dataclasses.replace(
+            result, elapsed_seconds=clock.elapsed_seconds
+        )
+
+    def build_operator(
+        self, rng: np.random.Generator | None = None
+    ) -> AnalogMatrixOperator:
+        """Program a fresh operator with this problem's full matrix.
+
+        The initial-state matrix (all four diagonals at
+        ``settings.initial_value``) is what :meth:`solve_on` expects to
+        find; the serving layer uses this as the cold-path programmer.
+        """
+        settings = self.settings
+        x0 = np.full(self.problem.A.shape[1], settings.initial_value)
+        y0 = np.full(self.problem.A.shape[0], settings.initial_value)
+        matrix = self.system.build_matrix(x0, y0, y0.copy(), x0.copy())
+        return AnalogMatrixOperator(
+            matrix,
+            params=settings.device,
+            variation=settings.variation,
+            rng=rng if rng is not None else self.rng,
+            dac_bits=settings.dac_bits,
+            adc_bits=settings.adc_bits,
+            scale_headroom=settings.scale_headroom,
+            row_scaling=settings.row_scaling,
+            off_state=settings.off_state,
+            write_verify=settings.write_verify,
+            tracer=self.tracer,
+        )
+
     # -- one attempt -----------------------------------------------------------
 
     def _probe_rejection(
         self,
         probe: ProbeReport,
-        operator: AnalogMatrixOperator,
+        report,
         multiplies: int,
     ) -> SolverResult:
         """Short-circuit result for an array the health probe rejected."""
         problem = self.problem
         m, n = problem.A.shape
-        report = operator.write_report
         counters = CrossbarCounters(
             multiplies=multiplies,
             solves=0,
@@ -173,6 +230,7 @@ class CrossbarPDIPSolver:
         *,
         rng: np.random.Generator | None = None,
         trace: bool = False,
+        operator: AnalogMatrixOperator | None = None,
     ) -> tuple[SolverResult, ProbeReport | None]:
         problem = self.problem
         settings = self.settings
@@ -186,24 +244,47 @@ class CrossbarPDIPSolver:
         y = np.full(m, settings.initial_value)
         w = np.full(m, settings.initial_value)
 
-        # Eqn. 13/14a: eliminate negatives via compensation variables
-        # and assemble the augmented non-negative Newton matrix.
-        with tracer.span("reformulate"):
-            matrix = system.build_matrix(x, y, w, z)
-        with tracer.span("program", array="M"):
-            operator = AnalogMatrixOperator(
-                matrix,
-                params=settings.device,
-                variation=settings.variation,
-                rng=rng,
-                dac_bits=settings.dac_bits,
-                adc_bits=settings.adc_bits,
-                scale_headroom=settings.scale_headroom,
-                row_scaling=settings.row_scaling,
-                off_state=settings.off_state,
-                write_verify=settings.write_verify,
-                tracer=tracer,
-            )
+        if operator is None:
+            # Eqn. 13/14a: eliminate negatives via compensation
+            # variables and assemble the augmented non-negative Newton
+            # matrix.
+            with tracer.span("reformulate"):
+                matrix = system.build_matrix(x, y, w, z)
+            with tracer.span("program", array="M"):
+                operator = AnalogMatrixOperator(
+                    matrix,
+                    params=settings.device,
+                    variation=settings.variation,
+                    rng=rng,
+                    dac_bits=settings.dac_bits,
+                    adc_bits=settings.adc_bits,
+                    scale_headroom=settings.scale_headroom,
+                    row_scaling=settings.row_scaling,
+                    off_state=settings.off_state,
+                    write_verify=settings.write_verify,
+                    tracer=tracer,
+                )
+            base_report = None
+        else:
+            # Warm start: the structural A/Aᵀ + compensation blocks are
+            # already programmed from an earlier solve sharing this
+            # problem's structure; only the X, Y, Z, W diagonals carry
+            # per-problem state, so the write cost is O(N), not O(N²).
+            if (operator.n_out, operator.n_in) != (system.size, system.size):
+                raise MappingError(
+                    f"warm operator is {operator.n_out}x{operator.n_in}; "
+                    f"this problem needs {system.size}x{system.size}"
+                )
+            base_report = operator.write_report
+            with tracer.span("program", array="M", warm=True):
+                rows, cols, values = system.diagonal_update(x, y, w, z)
+                operator.update_coefficients(
+                    rows, cols, values, floor_to_representable=True
+                )
+                # Undo scale drift left by the previous solve: sticky
+                # remaps inflate the representable floor, which would
+                # make warm starts converge slower than cold ones.
+                operator.renormalize()
         multiplies = 0
         solves = 0
 
@@ -216,8 +297,11 @@ class CrossbarPDIPSolver:
             multiplies += probe.vectors
             if not probe.healthy:
                 tracer.gauge("solver.iterations", 0)
+                report = operator.write_report
+                if base_report is not None:
+                    report = report - base_report
                 return (
-                    self._probe_rejection(probe, operator, multiplies),
+                    self._probe_rejection(probe, report, multiplies),
                     probe,
                 )
 
@@ -426,6 +510,8 @@ class CrossbarPDIPSolver:
 
         tracer.gauge("solver.iterations", iterations)
         report = operator.write_report
+        if base_report is not None:
+            report = report - base_report
         counters = CrossbarCounters(
             multiplies=multiplies,
             solves=solves,

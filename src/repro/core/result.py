@@ -44,6 +44,9 @@ class FailureReason(enum.Enum):
     PROBE_UNHEALTHY = "probe_unhealthy"
     #: The digital fallback solver itself failed to classify.
     FALLBACK_FAILED = "fallback_failed"
+    #: The serving layer could not place the job on any pool member
+    #: (all schedulable arrays excluded, draining, or retired).
+    NO_CAPACITY = "no_capacity"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -169,6 +172,18 @@ class SolverResult:
     @property
     def is_optimal(self) -> bool:
         return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def success(self) -> bool:
+        """Whether the solve produced a conclusive classification.
+
+        OPTIMAL and INFEASIBLE are both answers; anything else
+        (iteration limit, numerical failure, probe rejection, failed
+        fallback) means the caller did not get a verdict.  The CLI and
+        the serving layer map this to process exit codes and job
+        rescheduling respectively.
+        """
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
 
     @property
     def duality_gap(self) -> float:

@@ -296,6 +296,40 @@ class CrossbarArray:
                 f"{self.params.g_on:.3e}"
             )
 
+    # -- fault injection -------------------------------------------------------
+
+    def inject_stuck_off(
+        self,
+        row_fraction: float = 1.0,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Chaos hook: force a fraction of word-lines to the OFF state.
+
+        Zeroes the *actual* conductances of the chosen rows while
+        leaving the nominal (programmed) targets untouched — the model
+        of a failed row driver or a block of cells stuck open.  Because
+        the nominal state still claims the old values, the digital
+        decode keeps using stale denominators and a health probe
+        (:mod:`repro.reliability.probe`) sees an unbounded mismatch and
+        rejects the array.  The serving layer uses this to exercise its
+        drain/reschedule path.  Returns the number of cells forced off.
+        """
+        if not 0.0 < row_fraction <= 1.0:
+            raise ValueError(
+                f"row_fraction must lie in (0, 1], got {row_fraction}"
+            )
+        count = max(1, int(round(self.n_rows * row_fraction)))
+        if count >= self.n_rows:
+            rows = np.arange(self.n_rows)
+        else:
+            rng = rng if rng is not None else self.rng
+            rows = rng.choice(self.n_rows, size=count, replace=False)
+        actual = self._actual.copy()
+        actual[rows, :] = 0.0
+        self._actual = actual
+        return int(rows.size * self.n_cols)
+
     # -- analog primitives ---------------------------------------------------
 
     def multiply(self, v_in: np.ndarray) -> np.ndarray:

@@ -329,6 +329,33 @@ class AnalogMatrixOperator:
         # Crossbar cell (i, j) carries coefficient A[j, i].
         return self.array.program_cells(cols, rows, targets)
 
+    def renormalize(self) -> WriteReport:
+        """Restore the no-hysteresis scales for the current coefficients.
+
+        Scale management is deliberately sticky: the global mapping
+        only remaps when a value *outgrows* the window, and row scales
+        move only outside their hysteresis band.  A solver that drove
+        its diagonals to large values therefore leaves the array with a
+        shrunken scale — and a proportionally inflated
+        :attr:`min_coefficient` floor — even after the coefficients are
+        rewritten to modest values.  Reusing such an array for a fresh
+        solve degrades convergence.
+
+        This recomputes the scales a fresh programming of the current
+        coefficient matrix would choose and reprograms exactly the rows
+        whose scale moved.  When no drift happened it writes nothing.
+        """
+        fresh = self._fresh_scales()
+        moved = ~np.isclose(fresh, self._scales, rtol=1e-12, atol=0.0)
+        rows = np.nonzero(moved)[0]
+        if rows.size == 0:
+            return WriteReport(0, 0, 0.0, 0.0)
+        self._scales[rows] = fresh[rows]
+        report = self._program_rows(rows)
+        if rows.size == self.n_out:
+            self._full_reprograms += 1
+        return report
+
     def _update_row_scaled(
         self,
         rows: np.ndarray,

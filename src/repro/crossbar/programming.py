@@ -73,6 +73,25 @@ class WriteReport:
             ),
         )
 
+    def __sub__(self, other: "WriteReport") -> "WriteReport":
+        """Difference of two accumulated reports.
+
+        Used to scope a long-lived array's lifetime totals to one
+        window: ``array.total_write_report - baseline`` is the cost
+        incurred since ``baseline`` was snapshotted.
+        """
+        return WriteReport(
+            cells_written=self.cells_written - other.cells_written,
+            pulses=self.pulses - other.pulses,
+            latency_s=self.latency_s - other.latency_s,
+            energy_j=self.energy_j - other.energy_j,
+            verify_reads=self.verify_reads - other.verify_reads,
+            repulsed_cells=self.repulsed_cells - other.repulsed_cells,
+            unverified_cells=(
+                self.unverified_cells - other.unverified_cells
+            ),
+        )
+
 
 #: Fraction of the selected-cell write energy dissipated by each
 #: half-selected device on the same word/bit line.  A half-selected cell

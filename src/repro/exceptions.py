@@ -35,3 +35,17 @@ class InfeasibleProblemError(ReproError):
 
 class PartitionError(ReproError):
     """A matrix cannot be partitioned onto the given NoC tile grid."""
+
+
+class ServiceError(ReproError):
+    """Base class for solver-service (serving layer) errors."""
+
+
+class QueueFullError(ServiceError):
+    """The job queue rejected a submission (admission control).
+
+    The serving layer bounds its queue depth; when the bound is hit,
+    ``submit`` raises this instead of growing without limit.  Callers
+    apply backpressure: drain completed work (or use
+    ``try_submit``) before submitting more.
+    """

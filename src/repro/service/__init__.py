@@ -1,0 +1,57 @@
+"""Solver service: crossbar fleet pool, programming cache, job queue.
+
+The serving layer on top of the one-shot solvers (ROADMAP: production
+serving).  See :mod:`repro.service.service` for the scheduler,
+:mod:`repro.service.pool` for the fleet lifecycle,
+:mod:`repro.service.fingerprint` for the cache contract, and
+:mod:`repro.service.jobs` for the deterministic job derivation.
+"""
+
+from repro.service.fingerprint import structural_fingerprint
+from repro.service.jobs import (
+    JobSpec,
+    attempt_seed,
+    build_problem,
+    job_seed,
+    read_jobs_jsonl,
+    structure_seed,
+    synthesize_jobs,
+    write_jobs_jsonl,
+)
+from repro.service.pool import CrossbarPool, MemberState, PoolMember
+from repro.service.queue import JobQueue, PendingJob
+from repro.service.service import (
+    SERVING_SCALE_HEADROOM,
+    JobAttempt,
+    JobRecord,
+    ServiceConfig,
+    ServiceSummary,
+    SolverService,
+    default_serving_settings,
+    summarize,
+)
+
+__all__ = [
+    "SERVING_SCALE_HEADROOM",
+    "CrossbarPool",
+    "JobAttempt",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "MemberState",
+    "PendingJob",
+    "PoolMember",
+    "ServiceConfig",
+    "ServiceSummary",
+    "SolverService",
+    "attempt_seed",
+    "build_problem",
+    "default_serving_settings",
+    "job_seed",
+    "read_jobs_jsonl",
+    "structural_fingerprint",
+    "structure_seed",
+    "summarize",
+    "synthesize_jobs",
+    "write_jobs_jsonl",
+]

@@ -1,0 +1,65 @@
+"""Structural fingerprints: the programming-cache key.
+
+The paper's O(N) per-iteration cost rests on a split of the Newton
+matrix M (Eqn. 14a) into *structural* blocks — A, Aᵀ, the compensation
+columns for negative entries, the identity/link rows — written once,
+and the X, Y, Z, W *diagonals*, rewritten every iteration.  The same
+split generalizes across requests: two LPs with the same constraint
+matrix A (different b, c) program byte-identical structural blocks, so
+a long-lived array that solved one can solve the other after only the
+O(N) diagonal rewrite.
+
+:func:`structural_fingerprint` captures that contract as a sha256 key:
+
+- the exact bytes of A (every structural block of M is a deterministic
+  function of A — including which columns get compensation variables);
+- every setting that changes the *programmed conductances* for the same
+  A: the device window, the conductance-mapping policy (headroom, row
+  scaling, off-state), the write-verify policy, and ``initial_value``
+  (the global scale is derived from the matrix peak, which includes
+  the initial diagonals);
+- the variation model's repr — variation does not change the nominal
+  program, but it decides the probe tolerance and the physical state
+  distribution, and mixing jobs with different hardware assumptions on
+  one array would make their counters incomparable.
+
+Vectors b and c never enter the fingerprint: they only appear in the
+digitally-computed right-hand side (Eqn. 15a), never on the array.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+from repro.core.settings import CrossbarSolverSettings
+
+
+def structural_fingerprint(
+    problem: LinearProgram, settings: CrossbarSolverSettings
+) -> str:
+    """Sha256 key of the structural (A/Aᵀ + compensation) program.
+
+    Equal fingerprints guarantee byte-identical structural blocks and
+    identical conductance mapping: an array programmed for one problem
+    can serve the other warm (diagonal rewrites only).
+    """
+    digest = hashlib.sha256()
+    A = np.ascontiguousarray(problem.A, dtype=np.float64)
+    digest.update(f"shape:{A.shape[0]}x{A.shape[1]};".encode())
+    digest.update(A.tobytes())
+    verify = settings.write_verify
+    identity = (
+        f"device:{settings.device.name};"
+        f"variation:{settings.variation!r};"
+        f"dac:{settings.dac_bits};adc:{settings.adc_bits};"
+        f"headroom:{settings.scale_headroom};"
+        f"row_scaling:{settings.row_scaling};"
+        f"off_state:{settings.off_state};"
+        f"initial:{settings.initial_value};"
+        f"verify:{None if verify is None else (verify.tolerance, verify.max_rounds)};"
+    )
+    digest.update(identity.encode())
+    return digest.hexdigest()[:16]

@@ -1,0 +1,194 @@
+"""Job specifications for the solver service.
+
+A :class:`JobSpec` names one LP solve request without carrying the
+problem data: the problem is *derived* deterministically from the spec
+and the service's base seed, so a job file is a few bytes per job, a
+batch replays bit-for-bit, and two services with the same base seed
+agree on every problem.
+
+The derivation splits randomness the same way the crossbar splits the
+Newton matrix:
+
+- the **structure seed** depends only on ``(base_seed, group)`` and
+  drives the constraint matrix A — every job in a group programs
+  byte-identical structural blocks, which is what the programming
+  cache (:mod:`repro.service.fingerprint`) exploits;
+- the **job seed** depends on ``(base_seed, job_id)`` and drives the
+  right-hand sides b and objective c — per-job state that never
+  touches the array;
+- the **attempt seed** additionally folds in the attempt index, so a
+  rescheduled job re-draws process variation (the paper's Section 4.5
+  reading: each retry is a fresh physical draw) while the problem
+  itself stays fixed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+from repro.workloads.random_lp import (
+    random_feasible_lp,
+    random_infeasible_lp,
+)
+
+#: Valid ``JobSpec.kind`` values.
+JOB_KINDS = ("feasible", "infeasible")
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One solve request.
+
+    Parameters
+    ----------
+    job_id:
+        Unique name; seeds the per-job b/c draw, keys the result
+        records, and labels the job's trace span.
+    constraints:
+        Number of inequality constraints (m); variables follow the
+        paper's ``m // 3`` rule.
+    group:
+        Structure-sharing group: jobs with equal ``(group,
+        constraints, kind)`` share the exact same constraint matrix A
+        and therefore the same programming-cache fingerprint.
+    kind:
+        ``"feasible"`` or ``"infeasible"`` (planted certificate).
+    priority:
+        Scheduling priority; higher runs first (FIFO within a level).
+    variation:
+        Process-variation percent for this job's hardware model.
+    """
+
+    job_id: str
+    constraints: int = 24
+    group: int = 0
+    kind: str = "feasible"
+    priority: int = 0
+    variation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.constraints < 3:
+            raise ValueError("constraints must be >= 3")
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; expected one of "
+                f"{JOB_KINDS}"
+            )
+        if self.variation < 0:
+            raise ValueError("variation percent must be non-negative")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def _derived_seed(*parts) -> int:
+    """A 63-bit seed from a sha256 over the joined parts."""
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def structure_seed(base_seed: int, spec: JobSpec) -> int:
+    """Seed of the shared constraint-matrix draw for ``spec``'s group."""
+    return _derived_seed(
+        "structure", base_seed, spec.group, spec.constraints, spec.kind
+    )
+
+
+def job_seed(base_seed: int, job_id: str) -> int:
+    """Seed of the per-job right-hand-side / objective draw."""
+    return _derived_seed("job", base_seed, job_id)
+
+
+def attempt_seed(base_seed: int, job_id: str, attempt: int) -> int:
+    """Seed of one attempt's variation / fault / probe draws."""
+    return _derived_seed("attempt", base_seed, job_id, attempt)
+
+
+def build_problem(spec: JobSpec, base_seed: int) -> LinearProgram:
+    """Materialize the LP a spec names (pure function of spec + seed)."""
+    s_rng = np.random.default_rng(structure_seed(base_seed, spec))
+    rng = np.random.default_rng(job_seed(base_seed, spec.job_id))
+    generator = (
+        random_feasible_lp
+        if spec.kind == "feasible"
+        else random_infeasible_lp
+    )
+    return generator(
+        spec.constraints,
+        rng=rng,
+        structure_rng=s_rng,
+        name=spec.job_id,
+    )
+
+
+def synthesize_jobs(
+    count: int,
+    *,
+    groups: int = 1,
+    constraints: int = 24,
+    variation: float = 0.0,
+    infeasible_every: int = 0,
+    prefix: str = "job",
+) -> list[JobSpec]:
+    """A deterministic batch of job specs for demos, tests, and CI.
+
+    Jobs are assigned to structure groups round-robin, so ``count``
+    jobs over ``groups`` groups repeat each constraint matrix roughly
+    ``count / groups`` times — the warm-cache regime.  When
+    ``infeasible_every > 0``, every k-th job plants an infeasibility
+    certificate instead (its own structure sub-group, since the
+    contradiction rows change A).
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if groups < 1:
+        raise ValueError("groups must be positive")
+    specs = []
+    for index in range(count):
+        infeasible = infeasible_every > 0 and (index + 1) % infeasible_every == 0
+        specs.append(
+            JobSpec(
+                job_id=f"{prefix}-{index:04d}",
+                constraints=constraints,
+                group=index % groups,
+                kind="infeasible" if infeasible else "feasible",
+                variation=variation,
+            )
+        )
+    return specs
+
+
+def write_jobs_jsonl(
+    specs: Iterable[JobSpec], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write one spec per line; the ``repro batch`` input format."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for spec in specs:
+            handle.write(json.dumps(spec.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_jobs_jsonl(path: str | pathlib.Path) -> Iterator[JobSpec]:
+    """Yield specs from a JSONL job file (blank lines ignored)."""
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield JobSpec.from_dict(json.loads(line))

@@ -1,0 +1,325 @@
+"""The crossbar fleet: a pool of long-lived programmed arrays.
+
+One-shot solvers program a fresh array per solve and throw it away.
+The pool keeps ``size`` simulated physical members alive across jobs,
+which is what makes the programming cache possible: a member that just
+solved a job whose structural fingerprint matches the next job's is
+handed out *warm* — the O(N²) structural program is skipped and only
+the O(N) diagonal rewrite (already part of every solve) remains.
+
+Member lifecycle::
+
+    EMPTY ──program──▶ IDLE ◀──release── BUSY
+                        │  ▲                ▲
+              drain()   │  │ recover() ok   │ acquire()
+                        ▼  │                │
+                     DRAINING ──budget──▶ RETIRED
+                               exhausted
+
+``drain`` is how the service reacts to a health-probe rejection
+(:mod:`repro.reliability.probe`): the member leaves the schedulable
+set, ``recover`` re-programs it from its stored programmer — a fresh
+physical array in simulation terms: new variation *and* fault draw,
+the REMAP rung of the recovery ladder — and re-probes.  A member that
+exhausts its drain budget is retired for good.  Jobs never wait on a
+draining member; the service reschedules them onto other members.
+
+All state transitions emit ``pool.*`` counters on the pool's tracer so
+a batch trace shows warm/cold placement decisions, evictions, drains,
+recoveries, and retirements.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable
+
+import numpy as np
+
+from repro.crossbar.ops import AnalogMatrixOperator
+from repro.exceptions import ServiceError
+from repro.obs.tracer import NOOP, Tracer
+from repro.reliability.probe import ProbePolicy, probe_operator
+
+#: Builds (and fully programs) an operator: ``programmer(rng, tracer)``.
+#: The pool stores the last programmer per member so ``recover`` can
+#: rebuild the member without knowing anything about LPs.
+Programmer = Callable[[np.random.Generator, Tracer], AnalogMatrixOperator]
+
+
+class MemberState(enum.Enum):
+    """Lifecycle state of one pool member."""
+
+    #: Never programmed; first acquire programs it.
+    EMPTY = "empty"
+    #: Programmed and schedulable.
+    IDLE = "idle"
+    #: Currently executing a job.
+    BUSY = "busy"
+    #: Pulled from scheduling after a probe rejection; awaiting recover.
+    DRAINING = "draining"
+    #: Drain budget exhausted; permanently out of the fleet.
+    RETIRED = "retired"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class PoolMember:
+    """One simulated physical array plus its scheduling metadata."""
+
+    def __init__(self, member_id: int) -> None:
+        self.member_id = member_id
+        self.state = MemberState.EMPTY
+        self.operator: AnalogMatrixOperator | None = None
+        self.fingerprint: str | None = None
+        self.programmer: Programmer | None = None
+        self.jobs_served = 0
+        self.drains = 0
+        self.last_used = -1
+        #: Pending chaos fault: ``(row_fraction, sticky)``.  Applied to
+        #: the current operator immediately and — when sticky — after
+        #: every reprogram, modelling a hard defect of the physical
+        #: member rather than of one programming.
+        self.pending_fault: tuple[float, bool] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PoolMember(id={self.member_id}, state={self.state}, "
+            f"fingerprint={self.fingerprint!r}, drains={self.drains})"
+        )
+
+
+class CrossbarPool:
+    """A fleet of :class:`PoolMember` arrays with warm placement.
+
+    Parameters
+    ----------
+    size:
+        Number of members.
+    probe:
+        Health-probe policy ``recover`` applies before returning a
+        member to service; ``None`` skips the re-probe (the next job's
+        own probe still gates it).
+    max_drains:
+        Drain/recover cycles a member survives before retirement.
+    rng:
+        Generator driving recovery-time reprogram draws.
+    tracer:
+        Sink of the ``pool.*`` counters.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        probe: ProbePolicy | None = None,
+        max_drains: int = 2,
+        rng: np.random.Generator | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be positive")
+        if max_drains < 0:
+            raise ValueError("max_drains must be non-negative")
+        self.probe = probe
+        self.max_drains = max_drains
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.tracer = tracer if tracer is not None else NOOP
+        self.members = [PoolMember(index) for index in range(size)]
+        self._ticks = itertools.count()
+
+    # -- placement -----------------------------------------------------------
+
+    def acquire(
+        self,
+        fingerprint: str,
+        programmer: Programmer,
+        *,
+        rng: np.random.Generator,
+        tracer: Tracer | None = None,
+        exclude: frozenset | set = frozenset(),
+    ) -> tuple[PoolMember | None, bool]:
+        """Place a job: returns ``(member, warm)`` or ``(None, False)``.
+
+        Placement preference: an IDLE member already programmed with
+        ``fingerprint`` (warm — most recently used wins, keeping the
+        working set hot), else an EMPTY member (cold program), else
+        the least-recently-used IDLE member (cold: its previous
+        program is *evicted*).  Members in ``exclude`` — typically
+        ones the job already failed on — and members not schedulable
+        (BUSY / DRAINING / RETIRED) are never chosen; if nothing is
+        left, ``(None, False)`` tells the caller to fall back or fail.
+
+        Cold placements call ``programmer(rng, tracer)`` so the full
+        structural write lands in the *job's* trace; warm placements
+        re-attach ``rng`` and ``tracer`` to the existing operator so
+        the job's diagonal writes and variation draws stay
+        deterministic per attempt and attributed per job.
+        """
+        job_tracer = tracer if tracer is not None else NOOP
+        candidates = [
+            member
+            for member in self.members
+            if member.member_id not in exclude
+            and member.state in (MemberState.EMPTY, MemberState.IDLE)
+        ]
+        if not candidates:
+            self.tracer.count("pool.placement_failures")
+            return None, False
+
+        warm_hits = [
+            member
+            for member in candidates
+            if member.state is MemberState.IDLE
+            and member.fingerprint == fingerprint
+        ]
+        if warm_hits:
+            member = max(warm_hits, key=lambda m: m.last_used)
+            warm = True
+            self.tracer.count("pool.acquire_warm")
+            operator = member.operator
+            assert operator is not None
+            operator.rng = rng
+            operator.tracer = job_tracer
+            operator.array.rng = rng
+            operator.array.tracer = job_tracer
+        else:
+            empty = [
+                member
+                for member in candidates
+                if member.state is MemberState.EMPTY
+            ]
+            if empty:
+                member = empty[0]
+            else:
+                member = min(candidates, key=lambda m: m.last_used)
+                self.tracer.count("pool.evictions")
+            warm = False
+            self.tracer.count("pool.acquire_cold")
+            member.operator = programmer(rng, job_tracer)
+            member.fingerprint = fingerprint
+            member.programmer = programmer
+            self._apply_pending_fault(member, rng)
+
+        member.state = MemberState.BUSY
+        member.last_used = next(self._ticks)
+        member.jobs_served += 1
+        return member, warm
+
+    def release(self, member: PoolMember) -> None:
+        """Return a BUSY member to the schedulable set."""
+        if member.state is not MemberState.BUSY:
+            raise ServiceError(
+                f"cannot release member {member.member_id} in state "
+                f"{member.state}"
+            )
+        member.state = MemberState.IDLE
+
+    # -- health --------------------------------------------------------------
+
+    def drain(self, member: PoolMember) -> None:
+        """Pull a member from scheduling after a health failure."""
+        if member.state is MemberState.RETIRED:
+            return
+        member.state = MemberState.DRAINING
+        self.tracer.count("pool.drains")
+
+    def recover(self, member: PoolMember) -> bool:
+        """Reprogram and re-probe a DRAINING member.
+
+        Each cycle burns one unit of the drain budget and rebuilds the
+        member from its stored programmer — in simulation terms a
+        fresh physical array (new variation and fault draw), i.e. the
+        REMAP rung of the recovery ladder.  A sticky injected fault
+        survives the rebuild (hard defect), so such a member fails its
+        re-probe repeatedly and retires once the budget is gone.
+        Returns whether the member is back in service.
+        """
+        if member.state is not MemberState.DRAINING:
+            raise ServiceError(
+                f"cannot recover member {member.member_id} in state "
+                f"{member.state}"
+            )
+        while member.drains < self.max_drains:
+            member.drains += 1
+            if member.programmer is None:
+                # Never programmed: nothing to rebuild, back to EMPTY.
+                member.state = MemberState.EMPTY
+                self.tracer.count("pool.recoveries")
+                return True
+            member.operator = member.programmer(self.rng, self.tracer)
+            self._apply_pending_fault(member, self.rng)
+            if self.probe is not None:
+                report = probe_operator(
+                    member.operator,
+                    self.probe,
+                    self.rng,
+                    label=f"pool-{member.member_id}",
+                )
+                if not report.healthy:
+                    self.tracer.count("pool.recover_failures")
+                    continue
+            member.state = MemberState.IDLE
+            self.tracer.count("pool.recoveries")
+            return True
+        member.state = MemberState.RETIRED
+        member.operator = None
+        self.tracer.count("pool.retirements")
+        return False
+
+    # -- chaos ---------------------------------------------------------------
+
+    def inject_fault(
+        self,
+        member_id: int,
+        row_fraction: float = 0.5,
+        *,
+        sticky: bool = False,
+    ) -> None:
+        """Knock rows of a member stuck-OFF (see
+        :meth:`~repro.crossbar.array.CrossbarArray.inject_stuck_off`).
+
+        Applied to the member's current operator immediately if it has
+        one, and remembered so a member programmed later is poisoned
+        right after programming.  A non-sticky fault is cleared by the
+        next (re)program — soft corruption one recover cycle fixes; a
+        sticky fault re-applies forever — a hard defect that forces
+        retirement.
+        """
+        member = self.members[member_id]
+        member.pending_fault = (row_fraction, sticky)
+        if member.operator is not None:
+            member.operator.array.inject_stuck_off(row_fraction)
+            if not sticky:
+                member.pending_fault = None
+        self.tracer.count("pool.faults_injected")
+
+    def _apply_pending_fault(
+        self, member: PoolMember, rng: np.random.Generator
+    ) -> None:
+        if member.pending_fault is None or member.operator is None:
+            return
+        row_fraction, sticky = member.pending_fault
+        member.operator.array.inject_stuck_off(row_fraction, rng=rng)
+        if not sticky:
+            member.pending_fault = None
+
+    # -- introspection -------------------------------------------------------
+
+    def states(self) -> dict[int, MemberState]:
+        """``member_id -> state`` snapshot."""
+        return {m.member_id: m.state for m in self.members}
+
+    def active_members(self) -> int:
+        """Members not yet retired."""
+        return sum(
+            1 for m in self.members if m.state is not MemberState.RETIRED
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        states = ", ".join(
+            f"{m.member_id}:{m.state}" for m in self.members
+        )
+        return f"CrossbarPool({states})"

@@ -1,0 +1,106 @@
+"""Bounded priority job queue with requeue-exempt admission control.
+
+The queue bounds how much work a caller can park in the service
+(``max_depth``); :meth:`JobQueue.submit` raises
+:class:`~repro.exceptions.QueueFullError` at the bound so producers
+feel backpressure instead of growing an unbounded backlog.  Jobs that
+are already *inside* the service and merely being rescheduled after a
+member failure re-enter through :meth:`JobQueue.requeue`, which is
+exempt from the bound — admission control must never turn an accepted
+job into a lost one.
+
+Ordering is deterministic: a binary heap on ``(-priority, sequence)``.
+Higher priority runs first; within a priority level, submission order
+(FIFO).  A requeued job keeps its original sequence number, so a
+rescheduled job does not go to the back of its priority level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+
+from repro.exceptions import QueueFullError
+from repro.service.jobs import JobSpec
+
+
+@dataclasses.dataclass
+class PendingJob:
+    """A job inside the service: its spec plus scheduling state.
+
+    Attributes
+    ----------
+    spec:
+        The immutable job description.
+    sequence:
+        Admission order; the FIFO tiebreaker within a priority level.
+    attempts:
+        Attempt history accumulated across reschedules (the service
+        appends one :class:`~repro.service.service.JobAttempt` per
+        analog attempt).
+    excluded_members:
+        Pool member ids this job must not be placed on again (members
+        it already failed on).
+    """
+
+    spec: JobSpec
+    sequence: int
+    attempts: list = dataclasses.field(default_factory=list)
+    excluded_members: set = dataclasses.field(default_factory=set)
+
+
+class JobQueue:
+    """Deterministic bounded priority queue of :class:`PendingJob`."""
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self._heap: list[tuple[int, int, PendingJob]] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """Whether a new submission would be rejected."""
+        return len(self._heap) >= self.max_depth
+
+    def submit(self, spec: JobSpec) -> PendingJob:
+        """Admit a new job, or raise :class:`QueueFullError` at the bound."""
+        if self.full:
+            raise QueueFullError(
+                f"queue depth {self.max_depth} reached; drain completed "
+                f"work before submitting more"
+            )
+        pending = PendingJob(spec=spec, sequence=next(self._sequence))
+        self._push(pending)
+        return pending
+
+    def try_submit(self, spec: JobSpec) -> PendingJob | None:
+        """Non-raising :meth:`submit`; ``None`` when the queue is full."""
+        if self.full:
+            return None
+        return self.submit(spec)
+
+    def requeue(self, pending: PendingJob) -> None:
+        """Re-admit a rescheduled job, exempt from the depth bound."""
+        self._push(pending)
+
+    def pop(self) -> PendingJob:
+        """Remove and return the highest-priority (then oldest) job."""
+        if not self._heap:
+            raise IndexError("pop from an empty job queue")
+        _, _, pending = heapq.heappop(self._heap)
+        return pending
+
+    def _push(self, pending: PendingJob) -> None:
+        heapq.heappush(
+            self._heap,
+            (-pending.spec.priority, pending.sequence, pending),
+        )

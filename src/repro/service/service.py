@@ -1,0 +1,574 @@
+"""The solver service: scheduler over the pool, queue, and cache.
+
+:class:`SolverService` turns the one-shot solvers into a serving
+layer.  Jobs enter through ``submit`` / ``try_submit`` / ``batch``
+(admission-controlled by the bounded :class:`~repro.service.queue.
+JobQueue`); ``drain`` pops them in priority order and runs each
+attempt on a :class:`~repro.service.pool.CrossbarPool` member:
+
+1. the job's problem is derived deterministically from its spec
+   (:mod:`repro.service.jobs`) and its structural fingerprint computed
+   (:mod:`repro.service.fingerprint`);
+2. the pool places it — *warm* on a member already holding that
+   fingerprint (diagonal rewrites only), else *cold* (full program);
+3. the solve runs via :meth:`~repro.core.crossbar_solver.
+   CrossbarPDIPSolver.solve_on` under a per-job ``service.job`` span
+   on a private :class:`~repro.obs.tracer.RecordingTracer`, absorbed
+   into the service tracer afterwards (the sweep engine's merge
+   discipline), so a batch trace attributes every analog op and cell
+   write to its job;
+4. failures are isolated, never fatal: the failing member is excluded
+   and — on a health-probe rejection — drained and recovered; the job
+   is *requeued* (exempt from the admission bound: an accepted job is
+   never lost) up to ``max_attempts``, then optionally handed to the
+   digital fallback.
+
+Determinism: the scheduler is serial, placement is by deterministic
+preference order, and every attempt's randomness comes from
+``attempt_seed(base_seed, job_id, attempt)`` — two services with equal
+config and job stream produce identical records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.crossbar_solver import CrossbarPDIPSolver
+from repro.core.result import (
+    FailureReason,
+    SolverResult,
+    SolveStatus,
+)
+from repro.core.settings import CrossbarSolverSettings
+from repro.devices import variation_from_percent
+from repro.obs.clock import Stopwatch
+from repro.obs.merge import absorb_events
+from repro.obs.tracer import NOOP, RecordingTracer, Tracer
+from repro.reliability.policy import RecoveryPolicy
+from repro.reliability.probe import ProbePolicy
+from repro.reliability.recovery import run_digital_fallback
+from repro.service.fingerprint import structural_fingerprint
+from repro.service.jobs import JobSpec, attempt_seed, build_problem
+from repro.service.pool import CrossbarPool, PoolMember
+from repro.service.queue import JobQueue, PendingJob
+
+
+#: Default ``scale_headroom`` for served solves.  The library default
+#: (2.0) maps the initial matrix snugly, so growing PDIP diagonals
+#: trigger mid-solve remaps — full-array rewrites that both dominate
+#: the write budget and leave the array's scale drifted, forcing the
+#: next warm placement to renormalize (another full rewrite).  A 4x
+#: headroom keeps typical diagonal excursions inside the programmed
+#: window: empirically it minimizes total cells written per batch and
+#: lets warm placements pay only the O(N) diagonal writes.
+SERVING_SCALE_HEADROOM = 4.0
+
+
+def default_serving_settings() -> CrossbarSolverSettings:
+    """Solver settings tuned for array reuse (see module note)."""
+    return dataclasses.replace(
+        CrossbarSolverSettings(), scale_headroom=SERVING_SCALE_HEADROOM
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-layer configuration.
+
+    Parameters
+    ----------
+    pool_size:
+        Number of crossbar fleet members.
+    queue_depth:
+        Admission bound of the job queue (requeues are exempt).
+    max_attempts:
+        Analog attempts per job before giving up / falling back.
+    cache_enabled:
+        Whether equal structural fingerprints share programmed arrays;
+        disabling forces every placement cold (the control arm of the
+        cache-savings measurement).
+    base_seed:
+        Root of every derived seed (problems, attempts, recovery).
+    settings:
+        Solver + hardware model; a job's ``variation`` percent, when
+        positive, overrides the variation model per job.  The serving
+        default raises ``scale_headroom`` to ``SERVING_SCALE_HEADROOM``
+        (see module note below): with the library default of 2 the
+        PDIP diagonals outgrow the programmed window in most solves,
+        and every mid-solve remap is a full-array rewrite that erases
+        the programming cache's advantage.
+    probe:
+        Health-probe policy gating every analog attempt and recovery;
+        ``None`` disables probing (not recommended with fault
+        injection: a corrupted array then fails slow, not fast).
+    digital_fallback:
+        ``"reference"`` / ``"scipy"`` rung after analog attempts are
+        exhausted, or ``None`` to report the failure.
+    max_drains:
+        Drain/recover cycles before a pool member is retired.
+    trace_iterations:
+        Record per-iteration diagnostics in each job's result.
+    """
+
+    pool_size: int = 2
+    queue_depth: int = 64
+    max_attempts: int = 3
+    cache_enabled: bool = True
+    base_seed: int = 0
+    settings: CrossbarSolverSettings = dataclasses.field(
+        default_factory=default_serving_settings
+    )
+    probe: ProbePolicy | None = dataclasses.field(
+        default_factory=ProbePolicy
+    )
+    digital_fallback: str | None = None
+    max_drains: int = 2
+    trace_iterations: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class JobAttempt:
+    """One analog (or fallback) attempt of one job."""
+
+    index: int
+    member: int | None
+    warm: bool
+    seed: int | None
+    status: str
+    failure_reason: str
+    iterations: int
+    cells_written: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRecord:
+    """Final outcome of one job, with its full attempt history."""
+
+    spec: JobSpec
+    result: SolverResult
+    attempts: tuple[JobAttempt, ...]
+    member: int | None
+    warm: bool
+    requeues: int
+    fallback: bool = False
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+    def to_dict(self) -> dict:
+        """JSONL-ready summary (the ``repro batch`` output record)."""
+        return {
+            "job_id": self.spec.job_id,
+            "group": self.spec.group,
+            "kind": self.spec.kind,
+            "constraints": self.spec.constraints,
+            "priority": self.spec.priority,
+            "status": self.result.status.value,
+            "failure_reason": self.result.failure_reason.value,
+            "objective": float(self.result.objective),
+            "iterations": self.result.iterations,
+            "member": self.member,
+            "warm": self.warm,
+            "requeues": self.requeues,
+            "fallback": self.fallback,
+            "message": self.result.message,
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceSummary:
+    """Batch-level throughput and cache accounting."""
+
+    jobs: int
+    succeeded: int
+    failed: int
+    warm_acquires: int
+    cold_acquires: int
+    requeues: int
+    fallbacks: int
+    cells_written: int
+    elapsed_seconds: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Warm share of analog placements (0 when none happened)."""
+        placements = self.warm_acquires + self.cold_acquires
+        return self.warm_acquires / placements if placements else 0.0
+
+    @property
+    def jobs_per_second(self) -> float:
+        return (
+            self.jobs / self.elapsed_seconds
+            if self.elapsed_seconds > 0
+            else 0.0
+        )
+
+    def render(self) -> str:
+        """Human-readable block for the CLI."""
+        return "\n".join(
+            [
+                f"jobs:          {self.jobs} "
+                f"({self.succeeded} ok, {self.failed} failed)",
+                f"placements:    {self.warm_acquires} warm, "
+                f"{self.cold_acquires} cold "
+                f"(cache hit rate {self.cache_hit_rate:.1%})",
+                f"reschedules:   {self.requeues} requeues, "
+                f"{self.fallbacks} digital fallbacks",
+                f"cells written: {self.cells_written}",
+                f"throughput:    {self.jobs_per_second:.2f} jobs/s "
+                f"({self.elapsed_seconds:.2f} s)",
+            ]
+        )
+
+
+def _failed_result(
+    problem, message: str, reason: FailureReason
+) -> SolverResult:
+    """A synthetic failure record when no solver ran (or one crashed)."""
+    m, n = problem.A.shape
+    return SolverResult(
+        status=SolveStatus.NUMERICAL_FAILURE,
+        x=np.zeros(n),
+        y=np.zeros(m),
+        w=np.zeros(m),
+        z=np.zeros(n),
+        objective=0.0,
+        iterations=0,
+        message=message,
+        failure_reason=reason,
+    )
+
+
+class SolverService:
+    """Serial, deterministic scheduler over a crossbar fleet."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.tracer = tracer if tracer is not None else NOOP
+        self.pool = CrossbarPool(
+            self.config.pool_size,
+            probe=self.config.probe,
+            max_drains=self.config.max_drains,
+            rng=np.random.default_rng(
+                attempt_seed(self.config.base_seed, "__pool__", 0)
+            ),
+            tracer=self.tracer,
+        )
+        self.queue = JobQueue(self.config.queue_depth)
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> PendingJob:
+        """Admit one job; raises
+        :class:`~repro.exceptions.QueueFullError` at the depth bound.
+        """
+        pending = self.queue.submit(spec)
+        self.tracer.count("service.jobs_submitted")
+        return pending
+
+    def try_submit(self, spec: JobSpec) -> PendingJob | None:
+        """Non-raising :meth:`submit`; ``None`` when the queue is full."""
+        pending = self.queue.try_submit(spec)
+        if pending is not None:
+            self.tracer.count("service.jobs_submitted")
+        return pending
+
+    # -- execution -----------------------------------------------------------
+
+    def drain(self) -> list[JobRecord]:
+        """Run until the queue is empty; return the completed records."""
+        records: list[JobRecord] = []
+        while self.queue:
+            record = self._step()
+            if record is not None:
+                records.append(record)
+        return records
+
+    def batch(
+        self, specs: Iterable[JobSpec]
+    ) -> tuple[list[JobRecord], ServiceSummary]:
+        """Submit a stream of jobs with backpressure and run it dry.
+
+        When the queue bound is hit, the service makes room by
+        completing queued work before admitting the next spec — the
+        single-process version of "the producer blocks".
+        """
+        records: list[JobRecord] = []
+        with Stopwatch() as clock:
+            for spec in specs:
+                while self.try_submit(spec) is None:
+                    record = self._step()
+                    if record is not None:
+                        records.append(record)
+            records.extend(self.drain())
+        return records, summarize(records, clock.elapsed_seconds)
+
+    # -- internals -----------------------------------------------------------
+
+    def _settings_for(self, spec: JobSpec) -> CrossbarSolverSettings:
+        if spec.variation > 0:
+            return dataclasses.replace(
+                self.config.settings,
+                variation=variation_from_percent(spec.variation),
+            )
+        return self.config.settings
+
+    def _step(self) -> JobRecord | None:
+        """Run one attempt of the next queued job.
+
+        Returns the final record if the job finished (either way), or
+        ``None`` if it was requeued for another attempt.
+        """
+        config = self.config
+        pending = self.queue.pop()
+        spec = pending.spec
+        index = len(pending.attempts)
+        problem = build_problem(spec, config.base_seed)
+        settings = self._settings_for(spec)
+
+        result, member, warm, seed, cells = self._attempt(
+            pending, index, problem, settings
+        )
+        pending.attempts.append(
+            JobAttempt(
+                index=index,
+                member=member.member_id if member is not None else None,
+                warm=warm,
+                seed=seed,
+                status=(
+                    result.status.value if result is not None else "rejected"
+                ),
+                failure_reason=(
+                    result.failure_reason.value
+                    if result is not None
+                    else FailureReason.NO_CAPACITY.value
+                ),
+                iterations=result.iterations if result is not None else 0,
+                cells_written=cells,
+            )
+        )
+
+        if result is not None and result.success:
+            return self._finalize(
+                pending,
+                result,
+                member=member.member_id if member is not None else None,
+                warm=warm,
+            )
+
+        # Failure isolation: never run this job on the same member
+        # again, and pull a probe-rejected member out for recovery.
+        if member is not None:
+            pending.excluded_members.add(member.member_id)
+            if (
+                result is not None
+                and result.failure_reason is FailureReason.PROBE_UNHEALTHY
+            ):
+                self.pool.drain(member)
+                self.pool.recover(member)
+
+        if result is not None and len(pending.attempts) < config.max_attempts:
+            self.tracer.count("service.requeues")
+            self.queue.requeue(pending)
+            return None
+
+        # Analog attempts exhausted (or no member can take the job).
+        if config.digital_fallback is not None:
+            fallback = run_digital_fallback(
+                config.digital_fallback, problem
+            )
+            self.tracer.count("service.fallbacks")
+            pending.attempts.append(
+                JobAttempt(
+                    index=len(pending.attempts),
+                    member=None,
+                    warm=False,
+                    seed=None,
+                    status=fallback.status.value,
+                    failure_reason=fallback.failure_reason.value,
+                    iterations=fallback.iterations,
+                    cells_written=0,
+                )
+            )
+            return self._finalize(
+                pending, fallback, member=None, warm=False, fallback=True
+            )
+        if result is None:
+            result = _failed_result(
+                problem,
+                "no schedulable pool member (all excluded or retired)",
+                FailureReason.NO_CAPACITY,
+            )
+        return self._finalize(
+            pending,
+            result,
+            member=member.member_id if member is not None else None,
+            warm=warm,
+        )
+
+    def _attempt(
+        self,
+        pending: PendingJob,
+        index: int,
+        problem,
+        settings: CrossbarSolverSettings,
+    ) -> tuple[SolverResult | None, PoolMember | None, bool, int, int]:
+        """One analog attempt under a ``service.job`` span.
+
+        Returns ``(result, member, warm, seed, cells_written)``; the
+        write count comes from the attempt's private tracer, so a cold
+        placement's full structural program is charged to the job that
+        caused it (the result's own counters cover only the solve).
+        """
+        config = self.config
+        spec = pending.spec
+        seed = attempt_seed(config.base_seed, spec.job_id, index)
+        rng = np.random.default_rng(seed)
+        recovery = RecoveryPolicy(
+            reprograms=0,
+            remaps=0,
+            digital_fallback=None,
+            probe=config.probe,
+        )
+        job_tracer = RecordingTracer()
+        solver = CrossbarPDIPSolver(
+            problem,
+            settings,
+            rng=rng,
+            recovery=recovery,
+            tracer=job_tracer,
+        )
+        if config.cache_enabled:
+            fingerprint = structural_fingerprint(problem, settings)
+        else:
+            # Unique per attempt: no two placements can ever match, so
+            # every job pays the full structural program (control arm).
+            fingerprint = f"nocache:{spec.job_id}:{index}"
+
+        def programmer(prng, ptracer):
+            return CrossbarPDIPSolver(
+                problem,
+                settings,
+                rng=prng,
+                recovery=recovery,
+                tracer=ptracer,
+            ).build_operator(prng)
+
+        result: SolverResult | None = None
+        member: PoolMember | None = None
+        warm = False
+        with job_tracer.span(
+            "service.job",
+            job_id=spec.job_id,
+            group=spec.group,
+            kind=spec.kind,
+            attempt=index,
+            fingerprint=fingerprint,
+        ) as span:
+            member, warm = self.pool.acquire(
+                fingerprint,
+                programmer,
+                rng=rng,
+                tracer=job_tracer,
+                exclude=pending.excluded_members,
+            )
+            span.set(
+                member=member.member_id if member is not None else None,
+                warm=warm,
+            )
+            if member is not None:
+                try:
+                    result = solver.solve_on(
+                        member.operator, trace=config.trace_iterations
+                    )
+                except Exception as exc:  # noqa: BLE001 - isolation
+                    result = _failed_result(
+                        problem,
+                        f"attempt crashed: {type(exc).__name__}: {exc}",
+                        FailureReason.SINGULAR_SYSTEM,
+                    )
+                finally:
+                    self.pool.release(member)
+                span.set(status=result.status.value)
+        cells = int(job_tracer.counters.get("crossbar.cells_written", 0.0))
+        if isinstance(self.tracer, RecordingTracer):
+            absorb_events(self.tracer, job_tracer.event_dicts())
+        return result, member, warm, seed, cells
+
+    def _finalize(
+        self,
+        pending: PendingJob,
+        result: SolverResult,
+        *,
+        member: int | None,
+        warm: bool,
+        fallback: bool = False,
+    ) -> JobRecord:
+        analog_attempts = sum(
+            1 for attempt in pending.attempts if attempt.member is not None
+        )
+        record = JobRecord(
+            spec=pending.spec,
+            result=result,
+            attempts=tuple(pending.attempts),
+            member=member,
+            warm=warm,
+            requeues=max(0, analog_attempts - 1),
+            fallback=fallback,
+        )
+        if record.success:
+            self.tracer.count("service.jobs_completed")
+        else:
+            self.tracer.count("service.jobs_failed")
+        return record
+
+
+def summarize(
+    records: Sequence[JobRecord], elapsed_seconds: float
+) -> ServiceSummary:
+    """Aggregate a batch's records into a :class:`ServiceSummary`."""
+    warm = cold = requeues = fallbacks = 0
+    cells = 0
+    for record in records:
+        requeues += record.requeues
+        fallbacks += 1 if record.fallback else 0
+        for attempt in record.attempts:
+            cells += attempt.cells_written
+            if attempt.member is not None:
+                if attempt.warm:
+                    warm += 1
+                else:
+                    cold += 1
+    succeeded = sum(1 for record in records if record.success)
+    return ServiceSummary(
+        jobs=len(records),
+        succeeded=succeeded,
+        failed=len(records) - succeeded,
+        warm_acquires=warm,
+        cold_acquires=cold,
+        requeues=requeues,
+        fallbacks=fallbacks,
+        cells_written=cells,
+        elapsed_seconds=elapsed_seconds,
+    )

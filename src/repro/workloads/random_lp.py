@@ -53,6 +53,7 @@ def random_feasible_lp(
     rng: np.random.Generator,
     coefficient_range: tuple[float, float] = (-1.0, 1.0),
     name: str = "",
+    structure_rng: np.random.Generator | None = None,
 ) -> LinearProgram:
     """A dense random LP guaranteed feasible and bounded.
 
@@ -68,6 +69,13 @@ def random_feasible_lp(
         Random generator.
     coefficient_range:
         Range of the uniform entries of A.
+    structure_rng:
+        Separate generator for the constraint matrix A.  Two calls
+        with identically seeded ``structure_rng`` but different ``rng``
+        produce problems sharing the exact same A (and hence the same
+        crossbar structural blocks) with independent b and c — the
+        repeated-structure regime the serving layer's programming
+        cache exploits.  Defaults to ``rng`` (fully independent draw).
     """
     if m < 2:
         raise ValueError("need at least 2 constraints")
@@ -75,10 +83,11 @@ def random_feasible_lp(
     if n < 1:
         raise ValueError("need at least 1 variable")
     lo, hi = coefficient_range
-    A = rng.uniform(lo, hi, size=(m, n))
+    a_rng = structure_rng if structure_rng is not None else rng
+    A = a_rng.uniform(lo, hi, size=(m, n))
     # Replace the final row with an explicit bounding constraint
     # sum(x) <= m so the maximization cannot be unbounded.
-    A[-1, :] = rng.uniform(0.5, 1.0, size=n)
+    A[-1, :] = a_rng.uniform(0.5, 1.0, size=n)
     x0 = rng.uniform(0.5, 2.0, size=n)
     slack = rng.uniform(0.5, 1.5, size=m)
     b = A @ x0 + slack
@@ -95,22 +104,31 @@ def random_infeasible_lp(
     rng: np.random.Generator,
     coefficient_range: tuple[float, float] = (-1.0, 1.0),
     name: str = "",
+    structure_rng: np.random.Generator | None = None,
 ) -> LinearProgram:
     """A dense random LP guaranteed infeasible.
 
     Built from a feasible skeleton with a planted contradiction in its
     last two rows: ``u @ x <= d`` and ``-(u @ x) <= -(d + margin)``
-    cannot both hold for any x.
+    cannot both hold for any x.  As in :func:`random_feasible_lp`, a
+    separate ``structure_rng`` pins the constraint matrix (including
+    the contradiction direction ``u``, which lives in A) while the
+    right-hand sides still vary with ``rng``.
     """
     if m < 3:
         raise ValueError("need at least 3 constraints to plant infeasibility")
     base = random_feasible_lp(
-        m, n, rng=rng, coefficient_range=coefficient_range
+        m,
+        n,
+        rng=rng,
+        coefficient_range=coefficient_range,
+        structure_rng=structure_rng,
     )
     A = base.A.copy()
     b = base.b.copy()
     n_vars = A.shape[1]
-    u = rng.uniform(0.25, 1.0, size=n_vars)
+    u_rng = structure_rng if structure_rng is not None else rng
+    u = u_rng.uniform(0.25, 1.0, size=n_vars)
     d = float(rng.uniform(1.0, 2.0)) * np.sqrt(n_vars)
     # The contradiction margin scales with sqrt(n) so the *relative*
     # infeasibility stays constant across sizes: constraint rows are

@@ -211,3 +211,89 @@ class TestFullyOpenCells:
         )
         out = operator.multiply(np.ones(5))
         assert np.all(np.isfinite(out))
+
+
+class TestWriteReportAggregation:
+    """``total_write_report`` over mixed program / program_cells runs."""
+
+    def test_totals_equal_sum_of_write_log(self, rng):
+        array, _, mapping = programmed_array(rng)
+        array.program_cells(
+            np.array([0, 1]),
+            np.array([1, 2]),
+            np.full(2, YAKOPCIC_NAECON14.g_on * 0.3),
+        )
+        array.program(mapping.conductances)  # full rewrite on top
+        total = array.total_write_report
+        by_hand = array.write_log[0]
+        for report in array.write_log[1:]:
+            by_hand = by_hand + report
+        assert total == by_hand
+        assert len(array.write_log) == 3
+
+    def test_full_program_then_selective_costs_accumulate(self, rng):
+        array, _, _ = programmed_array(rng, n=4)
+        first = array.total_write_report
+        assert first.cells_written == 16
+        array.program_cells(
+            np.array([0]), np.array([0]),
+            np.array([YAKOPCIC_NAECON14.g_on * 0.4]),
+        )
+        total = array.total_write_report
+        assert total.cells_written == 17
+        assert total.pulses > first.pulses
+        assert total.latency_s > first.latency_s
+        assert total.energy_j > first.energy_j
+
+    def test_unchanged_cells_add_no_cost(self, rng):
+        array, _, mapping = programmed_array(rng)
+        before = array.total_write_report
+        # Re-issuing identical targets writes nothing...
+        report = array.program(mapping.conductances)
+        assert report.cells_written == 0
+        assert report.pulses == 0
+        # ...but still logs an (empty) event, leaving totals unchanged.
+        assert array.total_write_report == before
+
+    def test_subtraction_scopes_a_window(self, rng):
+        array, _, _ = programmed_array(rng, n=4)
+        baseline = array.total_write_report
+        array.program_cells(
+            np.array([1, 2]), np.array([1, 2]),
+            np.full(2, YAKOPCIC_NAECON14.g_on * 0.25),
+        )
+        window = array.total_write_report - baseline
+        assert window.cells_written == 2
+        assert window.pulses > 0
+        assert window.energy_j > 0
+        # Round trip: baseline + window == lifetime total.
+        assert baseline + window == array.total_write_report
+
+    def test_blank_array_reports_zero(self):
+        array = CrossbarArray(3, 3)
+        total = array.total_write_report
+        assert total.cells_written == 0
+        assert total.pulses == 0
+        assert total.latency_s == 0.0
+        assert total.energy_j == 0.0
+
+
+class TestStuckOffInjection:
+    def test_injection_detaches_actual_from_nominal(self, rng):
+        array, _, _ = programmed_array(rng, n=4)
+        touched = array.inject_stuck_off(0.5, rng=rng)
+        assert touched == 8  # 2 of 4 rows, all 4 columns
+        assert (array.actual_conductances == 0.0).sum() >= 8
+        # The controller's nominal view is untouched.
+        assert array.nominal_conductances.min() > 0
+
+    def test_full_injection_zeroes_every_row(self, rng):
+        array, _, _ = programmed_array(rng, n=3)
+        assert array.inject_stuck_off(1.0) == 9
+        assert np.all(array.actual_conductances == 0.0)
+
+    def test_rejects_bad_fraction(self, rng):
+        array, _, _ = programmed_array(rng, n=3)
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                array.inject_stuck_off(bad)

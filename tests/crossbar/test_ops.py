@@ -202,6 +202,71 @@ class TestUpdates:
         assert op.write_report.cells_written > before
 
 
+class TestRenormalize:
+    def test_noop_when_scale_never_drifted(self, rng):
+        op = operator_for(rng, np.ones((3, 3)))
+        report = op.renormalize()
+        assert report.cells_written == 0
+        assert report.pulses == 0
+
+    def test_undoes_remap_drift(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(4, 4))
+        op = operator_for(rng, matrix, scale_headroom=1.0)
+        fresh_scale = op.scale
+        # Grow a cell so the window remaps, then shrink it back: the
+        # remap's scale sticks and inflates the representable floor.
+        op.update_coefficients(
+            np.array([0]), np.array([0]), np.array([50.0])
+        )
+        op.update_coefficients(
+            np.array([0]), np.array([0]), np.array([matrix[0, 0]])
+        )
+        assert op.scale < fresh_scale
+        floor_drifted = op.min_coefficient
+        report = op.renormalize()
+        assert report.cells_written > 0
+        assert op.scale == pytest.approx(fresh_scale)
+        assert op.min_coefficient < floor_drifted
+
+    def test_multiply_accurate_after_renormalize(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(4, 4))
+        op = operator_for(
+            rng, matrix, scale_headroom=1.0,
+            dac_bits=None, adc_bits=None,
+        )
+        op.update_coefficients(
+            np.array([1]), np.array([1]), np.array([50.0])
+        )
+        op.update_coefficients(
+            np.array([1]), np.array([1]), np.array([matrix[1, 1]])
+        )
+        op.renormalize()
+        x = rng.uniform(-1, 1, size=4)
+        np.testing.assert_allclose(
+            op.multiply(x), op.coefficients @ x, rtol=1e-9
+        )
+
+    def test_row_scaled_renormalize_touches_only_drifted_rows(self, rng):
+        matrix = rng.uniform(0.5, 1.0, size=(4, 4))
+        op = operator_for(rng, matrix, row_scaling=True)
+        # Overflow one row so it rescales, then restore it.  A 3x
+        # excursion leaves the restored peak inside the hysteresis
+        # window, so the shrunken row scale sticks until renormalize.
+        op.update_coefficients(
+            np.array([2]), np.array([2]), np.array([3.0])
+        )
+        op.update_coefficients(
+            np.array([2]), np.array([2]), np.array([matrix[2, 2]])
+        )
+        assert not np.allclose(op.scale_vector, op._fresh_scales())
+        report = op.renormalize()
+        # Exactly one row (4 cells) rewritten, not the whole array.
+        assert 0 < report.cells_written <= 4
+        np.testing.assert_allclose(
+            op.scale_vector, op._fresh_scales(), rtol=1e-12
+        )
+
+
 class TestRowScaling:
     def test_wide_dynamic_range_matrix(self, rng):
         # Rows differing by 1e6 in magnitude: a global mapping would

@@ -1,0 +1,77 @@
+"""Tests for splicing worker event streams into a parent tracer."""
+
+import pytest
+
+from repro.obs.merge import absorb_events
+from repro.obs.tracer import RecordingTracer, SpanEvent
+
+
+def worker_events():
+    worker = RecordingTracer()
+    with worker.span("cell", index=3):
+        with worker.span("program"):
+            worker.count("crossbar.cells_written", 40.0)
+        worker.gauge("solver.iterations", 7)
+    return worker.event_dicts()
+
+
+class TestAbsorbEvents:
+    def test_empty_stream_absorbs_nothing(self):
+        parent = RecordingTracer()
+        assert absorb_events(parent, []) == 0
+        assert parent.events == []
+        assert parent.counters == {}
+        assert parent.gauges == {}
+
+    def test_empty_stream_leaves_open_span_intact(self):
+        parent = RecordingTracer()
+        with parent.span("batch"):
+            assert absorb_events(parent, []) == 0
+        spans = [e for e in parent.events if isinstance(e, SpanEvent)]
+        assert [s.name for s in spans] == ["batch"]
+
+    def test_counters_fold_into_parent_without_priors(self):
+        # The parent has never seen these counter names: folding must
+        # create them, not KeyError on the missing aggregate.
+        parent = RecordingTracer()
+        absorbed = absorb_events(parent, worker_events())
+        assert absorbed == 4
+        assert parent.counters["crossbar.cells_written"] == 40.0
+        assert parent.gauges["solver.iterations"] == 7
+
+    def test_counters_add_to_existing_aggregates(self):
+        parent = RecordingTracer()
+        parent.count("crossbar.cells_written", 10.0)
+        absorb_events(parent, worker_events())
+        absorb_events(parent, worker_events())
+        assert parent.counters["crossbar.cells_written"] == 90.0
+
+    def test_root_spans_reparent_onto_open_span(self):
+        parent = RecordingTracer()
+        with parent.span("batch"):
+            absorb_events(parent, worker_events())
+        spans = {e.name: e for e in parent.events if isinstance(e, SpanEvent)}
+        batch = spans["batch"]
+        assert spans["cell"].parent_id == batch.span_id
+        assert spans["program"].parent_id == spans["cell"].span_id
+
+    def test_root_attrs_only_on_root_spans(self):
+        parent = RecordingTracer()
+        absorb_events(parent, worker_events(), root_attrs={"worker": 9})
+        spans = {e.name: e for e in parent.events if isinstance(e, SpanEvent)}
+        assert spans["cell"].attrs["worker"] == 9
+        assert spans["cell"].attrs["index"] == 3
+        assert "worker" not in spans["program"].attrs
+
+    def test_absorbed_ids_do_not_collide(self):
+        parent = RecordingTracer()
+        with parent.span("first"):
+            pass
+        absorb_events(parent, worker_events())
+        ids = [e.span_id for e in parent.events if isinstance(e, SpanEvent)]
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_kind_rejected(self):
+        parent = RecordingTracer()
+        with pytest.raises(ValueError, match="kind"):
+            absorb_events(parent, [{"kind": "trace"}])

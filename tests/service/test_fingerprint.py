@@ -1,0 +1,66 @@
+"""Tests for the structural programming-cache fingerprint."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.settings import CrossbarSolverSettings
+from repro.devices import variation_from_percent
+from repro.reliability.verify import WriteVerifyPolicy
+from repro.service.fingerprint import structural_fingerprint
+from repro.service.jobs import JobSpec, build_problem
+
+
+SETTINGS = CrossbarSolverSettings()
+
+
+def problems_sharing_structure():
+    a = build_problem(JobSpec(job_id="a", group=0, constraints=12), 0)
+    b = build_problem(JobSpec(job_id="b", group=0, constraints=12), 0)
+    return a, b
+
+
+class TestFingerprint:
+    def test_same_structure_same_fingerprint(self):
+        a, b = problems_sharing_structure()
+        assert structural_fingerprint(
+            a, SETTINGS
+        ) == structural_fingerprint(b, SETTINGS)
+
+    def test_rhs_and_objective_do_not_enter(self):
+        a, b = problems_sharing_structure()
+        # Explicitly: same A, different b and c.
+        assert not np.array_equal(a.b, b.b)
+        assert structural_fingerprint(
+            a, SETTINGS
+        ) == structural_fingerprint(b, SETTINGS)
+
+    def test_different_matrix_different_fingerprint(self):
+        a = build_problem(JobSpec(job_id="a", group=0, constraints=12), 0)
+        c = build_problem(JobSpec(job_id="c", group=1, constraints=12), 0)
+        assert structural_fingerprint(
+            a, SETTINGS
+        ) != structural_fingerprint(c, SETTINGS)
+
+    def test_hardware_settings_enter(self):
+        a, _ = problems_sharing_structure()
+        base = structural_fingerprint(a, SETTINGS)
+        for override in (
+            {"dac_bits": 6},
+            {"variation": variation_from_percent(10)},
+            {"scale_headroom": 3.0},
+            {"row_scaling": True},
+            {"initial_value": 2.0},
+            {"write_verify": WriteVerifyPolicy(tolerance=0.05)},
+        ):
+            changed = dataclasses.replace(SETTINGS, **override)
+            assert structural_fingerprint(a, changed) != base, override
+
+    def test_algorithm_tolerances_do_not_enter(self):
+        # Exit tolerances are digital-controller state, not programmed
+        # conductances: loosening them must not bust the cache.
+        a, _ = problems_sharing_structure()
+        loose = dataclasses.replace(SETTINGS, eps_gap=1e-2)
+        assert structural_fingerprint(
+            a, loose
+        ) == structural_fingerprint(a, SETTINGS)

@@ -1,0 +1,207 @@
+"""Tests for the crossbar fleet pool lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.ops import AnalogMatrixOperator
+from repro.exceptions import ServiceError
+from repro.obs.tracer import RecordingTracer
+from repro.reliability.probe import ProbePolicy
+from repro.service.pool import CrossbarPool, MemberState
+
+
+MATRIX = np.array([[1.0, 0.5], [0.25, 1.0]])
+
+
+def programmer(rng, tracer):
+    return AnalogMatrixOperator(MATRIX, rng=rng, tracer=tracer)
+
+
+def make_pool(size=2, **kwargs):
+    kwargs.setdefault("rng", np.random.default_rng(0))
+    return CrossbarPool(size, **kwargs)
+
+
+class TestAcquire:
+    def test_first_acquire_is_cold(self):
+        pool = make_pool()
+        member, warm = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        assert not warm
+        assert member.state is MemberState.BUSY
+        assert member.fingerprint == "fp"
+        assert member.operator is not None
+
+    def test_matching_fingerprint_is_warm_and_reuses_operator(self):
+        pool = make_pool()
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        operator = member.operator
+        pool.release(member)
+        again, warm = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(2)
+        )
+        assert warm
+        assert again is member
+        assert again.operator is operator  # no reprogram happened
+
+    def test_warm_acquire_reattaches_rng_and_tracer(self):
+        pool = make_pool()
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        rng = np.random.default_rng(9)
+        tracer = RecordingTracer()
+        member, warm = pool.acquire(
+            "fp", programmer, rng=rng, tracer=tracer
+        )
+        assert warm
+        assert member.operator.rng is rng
+        assert member.operator.array.rng is rng
+        assert member.operator.tracer is tracer
+        assert member.operator.array.tracer is tracer
+
+    def test_mismatched_fingerprint_prefers_empty_member(self):
+        pool = make_pool(size=2)
+        first, _ = pool.acquire(
+            "fp1", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(first)
+        second, warm = pool.acquire(
+            "fp2", programmer, rng=np.random.default_rng(2)
+        )
+        assert not warm
+        assert second is not first  # the EMPTY member, no eviction
+
+    def test_eviction_replaces_lru_idle_member(self):
+        tracer = RecordingTracer()
+        pool = make_pool(size=1, tracer=tracer)
+        member, _ = pool.acquire(
+            "fp1", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        evicted, warm = pool.acquire(
+            "fp2", programmer, rng=np.random.default_rng(2)
+        )
+        assert not warm
+        assert evicted is member
+        assert evicted.fingerprint == "fp2"
+        assert tracer.counters["pool.evictions"] == 1
+
+    def test_exclusion_and_exhaustion(self):
+        pool = make_pool(size=1)
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        none, warm = pool.acquire(
+            "fp",
+            programmer,
+            rng=np.random.default_rng(2),
+            exclude={member.member_id},
+        )
+        assert none is None and not warm
+
+    def test_busy_member_not_schedulable(self):
+        pool = make_pool(size=1)
+        pool.acquire("fp", programmer, rng=np.random.default_rng(1))
+        none, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(2)
+        )
+        assert none is None
+
+    def test_release_requires_busy(self):
+        pool = make_pool()
+        with pytest.raises(ServiceError, match="release"):
+            pool.release(pool.members[0])
+
+
+class TestDrainRecoverRetire:
+    def test_drain_then_recover_returns_member_to_service(self):
+        tracer = RecordingTracer()
+        pool = make_pool(probe=ProbePolicy(), tracer=tracer)
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        pool.drain(member)
+        assert member.state is MemberState.DRAINING
+        assert pool.recover(member)
+        assert member.state is MemberState.IDLE
+        assert tracer.counters["pool.drains"] == 1
+        assert tracer.counters["pool.recoveries"] == 1
+
+    def test_recover_requires_draining(self):
+        pool = make_pool()
+        with pytest.raises(ServiceError, match="recover"):
+            pool.recover(pool.members[0])
+
+    def test_sticky_fault_forces_retirement(self):
+        tracer = RecordingTracer()
+        pool = make_pool(
+            probe=ProbePolicy(), max_drains=2, tracer=tracer
+        )
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        pool.inject_fault(member.member_id, 1.0, sticky=True)
+        pool.drain(member)
+        # Every recover cycle reprograms, reapplies the hard fault,
+        # and fails the probe — until the drain budget retires it.
+        assert not pool.recover(member)
+        assert member.state is MemberState.RETIRED
+        assert member.drains == 2
+        assert tracer.counters["pool.retirements"] == 1
+        assert pool.active_members() == 1
+
+    def test_soft_fault_heals_in_one_cycle(self):
+        pool = make_pool(probe=ProbePolicy())
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        pool.inject_fault(member.member_id, 1.0, sticky=False)
+        pool.drain(member)
+        assert pool.recover(member)
+        assert member.state is MemberState.IDLE
+
+    def test_retired_member_never_acquired(self):
+        pool = make_pool(size=1, probe=ProbePolicy(), max_drains=0)
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        pool.drain(member)
+        assert not pool.recover(member)
+        none, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(2)
+        )
+        assert none is None
+
+
+class TestFaultInjection:
+    def test_fault_on_programmed_member_breaks_probe(self):
+        pool = make_pool()
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.inject_fault(member.member_id, 1.0)
+        actual = member.operator.array.actual_conductances
+        assert np.all(actual == 0.0)
+        # Nominal state untouched: the probe sees the mismatch.
+        assert member.operator.array.nominal_conductances.max() > 0
+
+    def test_pending_fault_applies_after_first_program(self):
+        pool = make_pool()
+        pool.inject_fault(0, 1.0)
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        assert member.member_id == 0
+        assert np.all(member.operator.array.actual_conductances == 0.0)
+        # Non-sticky: consumed by the programming it poisoned.
+        assert member.pending_fault is None

@@ -1,0 +1,83 @@
+"""Tests for the bounded priority job queue."""
+
+import pytest
+
+from repro.exceptions import QueueFullError, ReproError, ServiceError
+from repro.service.jobs import JobSpec
+from repro.service.queue import JobQueue
+
+
+def spec(job_id, priority=0):
+    return JobSpec(job_id=job_id, constraints=8, priority=priority)
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        for name in ("a", "b", "c"):
+            queue.submit(spec(name))
+        assert [queue.pop().spec.job_id for _ in range(3)] == [
+            "a", "b", "c",
+        ]
+
+    def test_higher_priority_first(self):
+        queue = JobQueue()
+        queue.submit(spec("low", priority=0))
+        queue.submit(spec("high", priority=5))
+        queue.submit(spec("mid", priority=2))
+        assert [queue.pop().spec.job_id for _ in range(3)] == [
+            "high", "mid", "low",
+        ]
+
+    def test_requeue_keeps_original_position(self):
+        queue = JobQueue()
+        first = queue.submit(spec("first"))
+        queue.submit(spec("second"))
+        popped = queue.pop()
+        assert popped is first
+        queue.requeue(popped)
+        # The rescheduled job kept its sequence, so it runs again
+        # before later submissions of the same priority.
+        assert queue.pop() is first
+
+
+class TestAdmissionControl:
+    def test_submit_raises_at_bound(self):
+        queue = JobQueue(max_depth=2)
+        queue.submit(spec("a"))
+        queue.submit(spec("b"))
+        with pytest.raises(QueueFullError):
+            queue.submit(spec("c"))
+
+    def test_queue_full_error_is_service_and_repro_error(self):
+        queue = JobQueue(max_depth=1)
+        queue.submit(spec("a"))
+        with pytest.raises(ServiceError):
+            queue.submit(spec("b"))
+        with pytest.raises(ReproError):
+            queue.submit(spec("c"))
+
+    def test_try_submit_returns_none_when_full(self):
+        queue = JobQueue(max_depth=1)
+        assert queue.try_submit(spec("a")) is not None
+        assert queue.try_submit(spec("b")) is None
+        assert len(queue) == 1
+
+    def test_requeue_exempt_from_bound(self):
+        queue = JobQueue(max_depth=1)
+        pending = queue.submit(spec("a"))
+        popped = queue.pop()
+        queue.submit(spec("b"))  # bound reached again
+        queue.requeue(popped)  # must not raise: accepted jobs never drop
+        assert len(queue) == 2
+        assert pending is popped
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            JobQueue().pop()
+
+    def test_bool_and_len(self):
+        queue = JobQueue()
+        assert not queue
+        queue.submit(spec("a"))
+        assert queue and len(queue) == 1

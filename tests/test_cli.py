@@ -242,3 +242,100 @@ class TestSweepCommand:
         assert "1 failed" in out
         assert "FAILED cell size=8 variation=0 trial=1" in out
         assert "cell_crashed" in out
+
+
+class TestSolveExitCode:
+    def test_success_exits_zero(self):
+        assert main(["solve", "--constraints", "10", "--seed", "3"]) == 0
+
+    def test_failed_solve_exits_nonzero(self, capsys):
+        # A heavily stuck-off array fails the health probe; the
+        # failure must surface as a nonzero exit for scripting.
+        code = main(
+            [
+                "solve",
+                "--constraints",
+                "10",
+                "--seed",
+                "3",
+                "--stuck-off",
+                "0.4",
+                "--probe",
+            ]
+        )
+        assert code == 1
+        assert "status" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    ARGS = [
+        "serve",
+        "--jobs",
+        "6",
+        "--groups",
+        "2",
+        "--constraints",
+        "10",
+        "--seed",
+        "7",
+    ]
+
+    def test_serve_prints_per_job_lines_and_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert out.count("job-") == 6
+        assert "warm" in out and "cold" in out
+        assert "jobs/s" in out
+        assert "cache hit rate" in out
+
+    def test_serve_writes_records_jsonl(self, capsys, tmp_path):
+        records = tmp_path / "records.jsonl"
+        assert main(self.ARGS + ["--out", str(records)]) == 0
+        lines = records.read_text().splitlines()
+        assert len(lines) == 6
+        record = json.loads(lines[0])
+        assert record["status"] == "optimal"
+        assert {"job_id", "member", "warm", "requeues"} <= set(record)
+
+    def test_serve_trace_has_job_spans(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.ARGS + ["--trace-out", str(trace)]) == 0
+        events = read_trace_jsonl(trace)
+        jobs = [
+            e
+            for e in events
+            if e["kind"] == "span" and e["name"] == "service.job"
+        ]
+        assert len(jobs) == 6
+        assert all("fingerprint" in j["attrs"] for j in jobs)
+
+    def test_serve_survives_injected_fault(self, capsys):
+        code = main(self.ARGS + ["--inject-fault", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requeues=" in out  # at least one job was rescheduled
+
+    def test_inject_fault_validates_member(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--inject-fault", "9"])
+
+
+class TestBatchCommand:
+    def make_jobs_file(self, tmp_path, count=5):
+        from repro.service import synthesize_jobs, write_jobs_jsonl
+
+        specs = synthesize_jobs(count, groups=2, constraints=10)
+        return write_jobs_jsonl(specs, tmp_path / "jobs.jsonl")
+
+    def test_batch_runs_jobs_file(self, capsys, tmp_path):
+        path = self.make_jobs_file(tmp_path)
+        assert main(["batch", str(path), "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("job-") == 5
+        assert "jobs/s" in out
+
+    def test_batch_rejects_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["batch", str(empty)])

@@ -27,6 +27,7 @@ class TestExports:
             "repro.analysis",
             "repro.obs",
             "repro.reliability",
+            "repro.service",
         ],
     )
     def test_subpackage_all_resolves(self, module):
@@ -46,6 +47,8 @@ class TestExceptionHierarchy:
             exceptions.ConvergenceError,
             exceptions.InfeasibleProblemError,
             exceptions.PartitionError,
+            exceptions.ServiceError,
+            exceptions.QueueFullError,
         ):
             assert issubclass(cls, exceptions.ReproError)
             assert issubclass(cls, Exception)
