@@ -7,14 +7,21 @@ regenerates those series plus the infeasibility-detection iteration
 counts.
 """
 
+import numpy as np
 import pytest
 
+from repro.core import (
+    SolveStatus,
+    solve_crossbar,
+    solve_crossbar_large_scale,
+)
 from repro.experiments import (
     accuracy_sweep,
     infeasibility_sweep,
     render_accuracy,
     render_infeasibility,
 )
+from repro.workloads import random_feasible_lp
 
 
 @pytest.mark.benchmark(group="iterations")
@@ -44,6 +51,65 @@ def test_iteration_counts_by_variation(benchmark, small_sweep_config):
         and r2.iterations.mean <= r1.iterations.mean
     )
     assert wins >= len(s1_rows) / 2
+
+
+def _steady_state_cells(trace):
+    """Median per-iteration cell writes from a cumulative-counter trace."""
+    cumulative = [record.cells_written for record in trace]
+    diffs = np.diff(cumulative)
+    return float(np.median(diffs)) if diffs.size else 0.0
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_hotpath_cells_per_iteration_scale_linearly(benchmark, perf_record):
+    """The PR's hard perf gate: steady-state per-iteration writes are
+    O(N) on both solvers (the paper's Section 3.5 claim), asserted on
+    the ``crossbar.cells_written`` counters of a medium LP solve.
+
+    Each iteration rewrites only diagonal cells: 2(n+m) on Solver 1's
+    augmented array, n+m on each of Solver 2's M2/D diagonals — never
+    the O(N²) structural blocks.  Remap/rescale events may exceed the
+    per-iteration bound occasionally, which is why the gate is on the
+    *median* (steady state), with a small multiple for headroom.
+    """
+    m = 48
+    problem = random_feasible_lp(m, rng=np.random.default_rng(5))
+    n = problem.A.shape[1]
+
+    def run():
+        r1 = solve_crossbar(
+            problem, rng=np.random.default_rng(7), trace=True
+        )
+        r2 = solve_crossbar_large_scale(
+            problem, rng=np.random.default_rng(7), trace=True
+        )
+        return r1, r2
+
+    r1, r2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert r1.status is SolveStatus.OPTIMAL
+    assert r2.status is SolveStatus.OPTIMAL
+
+    # Solver 1: trace counters cover the one augmented array.
+    s1_cells = _steady_state_cells(r1.trace)
+    assert 0 < s1_cells <= 2 * (n + m)
+    # Solver 2: trace counters cover the M2 diagonal array.
+    s2_cells = _steady_state_cells(r2.trace)
+    assert 0 < s2_cells <= n + m
+
+    perf_record.update(
+        constraints=m,
+        variables=n,
+        s1_elapsed_seconds=r1.elapsed_seconds,
+        s1_iterations=r1.iterations,
+        s1_cells_written=r1.crossbar.cells_written,
+        s1_cells_per_iteration_median=s1_cells,
+        s1_cells_bound=2 * (n + m),
+        s2_elapsed_seconds=r2.elapsed_seconds,
+        s2_iterations=r2.iterations,
+        s2_cells_written=r2.crossbar.cells_written,
+        s2_cells_per_iteration_median=s2_cells,
+        s2_cells_bound=n + m,
+    )
 
 
 @pytest.mark.benchmark(group="iterations")

@@ -17,6 +17,7 @@ uploads that directory.
 import json
 import os
 import pathlib
+import time
 
 import pytest
 
@@ -61,18 +62,40 @@ def bench_out_dir() -> pathlib.Path | None:
     return path
 
 
-@pytest.fixture
+@pytest.fixture(autouse=True)
 def perf_record(request):
     """Fill the yielded dict; it lands in BENCH_<test>.json on teardown.
 
-    A no-op (the dict is discarded) when ``REPRO_BENCH_OUT`` is unset,
-    so local runs leave no files behind.
+    Autouse: *every* benchmark emits a record uniformly.  The fixture
+    stamps the common envelope (bench name, benchmark group, fixture
+    wall-clock, and — when the test used the ``benchmark`` fixture —
+    its timing stats); tests add their own metrics on top.  A no-op
+    (the dict is discarded) when ``REPRO_BENCH_OUT`` is unset, so
+    local runs leave no files behind.
     """
     record: dict = {}
+    bench = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    start = time.perf_counter()
     yield record
     out = bench_out_dir()
-    if out is None or not record:
+    if out is None:
         return
+    record.setdefault("bench", request.node.name)
+    marker = request.node.get_closest_marker("benchmark")
+    if marker is not None and "group" in marker.kwargs:
+        record.setdefault("group", marker.kwargs["group"])
+    record.setdefault(
+        "elapsed_seconds", round(time.perf_counter() - start, 6)
+    )
+    stats = getattr(getattr(bench, "stats", None), "stats", None)
+    if stats is not None and stats.data:
+        record.setdefault("wall_seconds_mean", float(stats.mean))
+        record.setdefault("wall_seconds_min", float(stats.min))
+        record.setdefault("rounds", len(stats.data))
     name = request.node.name.replace("/", "_")
     path = out / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -53,6 +53,7 @@ from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport, probe_operator
 from repro.reliability.recovery import solve_with_recovery
+from repro.reliability.telemetry import RecoveryAction
 
 
 class CrossbarPDIPSolver:
@@ -100,6 +101,10 @@ class CrossbarPDIPSolver:
         )
         self.tracer = tracer if tracer is not None else NOOP
         self.system = AugmentedNewtonSystem(problem)
+        # The operator programmed by the most recent ladder attempt;
+        # lets a REPROGRAM rung redraw variation in place instead of
+        # re-mapping and re-writing the full matrix.
+        self._last_operator: AnalogMatrixOperator | None = None
 
     # -- public API ----------------------------------------------------------
 
@@ -112,11 +117,34 @@ class CrossbarPDIPSolver:
         remapping and a digital fallback.  The returned result carries
         the full attempt history and its wall-clock duration.
         """
+        self._last_operator = None
+
+        def attempt(
+            rng: np.random.Generator, action: RecoveryAction
+        ) -> tuple[SolverResult, ProbeReport | None]:
+            # Section 4.5's "double checking scheme" rewrites the same
+            # array: reuse the operator the failed attempt programmed,
+            # redraw its variation, and let the warm path reset only
+            # the diagonals (O(N), via the differential write path).
+            # A REMAP rung abandons the array and rebuilds from
+            # scratch.
+            warm = (
+                self._last_operator
+                if action is RecoveryAction.REPROGRAM
+                else None
+            )
+            return self._solve_once(
+                rng=rng,
+                trace=trace,
+                operator=warm,
+                redraw=rng if warm is not None else None,
+            )
+
         with Stopwatch() as clock, self.tracer.span(
             "solve", solver="crossbar", constraints=self.problem.A.shape[0]
         ):
             result = solve_with_recovery(
-                lambda rng: self._solve_once(rng=rng, trace=trace),
+                attempt,
                 self.recovery,
                 self.problem,
                 self.rng,
@@ -231,6 +259,7 @@ class CrossbarPDIPSolver:
         rng: np.random.Generator | None = None,
         trace: bool = False,
         operator: AnalogMatrixOperator | None = None,
+        redraw: np.random.Generator | None = None,
     ) -> tuple[SolverResult, ProbeReport | None]:
         problem = self.problem
         settings = self.settings
@@ -264,6 +293,7 @@ class CrossbarPDIPSolver:
                     write_verify=settings.write_verify,
                     tracer=tracer,
                 )
+            self._last_operator = operator
             base_report = None
         else:
             # Warm start: the structural A/Aᵀ + compensation blocks are
@@ -276,6 +306,11 @@ class CrossbarPDIPSolver:
                     f"this problem needs {system.size}x{system.size}"
                 )
             base_report = operator.write_report
+            if redraw is not None:
+                # Recovery-ladder reprogram: fresh variation draw on
+                # every already-programmed cell, zero target changes.
+                with tracer.span("program", array="M", redraw=True):
+                    operator.redraw_variation(redraw)
             with tracer.span("program", array="M", warm=True):
                 rows, cols, values = system.diagonal_update(x, y, w, z)
                 operator.update_coefficients(

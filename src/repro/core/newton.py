@@ -90,6 +90,98 @@ def newton_rhs(
     )
 
 
+class NewtonSystem:
+    """Reusable workspace for the signed Eqn. 12 system.
+
+    :func:`newton_matrix` / :func:`newton_rhs` rebuild the full
+    ``2(n+m)`` system from zeros every iteration — O(N²) fill for a
+    matrix whose A / Aᵀ / ±I blocks never change.  This workspace
+    allocates M and r once, writes the static blocks once, and per
+    iteration touches only the four diagonal blocks (2(n+m) cells) and
+    the right-hand side — the digital mirror of the crossbar's O(N)
+    differential programming.
+
+    The in-place update is *bitwise identical* to the from-scratch
+    builders (asserted by ``tests/property``): callers get the same
+    floats, just without the redundant refill.
+
+    The returned arrays are views of the internal buffers: they are
+    valid until the next :meth:`matrix` / :meth:`rhs` call.  Pass
+    ``copy=True`` to detach.
+    """
+
+    def __init__(self, problem: LinearProgram) -> None:
+        self.problem = problem
+        A = problem.A
+        m, n = A.shape
+        self.m, self.n = m, n
+        self.size = 2 * (n + m)
+        ox, oy, ow, oz = 0, n, n + m, n + 2 * m
+        rp, rd, rxz, ryw = 0, m, m + n, m + 2 * n
+        M = np.zeros((self.size, self.size))
+        M[rp:rp + m, ox:ox + n] = A
+        M[rp:rp + m, ow:ow + m] = np.eye(m)
+        M[rd:rd + n, oy:oy + m] = A.T
+        M[rd:rd + n, oz:oz + n] = -np.eye(n)
+        self._matrix = M
+        self._rhs = np.empty(self.size)
+        # Flat indices of the per-iteration cells: the Z, X, W, Y
+        # diagonals inside the complementarity rows.
+        idx_n = np.arange(n)
+        idx_m = np.arange(m)
+        rows = np.concatenate(
+            [rxz + idx_n, rxz + idx_n, ryw + idx_m, ryw + idx_m]
+        )
+        cols = np.concatenate(
+            [ox + idx_n, oz + idx_n, oy + idx_m, ow + idx_m]
+        )
+        self._diag_flat = rows * self.size + cols
+        self._rhs_slices = (
+            slice(0, m),
+            slice(m, m + n),
+            slice(m + n, m + 2 * n),
+            slice(m + 2 * n, self.size),
+        )
+
+    def matrix(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        w: np.ndarray,
+        z: np.ndarray,
+        *,
+        copy: bool = False,
+    ) -> np.ndarray:
+        """Update the four diagonal blocks in place and return M."""
+        flat = self._matrix.reshape(-1)
+        flat[self._diag_flat[: self.n]] = z
+        flat[self._diag_flat[self.n:2 * self.n]] = x
+        flat[self._diag_flat[2 * self.n:2 * self.n + self.m]] = w
+        flat[self._diag_flat[2 * self.n + self.m:]] = y
+        return self._matrix.copy() if copy else self._matrix
+
+    def rhs(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        w: np.ndarray,
+        z: np.ndarray,
+        mu: float,
+        *,
+        copy: bool = False,
+    ) -> np.ndarray:
+        """Fill the preallocated right-hand side and return it."""
+        problem = self.problem
+        A = problem.A
+        s_p, s_d, s_xz, s_yw = self._rhs_slices
+        r = self._rhs
+        r[s_p] = problem.b - A @ x - w
+        r[s_d] = problem.c - A.T @ y + z
+        r[s_xz] = mu * np.ones(self.n) - x * z
+        r[s_yw] = mu * np.ones(self.m) - y * w
+        return r.copy() if copy else r
+
+
 @dataclasses.dataclass(frozen=True)
 class _Layout:
     """Row/column index layout of the augmented system."""
@@ -196,6 +288,42 @@ class AugmentedNewtonSystem:
         self.k_x = len(self.neg_cols_a)
         self.k_y = len(self.neg_cols_at)
         self.layout = _Layout(n=self.n, m=self.m, k_x=self.k_x, k_y=self.k_y)
+        # Iteration-invariant structure, cached once: the (rows, cols)
+        # of the O(N) diagonal update set, the compensation-column
+        # index arrays (depend only on sign(A)), and the rhs template
+        # of Eqn. 15a with its mu-dependent rows marked.
+        lay = self.layout
+        idx_n = np.arange(self.n)
+        idx_m = np.arange(self.m)
+        self._diag_rows = np.concatenate(
+            [
+                lay.row_xz.start + idx_n,          # Z diagonal
+                lay.row_xz.start + idx_n,          # X diagonal
+                lay.row_yw.start + idx_m,          # W diagonal
+                lay.row_yw.start + idx_m,          # Y diagonal
+            ]
+        )
+        self._diag_cols = np.concatenate(
+            [
+                lay.col_x.start + idx_n,
+                lay.col_z.start + idx_n,
+                lay.col_y.start + idx_m,
+                lay.col_w.start + idx_m,
+            ]
+        )
+        self._neg_a_idx = np.array(self.neg_cols_a, dtype=int)
+        self._neg_at_idx = np.array(self.neg_cols_at, dtype=int)
+        self._rhs_template = np.concatenate(
+            [
+                self.problem.b,
+                self.problem.c,
+                np.ones(self.n),
+                np.ones(self.m),
+                np.zeros(self.m),
+                np.zeros(self.n),
+                np.zeros(self.k_x + self.k_y),
+            ]
+        )
 
     @property
     def size(self) -> int:
@@ -269,27 +397,8 @@ class AugmentedNewtonSystem:
         Section 4.4.  Values are clamped at zero (see
         :meth:`build_matrix`).
         """
-        lay = self.layout
-        idx_n = np.arange(self.n)
-        idx_m = np.arange(self.m)
-        rows = np.concatenate(
-            [
-                lay.row_xz.start + idx_n,          # Z diagonal
-                lay.row_xz.start + idx_n,          # X diagonal
-                lay.row_yw.start + idx_m,          # W diagonal
-                lay.row_yw.start + idx_m,          # Y diagonal
-            ]
-        )
-        cols = np.concatenate(
-            [
-                lay.col_x.start + idx_n,
-                lay.col_z.start + idx_n,
-                lay.col_y.start + idx_m,
-                lay.col_w.start + idx_m,
-            ]
-        )
         values = np.concatenate([z, x, w, y])
-        return rows, cols, np.maximum(values, 0.0)
+        return self._diag_rows, self._diag_cols, np.maximum(values, 0.0)
 
     # -- vectors -----------------------------------------------------------------
 
@@ -309,25 +418,19 @@ class AugmentedNewtonSystem:
         """
         p = np.concatenate(
             [
-                -x[list(self.neg_cols_a)] if self.k_x else np.empty(0),
-                -y[list(self.neg_cols_at)] if self.k_y else np.empty(0),
+                -x[self._neg_a_idx] if self.k_x else np.empty(0),
+                -y[self._neg_at_idx] if self.k_y else np.empty(0),
             ]
         )
         return np.concatenate([x, y, w, z, -w, -z, p])
 
     def rhs_targets(self, mu: float) -> np.ndarray:
         """The constant part ``[b, c, mu, mu, 0, 0, 0]`` of Eqn. 15a."""
-        return np.concatenate(
-            [
-                self.problem.b,
-                self.problem.c,
-                mu * np.ones(self.n),
-                mu * np.ones(self.m),
-                np.zeros(self.m),
-                np.zeros(self.n),
-                np.zeros(self.k_x + self.k_y),
-            ]
-        )
+        lay = self.layout
+        out = self._rhs_template.copy()
+        out[lay.row_xz] *= mu
+        out[lay.row_yw] *= mu
+        return out
 
     def residual_from_product(
         self, product: np.ndarray, mu: float

@@ -17,7 +17,7 @@ from repro.core.feasibility import (
     detect_divergence,
     scaled_big_m,
 )
-from repro.core.newton import newton_matrix, newton_rhs
+from repro.core.newton import NewtonSystem
 from repro.core.problem import LinearProgram
 from repro.core.residuals import (
     centering_mu,
@@ -77,6 +77,7 @@ def solve_reference(
     iterations = 0
     status = SolveStatus.ITERATION_LIMIT
     message = ""
+    system = NewtonSystem(problem)
 
     for iteration in range(settings.max_iterations):
         p_inf = primal_infeasibility(problem, x, w)
@@ -94,8 +95,8 @@ def solve_reference(
             break
 
         mu = centering_mu(x, y, w, z, settings.delta)
-        matrix = newton_matrix(problem, x, y, w, z)
-        rhs = newton_rhs(problem, x, y, w, z, mu)
+        matrix = system.matrix(x, y, w, z)
+        rhs = system.rhs(x, y, w, z, mu)
         try:
             delta = np.linalg.solve(matrix, rhs)
         except np.linalg.LinAlgError:

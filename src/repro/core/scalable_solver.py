@@ -55,6 +55,7 @@ from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport, probe_operators
 from repro.reliability.recovery import solve_with_recovery
+from repro.reliability.telemetry import RecoveryAction
 
 
 class LargeScaleCrossbarPDIPSolver:
@@ -107,6 +108,18 @@ class LargeScaleCrossbarPDIPSolver:
             ratio_floor=self.settings.ratio_floor,
             ratio_cap=self.settings.ratio_cap,
         )
+        # The four arrays programmed by the most recent ladder attempt;
+        # a REPROGRAM rung redraws their variation in place instead of
+        # re-mapping and re-writing all four from scratch.
+        self._last_arrays: (
+            tuple[
+                AnalogMatrixOperator,
+                AnalogMatrixOperator,
+                AnalogMatrixOperator,
+                AnalogMatrixOperator,
+            ]
+            | None
+        ) = None
 
     def solve(self, *, trace: bool = False) -> SolverResult:
         """Run Algorithm 2 under the recovery ladder.
@@ -117,13 +130,35 @@ class LargeScaleCrossbarPDIPSolver:
         escalate further to remapping and a digital fallback.  The
         returned result carries the full attempt history.
         """
+        self._last_arrays = None
+
+        def attempt(
+            rng: np.random.Generator, action: RecoveryAction
+        ) -> tuple[SolverResult, ProbeReport | None]:
+            # A REPROGRAM rung reuses the four programmed arrays:
+            # redraw variation, reset the coupling and state diagonals
+            # via the differential write path (O(N) cells), leave the
+            # write-once structural blocks alone.  REMAP rebuilds all
+            # four from scratch.
+            warm = (
+                self._last_arrays
+                if action is RecoveryAction.REPROGRAM
+                else None
+            )
+            return self._solve_once(
+                rng=rng,
+                trace=trace,
+                arrays=warm,
+                redraw=rng if warm is not None else None,
+            )
+
         with Stopwatch() as clock, self.tracer.span(
             "solve",
             solver="large_scale",
             constraints=self.problem.A.shape[0],
         ):
             result = solve_with_recovery(
-                lambda rng: self._solve_once(rng=rng, trace=trace),
+                attempt,
                 self.recovery,
                 self.problem,
                 self.rng,
@@ -178,6 +213,16 @@ class LargeScaleCrossbarPDIPSolver:
         *,
         rng: np.random.Generator | None = None,
         trace: bool = False,
+        arrays: (
+            tuple[
+                AnalogMatrixOperator,
+                AnalogMatrixOperator,
+                AnalogMatrixOperator,
+                AnalogMatrixOperator,
+            ]
+            | None
+        ) = None,
+        redraw: np.random.Generator | None = None,
     ) -> tuple[SolverResult, ProbeReport | None]:
         problem = self.problem
         settings = self.settings
@@ -191,46 +236,81 @@ class LargeScaleCrossbarPDIPSolver:
         w = np.full(m, settings.initial_value)
 
         tracer = self.tracer
-        hardware = dict(
-            params=settings.device,
-            variation=settings.variation,
-            rng=rng,
-            dac_bits=settings.dac_bits,
-            adc_bits=settings.adc_bits,
-            off_state=settings.off_state,
-            row_scaling=settings.row_scaling,
-            write_verify=settings.write_verify,
-            tracer=tracer,
-        )
-        with tracer.span("reformulate"):
-            m1_coupled = system.build_m1(x, y, w, z, with_coupling=True)
-            m1_plain = system.build_m1(x, y, w, z, with_coupling=False)
-            m2_matrix = system.build_m2(x, y)
-            d_matrix = system.build_d(z, w)
-        with tracer.span("program", array="m1_solve"):
-            m1_solve = AnalogMatrixOperator(
-                m1_coupled,
-                scale_headroom=settings.scale_headroom,
-                **hardware,
+        if arrays is None:
+            hardware = dict(
+                params=settings.device,
+                variation=settings.variation,
+                rng=rng,
+                dac_bits=settings.dac_bits,
+                adc_bits=settings.adc_bits,
+                off_state=settings.off_state,
+                row_scaling=settings.row_scaling,
+                write_verify=settings.write_verify,
+                tracer=tracer,
             )
-        with tracer.span("program", array="m1_mult"):
-            m1_mult = AnalogMatrixOperator(
-                m1_plain,
-                scale_headroom=1.0,
-                **hardware,
+            with tracer.span("reformulate"):
+                m1_coupled = system.build_m1(x, y, w, z, with_coupling=True)
+                m1_plain = system.build_m1(x, y, w, z, with_coupling=False)
+                m2_matrix = system.build_m2(x, y)
+                d_matrix = system.build_d(z, w)
+            with tracer.span("program", array="m1_solve"):
+                m1_solve = AnalogMatrixOperator(
+                    m1_coupled,
+                    scale_headroom=settings.scale_headroom,
+                    **hardware,
+                )
+            with tracer.span("program", array="m1_mult"):
+                m1_mult = AnalogMatrixOperator(
+                    m1_plain,
+                    scale_headroom=1.0,
+                    **hardware,
+                )
+            with tracer.span("program", array="m2"):
+                m2 = AnalogMatrixOperator(
+                    m2_matrix,
+                    scale_headroom=settings.scale_headroom,
+                    **hardware,
+                )
+            with tracer.span("program", array="d"):
+                d_array = AnalogMatrixOperator(
+                    d_matrix,
+                    scale_headroom=settings.scale_headroom,
+                    **hardware,
+                )
+            self._last_arrays = (m1_solve, m1_mult, m2, d_array)
+            base_writes = None
+        else:
+            # Recovery-ladder reprogram: keep the mapped structure,
+            # redraw process variation on every programmed cell, and
+            # reset the per-iteration diagonals to the initial state
+            # through the differential write path.  m1_mult is
+            # write-once (Eqn. 17a) — redraw only.
+            m1_solve, m1_mult, m2, d_array = arrays
+            base_writes = (
+                m1_solve.write_report
+                + m1_mult.write_report
+                + m2.write_report
+                + d_array.write_report
             )
-        with tracer.span("program", array="m2"):
-            m2 = AnalogMatrixOperator(
-                m2_matrix,
-                scale_headroom=settings.scale_headroom,
-                **hardware,
-            )
-        with tracer.span("program", array="d"):
-            d_array = AnalogMatrixOperator(
-                d_matrix,
-                scale_headroom=settings.scale_headroom,
-                **hardware,
-            )
+            if redraw is not None:
+                with tracer.span("program", redraw=True):
+                    for warm_op in (m1_solve, m1_mult, m2, d_array):
+                        warm_op.redraw_variation(redraw)
+            with tracer.span("program", warm=True):
+                rows, cols, values = system.m1_coupling_update(x, y, w, z)
+                m1_solve.update_coefficients(
+                    rows, cols, values, floor_to_representable=True
+                )
+                m1_solve.renormalize()
+                for warm_op, diag in (
+                    (m2, system.m2_diagonal(x, y)),
+                    (d_array, system.d_diagonal(z, w)),
+                ):
+                    d_rows, d_cols, d_vals = system.diag_update(diag)
+                    warm_op.update_coefficients(
+                        d_rows, d_cols, d_vals, floor_to_representable=True
+                    )
+                    warm_op.renormalize()
         multiplies = 0
         solves = 0
 
@@ -255,6 +335,8 @@ class LargeScaleCrossbarPDIPSolver:
                     + m2.write_report
                     + d_array.write_report
                 )
+                if base_writes is not None:
+                    total_writes = total_writes - base_writes
                 tracer.gauge("solver.iterations", 0)
                 return (
                     self._probe_rejection(probe, total_writes, multiplies),
@@ -501,6 +583,8 @@ class LargeScaleCrossbarPDIPSolver:
             + m2.write_report
             + d_array.write_report
         )
+        if base_writes is not None:
+            total_writes = total_writes - base_writes
         counters = CrossbarCounters(
             multiplies=multiplies,
             solves=solves,

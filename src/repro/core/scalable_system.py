@@ -103,6 +103,16 @@ class ScalableNewtonSystem:
             int(j) for j in np.flatnonzero(np.any(A < 0, axis=0))
         )
         self.k_x = len(self.neg_cols_a)
+        # Per-iteration update index vectors, fixed by the problem
+        # shape — built once so the hot loop only fills values.
+        m, n, k = self.m, self.n, self.k_x
+        self._coupling_rows = np.concatenate(
+            [m + np.arange(n), np.arange(m)]
+        )
+        self._coupling_cols = np.concatenate(
+            [np.arange(n), n + m + k + np.arange(m)]
+        )
+        self._diag_idx = np.arange(n + m)
 
     # ------------------------------------------------------------------
     # M1: columns [Δx (n), Δy (m), Δp (k_x), Δq (m)]
@@ -192,11 +202,8 @@ class ScalableNewtonSystem:
         blocks, so plain assignment is correct.
         """
         ru, rl = self.coupling_diagonals(x, y, w, z)
-        n, m, k = self.n, self.m, self.k_x
-        rows = np.concatenate([m + np.arange(n), np.arange(m)])
-        cols = np.concatenate([np.arange(n), n + m + k + np.arange(m)])
         values = np.concatenate([rl, ru])
-        return rows, cols, values
+        return self._coupling_rows, self._coupling_cols, values
 
     def state_vector_m1(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Pack ``[x, y, p, q] = [x, y, -x_sel, -y]`` for the r1 multiply."""
@@ -294,12 +301,15 @@ class ScalableNewtonSystem:
         """The diagonal matrix diag(Z, W) multiplying ``[Δx, Δy]``."""
         return np.diag(self.d_diagonal(z, w))
 
-    @staticmethod
     def diag_update(
+        self,
         values: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(rows, cols, values) for reprogramming a diagonal array."""
-        idx = np.arange(values.shape[0])
+        if values.shape[0] == self._diag_idx.shape[0]:
+            idx = self._diag_idx
+        else:  # pragma: no cover - diagonals are always n + m today
+            idx = np.arange(values.shape[0])
         return idx, idx, values
 
     def residual_m2(

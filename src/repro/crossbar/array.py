@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.crossbar.mapping import ConductanceMapping
-from repro.crossbar.programming import WriteReport, plan_write
+from repro.crossbar.programming import WriteReport, plan_diff, plan_write
 from repro.devices.models import HP_TIO2, DeviceParameters
 from repro.devices.variation import NoVariation, VariationModel
 from repro.exceptions import CrossbarSolveError, MappingError
@@ -98,6 +98,31 @@ class CrossbarArray:
         self._nominal = np.zeros((n_rows, n_cols))
         self._actual = self.variation.perturb(self._nominal, self.rng)
         self.write_log: list[WriteReport] = []
+        self._total_report = WriteReport(0, 0, 0.0, 0.0)
+        # Column-sum caches for the multiply denominators.  Any write
+        # marks them stale; the next read recomputes the full axis-0
+        # sums — NOT per-column partial sums, which are a last-ULP
+        # mismatch against the full reduction (NumPy's pairwise
+        # summation blocks by array shape), and the cache must stay
+        # bitwise identical to the uncached expression.  The win is
+        # that reads *between* writes share one reduction.
+        self._colsum_nominal = self._nominal.sum(axis=0)
+        self._colsum_actual = self._actual.sum(axis=0)
+        self._colsums_stale = False
+
+    # -- column-sum caches -------------------------------------------------
+
+    def _mark_dirty(self, cols: np.ndarray | None = None) -> None:
+        """Invalidate the column-sum caches after a write."""
+        del cols  # per-column refresh is not ULP-safe; see __init__
+        self._colsums_stale = True
+
+    def _refresh_colsums(self) -> None:
+        if not self._colsums_stale:
+            return
+        self._colsum_nominal = self._nominal.sum(axis=0)
+        self._colsum_actual = self._actual.sum(axis=0)
+        self._colsums_stale = False
 
     # -- programming -------------------------------------------------------
 
@@ -128,14 +153,14 @@ class CrossbarArray:
         report = plan_write(self._nominal, conductances, self.params)
         self._nominal = conductances.copy()
         self._actual = self.variation.perturb(self._nominal, self.rng)
+        self._mark_dirty()
         grid_rows, grid_cols = np.meshgrid(
             np.arange(self.n_rows), np.arange(self.n_cols), indexing="ij"
         )
         report = self._verify_written(
             grid_rows.ravel(), grid_cols.ravel(), report
         )
-        self.write_log.append(report)
-        self._record_write(report)
+        self._log_write(report)
         return report
 
     def program_mapping(self, mapping: ConductanceMapping) -> WriteReport:
@@ -147,6 +172,8 @@ class CrossbarArray:
         rows: np.ndarray,
         cols: np.ndarray,
         conductances: np.ndarray,
+        *,
+        skip_unchanged: bool = False,
     ) -> WriteReport:
         """Selectively reprogram individual cells (O(#cells) write).
 
@@ -154,6 +181,14 @@ class CrossbarArray:
         only the changed diagonal blocks are rewritten.  Variation is
         re-drawn for the written cells only; untouched cells keep their
         previous physical deviation.
+
+        With ``skip_unchanged=True`` the write set is first filtered
+        through :func:`~repro.crossbar.programming.plan_diff`: cells
+        whose target already matches the programmed value are dropped
+        before any physical modeling — no variation redraw, no
+        write–verify read-back, and range validation covers only the
+        cells that move.  A skipped cell keeps its existing deviation
+        (no write event happened to it).
         """
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
@@ -168,6 +203,13 @@ class CrossbarArray:
             raise IndexError("row index out of range")
         if cols.min() < 0 or cols.max() >= self.n_cols:
             raise IndexError("column index out of range")
+        if skip_unchanged:
+            diff = plan_diff(self._nominal, rows, cols, conductances)
+            if diff.empty:
+                report = WriteReport(0, 0, 0.0, 0.0)
+                self.write_log.append(report)
+                return report  # every target already programmed
+            rows, cols, conductances = diff.rows, diff.cols, diff.targets
         self._validate_range(conductances)
 
         old_cells = self._nominal[rows, cols]
@@ -176,20 +218,45 @@ class CrossbarArray:
             conductances.reshape(1, -1),
             self.params,
         )
-        new_nominal = self._nominal.copy()
-        new_nominal[rows, cols] = conductances
-        self._nominal = new_nominal
+        self._nominal[rows, cols] = conductances
 
         perturbed = self.variation.perturb(
             conductances.reshape(1, -1), self.rng
         ).ravel()
-        new_actual = self._actual.copy()
-        new_actual[rows, cols] = perturbed
-        self._actual = new_actual
+        self._actual[rows, cols] = perturbed
         report = self._verify_written(rows, cols, report)
-        self.write_log.append(report)
-        self._record_write(report)
+        self._mark_dirty(cols)
+        self._log_write(report)
         return report
+
+    def redraw(self) -> WriteReport:
+        """Reprogram every active cell to its current target.
+
+        The recovery ladder's *reprogram* rung: the nominal targets are
+        unchanged, but every cell holding a nonzero conductance is
+        rewritten so process variation is freshly drawn (the paper's
+        Section 4.5 "double checking scheme" retries under a new
+        physical realization).  Cost scales with the number of active
+        cells, not the grid — on the sparse augmented Newton matrices
+        that is O(nnz), and the solver re-enters the differential
+        update path immediately afterwards.
+        """
+        rows, cols = np.nonzero(self._nominal)
+        report = WriteReport(0, 0, 0.0, 0.0)
+        if rows.size:
+            targets = self._nominal[rows, cols]
+            self._actual[rows, cols] = self.variation.perturb(
+                targets.reshape(1, -1), self.rng
+            ).ravel()
+            report = self._verify_written(rows, cols, report)
+            self._mark_dirty(cols)
+        self._log_write(report)
+        return report
+
+    def _log_write(self, report: WriteReport) -> None:
+        self.write_log.append(report)
+        self._total_report = self._total_report + report
+        self._record_write(report)
 
     def _record_write(self, report: WriteReport) -> None:
         """Emit one programming event's totals to the tracer.
@@ -280,9 +347,19 @@ class CrossbarArray:
             unverified_cells=int(np.count_nonzero(bad)),
         )
 
-    def _validate_range(self, conductances: np.ndarray) -> None:
+    def _validate_range(
+        self,
+        conductances: np.ndarray,
+        mask: np.ndarray | slice | None = None,
+    ) -> None:
         # Targets are either exactly 0 (cell isolated, 1T1R off state)
-        # or inside the device window [g_off, g_on].
+        # or inside the device window [g_off, g_on].  ``mask`` restricts
+        # validation to a subset (the cells a differential write will
+        # actually touch); initial full-grid programming passes None.
+        if mask is not None:
+            conductances = conductances[mask]
+        if conductances.size == 0:
+            return
         if not np.all(np.isfinite(conductances)):
             raise MappingError("conductance targets must be finite")
         if conductances.min() < 0.0:
@@ -325,9 +402,8 @@ class CrossbarArray:
         else:
             rng = rng if rng is not None else self.rng
             rows = rng.choice(self.n_rows, size=count, replace=False)
-        actual = self._actual.copy()
-        actual[rows, :] = 0.0
-        self._actual = actual
+        self._actual[rows, :] = 0.0
+        self._mark_dirty()
         return int(rows.size * self.n_cols)
 
     # -- analog primitives ---------------------------------------------------
@@ -344,7 +420,8 @@ class CrossbarArray:
                 f"expected input of shape ({self.n_rows},), got {v_in.shape}"
             )
         currents = self._actual.T @ v_in
-        denominators = self.g_sense + self._actual.sum(axis=0)
+        self._refresh_colsums()
+        denominators = self.g_sense + self._colsum_actual
         return currents / denominators
 
     def nominal_denominators(self) -> np.ndarray:
@@ -354,7 +431,8 @@ class CrossbarArray:
         decode stage divides by these nominal denominators; deviation
         of the actual denominators is part of the variation error.
         """
-        return self.g_sense + self._nominal.sum(axis=0)
+        self._refresh_colsums()
+        return self.g_sense + self._colsum_nominal
 
     def solve(self, v_out: np.ndarray) -> np.ndarray:
         """Analog solve: word-line voltages realizing bit-line targets.
@@ -394,11 +472,13 @@ class CrossbarArray:
 
     @property
     def total_write_report(self) -> WriteReport:
-        """Accumulated write costs over the array's lifetime."""
-        total = WriteReport(0, 0, 0.0, 0.0)
-        for report in self.write_log:
-            total = total + report
-        return total
+        """Accumulated write costs over the array's lifetime.
+
+        Maintained as a running total at each write so frequent
+        baselining (the serving layer snapshots it around every job)
+        stays O(1) instead of replaying the whole ``write_log``.
+        """
+        return self._total_report
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -89,6 +89,51 @@ class ConductanceMapping:
         return self.conductances.T / self.scale_vector[:, None]
 
 
+def map_cells(
+    values: np.ndarray,
+    scale: float | np.ndarray,
+    params: DeviceParameters,
+    *,
+    off_state: str = "zero",
+    bits: int | None = None,
+    quantization: str = "entry",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map a scattered set of coefficient values to conductance targets.
+
+    The O(#cells) counterpart of :func:`map_matrix`: applies the same
+    ``target = scale * value`` mapping and ``g_off`` floor handling to
+    an arbitrary cell subset, so a differential update (see
+    :class:`~repro.crossbar.programming.DiffProgram`) never touches the
+    full grid.  ``scale`` may be a scalar (global mapping) or an array
+    aligned with ``values`` (per-row mapping, caller pre-gathers the
+    row scales).
+
+    ``bits`` optionally models the resolution of the write-path DAC:
+    targets are snapped to ``bits`` of precision via
+    :func:`~repro.crossbar.quantization.quantize_cells` *before* the
+    floor comparison, which in ``"entry"`` mode is element-wise and
+    therefore agrees bitwise with quantizing the full grid.  The
+    default ``None`` keeps exact targets (the paper models write
+    resolution through pulse granularity instead).
+
+    Returns ``(targets, floored)`` where ``floored`` marks cells whose
+    coefficient fell below the representable floor.
+    """
+    if off_state not in ("zero", "leak"):
+        raise MappingError(f"unknown off_state {off_state!r}")
+    target = values * scale
+    if bits is not None:
+        from repro.crossbar.quantization import quantize_cells
+
+        target = quantize_cells(target, bits, quantization)
+    floored = target < params.g_off
+    if off_state == "zero":
+        target = np.where(floored, 0.0, target)
+    else:
+        target = np.where(floored, params.g_off, target)
+    return target, floored
+
+
 def map_matrix(
     matrix: np.ndarray,
     params: DeviceParameters,

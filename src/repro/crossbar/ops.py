@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.crossbar.array import CrossbarArray
+from repro.crossbar.mapping import map_cells
 from repro.crossbar.programming import WriteReport
 from repro.crossbar.quantization import quantize_auto
 from repro.devices.models import HP_TIO2, DeviceParameters
@@ -163,6 +164,7 @@ class AnalogMatrixOperator:
             tracer=self.tracer,
         )
         self._scales = self._fresh_scales()
+        self._solve_gain_cache: tuple[float, np.ndarray | None] | None = None
         self._floored = np.zeros((self.n_in, self.n_out), dtype=bool)
         self._full_reprograms = 0
         self._program_rows(np.arange(self.n_out))
@@ -188,24 +190,33 @@ class AnalogMatrixOperator:
 
     def _targets_for_rows(self, rows: np.ndarray) -> np.ndarray:
         """Conductance targets (G orientation) for coefficient rows."""
-        block = self._coefficients[rows, :] * self._scales[rows, None]
-        floored = block < self.params.g_off
-        if self.off_state == "zero":
-            block = np.where(floored, 0.0, block)
-        else:
-            block = np.where(floored, self.params.g_off, block)
+        block, floored = map_cells(
+            self._coefficients[rows, :],
+            self._scales[rows, None],
+            self.params,
+            off_state=self.off_state,
+        )
         self._floored[:, rows] = floored.T
         return block.T  # (n_in, len(rows))
 
     def _program_rows(self, rows: np.ndarray) -> WriteReport:
-        """(Re)program all cells of the given coefficient rows."""
+        """(Re)program all cells of the given coefficient rows.
+
+        Goes through the differential write path: cells whose target is
+        unchanged (the structural zeros of a sparse system, or rows
+        rescaled back to the scale they already hold) are skipped, so a
+        "full" reprogram costs O(cells that move), not O(N²).
+        """
         rows = np.asarray(rows, dtype=int)
         targets = self._targets_for_rows(rows)  # (n_in, k)
         grid_in, grid_rows = np.meshgrid(
             np.arange(self.n_in), rows, indexing="ij"
         )
         return self.array.program_cells(
-            grid_in.ravel(), grid_rows.ravel(), targets.ravel()
+            grid_in.ravel(),
+            grid_rows.ravel(),
+            targets.ravel(),
+            skip_unchanged=True,
         )
 
     # -- public accessors --------------------------------------------------
@@ -316,18 +327,18 @@ class AnalogMatrixOperator:
             self._coefficients[rows, cols] = values
         if needs_remap:
             self._scales = np.full(self.n_out, scale_after)
+            self._solve_gain_cache = None
             report = self._program_rows(np.arange(self.n_out))
             self._full_reprograms += 1
             return report
-        targets = values * scale
-        floored = targets < self.params.g_off
-        if self.off_state == "zero":
-            targets = np.where(floored, 0.0, targets)
-        else:
-            targets = np.where(floored, self.params.g_off, targets)
+        targets, floored = map_cells(
+            values, scale, self.params, off_state=self.off_state
+        )
         self._floored[cols, rows] = floored
         # Crossbar cell (i, j) carries coefficient A[j, i].
-        return self.array.program_cells(cols, rows, targets)
+        return self.array.program_cells(
+            cols, rows, targets, skip_unchanged=True
+        )
 
     def renormalize(self) -> WriteReport:
         """Restore the no-hysteresis scales for the current coefficients.
@@ -351,6 +362,7 @@ class AnalogMatrixOperator:
         if rows.size == 0:
             return WriteReport(0, 0, 0.0, 0.0)
         self._scales[rows] = fresh[rows]
+        self._solve_gain_cache = None
         report = self._program_rows(rows)
         if rows.size == self.n_out:
             self._full_reprograms += 1
@@ -380,6 +392,7 @@ class AnalogMatrixOperator:
             self._scales[rescale_rows] = self.params.g_on / (
                 safe * self.scale_headroom
             )
+            self._solve_gain_cache = None
         if floor_to_representable:
             values = np.maximum(
                 values, self.params.g_off / self._scales[rows]
@@ -393,17 +406,49 @@ class AnalogMatrixOperator:
         if np.any(keep):
             k_rows = rows[keep]
             k_cols = cols[keep]
-            k_vals = values[keep] * self._scales[k_rows]
-            floored = k_vals < self.params.g_off
-            if self.off_state == "zero":
-                k_vals = np.where(floored, 0.0, k_vals)
-            else:
-                k_vals = np.where(floored, self.params.g_off, k_vals)
+            k_vals, floored = map_cells(
+                values[keep],
+                self._scales[k_rows],
+                self.params,
+                off_state=self.off_state,
+            )
             self._floored[k_cols, k_rows] = floored
             report = report + self.array.program_cells(
-                k_cols, k_rows, k_vals
+                k_cols, k_rows, k_vals, skip_unchanged=True
             )
         return report
+
+    def redraw_variation(
+        self, rng: np.random.Generator | None = None
+    ) -> WriteReport:
+        """Rewrite every active cell, drawing fresh process variation.
+
+        The recovery ladder's *reprogram* rung: coefficients, scales
+        and nominal targets are all unchanged — only the physical
+        realization is re-rolled, at O(active cells) cost.  After this
+        the solver continues on the differential update path (the A /
+        Aᵀ structural blocks are never rebuilt).  Optionally re-seats
+        the RNG so the redraw is attributable to an attempt seed.
+        """
+        if rng is not None:
+            self.rng = rng
+            self.array.rng = rng
+        return self.array.redraw()
+
+    def _solve_gain(self) -> tuple[float, np.ndarray | None]:
+        """Cached ``(scale_ref, per-row gain)`` for :meth:`solve`.
+
+        Recomputed only when the scales move (remap / rescale /
+        renormalize), not on every iteration's solve.  The gain is
+        ``None`` without row scaling — every entry would be exactly
+        1.0, so the multiply is skipped.
+        """
+        cache = self._solve_gain_cache
+        if cache is None:
+            scale_ref = float(np.max(self._scales))
+            gain = self._scales / scale_ref if self.row_scaling else None
+            cache = self._solve_gain_cache = (scale_ref, gain)
+        return cache
 
     # -- analog primitives ------------------------------------------------
 
@@ -465,9 +510,10 @@ class AnalogMatrixOperator:
                 self.tracer.count("analog.solves")
                 return np.zeros(self.n_in)
             s_b = self.params.v_read / peak
-            scale_ref = float(np.max(self._scales))
+            scale_ref, gain = self._solve_gain()
             v_out = quantize_auto(b * s_b, self.dac_bits, self.quantization)
-            v_out = v_out * (self._scales / scale_ref)
+            if gain is not None:
+                v_out = v_out * gain
             v_in = self.array.solve(v_out)
             v_in = quantize_auto(v_in, self.adc_bits, self.quantization)
             # Counted only after the array solve succeeds: the solvers'

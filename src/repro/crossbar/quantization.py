@@ -106,6 +106,47 @@ def quantize_auto(
     raise ValueError(f"unknown quantization mode {mode!r}")
 
 
+def quantize_cells(
+    values: np.ndarray,
+    bits: int | None,
+    mode: str = "entry",
+    *,
+    reference: float | None = None,
+) -> np.ndarray:
+    """Quantize a scattered *subset* of a larger vector consistently.
+
+    The differential programming path quantizes only the cells it is
+    about to write; for the diff to be bitwise-equivalent to quantizing
+    the full grid and slicing, the converter grid must not depend on
+    which subset was passed:
+
+    - ``mode="entry"`` is element-wise (each value keeps ``bits`` of
+      relative precision), so subset quantization is trivially
+      identical to full quantization — ``reference`` is ignored.
+    - ``mode="vector"`` references the converter grid to the *full*
+      vector's peak, which a subset cannot know.  The caller must pass
+      that peak as ``reference``; omitting it is an error rather than a
+      silently subset-dependent grid.
+
+    ``bits=None`` disables quantization.
+    """
+    values = np.asarray(values, dtype=float)
+    if bits is None:
+        return values.copy()
+    if mode == "entry":
+        return quantize_auto(values, bits, "entry")
+    if mode == "vector":
+        if reference is None:
+            raise ValueError(
+                "vector-mode subset quantization needs the full-vector "
+                "peak as reference="
+            )
+        if reference < 1e-300:
+            return np.zeros_like(values)
+        return Quantizer(bits=bits, full_scale=reference).quantize(values)
+    raise ValueError(f"unknown quantization mode {mode!r}")
+
+
 class IdealConverter:
     """Pass-through stand-in used to disable quantization in ablations."""
 

@@ -47,10 +47,15 @@ from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport
 from repro.reliability.telemetry import AttemptRecord, RecoveryAction
 
-#: An analog solve attempt: takes the attempt RNG, returns the result
-#: and the health-probe report (``None`` when probing is disabled).
+#: An analog solve attempt: takes the attempt RNG and the ladder rung
+#: being executed, returns the result and the health-probe report
+#: (``None`` when probing is disabled).  The action lets a solver pick
+#: the cheapest faithful retry: a REPROGRAM rung redraws variation on
+#: the already-programmed arrays and re-enters the differential update
+#: path, while a REMAP rung rebuilds the mapping from scratch.
 AttemptFn = Callable[
-    [np.random.Generator], "tuple[SolverResult, ProbeReport | None]"
+    [np.random.Generator, "RecoveryAction"],
+    "tuple[SolverResult, ProbeReport | None]",
 ]
 
 _CONCLUSIVE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
@@ -132,7 +137,7 @@ def solve_with_recovery(
             "attempt", index=index, action=action.value
         ) as span:
             tracer.count("recovery.attempts")
-            result, probe = attempt(np.random.default_rng(seed))
+            result, probe = attempt(np.random.default_rng(seed), action)
             span.set(
                 status=result.status.value, iterations=result.iterations
             )

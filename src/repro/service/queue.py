@@ -42,12 +42,23 @@ class PendingJob:
     excluded_members:
         Pool member ids this job must not be placed on again (members
         it already failed on).
+    fingerprint:
+        Memoized structural fingerprint of the job's problem, set by
+        the service at admission when fingerprint batching is on.
+        ``None`` means unknown — the job never matches a ``prefer``
+        filter but schedules normally otherwise.
+    problem:
+        Memoized materialized LP (specs only *name* problems).  Set
+        alongside ``fingerprint`` so the attempt path does not derive
+        the problem a second time.
     """
 
     spec: JobSpec
     sequence: int
     attempts: list = dataclasses.field(default_factory=list)
     excluded_members: set = dataclasses.field(default_factory=set)
+    fingerprint: str | None = None
+    problem: object | None = None
 
 
 class JobQueue:
@@ -92,10 +103,32 @@ class JobQueue:
         """Re-admit a rescheduled job, exempt from the depth bound."""
         self._push(pending)
 
-    def pop(self) -> PendingJob:
-        """Remove and return the highest-priority (then oldest) job."""
+    def pop(self, *, prefer: str | None = None) -> PendingJob:
+        """Remove and return the highest-priority (then oldest) job.
+
+        ``prefer`` names a structural fingerprint: within the *top
+        priority level only* (batching never violates priority
+        ordering), the oldest job carrying that fingerprint is chosen
+        over the strict-FIFO head.  This lets the scheduler run
+        same-structure jobs consecutively, so a warm pool member takes
+        them with zero structural rewrites.
+        """
         if not self._heap:
             raise IndexError("pop from an empty job queue")
+        if prefer is not None:
+            top = self._heap[0][0]
+            best: tuple[int, int, PendingJob] | None = None
+            for entry in self._heap:
+                if entry[0] != top:
+                    continue
+                if entry[2].fingerprint == prefer and (
+                    best is None or entry[1] < best[1]
+                ):
+                    best = entry
+            if best is not None:
+                self._heap.remove(best)
+                heapq.heapify(self._heap)
+                return best[2]
         _, _, pending = heapq.heappop(self._heap)
         return pending
 

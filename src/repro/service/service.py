@@ -90,6 +90,13 @@ class ServiceConfig:
         Whether equal structural fingerprints share programmed arrays;
         disabling forces every placement cold (the control arm of the
         cache-savings measurement).
+    batch_by_fingerprint:
+        Whether the scheduler groups same-fingerprint jobs: within the
+        top priority level, the next job popped prefers the fingerprint
+        the last one ran, so a warm pool member executes consecutive
+        jobs with zero structural rewrites.  Priority ordering is never
+        violated; only FIFO order *within* a priority level bends.
+        Requires ``cache_enabled`` to have any effect.
     base_seed:
         Root of every derived seed (problems, attempts, recovery).
     settings:
@@ -117,6 +124,7 @@ class ServiceConfig:
     queue_depth: int = 64
     max_attempts: int = 3
     cache_enabled: bool = True
+    batch_by_fingerprint: bool = True
     base_seed: int = 0
     settings: CrossbarSolverSettings = dataclasses.field(
         default_factory=default_serving_settings
@@ -276,6 +284,10 @@ class SolverService:
             tracer=self.tracer,
         )
         self.queue = JobQueue(self.config.queue_depth)
+        # Fingerprint of the most recently attempted job: the batching
+        # scheduler prefers it on the next pop, so same-structure jobs
+        # run back to back on a warm member.
+        self._last_fingerprint: str | None = None
 
     # -- admission -----------------------------------------------------------
 
@@ -284,6 +296,7 @@ class SolverService:
         :class:`~repro.exceptions.QueueFullError` at the depth bound.
         """
         pending = self.queue.submit(spec)
+        self._stamp_fingerprint(pending)
         self.tracer.count("service.jobs_submitted")
         return pending
 
@@ -291,8 +304,26 @@ class SolverService:
         """Non-raising :meth:`submit`; ``None`` when the queue is full."""
         pending = self.queue.try_submit(spec)
         if pending is not None:
+            self._stamp_fingerprint(pending)
             self.tracer.count("service.jobs_submitted")
         return pending
+
+    def _stamp_fingerprint(self, pending: PendingJob) -> None:
+        """Memoize the job's structural fingerprint at admission.
+
+        Computed once per job (the per-attempt path reuses it), and
+        only when both the programming cache and batching are on —
+        without them the fingerprint never influences scheduling.
+        """
+        config = self.config
+        if not (config.cache_enabled and config.batch_by_fingerprint):
+            return
+        spec = pending.spec
+        problem = build_problem(spec, config.base_seed)
+        pending.problem = problem
+        pending.fingerprint = structural_fingerprint(
+            problem, self._settings_for(spec)
+        )
 
     # -- execution -----------------------------------------------------------
 
@@ -341,15 +372,23 @@ class SolverService:
         ``None`` if it was requeued for another attempt.
         """
         config = self.config
-        pending = self.queue.pop()
+        prefer = (
+            self._last_fingerprint if config.batch_by_fingerprint else None
+        )
+        pending = self.queue.pop(prefer=prefer)
         spec = pending.spec
         index = len(pending.attempts)
-        problem = build_problem(spec, config.base_seed)
+        problem = (
+            pending.problem
+            if pending.problem is not None
+            else build_problem(spec, config.base_seed)
+        )
         settings = self._settings_for(spec)
 
         result, member, warm, seed, cells = self._attempt(
             pending, index, problem, settings
         )
+        self._last_fingerprint = pending.fingerprint
         pending.attempts.append(
             JobAttempt(
                 index=index,
@@ -460,7 +499,11 @@ class SolverService:
             tracer=job_tracer,
         )
         if config.cache_enabled:
-            fingerprint = structural_fingerprint(problem, settings)
+            fingerprint = (
+                pending.fingerprint
+                if pending.fingerprint is not None
+                else structural_fingerprint(problem, settings)
+            )
         else:
             # Unique per attempt: no two placements can ever match, so
             # every job pays the full structural program (control arm).

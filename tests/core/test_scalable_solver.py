@@ -159,3 +159,27 @@ class TestMechanics:
         )
         # Must terminate with a classified status.
         assert result.status in tuple(SolveStatus)
+
+
+class TestRecoveryArrayReuse:
+    def test_reprogram_rung_reuses_all_four_arrays(self, small_feasible):
+        settings = ScalableSolverSettings(
+            variation=UniformVariation(0.05)
+        )
+        solver = LargeScaleCrossbarPDIPSolver(
+            small_feasible, settings, rng=np.random.default_rng(3)
+        )
+        cold, _ = solver._solve_once(rng=np.random.default_rng(3))
+        arrays = solver._last_arrays
+        assert arrays is not None and len(arrays) == 4
+        warm, _ = solver._solve_once(
+            rng=np.random.default_rng(4),
+            arrays=arrays,
+            redraw=np.random.default_rng(4),
+        )
+        # Reuse keeps the same four operators (m1_mult in particular is
+        # write-once) and pays only the diagonal resets, so the warm
+        # attempt writes strictly fewer cells than the cold one.
+        assert solver._last_arrays is arrays
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.crossbar.cells_written < cold.crossbar.cells_written

@@ -73,7 +73,7 @@ class TestDevicePresets:
 
 
 class TestVariationInteractions:
-    def test_each_reprogram_redraws_variation(self, rng):
+    def test_unchanged_rewrite_skips_but_redraw_rerolls(self, rng):
         matrix = rng.uniform(0.5, 1.0, size=(4, 4))
         operator = op(
             rng, matrix, variation=UniformVariation(0.2),
@@ -81,13 +81,19 @@ class TestVariationInteractions:
         )
         x = rng.uniform(-1, 1, size=4)
         first = operator.multiply(x)
-        # Rewriting the same coefficients re-rolls the written cells'
-        # deviations ("process variation differs from each time of
-        # writing").
+        # Proposing the coefficients already programmed is a no-op on
+        # the differential path: zero pulses means zero new variation
+        # draws, so the physical realization is untouched.
         idx = np.arange(4)
-        operator.update_coefficients(
+        report = operator.update_coefficients(
             np.repeat(idx, 4), np.tile(idx, 4), matrix.ravel()
         )
+        assert report.cells_written == 0
+        assert np.array_equal(operator.multiply(x), first)
+        # An explicit reprogram (the recovery ladder's rung) re-rolls
+        # every active cell's deviation ("process variation differs
+        # from each time of writing").
+        operator.redraw_variation()
         second = operator.multiply(x)
         assert not np.allclose(first, second)
 

@@ -63,7 +63,7 @@ class TestSolveWithRecovery:
     def test_first_attempt_success_returns_immediately(self):
         calls = []
 
-        def attempt(rng):
+        def attempt(rng, action):
             calls.append(rng)
             return _result(SolveStatus.OPTIMAL), None
 
@@ -91,7 +91,7 @@ class TestSolveWithRecovery:
         )
 
         result = solve_with_recovery(
-            lambda rng: (next(outcomes), None),
+            lambda rng, action: (next(outcomes), None),
             RecoveryPolicy(reprograms=2, remaps=0, probe=None),
             _problem(),
             np.random.default_rng(0),
@@ -107,7 +107,7 @@ class TestSolveWithRecovery:
     def test_ladder_schedule_reprogram_then_remap(self):
         actions_seen = []
 
-        def attempt(rng):
+        def attempt(rng, action):
             return (
                 _result(
                     SolveStatus.NUMERICAL_FAILURE,
@@ -133,7 +133,7 @@ class TestSolveWithRecovery:
         assert result.failure_reason is FailureReason.SINGULAR_SYSTEM
 
     def test_all_no_feasible_iterate_becomes_infeasible(self):
-        def attempt(rng):
+        def attempt(rng, action):
             return (
                 _result(
                     SolveStatus.ITERATION_LIMIT,
@@ -154,7 +154,7 @@ class TestSolveWithRecovery:
         assert len(result.attempts) == 2
 
     def test_fallback_runs_after_analog_exhaustion(self):
-        def attempt(rng):
+        def attempt(rng, action):
             return (
                 _result(
                     SolveStatus.NUMERICAL_FAILURE,
@@ -184,7 +184,7 @@ class TestSolveWithRecovery:
     def test_seeds_recorded_and_deterministic(self):
         seen = []
 
-        def attempt(rng):
+        def attempt(rng, action):
             seen.append(int(rng.integers(0, 1000)))
             return (
                 _result(
@@ -209,7 +209,7 @@ class TestSolveWithRecovery:
         assert replayed == seen
 
     def test_describe_attempts_renders_one_line_each(self):
-        def attempt(rng):
+        def attempt(rng, action):
             return _result(SolveStatus.OPTIMAL), None
 
         result = solve_with_recovery(

@@ -81,3 +81,36 @@ class TestAdmissionControl:
         assert not queue
         queue.submit(spec("a"))
         assert queue and len(queue) == 1
+
+
+class TestFingerprintPreference:
+    def test_prefer_picks_matching_fingerprint_within_priority(self):
+        queue = JobQueue()
+        for name, fp in (("a", "s1"), ("b", "s2"), ("c", "s1")):
+            queue.submit(spec(name)).fingerprint = fp
+        assert queue.pop(prefer="s1").spec.job_id == "a"
+        # "c" shares the fingerprint and jumps ahead of "b".
+        assert queue.pop(prefer="s1").spec.job_id == "c"
+        assert queue.pop(prefer="s1").spec.job_id == "b"
+
+    def test_prefer_never_violates_priority(self):
+        queue = JobQueue()
+        queue.submit(spec("low", priority=0)).fingerprint = "s1"
+        queue.submit(spec("high", priority=5)).fingerprint = "s2"
+        # The matching job sits at a lower priority: ignored.
+        assert queue.pop(prefer="s1").spec.job_id == "high"
+        assert queue.pop(prefer="s1").spec.job_id == "low"
+
+    def test_prefer_none_and_unknown_fall_back_to_fifo(self):
+        queue = JobQueue()
+        queue.submit(spec("a")).fingerprint = "s1"
+        queue.submit(spec("b")).fingerprint = "s2"
+        assert queue.pop(prefer=None).spec.job_id == "a"
+        assert queue.pop(prefer="zzz").spec.job_id == "b"
+
+    def test_unstamped_jobs_never_match(self):
+        queue = JobQueue()
+        queue.submit(spec("a"))
+        queue.submit(spec("b"))
+        assert queue.pop(prefer=None).spec.job_id == "a"
+        assert queue.pop(prefer="s1").spec.job_id == "b"
