@@ -63,6 +63,7 @@ from repro.obs import (
     write_trace_jsonl,
 )
 from repro.service import (
+    FaultCampaign,
     ServiceConfig,
     SolverService,
     read_jobs_jsonl,
@@ -284,6 +285,12 @@ def _cmd_parasitics(args: argparse.Namespace) -> int:
 
 def _service_from_args(args: argparse.Namespace, tracer):
     """Build the configured :class:`SolverService` for serve/batch."""
+    campaign = None
+    if args.chaos is not None:
+        path = pathlib.Path(args.chaos)
+        if not path.is_file():
+            raise SystemExit(f"--chaos scenario not found: {path}")
+        campaign = FaultCampaign.from_json(path)
     config = ServiceConfig(
         pool_size=args.pool_size,
         queue_depth=args.queue_depth,
@@ -293,6 +300,8 @@ def _service_from_args(args: argparse.Namespace, tracer):
         digital_fallback=(
             None if args.fallback == "none" else args.fallback
         ),
+        deadline_s=args.deadline,
+        campaign=campaign,
     )
     service = SolverService(config, tracer=tracer)
     if args.inject_fault is not None:
@@ -339,6 +348,12 @@ def _run_service(args: argparse.Namespace, specs) -> int:
         print(line)
     print()
     print(summary.render())
+    campaign = service.config.campaign
+    if campaign is not None:
+        print(
+            f"chaos:         {campaign.fired}/{len(campaign)} events "
+            f"fired ({campaign.name})"
+        )
     if tracer is not None:
         if args.trace_out:
             path = write_trace_jsonl(tracer, pathlib.Path(args.trace_out))
@@ -389,6 +404,13 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         metavar="MEMBER",
                         help="knock half the rows of this pool member "
                              "stuck-OFF before the batch")
+    parser.add_argument("--chaos", default=None, metavar="SCENARIO",
+                        help="JSON fault-campaign scenario to fire "
+                             "during the batch (see DESIGN.md §13)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="default per-job wall-clock budget from "
+                             "first dispatch")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write per-job JSONL records here")
     parser.add_argument("--trace-out", default=None, metavar="PATH",

@@ -48,7 +48,7 @@ from repro.core.settings import CrossbarSolverSettings
 from repro.core.stepsize import ratio_test_theta
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError, MappingError
-from repro.obs.clock import Stopwatch
+from repro.obs.clock import Deadline, Stopwatch
 from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport, probe_operator
@@ -78,6 +78,11 @@ class CrossbarPDIPSolver:
         read-out, analog solve, step selection) plus the analog-op
         counters of the crossbar layer.  Defaults to the zero-overhead
         no-op tracer.
+    deadline:
+        Optional wall-clock budget (:class:`~repro.obs.clock.Deadline`)
+        checked between recovery rungs and between PDIP iterations; an
+        expired budget terminates the solve with a machine-readable
+        DEADLINE_EXCEEDED after at most one more iteration's work.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class CrossbarPDIPSolver:
         rng: np.random.Generator | None = None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         self.problem = problem
         self.settings = (
@@ -100,6 +106,7 @@ class CrossbarPDIPSolver:
             else RecoveryPolicy.from_settings(self.settings)
         )
         self.tracer = tracer if tracer is not None else NOOP
+        self.deadline = deadline
         self.system = AugmentedNewtonSystem(problem)
         # The operator programmed by the most recent ladder attempt;
         # lets a REPROGRAM rung redraw variation in place instead of
@@ -149,6 +156,7 @@ class CrossbarPDIPSolver:
                 self.problem,
                 self.rng,
                 tracer=self.tracer,
+                deadline=self.deadline,
             )
         return dataclasses.replace(
             result, elapsed_seconds=clock.elapsed_seconds
@@ -370,7 +378,16 @@ class CrossbarPDIPSolver:
         message = ""
         reason = FailureReason.NONE
 
+        deadline = self.deadline
         for iteration in range(settings.max_iterations):
+          if deadline is not None and deadline.expired:
+            status = SolveStatus.NUMERICAL_FAILURE
+            message = (
+                f"deadline of {deadline.budget_s:.3g}s exceeded after "
+                f"{iterations} iterations"
+            )
+            reason = FailureReason.DEADLINE_EXCEEDED
+            break
           with tracer.span("iteration", index=iteration):
             mu = centering_mu(x, y, w, z, settings.delta)
             if iteration:

@@ -47,6 +47,10 @@ class FailureReason(enum.Enum):
     #: The serving layer could not place the job on any pool member
     #: (all schedulable arrays excluded, draining, or retired).
     NO_CAPACITY = "no_capacity"
+    #: The job's wall-clock deadline ran out.  Checked between recovery
+    #: rungs and between PDIP iterations, so an expired budget stops a
+    #: solve after at most one more iteration's work.
+    DEADLINE_EXCEEDED = "deadline_exceeded"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -50,7 +50,7 @@ from repro.core.settings import ScalableSolverSettings
 from repro.core.stepsize import ratio_test_theta
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError
-from repro.obs.clock import Stopwatch
+from repro.obs.clock import Deadline, Stopwatch
 from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport, probe_operators
@@ -79,6 +79,11 @@ class LargeScaleCrossbarPDIPSolver:
         the zero-overhead no-op tracer; pass a
         :class:`repro.obs.RecordingTracer` to capture per-phase spans
         and analog-op counters.
+    deadline:
+        Optional wall-clock budget (:class:`~repro.obs.clock.Deadline`)
+        checked between recovery rungs and between PDIP iterations; an
+        expired budget terminates the solve with a machine-readable
+        DEADLINE_EXCEEDED after at most one more iteration's work.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class LargeScaleCrossbarPDIPSolver:
         rng: np.random.Generator | None = None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         self.problem = problem
         self.settings = (
@@ -101,6 +107,7 @@ class LargeScaleCrossbarPDIPSolver:
             else RecoveryPolicy.from_settings(self.settings)
         )
         self.tracer = tracer if tracer is not None else NOOP
+        self.deadline = deadline
         self.system = ScalableNewtonSystem(
             problem,
             coupling=self.settings.coupling,
@@ -163,6 +170,7 @@ class LargeScaleCrossbarPDIPSolver:
                 self.problem,
                 self.rng,
                 tracer=self.tracer,
+                deadline=self.deadline,
             )
         return dataclasses.replace(
             result, elapsed_seconds=clock.elapsed_seconds
@@ -381,7 +389,16 @@ class LargeScaleCrossbarPDIPSolver:
                 rows, cols, vals, floor_to_representable=True
             )
 
+        deadline = self.deadline
         for iteration in range(settings.max_iterations):
+          if deadline is not None and deadline.expired:
+            status = SolveStatus.NUMERICAL_FAILURE
+            message = (
+                f"deadline of {deadline.budget_s:.3g}s exceeded after "
+                f"{iterations} iterations"
+            )
+            reason = FailureReason.DEADLINE_EXCEEDED
+            break
           with tracer.span("iteration", index=iteration):
             gap = duality_gap(x, y, w, z)
             mu = centering_mu(x, y, w, z, settings.delta)

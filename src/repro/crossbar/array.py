@@ -406,6 +406,34 @@ class CrossbarArray:
         self._mark_dirty()
         return int(rows.size * self.n_cols)
 
+    def apply_drift(
+        self,
+        magnitude: float,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Chaos hook: multiplicative conductance drift on every cell.
+
+        Scales each *actual* conductance by ``1 + U(-magnitude,
+        +magnitude)`` (clipped to ``[0, g_on]``) while leaving the
+        nominal targets untouched — the model of an aged array or a
+        temperature step between calibrations.  Unlike
+        :meth:`inject_stuck_off` the perturbation is proportional, so
+        small magnitudes degrade accuracy without tripping the health
+        probe outright: the brownout-degradation path's natural test
+        load.  The next (re)program overwrites the drift.
+        """
+        if magnitude <= 0:
+            raise ValueError(f"magnitude must be positive, got {magnitude}")
+        rng = rng if rng is not None else self.rng
+        factors = 1.0 + rng.uniform(
+            -magnitude, magnitude, size=self._actual.shape
+        )
+        np.clip(
+            self._actual * factors, 0.0, self.params.g_on, out=self._actual
+        )
+        self._mark_dirty()
+
     # -- analog primitives ---------------------------------------------------
 
     def multiply(self, v_in: np.ndarray) -> np.ndarray:

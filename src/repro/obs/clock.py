@@ -2,14 +2,16 @@
 
 Every wall-clock measurement in the package goes through this module
 so timestamps are mutually comparable: span start/end times recorded
-by :mod:`repro.obs.tracer` and the ``elapsed_seconds`` stamped onto
-:class:`~repro.core.result.SolverResult` all read the same monotonic
+by :mod:`repro.obs.tracer`, the ``elapsed_seconds`` stamped onto
+:class:`~repro.core.result.SolverResult`, and the :class:`Deadline`
+budgets the serving layer attaches to jobs all read the same monotonic
 performance clock.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 
 def monotonic() -> float:
@@ -50,3 +52,47 @@ class Stopwatch:
         if self._elapsed is None:
             return monotonic() - self._start
         return self._elapsed
+
+
+class Deadline:
+    """A monotonic wall-clock budget: "be done ``budget_s`` from now".
+
+    The serving layer attaches one per job at first dispatch; the
+    solvers check it between recovery rungs and between PDIP
+    iterations, so an expired deadline stops a job *inside* a solve
+    after at most one more iteration's work instead of letting it burn
+    the full iteration cap and recovery ladder.
+
+    ``clock`` is injectable (tests drive a fake clock so deadline
+    behaviour is deterministic); production code uses the shared
+    monotonic performance clock.
+    """
+
+    __slots__ = ("budget_s", "expires_at", "_clock")
+
+    def __init__(
+        self,
+        budget_s: float,
+        *,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self.expires_at = clock() + self.budget_s
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self._clock() >= self.expires_at
+
+    def remaining_s(self) -> float:
+        """Seconds left, floored at zero."""
+        return max(0.0, self.expires_at - self._clock())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Deadline(budget_s={self.budget_s}, "
+            f"remaining_s={self.remaining_s():.3g})"
+        )

@@ -42,6 +42,7 @@ from repro.core.result import (
     with_message,
     with_status,
 )
+from repro.obs.clock import Deadline
 from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbeReport
@@ -108,6 +109,41 @@ def run_digital_fallback(
     return result
 
 
+def deadline_exceeded_result(
+    problem: LinearProgram,
+    deadline: Deadline,
+    last: SolverResult | None = None,
+    *,
+    where: str = "recovery ladder",
+) -> SolverResult:
+    """A terminal DEADLINE_EXCEEDED result.
+
+    Built on top of the last attempt's result when one exists (its
+    iterates and counters stay visible to post-mortems), or a zero
+    result when the deadline ran out before anything could run.
+    """
+    extra = f"deadline of {deadline.budget_s:.3g}s exceeded in {where}"
+    if last is not None:
+        return with_status(
+            last,
+            SolveStatus.NUMERICAL_FAILURE,
+            extra,
+            failure_reason=FailureReason.DEADLINE_EXCEEDED,
+        )
+    m, n = problem.A.shape
+    return SolverResult(
+        status=SolveStatus.NUMERICAL_FAILURE,
+        x=np.zeros(n),
+        y=np.zeros(m),
+        w=np.zeros(m),
+        z=np.zeros(n),
+        objective=0.0,
+        iterations=0,
+        message=extra,
+        failure_reason=FailureReason.DEADLINE_EXCEEDED,
+    )
+
+
 def solve_with_recovery(
     attempt: AttemptFn,
     policy: RecoveryPolicy,
@@ -115,6 +151,7 @@ def solve_with_recovery(
     rng: np.random.Generator,
     *,
     tracer: Tracer | None = None,
+    deadline: Deadline | None = None,
 ) -> SolverResult:
     """Run ``attempt`` through the recovery ladder of ``policy``.
 
@@ -122,6 +159,11 @@ def solve_with_recovery(
     index, action, and — once known — the outcome) and bumps the
     ``recovery.attempts`` counter, so a trace can apportion wall-clock
     time and analog-op counts to individual rungs.
+
+    An expired ``deadline`` stops the ladder between rungs (including
+    before the digital-fallback rung): the job times out with a
+    machine-readable DEADLINE_EXCEEDED instead of burning the full
+    escalation budget for a caller that has already given up.
     """
     tracer = tracer if tracer is not None else NOOP
     schedule = (
@@ -132,6 +174,15 @@ def solve_with_recovery(
     records: list[AttemptRecord] = []
     last: SolverResult | None = None
     for index, action in enumerate(schedule):
+        if deadline is not None and deadline.expired:
+            tracer.count("recovery.deadline_stops")
+            result = deadline_exceeded_result(
+                problem, deadline, last, where=f"rung {index}"
+            )
+            records.append(
+                _record_for(index, action, result, None, None)
+            )
+            return with_attempts(result, records)
         seed = int(rng.integers(0, 2**63))
         with tracer.span(
             "attempt", index=index, action=action.value
@@ -151,6 +202,22 @@ def solve_with_recovery(
             return with_attempts(result, records)
 
     assert last is not None  # schedule always has the initial rung
+
+    if deadline is not None and deadline.expired:
+        tracer.count("recovery.deadline_stops")
+        result = deadline_exceeded_result(
+            problem, deadline, last, where="pre-fallback"
+        )
+        records.append(
+            _record_for(
+                len(records),
+                RecoveryAction.DIGITAL_FALLBACK,
+                result,
+                None,
+                None,
+            )
+        )
+        return with_attempts(result, records)
 
     if policy.digital_fallback is not None:
         with tracer.span(

@@ -3,8 +3,10 @@
 The serving layer on top of the one-shot solvers (ROADMAP: production
 serving).  See :mod:`repro.service.service` for the scheduler,
 :mod:`repro.service.pool` for the fleet lifecycle,
-:mod:`repro.service.fingerprint` for the cache contract, and
-:mod:`repro.service.jobs` for the deterministic job derivation.
+:mod:`repro.service.fingerprint` for the cache contract,
+:mod:`repro.service.jobs` for the deterministic job derivation, and
+:mod:`repro.service.resilience` for deadlines, retry backoff, circuit
+breakers, brownout degradation, and chaos campaigns.
 """
 
 from repro.service.fingerprint import structural_fingerprint
@@ -20,6 +22,19 @@ from repro.service.jobs import (
 )
 from repro.service.pool import CrossbarPool, MemberState, PoolMember
 from repro.service.queue import JobQueue, PendingJob
+from repro.service.resilience import (
+    FAULT_KINDS,
+    BackoffPolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    DegradationController,
+    DegradationPolicy,
+    DegradationTier,
+    FaultCampaign,
+    FaultEvent,
+)
 from repro.service.service import (
     SERVING_SCALE_HEADROOM,
     JobAttempt,
@@ -32,8 +47,19 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "FAULT_KINDS",
     "SERVING_SCALE_HEADROOM",
+    "BackoffPolicy",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "CrossbarPool",
+    "Deadline",
+    "DegradationController",
+    "DegradationPolicy",
+    "DegradationTier",
+    "FaultCampaign",
+    "FaultEvent",
     "JobAttempt",
     "JobQueue",
     "JobRecord",

@@ -64,6 +64,15 @@ class JobSpec:
         Scheduling priority; higher runs first (FIFO within a level).
     variation:
         Process-variation percent for this job's hardware model.
+    deadline_s:
+        Wall-clock budget in seconds, counted from the job's first
+        dispatch.  ``None`` inherits the service default (which may
+        itself be unbounded).  Checked between recovery rungs and PDIP
+        iterations; an expired job fails with a machine-readable
+        DEADLINE_EXCEEDED and is never re-dispatched.
+    max_attempts:
+        Per-job retry budget override; ``None`` inherits the service
+        default.  Must be >= 1.
     """
 
     job_id: str
@@ -72,6 +81,8 @@ class JobSpec:
     kind: str = "feasible"
     priority: int = 0
     variation: float = 0.0
+    deadline_s: float | None = None
+    max_attempts: int | None = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -85,6 +96,10 @@ class JobSpec:
             )
         if self.variation < 0:
             raise ValueError("variation percent must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 when set")
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

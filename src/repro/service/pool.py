@@ -24,9 +24,18 @@ the REMAP rung of the recovery ladder — and re-probes.  A member that
 exhausts its drain budget is retired for good.  Jobs never wait on a
 draining member; the service reschedules them onto other members.
 
+On top of the drain ladder each member can carry a circuit breaker
+(:class:`~repro.service.resilience.CircuitBreaker`): consecutive
+placement failures trip it OPEN, the member takes no placements for a
+cooldown counted in ``acquire`` ticks, then a single probe placement
+(HALF_OPEN) decides whether it closes again.  The breaker catches
+members that keep failing *without* tripping the health probe —
+marginal arrays the drain ladder never sees — before they eat the
+retry budget of every job placed on them.
+
 All state transitions emit ``pool.*`` counters on the pool's tracer so
 a batch trace shows warm/cold placement decisions, evictions, drains,
-recoveries, and retirements.
+recoveries, retirements, and breaker trips.
 """
 
 from __future__ import annotations
@@ -41,6 +50,12 @@ from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import ServiceError
 from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.probe import ProbePolicy, probe_operator
+from repro.service.resilience import (
+    BREAKER_STATE_GAUGE,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
 
 #: Builds (and fully programs) an operator: ``programmer(rng, tracer)``.
 #: The pool stores the last programmer per member so ``recover`` can
@@ -83,6 +98,18 @@ class PoolMember:
         #: every reprogram, modelling a hard defect of the physical
         #: member rather than of one programming.
         self.pending_fault: tuple[float, bool] | None = None
+        #: Per-member circuit breaker (``None`` when breakers are off).
+        self.breaker: CircuitBreaker | None = None
+        #: Fault injected while this member was BUSY, as a short label
+        #: (e.g. ``"stuck_off:0.5:sticky"``).  The service consumes it
+        #: when the in-flight job's attempt concludes, so post-mortems
+        #: can attribute that attempt's failure to the injection.
+        self.inflight_fault: str | None = None
+
+    def consume_inflight_fault(self) -> str | None:
+        """Pop the fault label injected while the member was BUSY."""
+        fault, self.inflight_fault = self.inflight_fault, None
+        return fault
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -108,6 +135,9 @@ class CrossbarPool:
         Generator driving recovery-time reprogram draws.
     tracer:
         Sink of the ``pool.*`` counters.
+    breaker:
+        Per-member circuit-breaker policy; ``None`` disables breakers
+        (every member always passes the breaker gate).
     """
 
     def __init__(
@@ -118,6 +148,7 @@ class CrossbarPool:
         max_drains: int = 2,
         rng: np.random.Generator | None = None,
         tracer: Tracer | None = None,
+        breaker: BreakerPolicy | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be positive")
@@ -129,6 +160,35 @@ class CrossbarPool:
         self.tracer = tracer if tracer is not None else NOOP
         self.members = [PoolMember(index) for index in range(size)]
         self._ticks = itertools.count()
+        self._acquires = 0
+        self.breaker_policy = breaker
+        if breaker is not None:
+            for member in self.members:
+                member.breaker = CircuitBreaker(
+                    breaker,
+                    on_transition=self._breaker_transition_hook(
+                        member.member_id
+                    ),
+                )
+
+    def _breaker_transition_hook(self, member_id: int):
+        def hook(old: BreakerState, new: BreakerState, tick: int) -> None:
+            if new is BreakerState.OPEN:
+                name = (
+                    "pool.breaker.reopened"
+                    if old is BreakerState.HALF_OPEN
+                    else "pool.breaker.opened"
+                )
+            elif new is BreakerState.HALF_OPEN:
+                name = "pool.breaker.half_open"
+            else:
+                name = "pool.breaker.closed"
+            self.tracer.count(name)
+            self.tracer.gauge(
+                f"pool.breaker.state.{member_id}", BREAKER_STATE_GAUGE[new]
+            )
+
+        return hook
 
     # -- placement -----------------------------------------------------------
 
@@ -159,12 +219,19 @@ class CrossbarPool:
         deterministic per attempt and attributed per job.
         """
         job_tracer = tracer if tracer is not None else NOOP
-        candidates = [
-            member
-            for member in self.members
-            if member.member_id not in exclude
-            and member.state in (MemberState.EMPTY, MemberState.IDLE)
-        ]
+        self._acquires += 1
+        tick = self._acquires
+        candidates = []
+        for member in self.members:
+            if member.member_id in exclude or member.state not in (
+                MemberState.EMPTY,
+                MemberState.IDLE,
+            ):
+                continue
+            if member.breaker is not None and not member.breaker.allow(tick):
+                self.tracer.count("pool.breaker.rejections")
+                continue
+            candidates.append(member)
         if not candidates:
             self.tracer.count("pool.placement_failures")
             return None, False
@@ -216,6 +283,20 @@ class CrossbarPool:
                 f"{member.state}"
             )
         member.state = MemberState.IDLE
+
+    def note_result(self, member: PoolMember, success: bool) -> None:
+        """Feed a placement outcome to the member's circuit breaker.
+
+        Ticks use the acquire counter so the cooldown means "this many
+        further placement decisions", which is deterministic under
+        replay (wall-clock is not).
+        """
+        if member.breaker is None:
+            return
+        if success:
+            member.breaker.record_success(self._acquires)
+        else:
+            member.breaker.record_failure(self._acquires)
 
     # -- health --------------------------------------------------------------
 
@@ -287,6 +368,12 @@ class CrossbarPool:
         next (re)program — soft corruption one recover cycle fixes; a
         sticky fault re-applies forever — a hard defect that forces
         retirement.
+
+        Injecting into a BUSY member corrupts the job *in flight* on
+        it; the member records the injection as :attr:`inflight_fault`
+        so the service can tag that job's attempt with the fault for
+        post-mortem attribution (the attempt's failure is the fault's
+        doing, not the job's).
         """
         member = self.members[member_id]
         member.pending_fault = (row_fraction, sticky)
@@ -294,7 +381,31 @@ class CrossbarPool:
             member.operator.array.inject_stuck_off(row_fraction)
             if not sticky:
                 member.pending_fault = None
+            if member.state is MemberState.BUSY:
+                label = f"stuck_off:{row_fraction:g}"
+                if sticky:
+                    label += ":sticky"
+                member.inflight_fault = label
         self.tracer.count("pool.faults_injected")
+
+    def inject_drift(self, member_id: int, magnitude: float = 0.1) -> None:
+        """Apply a multiplicative conductance-drift burst to a member.
+
+        Unlike :meth:`inject_fault` this perturbs every programmed
+        cell by a bounded relative amount (see
+        :meth:`~repro.crossbar.array.CrossbarArray.apply_drift`) — the
+        aged-array / temperature-step chaos mode.  Drift is inherently
+        transient: the next (re)program overwrites it, so nothing is
+        remembered.  A BUSY member tags its in-flight job, as with
+        :meth:`inject_fault`.
+        """
+        member = self.members[member_id]
+        if member.operator is None:
+            return
+        member.operator.array.apply_drift(magnitude, rng=self.rng)
+        if member.state is MemberState.BUSY:
+            member.inflight_fault = f"drift:{magnitude:g}"
+        self.tracer.count("pool.drift_injected")
 
     def _apply_pending_fault(
         self, member: PoolMember, rng: np.random.Generator

@@ -13,6 +13,15 @@ Ordering is deterministic: a binary heap on ``(-priority, sequence)``.
 Higher priority runs first; within a priority level, submission order
 (FIFO).  A requeued job keeps its original sequence number, so a
 rescheduled job does not go to the back of its priority level.
+
+Requeues also *age*: every trip through :meth:`JobQueue.requeue` bumps
+the job's effective priority by ``aging_step``.  Without aging, a
+low-priority job that keeps failing on a degraded member can starve
+behind a steady stream of fresh high-priority work; with it, a job
+that has been rescheduled ``k`` times outranks fresh submissions up to
+``base_priority + k * aging_step - 1``, bounding its wait to the work
+already ahead of it at that level — starvation-free as long as
+admission priorities are bounded.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import heapq
 import itertools
 
 from repro.exceptions import QueueFullError
+from repro.obs.clock import Deadline
 from repro.service.jobs import JobSpec
 
 
@@ -51,6 +61,19 @@ class PendingJob:
         Memoized materialized LP (specs only *name* problems).  Set
         alongside ``fingerprint`` so the attempt path does not derive
         the problem a second time.
+    priority_boost:
+        Aging credit accumulated across requeues; the heap orders on
+        ``spec.priority + priority_boost`` so rescheduled jobs cannot
+        starve behind fresh same-priority submissions.
+    deadline:
+        The job's wall-clock budget, armed at first dispatch (``None``
+        until then, and forever when the job has no budget).
+    backoff_total_s:
+        Accumulated retry-backoff delay across requeues (accounting;
+        only *slept* when the backoff policy says so).
+    first_dispatch_s:
+        Clock reading at first dispatch; lets records report queueing
+        and service time separately.  Never serialized.
     """
 
     spec: JobSpec
@@ -59,15 +82,27 @@ class PendingJob:
     excluded_members: set = dataclasses.field(default_factory=set)
     fingerprint: str | None = None
     problem: object | None = None
+    priority_boost: int = 0
+    deadline: Deadline | None = None
+    backoff_total_s: float = 0.0
+    first_dispatch_s: float | None = None
+
+    @property
+    def effective_priority(self) -> int:
+        """Admission priority plus requeue-aging credit."""
+        return self.spec.priority + self.priority_boost
 
 
 class JobQueue:
     """Deterministic bounded priority queue of :class:`PendingJob`."""
 
-    def __init__(self, max_depth: int = 64) -> None:
+    def __init__(self, max_depth: int = 64, *, aging_step: int = 1) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be positive")
+        if aging_step < 0:
+            raise ValueError("aging_step must be non-negative")
         self.max_depth = max_depth
+        self.aging_step = aging_step
         self._heap: list[tuple[int, int, PendingJob]] = []
         self._sequence = itertools.count()
 
@@ -100,7 +135,13 @@ class JobQueue:
         return self.submit(spec)
 
     def requeue(self, pending: PendingJob) -> None:
-        """Re-admit a rescheduled job, exempt from the depth bound."""
+        """Re-admit a rescheduled job, exempt from the depth bound.
+
+        Each requeue bumps the job's aging credit by ``aging_step`` so
+        repeatedly-rescheduled work climbs past fresh same-priority
+        submissions instead of starving behind them.
+        """
+        pending.priority_boost += self.aging_step
         self._push(pending)
 
     def pop(self, *, prefer: str | None = None) -> PendingJob:
@@ -135,5 +176,5 @@ class JobQueue:
     def _push(self, pending: PendingJob) -> None:
         heapq.heappush(
             self._heap,
-            (-pending.spec.priority, pending.sequence, pending),
+            (-pending.effective_priority, pending.sequence, pending),
         )

@@ -27,12 +27,22 @@ Determinism: the scheduler is serial, placement is by deterministic
 preference order, and every attempt's randomness comes from
 ``attempt_seed(base_seed, job_id, attempt)`` — two services with equal
 config and job stream produce identical records.
+
+Fault tolerance (:mod:`repro.service.resilience`) is layered on the
+same scheduler without changing the no-fault path: per-job deadlines
+and retry budgets bound how long an accepted job can occupy the
+service, per-member circuit breakers keep placements off arrays that
+fail repeatedly without tripping the health probe, a brownout
+controller sheds work to cheaper execution tiers when the failure-rate
+window degrades, and a :class:`~repro.service.resilience.FaultCampaign`
+drives all of it under seeded, declarative chaos scenarios.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+import time
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -44,7 +54,7 @@ from repro.core.result import (
 )
 from repro.core.settings import CrossbarSolverSettings
 from repro.devices import variation_from_percent
-from repro.obs.clock import Stopwatch
+from repro.obs.clock import Deadline, Stopwatch, monotonic
 from repro.obs.merge import absorb_events
 from repro.obs.tracer import NOOP, RecordingTracer, Tracer
 from repro.reliability.policy import RecoveryPolicy
@@ -54,6 +64,15 @@ from repro.service.fingerprint import structural_fingerprint
 from repro.service.jobs import JobSpec, attempt_seed, build_problem
 from repro.service.pool import CrossbarPool, PoolMember
 from repro.service.queue import JobQueue, PendingJob
+from repro.service.resilience import (
+    BackoffPolicy,
+    BreakerPolicy,
+    DegradationController,
+    DegradationPolicy,
+    DegradationTier,
+    FaultCampaign,
+    FaultEvent,
+)
 
 
 #: Default ``scale_headroom`` for served solves.  The library default
@@ -118,6 +137,22 @@ class ServiceConfig:
         Drain/recover cycles before a pool member is retired.
     trace_iterations:
         Record per-iteration diagnostics in each job's result.
+    breaker:
+        Per-pool-member circuit-breaker policy, or ``None`` to disable
+        breakers.
+    degradation:
+        Brownout policy watching the sliding failure-rate window, or
+        ``None`` to always run the full pipeline.
+    backoff:
+        Retry-backoff policy for requeued jobs, or ``None`` for
+        immediate requeue with no delay accounting.
+    deadline_s:
+        Default per-job wall-clock budget (seconds from first
+        dispatch); a spec's own ``deadline_s`` overrides it.  ``None``
+        means unbounded.
+    campaign:
+        Chaos campaign fired at dispatch indices, or ``None`` for a
+        fault-free run.
     """
 
     pool_size: int = 2
@@ -135,6 +170,17 @@ class ServiceConfig:
     digital_fallback: str | None = None
     max_drains: int = 2
     trace_iterations: bool = False
+    breaker: BreakerPolicy | None = dataclasses.field(
+        default_factory=BreakerPolicy
+    )
+    degradation: DegradationPolicy | None = dataclasses.field(
+        default_factory=DegradationPolicy
+    )
+    backoff: BackoffPolicy | None = dataclasses.field(
+        default_factory=BackoffPolicy
+    )
+    deadline_s: float | None = None
+    campaign: FaultCampaign | None = None
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -143,11 +189,20 @@ class ServiceConfig:
             raise ValueError("queue_depth must be positive")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
 
 
 @dataclasses.dataclass(frozen=True)
 class JobAttempt:
-    """One analog (or fallback) attempt of one job."""
+    """One analog (or fallback) attempt of one job.
+
+    ``tier`` is the degradation tier the attempt ran under,
+    ``backoff_s`` the (deterministic, seeded) retry delay charged
+    after the attempt failed, and ``injected_fault`` the chaos fault
+    injected into the member *while this attempt was in flight* —
+    post-mortem attribution that the failure was the fault's doing.
+    """
 
     index: int
     member: int | None
@@ -157,6 +212,9 @@ class JobAttempt:
     failure_reason: str
     iterations: int
     cells_written: int
+    tier: int = 0
+    backoff_s: float = 0.0
+    injected_fault: str | None = None
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -164,7 +222,14 @@ class JobAttempt:
 
 @dataclasses.dataclass(frozen=True)
 class JobRecord:
-    """Final outcome of one job, with its full attempt history."""
+    """Final outcome of one job, with its full attempt history.
+
+    ``elapsed_seconds`` (first dispatch to completion, wall-clock) is
+    deliberately **excluded** from :meth:`to_dict`: the JSONL record
+    stream is part of the determinism contract — identical seed and
+    scenario must produce byte-identical records — and wall-clock
+    never replays.  Latency reporting reads the attribute directly.
+    """
 
     spec: JobSpec
     result: SolverResult
@@ -173,6 +238,7 @@ class JobRecord:
     warm: bool
     requeues: int
     fallback: bool = False
+    elapsed_seconds: float = 0.0
 
     @property
     def success(self) -> bool:
@@ -271,9 +337,11 @@ class SolverService:
         config: ServiceConfig | None = None,
         *,
         tracer: Tracer | None = None,
+        clock: Callable[[], float] = monotonic,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.tracer = tracer if tracer is not None else NOOP
+        self.clock = clock
         self.pool = CrossbarPool(
             self.config.pool_size,
             probe=self.config.probe,
@@ -282,8 +350,19 @@ class SolverService:
                 attempt_seed(self.config.base_seed, "__pool__", 0)
             ),
             tracer=self.tracer,
+            breaker=self.config.breaker,
         )
         self.queue = JobQueue(self.config.queue_depth)
+        self.degradation = (
+            DegradationController(
+                self.config.degradation, tracer=self.tracer
+            )
+            if self.config.degradation is not None
+            else None
+        )
+        #: Scheduler steps taken so far; chaos-campaign events fire on
+        #: this index *before* the step's job is popped.
+        self._dispatched = 0
         # Fingerprint of the most recently attempted job: the batching
         # scheduler prefers it on the next pop, so same-structure jobs
         # run back to back on a warm member.
@@ -365,6 +444,64 @@ class SolverService:
             )
         return self.config.settings
 
+    @property
+    def tier(self) -> DegradationTier:
+        """Current brownout tier (NORMAL when degradation is off)."""
+        return (
+            self.degradation.tier
+            if self.degradation is not None
+            else DegradationTier.NORMAL
+        )
+
+    def _fire_campaign_events(self) -> None:
+        campaign = self.config.campaign
+        if campaign is None:
+            return
+        for position, event in enumerate(
+            campaign.events_at(self._dispatched)
+        ):
+            self._fire_event(campaign, event, position)
+
+    def _fire_event(
+        self, campaign: FaultCampaign, event: FaultEvent, position: int
+    ) -> None:
+        """Apply one chaos event to the live service.
+
+        Member ids wrap modulo the pool size, so a scenario written
+        for one fleet replays on any.
+        """
+        self.tracer.count("service.chaos.events")
+        campaign.fired += 1
+        if event.kind == "queue_pulse":
+            # Saturation pulse: filler jobs through *admission control*
+            # (try_submit), so an already-full queue sheds them — the
+            # pulse pressures the bound, it never breaks it.
+            for offset in range(event.jobs):
+                spec = JobSpec(
+                    job_id=(
+                        f"pulse-{campaign.name}-{event.at_job:04d}-"
+                        f"{position}-{offset:02d}"
+                    ),
+                    constraints=event.constraints,
+                    group=1_000_000 + event.at_job,
+                )
+                if self.try_submit(spec) is None:
+                    self.tracer.count("service.chaos.pulse_rejected")
+            return
+        assert event.member is not None  # validated on construction
+        member_id = event.member % len(self.pool.members)
+        if event.kind == "stuck_cells":
+            self.pool.inject_fault(
+                member_id, event.row_fraction, sticky=event.sticky
+            )
+        elif event.kind == "member_death":
+            # A full-array sticky fault: every reprogram re-breaks it,
+            # so the member drains, fails recovery, and retires.
+            self.pool.inject_fault(member_id, 1.0, sticky=True)
+            self.tracer.count("service.chaos.member_deaths")
+        elif event.kind == "drift":
+            self.pool.inject_drift(member_id, event.magnitude)
+
     def _step(self) -> JobRecord | None:
         """Run one attempt of the next queued job.
 
@@ -372,6 +509,8 @@ class SolverService:
         ``None`` if it was requeued for another attempt.
         """
         config = self.config
+        self._fire_campaign_events()
+        self._dispatched += 1
         prefer = (
             self._last_fingerprint if config.batch_by_fingerprint else None
         )
@@ -383,12 +522,129 @@ class SolverService:
             if pending.problem is not None
             else build_problem(spec, config.base_seed)
         )
-        settings = self._settings_for(spec)
+        base_settings = self._settings_for(spec)
+        tier = self.tier
+
+        # Arm the wall-clock budget at first dispatch: queue wait
+        # before admission-to-dispatch is the caller's to bound.
+        if pending.first_dispatch_s is None:
+            pending.first_dispatch_s = self.clock()
+            budget = (
+                spec.deadline_s
+                if spec.deadline_s is not None
+                else config.deadline_s
+            )
+            if budget is not None:
+                pending.deadline = Deadline(budget, clock=self.clock)
+
+        if pending.deadline is not None and pending.deadline.expired:
+            # The budget ran out while the job waited for this
+            # dispatch: fail terminally, no fallback — the caller has
+            # already given up on the answer.
+            result = _failed_result(
+                problem,
+                f"deadline of {pending.deadline.budget_s:.3g}s expired "
+                f"before attempt {index}",
+                FailureReason.DEADLINE_EXCEEDED,
+            )
+            pending.attempts.append(
+                JobAttempt(
+                    index=index,
+                    member=None,
+                    warm=False,
+                    seed=None,
+                    status=result.status.value,
+                    failure_reason=result.failure_reason.value,
+                    iterations=0,
+                    cells_written=0,
+                    tier=int(tier),
+                )
+            )
+            return self._finalize(pending, result, member=None, warm=False)
+
+        if (
+            tier is DegradationTier.DIGITAL_ONLY
+            and config.digital_fallback is not None
+        ):
+            # Full brownout: analog is browned out, route straight to
+            # the digital solver.  The outcome still feeds the window —
+            # that is what lets the tier recover once the storm passes.
+            fallback = run_digital_fallback(config.digital_fallback, problem)
+            self.tracer.count("service.fallbacks")
+            self.tracer.count("service.degradation.browned_out")
+            if self.degradation is not None:
+                self.degradation.record(fallback.success)
+            pending.attempts.append(
+                JobAttempt(
+                    index=index,
+                    member=None,
+                    warm=False,
+                    seed=None,
+                    status=fallback.status.value,
+                    failure_reason=fallback.failure_reason.value,
+                    iterations=fallback.iterations,
+                    cells_written=0,
+                    tier=int(tier),
+                )
+            )
+            return self._finalize(
+                pending, fallback, member=None, warm=False, fallback=True
+            )
+
+        settings = base_settings
+        if (
+            tier >= DegradationTier.SKIP_VERIFY
+            and settings.write_verify is not None
+        ):
+            # Tier 1+ sheds closed-loop write-verify.  The admission-
+            # stamped fingerprint (whose identity includes the verify
+            # policy) is deliberately kept: nominal targets do not
+            # change, so warm reuse across tiers stays valid and the
+            # cache is not cold-started by a brownout.
+            settings = dataclasses.replace(settings, write_verify=None)
 
         result, member, warm, seed, cells = self._attempt(
-            pending, index, problem, settings
+            pending, index, problem, settings, base_settings
         )
         self._last_fingerprint = pending.fingerprint
+        success = result is not None and result.success
+        injected = (
+            member.consume_inflight_fault() if member is not None else None
+        )
+        if member is not None:
+            self.pool.note_result(member, success)
+            if self.degradation is not None:
+                self.degradation.record(success)
+
+        # Retry budget: the spec's override, the service default, or —
+        # under CAP_RECOVERY brownout — a single attempt.
+        cap = (
+            spec.max_attempts
+            if spec.max_attempts is not None
+            else config.max_attempts
+        )
+        if tier >= DegradationTier.CAP_RECOVERY:
+            cap = 1
+        timed_out = (
+            pending.deadline is not None and pending.deadline.expired
+        ) or (
+            result is not None
+            and result.failure_reason is FailureReason.DEADLINE_EXCEEDED
+        )
+        will_requeue = (
+            not success
+            and result is not None
+            and not timed_out
+            and index + 1 < cap
+        )
+        backoff_s = 0.0
+        if will_requeue and config.backoff is not None:
+            backoff_s = config.backoff.delay_s(
+                config.base_seed, spec.job_id, index + 1
+            )
+            pending.backoff_total_s += backoff_s
+            self.tracer.count("service.backoff_seconds", backoff_s)
+
         pending.attempts.append(
             JobAttempt(
                 index=index,
@@ -405,10 +661,14 @@ class SolverService:
                 ),
                 iterations=result.iterations if result is not None else 0,
                 cells_written=cells,
+                tier=int(tier),
+                backoff_s=backoff_s,
+                injected_fault=injected,
             )
         )
 
-        if result is not None and result.success:
+        if success:
+            assert result is not None
             return self._finalize(
                 pending,
                 result,
@@ -427,13 +687,20 @@ class SolverService:
                 self.pool.drain(member)
                 self.pool.recover(member)
 
-        if result is not None and len(pending.attempts) < config.max_attempts:
+        if will_requeue:
             self.tracer.count("service.requeues")
+            if (
+                config.backoff is not None
+                and config.backoff.sleep
+                and backoff_s > 0
+            ):
+                time.sleep(backoff_s)
             self.queue.requeue(pending)
             return None
 
         # Analog attempts exhausted (or no member can take the job).
-        if config.digital_fallback is not None:
+        # A timed-out job skips the fallback: its caller is gone.
+        if config.digital_fallback is not None and not timed_out:
             fallback = run_digital_fallback(
                 config.digital_fallback, problem
             )
@@ -448,6 +715,7 @@ class SolverService:
                     failure_reason=fallback.failure_reason.value,
                     iterations=fallback.iterations,
                     cells_written=0,
+                    tier=int(tier),
                 )
             )
             return self._finalize(
@@ -472,6 +740,7 @@ class SolverService:
         index: int,
         problem,
         settings: CrossbarSolverSettings,
+        base_settings: CrossbarSolverSettings | None = None,
     ) -> tuple[SolverResult | None, PoolMember | None, bool, int, int]:
         """One analog attempt under a ``service.job`` span.
 
@@ -479,9 +748,16 @@ class SolverService:
         write count comes from the attempt's private tracer, so a cold
         placement's full structural program is charged to the job that
         caused it (the result's own counters cover only the solve).
+
+        ``settings`` may be a degraded variant of ``base_settings``
+        (brownout tiers strip write-verify); fingerprints always derive
+        from the *base* settings so cache identity survives tier
+        changes.
         """
         config = self.config
         spec = pending.spec
+        if base_settings is None:
+            base_settings = settings
         seed = attempt_seed(config.base_seed, spec.job_id, index)
         rng = np.random.default_rng(seed)
         recovery = RecoveryPolicy(
@@ -497,12 +773,13 @@ class SolverService:
             rng=rng,
             recovery=recovery,
             tracer=job_tracer,
+            deadline=pending.deadline,
         )
         if config.cache_enabled:
             fingerprint = (
                 pending.fingerprint
                 if pending.fingerprint is not None
-                else structural_fingerprint(problem, settings)
+                else structural_fingerprint(problem, base_settings)
             )
         else:
             # Unique per attempt: no two placements can ever match, so
@@ -571,6 +848,11 @@ class SolverService:
         analog_attempts = sum(
             1 for attempt in pending.attempts if attempt.member is not None
         )
+        elapsed = (
+            self.clock() - pending.first_dispatch_s
+            if pending.first_dispatch_s is not None
+            else 0.0
+        )
         record = JobRecord(
             spec=pending.spec,
             result=result,
@@ -579,11 +861,14 @@ class SolverService:
             warm=warm,
             requeues=max(0, analog_attempts - 1),
             fallback=fallback,
+            elapsed_seconds=elapsed,
         )
         if record.success:
             self.tracer.count("service.jobs_completed")
         else:
             self.tracer.count("service.jobs_failed")
+            if result.failure_reason is FailureReason.DEADLINE_EXCEEDED:
+                self.tracer.count("service.deadline_exceeded")
         return record
 
 

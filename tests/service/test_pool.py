@@ -8,6 +8,7 @@ from repro.exceptions import ServiceError
 from repro.obs.tracer import RecordingTracer
 from repro.reliability.probe import ProbePolicy
 from repro.service.pool import CrossbarPool, MemberState
+from repro.service.resilience import BreakerPolicy, BreakerState
 
 
 MATRIX = np.array([[1.0, 0.5], [0.25, 1.0]])
@@ -205,3 +206,212 @@ class TestFaultInjection:
         assert np.all(member.operator.array.actual_conductances == 0.0)
         # Non-sticky: consumed by the programming it poisoned.
         assert member.pending_fault is None
+
+    def test_busy_injection_tags_inflight_job(self):
+        # Injecting into a BUSY member corrupts the job in flight: the
+        # member records the fault so the service can attribute the
+        # attempt's failure to the injection in its post-mortem.
+        pool = make_pool()
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        assert member.state is MemberState.BUSY
+        pool.inject_fault(member.member_id, 0.5, sticky=True)
+        assert member.inflight_fault == "stuck_off:0.5:sticky"
+        # Consuming pops exactly once.
+        assert member.consume_inflight_fault() == "stuck_off:0.5:sticky"
+        assert member.consume_inflight_fault() is None
+
+    def test_idle_injection_does_not_tag(self):
+        pool = make_pool()
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        pool.inject_fault(member.member_id, 0.5)
+        assert member.inflight_fault is None
+
+    def test_drift_perturbs_without_zeroing(self):
+        pool = make_pool()
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        before = member.operator.array.actual_conductances.copy()
+        pool.inject_drift(member.member_id, 0.2)
+        after = member.operator.array.actual_conductances
+        assert not np.allclose(before, after)
+        assert np.all(after >= 0)
+        assert member.inflight_fault == "drift:0.2"
+
+
+class TestCircuitBreaker:
+    def make_breaker_pool(self, **kwargs):
+        kwargs.setdefault(
+            "breaker",
+            BreakerPolicy(failure_threshold=2, cooldown_ticks=3),
+        )
+        kwargs.setdefault("tracer", RecordingTracer())
+        return make_pool(size=1, **kwargs)
+
+    def run_once(self, pool, success):
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        if member is None:
+            return None
+        pool.release(member)
+        pool.note_result(member, success)
+        return member
+
+    def test_consecutive_failures_open_the_breaker(self):
+        pool = self.make_breaker_pool()
+        member = self.run_once(pool, success=False)
+        assert member.breaker.state is BreakerState.CLOSED
+        self.run_once(pool, success=False)
+        assert member.breaker.state is BreakerState.OPEN
+        assert pool.tracer.counters["pool.breaker.opened"] == 1
+        assert pool.tracer.gauges["pool.breaker.state.0"] == 2
+
+    def test_open_breaker_blocks_placement_until_cooldown(self):
+        pool = self.make_breaker_pool()
+        self.run_once(pool, success=False)
+        member = self.run_once(pool, success=False)
+        # OPEN: the next placements are rejected (cooldown_ticks=3,
+        # counted in acquire calls; the opening tick was #2).
+        assert self.run_once(pool, success=True) is None
+        assert self.run_once(pool, success=True) is None
+        assert pool.tracer.counters["pool.breaker.rejections"] == 2
+        # Tick 5 - opened tick 2 >= 3: HALF_OPEN probe admitted.
+        probe = self.run_once(pool, success=True)
+        assert probe is member
+        assert member.breaker.state is BreakerState.CLOSED
+        assert pool.tracer.counters["pool.breaker.half_open"] == 1
+        assert pool.tracer.counters["pool.breaker.closed"] == 1
+        assert pool.tracer.gauges["pool.breaker.state.0"] == 0
+
+    def test_failed_probe_reopens(self):
+        pool = self.make_breaker_pool()
+        self.run_once(pool, success=False)
+        member = self.run_once(pool, success=False)
+        self.run_once(pool, success=True)  # rejected, tick 3
+        self.run_once(pool, success=True)  # rejected, tick 4
+        assert self.run_once(pool, success=False) is member  # probe fails
+        assert member.breaker.state is BreakerState.OPEN
+        assert pool.tracer.counters["pool.breaker.reopened"] == 1
+
+    def test_success_resets_consecutive_failures(self):
+        pool = self.make_breaker_pool()
+        member = self.run_once(pool, success=False)
+        self.run_once(pool, success=True)
+        self.run_once(pool, success=False)
+        assert member.breaker.state is BreakerState.CLOSED
+
+    def test_transition_log_reconciles_with_counters(self):
+        pool = self.make_breaker_pool()
+        self.run_once(pool, success=False)
+        member = self.run_once(pool, success=False)
+        self.run_once(pool, success=True)
+        self.run_once(pool, success=True)
+        self.run_once(pool, success=True)
+        transitions = [(old, new) for _, old, new in member.breaker.transitions]
+        assert transitions == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+        counters = pool.tracer.counters
+        opens = sum(
+            1 for _, _, new in member.breaker.transitions
+            if new is BreakerState.OPEN
+        )
+        assert counters["pool.breaker.opened"] == opens
+
+    def test_no_breaker_policy_never_gates(self):
+        pool = make_pool(size=1, tracer=RecordingTracer())
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        for _ in range(10):
+            pool.note_result(member, False)
+        again, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(2)
+        )
+        assert again is member
+
+
+class TestLifecycleEdgeCases:
+    def test_retired_member_ignored_by_lru_eviction_in_full_pool(self):
+        # A RETIRED member is never the LRU-eviction victim even when
+        # every other member is IDLE with a mismatched fingerprint.
+        tracer = RecordingTracer()
+        pool = make_pool(
+            size=3, probe=ProbePolicy(), max_drains=0, tracer=tracer
+        )
+        doomed, _ = pool.acquire(
+            "fp0", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(doomed)
+        pool.drain(doomed)
+        assert not pool.recover(doomed)  # budget 0: retires immediately
+        # Fill the remaining members so the pool has no EMPTY slots.
+        others = []
+        for fp in ("fp1", "fp2"):
+            member, _ = pool.acquire(
+                fp, programmer, rng=np.random.default_rng(2)
+            )
+            others.append(member)
+        for member in others:
+            pool.release(member)
+        # A new fingerprint must evict an IDLE member, not the retiree
+        # (whose last_used is the *oldest* in the pool).
+        placed, warm = pool.acquire(
+            "fp3", programmer, rng=np.random.default_rng(3)
+        )
+        assert not warm
+        assert placed is not doomed
+        assert doomed.state is MemberState.RETIRED
+        assert tracer.counters["pool.evictions"] == 1
+
+    def test_retirement_racing_cache_hit_never_hands_out_stale_member(self):
+        # The retiree still *records* fingerprint "fp" when its drain
+        # budget runs out mid-batch; a warm lookup for "fp" must not
+        # match it (state gates before fingerprint).
+        pool = make_pool(size=2, probe=ProbePolicy(), max_drains=1)
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        pool.release(member)
+        pool.inject_fault(member.member_id, 1.0, sticky=True)
+        pool.drain(member)
+        assert not pool.recover(member)
+        assert member.state is MemberState.RETIRED
+        assert member.fingerprint == "fp"  # stale cache identity
+        placed, warm = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(2)
+        )
+        assert placed is not member
+        assert not warm  # cold program on the survivor, not a stale hit
+
+    def test_renormalize_on_member_remapped_mid_drain(self):
+        # recover() rebuilds the operator (the REMAP rung): the member
+        # must come back with a *fresh* operator whose scale state is
+        # coherent — renormalize on it is a no-op-sized write, and a
+        # warm acquire reuses it without reprogramming.
+        pool = make_pool(probe=ProbePolicy(), max_drains=2)
+        member, _ = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(1)
+        )
+        stale = member.operator
+        pool.release(member)
+        pool.inject_fault(member.member_id, 1.0, sticky=False)
+        pool.drain(member)
+        assert pool.recover(member)
+        rebuilt = member.operator
+        assert rebuilt is not stale  # remapped, not patched
+        report = rebuilt.renormalize()
+        assert report.cells_written == 0  # fresh map is already normal
+        again, warm = pool.acquire(
+            "fp", programmer, rng=np.random.default_rng(2)
+        )
+        assert warm and again.operator is rebuilt

@@ -41,6 +41,43 @@ class TestOrdering:
         assert queue.pop() is first
 
 
+class TestRequeueAging:
+    def test_requeue_bumps_effective_priority(self):
+        queue = JobQueue(aging_step=1)
+        pending = queue.submit(spec("flaky", priority=0))
+        queue.pop()
+        queue.requeue(pending)
+        assert pending.priority_boost == 1
+        assert pending.effective_priority == 1
+
+    def test_aged_job_overtakes_fresh_higher_priority_work(self):
+        # Without aging, a repeatedly-failing priority-0 job starves
+        # behind a steady stream of fresh priority-1 submissions.
+        queue = JobQueue(aging_step=1)
+        victim = queue.submit(spec("victim", priority=0))
+        queue.submit(spec("fresh-0", priority=1))
+        assert queue.pop().spec.job_id == "fresh-0"
+        popped = queue.pop()
+        assert popped is victim
+        queue.requeue(victim)  # boost -> 1: ties with fresh priority 1
+        queue.submit(spec("fresh-1", priority=1))
+        # Tie at effective priority 1: victim's older sequence wins.
+        assert queue.pop() is victim
+        queue.requeue(victim)  # boost -> 2: now outranks priority 1
+        queue.submit(spec("fresh-2", priority=1))
+        assert queue.pop() is victim
+
+    def test_zero_aging_step_preserves_legacy_ordering(self):
+        queue = JobQueue(aging_step=0)
+        pending = queue.submit(spec("a", priority=0))
+        queue.submit(spec("b", priority=1))
+        popped = queue.pop()
+        assert popped.spec.job_id == "b"
+        queue.pop()
+        queue.requeue(pending)
+        assert pending.effective_priority == 0
+
+
 class TestAdmissionControl:
     def test_submit_raises_at_bound(self):
         queue = JobQueue(max_depth=2)

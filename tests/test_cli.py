@@ -339,3 +339,63 @@ class TestBatchCommand:
         empty.write_text("")
         with pytest.raises(SystemExit):
             main(["batch", str(empty)])
+
+
+class TestChaosFlag:
+    def write_scenario(self, tmp_path):
+        scenario = {
+            "name": "cli-storm",
+            "seed": 7,
+            "events": [
+                {
+                    "at_job": 1,
+                    "kind": "stuck_cells",
+                    "member": 0,
+                    "row_fraction": 1.0,
+                },
+                {"at_job": 3, "kind": "queue_pulse", "jobs": 2,
+                 "constraints": 9},
+            ],
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario))
+        return path
+
+    def base_args(self):
+        return [
+            "serve", "--jobs", "6", "--groups", "2",
+            "--constraints", "10", "--seed", "7",
+            "--fallback", "reference",
+        ]
+
+    def test_chaos_scenario_runs_and_reports(self, capsys, tmp_path):
+        path = self.write_scenario(tmp_path)
+        assert main(self.base_args() + ["--chaos", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos:         2/2 events fired (cli-storm)" in out
+        assert out.count("pulse-cli-storm-") == 2
+
+    def test_chaos_records_are_deterministic(self, capsys, tmp_path):
+        path = self.write_scenario(tmp_path)
+        outs = []
+        for name in ("a.jsonl", "b.jsonl"):
+            records = tmp_path / name
+            assert (
+                main(
+                    self.base_args()
+                    + ["--chaos", str(path), "--out", str(records)]
+                )
+                == 0
+            )
+            outs.append(records.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_missing_scenario_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(
+                self.base_args()
+                + ["--chaos", str(tmp_path / "nope.json")]
+            )
+
+    def test_deadline_flag_accepted(self, capsys):
+        assert main(self.base_args() + ["--deadline", "30"]) == 0
