@@ -9,6 +9,7 @@ jobs/sec, the cache hit rate, and the measured write saving in a
 
 import pytest
 
+from repro.obs.metrics import exact_quantile
 from repro.obs.tracer import RecordingTracer
 from repro.service import ServiceConfig, SolverService, synthesize_jobs
 
@@ -47,20 +48,30 @@ def test_service_throughput_and_cache_saving(benchmark, perf_record):
     cold_cells = cold_tracer.counters["crossbar.cells_written"]
     assert cached_cells < cold_cells
 
-    perf_record.update(
-        {
-            "bench": "service_batch",
-            "jobs": JOBS,
-            "groups": GROUPS,
-            "pool_size": POOL,
-            "constraints": CONSTRAINTS,
-            "jobs_per_second": summary.jobs_per_second,
-            "cache_hit_rate": summary.cache_hit_rate,
-            "warm_acquires": summary.warm_acquires,
-            "cold_acquires": summary.cold_acquires,
-            "cells_written_cached": cached_cells,
-            "cells_written_cold": cold_cells,
-            "write_saving_fraction": 1.0 - cached_cells / cold_cells,
-            "elapsed_seconds": summary.elapsed_seconds,
-        }
-    )
+    latencies = [record.elapsed_seconds for record in records]
+    record_fields = {
+        "bench": "service_batch",
+        "jobs": JOBS,
+        "groups": GROUPS,
+        "pool_size": POOL,
+        "constraints": CONSTRAINTS,
+        "jobs_per_second": summary.jobs_per_second,
+        "cache_hit_rate": summary.cache_hit_rate,
+        "warm_acquires": summary.warm_acquires,
+        "cold_acquires": summary.cold_acquires,
+        "cells_written_cached": cached_cells,
+        "cells_written_cold": cold_cells,
+        "write_saving_fraction": 1.0 - cached_cells / cold_cells,
+        "elapsed_seconds": summary.elapsed_seconds,
+        "latency_p50_ms": round(1e3 * exact_quantile(latencies, 0.50), 3),
+        "latency_p99_ms": round(1e3 * exact_quantile(latencies, 0.99), 3),
+        "energy_j": summary.energy_j,
+    }
+    # Schema guard: the pre-telemetry keys must all survive.
+    assert {
+        "bench", "jobs", "groups", "pool_size", "constraints",
+        "jobs_per_second", "cache_hit_rate", "warm_acquires",
+        "cold_acquires", "cells_written_cached", "cells_written_cold",
+        "write_saving_fraction", "elapsed_seconds",
+    } <= set(record_fields)
+    perf_record.update(record_fields)

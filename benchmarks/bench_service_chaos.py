@@ -21,11 +21,13 @@ the fault-tolerance wiring must cost nothing on the no-fault path.
 
 import pytest
 
+from repro.obs.metrics import exact_quantile
 from repro.obs.tracer import RecordingTracer
 from repro.service import (
     FaultCampaign,
     FaultEvent,
     ServiceConfig,
+    ServiceTelemetry,
     SolverService,
     synthesize_jobs,
 )
@@ -83,7 +85,12 @@ SCENARIOS = {
 }
 
 
-def run_campaign(campaign: FaultCampaign | None, **overrides):
+def run_campaign(
+    campaign: FaultCampaign | None,
+    *,
+    telemetry: ServiceTelemetry | None = None,
+    **overrides,
+):
     config = ServiceConfig(
         pool_size=POOL,
         queue_depth=16,
@@ -93,18 +100,10 @@ def run_campaign(campaign: FaultCampaign | None, **overrides):
         **overrides,
     )
     tracer = RecordingTracer()
-    service = SolverService(config, tracer=tracer)
+    service = SolverService(config, tracer=tracer, telemetry=telemetry)
     specs = synthesize_jobs(JOBS, groups=GROUPS, constraints=CONSTRAINTS)
     records, summary = service.batch(specs)
     return service, specs, records, summary, tracer
-
-
-def percentile(values, q):
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-    return ordered[index]
 
 
 def time_to_recover(campaign: FaultCampaign, records) -> int | None:
@@ -154,53 +153,72 @@ def test_service_under_chaos(benchmark, perf_record, scenario):
 
     latencies = [record.elapsed_seconds for record in records]
     recover = time_to_recover(campaign, records)
-    perf_record.update(
-        {
-            "bench": f"service_chaos_{scenario}",
-            "scenario": scenario,
-            "jobs": JOBS,
-            "chaos_events": len(campaign),
-            "records": len(records),
-            "success_rate": round(success_rate, 4),
-            "requeues": summary.requeues,
-            "fallbacks": summary.fallbacks,
-            "retired_members": POOL - service.pool.active_members(),
-            "latency_p50_ms": round(1e3 * percentile(latencies, 0.50), 3),
-            "latency_p99_ms": round(1e3 * percentile(latencies, 0.99), 3),
-            "time_to_recover_jobs": recover,
-            "breaker_opens": tracer.counters.get("pool.breaker.opened", 0),
-            "degradation_sheds": tracer.counters.get(
-                "service.degradation.sheds", 0
-            ),
-            "jobs_per_second": summary.jobs_per_second,
-        }
-    )
+    record_fields = {
+        "bench": f"service_chaos_{scenario}",
+        "scenario": scenario,
+        "jobs": JOBS,
+        "chaos_events": len(campaign),
+        "records": len(records),
+        "success_rate": round(success_rate, 4),
+        "requeues": summary.requeues,
+        "fallbacks": summary.fallbacks,
+        "retired_members": POOL - service.pool.active_members(),
+        "latency_p50_ms": round(1e3 * exact_quantile(latencies, 0.50), 3),
+        "latency_p99_ms": round(1e3 * exact_quantile(latencies, 0.99), 3),
+        "energy_j": summary.energy_j,
+        "time_to_recover_jobs": recover,
+        "breaker_opens": tracer.counters.get("pool.breaker.opened", 0),
+        "degradation_sheds": tracer.counters.get(
+            "service.degradation.sheds", 0
+        ),
+        "jobs_per_second": summary.jobs_per_second,
+    }
+    # Schema guard: downstream tooling greps these exact keys, so the
+    # shared-quantile swap must not rename or drop any of them.
+    assert {
+        "bench", "scenario", "jobs", "chaos_events", "records",
+        "success_rate", "requeues", "fallbacks", "retired_members",
+        "latency_p50_ms", "latency_p99_ms", "time_to_recover_jobs",
+        "breaker_opens", "degradation_sheds", "jobs_per_second",
+    } <= set(record_fields)
+    perf_record.update(record_fields)
 
 
 @pytest.mark.benchmark(group="service-chaos")
 def test_resilience_no_fault_overhead(perf_record):
-    """Perf gate: resilience wiring is free when nothing fails.
+    """Perf gate: resilience + telemetry wiring is free of writes.
 
     The no-fault batch must write the identical number of crossbar
     cells with the full resilience stack (breakers, degradation,
     backoff — the defaults) as with all of it disabled; any extra
-    write means the wiring leaked into the hot path.
+    write means the wiring leaked into the hot path.  A third arm
+    attaches full live telemetry (registry + SLO + flight recorder) —
+    observability must also cost zero cells.
     """
     _, _, _, on_summary, on_tracer = run_campaign(None)
     _, _, _, off_summary, off_tracer = run_campaign(
         None, breaker=None, degradation=None, backoff=None
     )
+    telemetry = ServiceTelemetry()
+    _, _, _, telem_summary, telem_tracer = run_campaign(
+        None, telemetry=telemetry
+    )
     on_cells = on_tracer.counters["crossbar.cells_written"]
     off_cells = off_tracer.counters["crossbar.cells_written"]
+    telem_cells = telem_tracer.counters["crossbar.cells_written"]
     assert on_summary.failed == 0 and off_summary.failed == 0
+    assert telem_summary.failed == 0
     assert on_cells == off_cells
+    assert telem_cells == on_cells
     assert on_summary.cache_hit_rate == off_summary.cache_hit_rate
+    assert telemetry.jobs == JOBS  # the hooks actually fired
     perf_record.update(
         {
             "bench": "resilience_no_fault_overhead",
             "jobs": JOBS,
             "cells_written_resilience_on": on_cells,
             "cells_written_resilience_off": off_cells,
+            "cells_written_telemetry_on": telem_cells,
             "cache_hit_rate": on_summary.cache_hit_rate,
         }
     )

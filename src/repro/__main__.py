@@ -65,6 +65,7 @@ from repro.obs import (
 from repro.service import (
     FaultCampaign,
     ServiceConfig,
+    ServiceTelemetry,
     SolverService,
     read_jobs_jsonl,
     synthesize_jobs,
@@ -283,7 +284,7 @@ def _cmd_parasitics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _service_from_args(args: argparse.Namespace, tracer):
+def _service_from_args(args: argparse.Namespace, tracer, telemetry=None):
     """Build the configured :class:`SolverService` for serve/batch."""
     campaign = None
     if args.chaos is not None:
@@ -303,7 +304,7 @@ def _service_from_args(args: argparse.Namespace, tracer):
         deadline_s=args.deadline,
         campaign=campaign,
     )
-    service = SolverService(config, tracer=tracer)
+    service = SolverService(config, tracer=tracer, telemetry=telemetry)
     if args.inject_fault is not None:
         if not 0 <= args.inject_fault < args.pool_size:
             raise SystemExit(
@@ -321,8 +322,26 @@ def _run_service(args: argparse.Namespace, specs) -> int:
         if (args.trace_out or args.metrics_out)
         else None
     )
-    service = _service_from_args(args, tracer)
-    records, summary = service.batch(specs)
+    flight_dir = (
+        pathlib.Path(args.flight_dir) if args.flight_dir else None
+    )
+    if flight_dir is not None:
+        flight_dir.mkdir(parents=True, exist_ok=True)
+    telemetry = ServiceTelemetry(flight_dir=flight_dir)
+    service = _service_from_args(args, tracer, telemetry)
+
+    completed = 0
+
+    def on_record(record) -> None:
+        nonlocal completed
+        completed += 1
+        if args.stats_every and completed % args.stats_every == 0:
+            print(f"[stats] {telemetry.stats_line()}", flush=True)
+
+    records, summary = service.batch(specs, on_record=on_record)
+    if args.stats_every:
+        # Closing stats line so short batches always show one.
+        print(f"[stats] {telemetry.stats_line()}", flush=True)
     if args.out:
         out = pathlib.Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -354,13 +373,25 @@ def _run_service(args: argparse.Namespace, specs) -> int:
             f"chaos:         {campaign.fired}/{len(campaign)} events "
             f"fired ({campaign.name})"
         )
+    recorder = telemetry.recorder
+    if recorder.dumps:
+        print(f"flight recordings: {len(recorder.dumps)} dumped")
+        for dump in recorder.dumps:
+            print(f"  {dump}")
+    elif recorder.trips and flight_dir is None:
+        print(
+            f"flight recorder: {recorder.trips} trip(s) not dumped "
+            f"(pass --flight-dir to keep them)"
+        )
     if tracer is not None:
         if args.trace_out:
             path = write_trace_jsonl(tracer, pathlib.Path(args.trace_out))
             print(f"trace written: {path}")
         if args.metrics_out:
             path = write_metrics_textfile(
-                tracer, pathlib.Path(args.metrics_out)
+                tracer,
+                pathlib.Path(args.metrics_out),
+                registry=telemetry.registry,
             )
             print(f"metrics written: {path}")
     return 1 if summary.failed else 0
@@ -416,7 +447,18 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write the merged JSONL trace here")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
-                        help="write a Prometheus-style textfile here")
+                        help="write a Prometheus-style textfile here "
+                             "(includes the live-telemetry registry)")
+    parser.add_argument("--stats-every", type=int, default=0,
+                        metavar="N",
+                        help="print a one-line live stats summary every "
+                             "N completed jobs (jobs/s, p50/p99 "
+                             "latency, energy/job, queue depth, tier, "
+                             "breaker states, SLO burn); 0 disables")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="dump flight-recorder JSONL rings here on "
+                             "job failure, breaker OPEN, or brownout "
+                             "tier change")
 
 
 def build_parser() -> argparse.ArgumentParser:

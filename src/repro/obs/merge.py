@@ -10,9 +10,14 @@ RecordingTracer`, ships the serialized event stream back, and calls
 - worker *root* spans (no parent inside the absorbed stream) are
   re-parented onto the parent tracer's innermost open span, so an
   absorbed ``sweep_cell`` subtree nests where the merge happened;
-- counter / gauge events update the parent's aggregate maps, keeping
-  :func:`~repro.obs.sinks.render_metrics` and
-  :mod:`repro.analysis.spans` replay consistent.
+- counter / gauge / histogram events update the parent's aggregate
+  maps, keeping :func:`~repro.obs.sinks.render_metrics` and
+  :mod:`repro.analysis.spans` replay consistent.  Counter folding is
+  additive, gauges are last-write-wins (stream order), and histogram
+  observations fold into the parent's per-name
+  :class:`~repro.obs.metrics.StreamingHistogram` — replaying every
+  worker observation is identical to bucket-wise histogram addition,
+  so merged quantile estimates equal a single-stream run's.
 
 Span *durations* are exact; span *start times* stay on the worker's
 monotonic clock (process-local origin), so ordering across absorbed
@@ -25,9 +30,11 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.obs.metrics import StreamingHistogram
 from repro.obs.tracer import (
     CountEvent,
     GaugeEvent,
+    HistEvent,
     RecordingTracer,
     SpanEvent,
 )
@@ -102,6 +109,21 @@ def absorb_events(
             tracer.gauges[event["name"]] = event["value"]
             tracer.events.append(
                 GaugeEvent(
+                    name=event["name"],
+                    value=event["value"],
+                    t_s=event["t_s"],
+                    span_id=id_map.get(event["span_id"], attach_to),
+                )
+            )
+        elif kind == "hist":
+            hist = tracer.histograms.get(event["name"])
+            if hist is None:
+                hist = tracer.histograms[event["name"]] = (
+                    StreamingHistogram()
+                )
+            hist.observe(event["value"])
+            tracer.events.append(
+                HistEvent(
                     name=event["name"],
                     value=event["value"],
                     t_s=event["t_s"],

@@ -1,0 +1,479 @@
+"""Streaming metrics: mergeable histograms, windows, and a registry.
+
+The live half of the observability layer (DESIGN.md §14).  The tracer
+(:mod:`repro.obs.tracer`) records *everything* for offline replay; the
+primitives here answer "what is the p99 latency right now" while a
+batch is still running, in O(1) memory per series:
+
+- :class:`StreamingHistogram` — a fixed logarithmic-bucket histogram.
+  ``count`` / ``sum`` / ``min`` / ``max`` are exact; quantiles are
+  estimated by linear interpolation inside the bucket holding the
+  target rank, so an estimate is off by at most one bucket width
+  (relative error ≤ :attr:`BucketScheme.relative_error`, ~12% with the
+  default 20 buckets/decade, typically far less).  Two histograms with
+  the same :class:`BucketScheme` merge by bucket-wise addition —
+  merging worker streams is exact, never a re-estimate.
+- :class:`WindowedHistogram` — a sliding time window over a histogram,
+  kept as a ring of per-slice sub-histograms; ``snapshot()`` merges
+  the live slices, so "p99 over the last minute" is one merge away.
+- :class:`MetricsRegistry` — named counter / gauge / histogram series
+  with label sets (``{"priority": "2"}``), the container behind the
+  serving layer's per-priority and per-fingerprint-group breakdowns
+  and the labeled Prometheus rendering in :mod:`repro.obs.sinks`.
+
+Plus the shared quantile helpers (:func:`exact_quantile`) the
+benchmarks use instead of ad-hoc sorted-list percentile math.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+from typing import Iterable, Iterator, Mapping
+
+from repro.obs.clock import monotonic
+
+#: Canonical label-set key: sorted ``(key, value)`` pairs.
+LabelKey = "tuple[tuple[str, str], ...]"
+
+
+def label_key(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable form of a label mapping (sorted pairs)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def exact_quantile(values: Iterable[float], q: float) -> float:
+    """Exact quantile of a finite sample, linear interpolation.
+
+    The shared percentile helper for benchmarks and summaries (numpy's
+    default ``linear`` method, without requiring an array): ``q=0``
+    is the minimum, ``q=1`` the maximum, ``q=0.5`` the median.
+    Returns 0.0 for an empty sample.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must lie in [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+@dataclasses.dataclass(frozen=True)
+class BucketScheme:
+    """Fixed logarithmic bucket layout shared by mergeable histograms.
+
+    Buckets span ``[lo, hi)`` with ``buckets_per_decade`` log-spaced
+    buckets per factor of ten; values below ``lo`` (including zero and
+    negatives) land in an underflow bucket, values at or above ``hi``
+    in an overflow bucket.  Two histograms merge only when their
+    schemes are equal, which is why the scheme is a frozen value type.
+    """
+
+    lo: float = 1e-9
+    hi: float = 1e9
+    buckets_per_decade: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lo < self.hi:
+            raise ValueError("need 0 < lo < hi")
+        if self.buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+
+    @property
+    def decades(self) -> float:
+        return math.log10(self.hi / self.lo)
+
+    @property
+    def n_buckets(self) -> int:
+        """Log-spaced buckets, excluding under/overflow."""
+        return int(math.ceil(self.decades * self.buckets_per_decade - 1e-9))
+
+    @property
+    def relative_error(self) -> float:
+        """Documented quantile error bound: one bucket's relative width.
+
+        A quantile estimate lands inside the bucket holding the true
+        value, so it is off by at most ``upper/lower - 1`` of that
+        bucket: ``10 ** (1 / buckets_per_decade) - 1``.
+        """
+        return 10.0 ** (1.0 / self.buckets_per_decade) - 1.0
+
+    def index(self, value: float) -> int:
+        """Bucket index for ``value``: 0 = underflow, n+1 = overflow."""
+        if value < self.lo:
+            return 0
+        if value >= self.hi:
+            return self.n_buckets + 1
+        raw = int(math.log10(value / self.lo) * self.buckets_per_decade)
+        return min(max(raw, 0), self.n_buckets - 1) + 1
+
+    def bounds(self, index: int) -> tuple[float, float]:
+        """``(lower, upper)`` value bounds of bucket ``index``."""
+        if index == 0:
+            return (0.0, self.lo)
+        if index == self.n_buckets + 1:
+            return (self.hi, math.inf)
+        exponent = (index - 1) / self.buckets_per_decade
+        lower = self.lo * 10.0**exponent
+        upper = min(
+            self.hi, self.lo * 10.0 ** (index / self.buckets_per_decade)
+        )
+        return (lower, upper)
+
+    def upper_bounds(self) -> list[float]:
+        """Inclusive upper bounds of every bucket (Prometheus ``le``)."""
+        return [
+            self.bounds(index)[1] for index in range(self.n_buckets + 1)
+        ] + [math.inf]
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets_per_decade": self.buckets_per_decade,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BucketScheme":
+        return cls(**data)
+
+
+#: The default scheme: nanoseconds-to-gigaseconds (or nJ-to-GJ), 20
+#: buckets per decade — ≤12.2% quantile error, 361 integer buckets.
+DEFAULT_SCHEME = BucketScheme()
+
+
+class StreamingHistogram:
+    """Fixed log-bucket histogram: O(1) observe, mergeable, quantiles.
+
+    ``count``, ``total`` (the sum), ``min_value`` and ``max_value``
+    are exact; :meth:`quantile` estimates are within the scheme's
+    :attr:`~BucketScheme.relative_error` of the true sample quantile
+    (and clamped into ``[min_value, max_value]``).
+    """
+
+    __slots__ = ("scheme", "_counts", "count", "total", "min_value",
+                 "max_value")
+
+    def __init__(self, scheme: BucketScheme = DEFAULT_SCHEME) -> None:
+        self.scheme = scheme
+        #: Sparse ``bucket index -> count`` (most series touch few).
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation in."""
+        value = float(value)
+        index = self.scheme.index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other`` in by bucket-wise addition (exact); returns self."""
+        if other.scheme != self.scheme:
+            raise ValueError(
+                "cannot merge histograms with different bucket schemes: "
+                f"{self.scheme} vs {other.scheme}"
+            )
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        return self
+
+    def quantile(self, q: float) -> float:
+        """Estimated sample quantile (see the class error bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        last_index = max(self._counts)
+        for index in sorted(self._counts):
+            count = self._counts[index]
+            if cumulative + count >= target or index == last_index:
+                lower, upper = self.scheme.bounds(index)
+                fraction = (target - cumulative) / count
+                fraction = min(max(fraction, 0.0), 1.0)
+                if not math.isfinite(upper):
+                    estimate = self.max_value
+                else:
+                    estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min_value), self.max_value)
+            cumulative += count
+        raise AssertionError("unreachable: count > 0")  # pragma: no cover
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper bound, cumulative count)`` per bucket, Prometheus-style.
+
+        Empty trailing buckets are elided but the ``+Inf`` bucket is
+        always present and equals :attr:`count`.
+        """
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        touched = sorted(self._counts)
+        bounds = self.scheme.upper_bounds()
+        previous = -1
+        for index in touched:
+            # Emit the (empty-delta) bucket just before a jump so the
+            # rendered series shows where mass starts.
+            if index - 1 > previous and index - 1 >= 0:
+                out.append((bounds[index - 1], cumulative))
+            cumulative += self._counts[index]
+            out.append((bounds[index], cumulative))
+            previous = index
+        if not out or not math.isinf(out[-1][0]):
+            out.append((math.inf, cumulative))
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (the cross-worker merge payload)."""
+        return {
+            "scheme": self.scheme.to_dict(),
+            "counts": {str(k): v for k, v in sorted(self._counts.items())},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_value if self.count else None,
+            "max": self.max_value if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamingHistogram":
+        hist = cls(BucketScheme.from_dict(data["scheme"]))
+        hist._counts = {int(k): int(v) for k, v in data["counts"].items()}
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        hist.min_value = (
+            float(data["min"]) if data.get("min") is not None else math.inf
+        )
+        hist.max_value = (
+            float(data["max"]) if data.get("max") is not None else -math.inf
+        )
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamingHistogram):
+            return NotImplemented
+        return (
+            self.scheme == other.scheme
+            and {k: v for k, v in self._counts.items() if v}
+            == {k: v for k, v in other._counts.items() if v}
+            and self.count == other.count
+            and math.isclose(self.total, other.total, rel_tol=1e-12)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StreamingHistogram(count={self.count}, mean={self.mean:.4g}, "
+            f"p50={self.quantile(0.5):.4g}, p99={self.quantile(0.99):.4g})"
+        )
+
+
+class WindowedHistogram:
+    """A sliding time window over a streaming histogram.
+
+    Observations land in per-slice sub-histograms (``slices`` of
+    ``window_s / slices`` seconds each); :meth:`snapshot` merges the
+    slices still inside the window, so the estimate covers between
+    ``window_s * (1 - 1/slices)`` and ``window_s`` seconds of data.
+    The clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        scheme: BucketScheme = DEFAULT_SCHEME,
+        *,
+        window_s: float = 60.0,
+        slices: int = 6,
+        clock=monotonic,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if slices < 1:
+            raise ValueError("slices must be >= 1")
+        self.scheme = scheme
+        self.window_s = float(window_s)
+        self.slices = slices
+        self.slice_s = self.window_s / slices
+        self._clock = clock
+        self._ring: collections.deque = collections.deque()
+
+    def _slice_index(self, t_s: float) -> int:
+        return int(t_s // self.slice_s)
+
+    def _evict(self, now_index: int) -> None:
+        oldest_live = now_index - self.slices + 1
+        while self._ring and self._ring[0][0] < oldest_live:
+            self._ring.popleft()
+
+    def observe(self, value: float, *, t_s: float | None = None) -> None:
+        t_s = self._clock() if t_s is None else t_s
+        index = self._slice_index(t_s)
+        self._evict(index)
+        if not self._ring or self._ring[-1][0] != index:
+            self._ring.append((index, StreamingHistogram(self.scheme)))
+        self._ring[-1][1].observe(value)
+
+    def snapshot(self, *, t_s: float | None = None) -> StreamingHistogram:
+        """Merged histogram over the slices inside the window."""
+        t_s = self._clock() if t_s is None else t_s
+        self._evict(self._slice_index(t_s))
+        merged = StreamingHistogram(self.scheme)
+        for _, hist in self._ring:
+            merged.merge(hist)
+        return merged
+
+
+@dataclasses.dataclass
+class HistogramSeries:
+    """One labeled histogram series: cumulative plus sliding window."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    cumulative: StreamingHistogram
+    window: WindowedHistogram
+
+
+class MetricsRegistry:
+    """Named counter / gauge / histogram series with label sets.
+
+    The serving layer's live-metrics container: one registry per
+    service, series keyed by ``(name, sorted labels)``.  Histogram
+    series keep both a cumulative histogram (the Prometheus rendering,
+    and what reconciles against offline replay) and a sliding-window
+    one (the "now" view behind ``--stats-every`` lines).
+    """
+
+    def __init__(
+        self,
+        *,
+        scheme: BucketScheme = DEFAULT_SCHEME,
+        window_s: float = 60.0,
+        slices: int = 6,
+        clock=monotonic,
+    ) -> None:
+        self.scheme = scheme
+        self.window_s = window_s
+        self.slices = slices
+        self.clock = clock
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._histograms: dict[tuple, HistogramSeries] = {}
+
+    # -- writes --------------------------------------------------------------
+
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        *,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        key = (name, label_key(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        *,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        self._gauges[(name, label_key(labels))] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        labels: Mapping[str, str] | None = None,
+        t_s: float | None = None,
+    ) -> None:
+        self.histogram(name, labels=labels)
+        series = self._histograms[(name, label_key(labels))]
+        series.cumulative.observe(value)
+        series.window.observe(value, t_s=t_s)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        labels: Mapping[str, str] | None = None,
+    ) -> HistogramSeries:
+        """Get-or-create the histogram series for ``(name, labels)``."""
+        key = (name, label_key(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            series = HistogramSeries(
+                name=name,
+                labels=key[1],
+                cumulative=StreamingHistogram(self.scheme),
+                window=WindowedHistogram(
+                    self.scheme,
+                    window_s=self.window_s,
+                    slices=self.slices,
+                    clock=self.clock,
+                ),
+            )
+            self._histograms[key] = series
+        return series
+
+    # -- reads ---------------------------------------------------------------
+
+    def counter_value(
+        self, name: str, *, labels: Mapping[str, str] | None = None
+    ) -> float:
+        return self._counters.get((name, label_key(labels)), 0.0)
+
+    def gauge_value(
+        self,
+        name: str,
+        *,
+        labels: Mapping[str, str] | None = None,
+        default: float = 0.0,
+    ) -> float:
+        return self._gauges.get((name, label_key(labels)), default)
+
+    def counters(self) -> Iterator[tuple[str, tuple, float]]:
+        """``(name, labels, value)`` in sorted series order."""
+        for (name, labels), value in sorted(self._counters.items()):
+            yield name, labels, value
+
+    def gauges(self) -> Iterator[tuple[str, tuple, float]]:
+        for (name, labels), value in sorted(self._gauges.items()):
+            yield name, labels, value
+
+    def histograms(self) -> Iterator[HistogramSeries]:
+        for _, series in sorted(self._histograms.items()):
+            yield series
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )

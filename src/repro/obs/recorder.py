@@ -1,0 +1,151 @@
+"""Flight recorder: a bounded ring of recent events, dumped on trips.
+
+A crashing batch is debugged from its *recent past*: which member the
+failing job ran on, what the breaker did, which chaos event fired just
+before.  The :class:`FlightRecorder` keeps the last ``capacity``
+telemetry events (job completions, attempt outcomes, breaker and
+brownout transitions, chaos injections) in memory at O(1) cost, and
+:meth:`~FlightRecorder.trip` dumps the whole ring to a JSONL file when
+something noteworthy happens — a job failure, a breaker opening, a
+brownout tier change.
+
+The dump format mirrors the trace JSONL convention: a ``meta`` header
+line, then one event object per line, the *triggering* event last.
+Dumps are capped (``max_dumps``) so a fault storm cannot flood the
+disk; suppressed trips are still counted.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from repro.obs.clock import monotonic
+
+__all__ = ["FlightRecorder", "FLIGHT_FORMAT", "FLIGHT_VERSION"]
+
+#: Format tag written into the dump's meta header.
+FLIGHT_FORMAT = "repro-flight"
+FLIGHT_VERSION = 1
+
+_SLUG = re.compile(r"[^a-zA-Z0-9_.-]+")
+
+
+class FlightRecorder:
+    """Bounded in-memory event ring with triggered JSONL dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained; older events fall off the front.
+    directory:
+        Where :meth:`trip` writes dumps; ``None`` keeps the recorder
+        purely in-memory (trips are recorded but nothing hits disk).
+    max_dumps:
+        File-count cap; trips past it only bump
+        :attr:`suppressed_trips`.
+    clock:
+        Timestamp source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        *,
+        directory: str | pathlib.Path | None = None,
+        max_dumps: int = 16,
+        clock=monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if max_dumps < 0:
+            raise ValueError("max_dumps must be non-negative")
+        self.capacity = capacity
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        self.max_dumps = max_dumps
+        self._clock = clock
+        self._events: list[dict] = []
+        self._seq = 0
+        self.dumps: list[pathlib.Path] = []
+        self.trips = 0
+        self.suppressed_trips = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> tuple[dict, ...]:
+        """The retained events, oldest first."""
+        return tuple(self._events)
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one event to the ring; returns the stored dict."""
+        event = {"seq": self._seq, "t_s": self._clock(), "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            del self._events[: len(self._events) - self.capacity]
+        return event
+
+    def trip(self, reason: str, **context) -> pathlib.Path | None:
+        """Record a ``trip`` event and dump the ring to JSONL.
+
+        The trip event (carrying ``reason`` and any ``context``) is
+        appended *before* dumping, so every dump ends with its trigger.
+        Returns the dump path, or ``None`` when no directory is
+        configured or the dump cap is reached.
+        """
+        self.record("trip", reason=reason, **context)
+        self.trips += 1
+        if self.directory is None:
+            return None
+        if len(self.dumps) >= self.max_dumps:
+            self.suppressed_trips += 1
+            return None
+        slug = _SLUG.sub("-", reason).strip("-") or "trip"
+        path = self.directory / f"flight-{len(self.dumps):03d}-{slug}.jsonl"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lines = [
+            json.dumps(
+                {
+                    "kind": "meta",
+                    "format": FLIGHT_FORMAT,
+                    "version": FLIGHT_VERSION,
+                    "reason": reason,
+                    "events": len(self._events),
+                }
+            )
+        ]
+        lines.extend(
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self._events
+        )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        self.dumps.append(path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FlightRecorder(events={len(self._events)}, "
+            f"trips={self.trips}, dumps={len(self.dumps)})"
+        )
+
+
+def read_flight_jsonl(path: str | pathlib.Path) -> list[dict]:
+    """Load a flight dump; returns event dicts (header excluded).
+
+    Raises ``ValueError`` if the file lacks the flight-format header.
+    """
+    path = pathlib.Path(path)
+    records = [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if not records or records[0].get("format") != FLIGHT_FORMAT:
+        raise ValueError(f"{path} is not a {FLIGHT_FORMAT} JSONL dump")
+    return records[1:]

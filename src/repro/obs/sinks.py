@@ -8,23 +8,31 @@ RecordingTracer`'s contents:
   a span / count / gauge event.  :func:`read_trace_jsonl` loads it
   back for replay (see :mod:`repro.analysis.spans`).
 - **Prometheus-style textfile** (:func:`write_metrics_textfile`) — the
-  aggregated counters and gauges plus per-span-name call counts and
-  cumulative seconds, in the node-exporter textfile-collector format.
+  aggregated counters, gauges, and histograms (rendered as cumulative
+  ``_bucket{le=...}`` series plus ``_sum`` / ``_count``) and
+  per-span-name call counts and cumulative seconds, in the
+  node-exporter textfile-collector format.  A
+  :class:`~repro.obs.metrics.MetricsRegistry` can ride along, its
+  labeled series rendered with sanitized, escaped label pairs.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
 from pathlib import Path
+from typing import Mapping
 
+from repro.obs.metrics import MetricsRegistry, StreamingHistogram
 from repro.obs.tracer import RecordingTracer, SpanEvent
 
 #: Format tag written into the JSONL meta header.
 TRACE_FORMAT = "repro-trace"
 TRACE_VERSION = 1
 
-_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]+")
+_LABEL_NAME = re.compile(r"[^a-zA-Z0-9_]+")
 
 
 def write_trace_jsonl(tracer: RecordingTracer, path: str | Path) -> Path:
@@ -65,13 +73,131 @@ def read_trace_jsonl(path: str | Path) -> list[dict]:
     return records[1:]
 
 
-def metric_name(name: str, suffix: str = "") -> str:
-    """Sanitize an event name into a Prometheus metric name."""
-    return "repro_" + _METRIC_NAME.sub("_", name) + suffix
+def metric_name(name: str, suffix: str = "", *, prefix: str = "repro_") -> str:
+    """Sanitize an event name into a legal Prometheus metric name.
+
+    Every character outside ``[a-zA-Z0-9_:]`` (dots, dashes, slashes,
+    spaces, …) collapses to a single underscore; a name whose first
+    character would be a digit (possible when ``prefix`` is empty or
+    label-ish names like ``"0err/s"`` are passed) gains a leading
+    underscore, since metric names must match
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+    """
+    base = _METRIC_NAME.sub("_", name)
+    full = prefix + base + suffix
+    if not full or full[0].isdigit():
+        full = "_" + full
+    return full
 
 
-def render_metrics(tracer: RecordingTracer) -> str:
-    """The Prometheus textfile body for the tracer's aggregates."""
+def label_name(name: str) -> str:
+    """Sanitize into a legal Prometheus label name
+    (``[a-zA-Z_][a-zA-Z0-9_]*``; colons are metric-name-only).
+    """
+    base = _LABEL_NAME.sub("_", name)
+    if not base or base[0].isdigit():
+        base = "_" + base
+    return base
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_labels(labels: Mapping[str, str] | tuple | None) -> str:
+    """``{k="v",...}`` fragment with sanitized names and escaped values;
+    the empty string for no labels."""
+    if not labels:
+        return ""
+    pairs = labels.items() if isinstance(labels, Mapping) else labels
+    body = ",".join(
+        f'{label_name(str(k))}="{_escape_label_value(str(v))}"'
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else f"{bound:.6g}"
+
+
+def render_histogram(
+    name: str,
+    hist: StreamingHistogram,
+    *,
+    labels: Mapping[str, str] | tuple | None = None,
+    help_text: str | None = None,
+) -> list[str]:
+    """Prometheus histogram exposition: ``_bucket``/``_sum``/``_count``.
+
+    Buckets are cumulative with inclusive ``le`` upper bounds, ending
+    at ``+Inf`` (== ``_count``), the native histogram text format.
+    """
+    base = metric_name(name)
+    label_pairs = (
+        tuple(labels.items()) if isinstance(labels, Mapping) else labels
+    ) or ()
+    lines = [
+        f"# HELP {base} {help_text or f'histogram of {name}'}",
+        f"# TYPE {base} histogram",
+    ]
+    for bound, cumulative in hist.cumulative_buckets():
+        bucket_labels = render_labels(
+            label_pairs + (("le", _format_le(bound)),)
+        )
+        lines.append(f"{base}_bucket{bucket_labels} {cumulative}")
+    suffix_labels = render_labels(label_pairs)
+    lines.append(f"{base}_sum{suffix_labels} {hist.total:.12g}")
+    lines.append(f"{base}_count{suffix_labels} {hist.count}")
+    return lines
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """The Prometheus textfile body for a labeled metrics registry."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(base: str, kind: str, help_text: str) -> None:
+        if base in seen_types:
+            return
+        seen_types.add(base)
+        lines.append(f"# HELP {base} {help_text}")
+        lines.append(f"# TYPE {base} {kind}")
+
+    for name, labels, value in registry.counters():
+        base = metric_name(name, "_total")
+        header(base, "counter", f"accumulated total of {name}")
+        lines.append(f"{base}{render_labels(labels)} {value:.12g}")
+    for name, labels, value in registry.gauges():
+        base = metric_name(name)
+        header(base, "gauge", f"last observed value of {name}")
+        lines.append(f"{base}{render_labels(labels)} {value:.12g}")
+    for series in registry.histograms():
+        base = metric_name(series.name)
+        if base in seen_types:
+            # Same histogram name, another label set: data lines only.
+            rendered = render_histogram(
+                series.name, series.cumulative, labels=series.labels
+            )[2:]
+        else:
+            seen_types.add(base)
+            rendered = render_histogram(
+                series.name, series.cumulative, labels=series.labels
+            )
+        lines.extend(rendered)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics(
+    tracer: RecordingTracer, *, registry: MetricsRegistry | None = None
+) -> str:
+    """The Prometheus textfile body for the tracer's aggregates.
+
+    With ``registry``, its labeled series are appended after the
+    tracer-level metrics.
+    """
     lines: list[str] = []
 
     def emit(name: str, kind: str, value: float, help_text: str) -> None:
@@ -93,6 +219,8 @@ def render_metrics(tracer: RecordingTracer) -> str:
             tracer.gauges[name],
             f"last observed value of {name}",
         )
+    for name in sorted(getattr(tracer, "histograms", {})):
+        lines.extend(render_histogram(name, tracer.histograms[name]))
 
     calls: dict[str, int] = {}
     seconds: dict[str, float] = {}
@@ -122,13 +250,19 @@ def render_metrics(tracer: RecordingTracer) -> str:
                 f'repro_span_seconds_total{{span="{label}"}} '
                 f"{seconds[name]:.12g}"
             )
-    return "\n".join(lines) + "\n"
+    body = "\n".join(lines) + "\n"
+    if registry is not None:
+        body += render_registry(registry)
+    return body
 
 
 def write_metrics_textfile(
-    tracer: RecordingTracer, path: str | Path
+    tracer: RecordingTracer,
+    path: str | Path,
+    *,
+    registry: MetricsRegistry | None = None,
 ) -> Path:
     """Write the Prometheus-style snapshot; returns the path."""
     path = Path(path)
-    path.write_text(render_metrics(tracer))
+    path.write_text(render_metrics(tracer, registry=registry))
     return path

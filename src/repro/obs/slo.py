@@ -1,0 +1,217 @@
+"""Service-level objectives: error budgets and burn-rate gauges.
+
+An SLO names a target good-event fraction over a budget window ("99%
+of jobs succeed over the last hour").  The serving layer tracks two of
+them — availability (job success) and deadline adherence — and reports
+each as *burn rates* over multiple look-back windows, the
+multi-window alerting idiom: burn rate 1.0 means errors arrive exactly
+at the sustainable budget rate; burn rate 10 means the window's budget
+would be gone in a tenth of the window.
+
+Everything is clock-injectable: production uses the shared monotonic
+clock, tests drive a fake clock, and burn rates stay meaningful in
+simulation where a thousand jobs complete in a second (the windows
+just all see the same burst).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.obs.clock import monotonic
+
+__all__ = ["SLOPolicy", "ErrorBudget", "SLOTracker"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOPolicy:
+    """One objective: a good-fraction target over a budget window.
+
+    Parameters
+    ----------
+    name:
+        Short series label (``availability``, ``deadline``).
+    objective:
+        Target good-event fraction in ``(0, 1)``; the error budget is
+        ``1 - objective`` of the window's events.
+    window_s:
+        The budget window (seconds) the objective is defined over.
+    burn_windows_s:
+        Look-back windows for the burn-rate gauges, shortest first
+        (fast/slow multi-window pair by default).
+    """
+
+    name: str = "availability"
+    objective: float = 0.99
+    window_s: float = 3600.0
+    burn_windows_s: tuple[float, ...] = (60.0, 600.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must lie in (0, 1)")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not self.burn_windows_s:
+            raise ValueError("need at least one burn window")
+        for window in self.burn_windows_s:
+            if not 0 < window <= self.window_s:
+                raise ValueError(
+                    "burn windows must lie in (0, window_s]"
+                )
+
+    @property
+    def budget_fraction(self) -> float:
+        """Allowed bad-event fraction (``1 - objective``)."""
+        return 1.0 - self.objective
+
+
+class ErrorBudget:
+    """Timestamped good/bad event log scoped to one :class:`SLOPolicy`.
+
+    Events older than the policy window are trimmed on every write and
+    read, so memory is bounded by the window's event count.
+    """
+
+    def __init__(self, policy: SLOPolicy, *, clock=monotonic) -> None:
+        self.policy = policy
+        self._clock = clock
+        #: ``(t_s, good)`` pairs, oldest first.
+        self._events: collections.deque = collections.deque()
+        self.total = 0
+        self.bad_total = 0
+
+    def record(self, good: bool, *, t_s: float | None = None) -> None:
+        """Fold one event in (``good=False`` burns budget)."""
+        t_s = self._clock() if t_s is None else t_s
+        self._events.append((t_s, bool(good)))
+        self.total += 1
+        if not good:
+            self.bad_total += 1
+        self._trim(t_s)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.policy.window_s
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+
+    def _window_counts(
+        self, window_s: float, now: float
+    ) -> tuple[int, int]:
+        horizon = now - window_s
+        total = bad = 0
+        for t_s, good in reversed(self._events):
+            if t_s < horizon:
+                break
+            total += 1
+            if not good:
+                bad += 1
+        return total, bad
+
+    def error_rate(
+        self, window_s: float | None = None, *, now: float | None = None
+    ) -> float:
+        """Bad-event fraction over ``window_s`` (policy window default)."""
+        now = self._clock() if now is None else now
+        self._trim(now)
+        window_s = self.policy.window_s if window_s is None else window_s
+        total, bad = self._window_counts(window_s, now)
+        return bad / total if total else 0.0
+
+    def burn_rate(
+        self, window_s: float | None = None, *, now: float | None = None
+    ) -> float:
+        """Error rate over the window, in budget units (1.0 = on budget)."""
+        return self.error_rate(window_s, now=now) / self.policy.budget_fraction
+
+    def burn_rates(self, *, now: float | None = None) -> dict[float, float]:
+        """``window_s -> burn rate`` for every policy burn window."""
+        now = self._clock() if now is None else now
+        return {
+            window: self.burn_rate(window, now=now)
+            for window in self.policy.burn_windows_s
+        }
+
+    def budget_remaining(self, *, now: float | None = None) -> float:
+        """Fraction of the window's error budget left (floored at 0).
+
+        1.0 with no (or no bad) events; 0.0 once the window's bad
+        fraction has reached ``1 - objective``.
+        """
+        now = self._clock() if now is None else now
+        self._trim(now)
+        total, bad = self._window_counts(self.policy.window_s, now)
+        if total == 0:
+            return 1.0
+        allowed = self.policy.budget_fraction * total
+        if allowed <= 0:
+            return 0.0 if bad else 1.0
+        return max(0.0, 1.0 - bad / allowed)
+
+
+class SLOTracker:
+    """The serving layer's SLO pair: availability and deadline budgets.
+
+    ``record(success=..., deadline_missed=...)`` feeds both budgets
+    from one job outcome; :meth:`gauges` exports burn rates and budget
+    remaining as flat gauge names
+    (``slo.availability.burn.60s``, ``slo.deadline.budget_remaining``)
+    for the tracer / registry, and :meth:`describe` renders the
+    compact ``--stats-every`` fragment.
+    """
+
+    def __init__(
+        self,
+        *,
+        availability: SLOPolicy | None = None,
+        deadline: SLOPolicy | None = None,
+        clock=monotonic,
+    ) -> None:
+        self.availability = ErrorBudget(
+            availability
+            if availability is not None
+            else SLOPolicy(name="availability"),
+            clock=clock,
+        )
+        self.deadline = ErrorBudget(
+            deadline
+            if deadline is not None
+            else SLOPolicy(name="deadline", objective=0.95),
+            clock=clock,
+        )
+
+    @property
+    def budgets(self) -> tuple[ErrorBudget, ErrorBudget]:
+        return (self.availability, self.deadline)
+
+    def record(
+        self,
+        *,
+        success: bool,
+        deadline_missed: bool = False,
+        t_s: float | None = None,
+    ) -> None:
+        self.availability.record(success, t_s=t_s)
+        self.deadline.record(not deadline_missed, t_s=t_s)
+
+    def gauges(self, *, now: float | None = None) -> dict[str, float]:
+        """Flat ``slo.*`` gauge map for export."""
+        out: dict[str, float] = {}
+        for budget in self.budgets:
+            prefix = f"slo.{budget.policy.name}"
+            for window, burn in budget.burn_rates(now=now).items():
+                out[f"{prefix}.burn.{window:g}s"] = burn
+            out[f"{prefix}.budget_remaining"] = budget.budget_remaining(
+                now=now
+            )
+        return out
+
+    def describe(self, *, now: float | None = None) -> str:
+        """Compact fragment for the periodic stats line."""
+        parts = []
+        for budget in self.budgets:
+            fastest = budget.policy.burn_windows_s[0]
+            parts.append(
+                f"{budget.policy.name[:5]}={budget.burn_rate(fastest, now=now):.2f}"
+            )
+        return "burn " + " ".join(parts)

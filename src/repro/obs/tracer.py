@@ -10,7 +10,12 @@ simulator.  Three event kinds:
   (``analog.multiplies``, ``crossbar.cells_written``) bumped with
   :meth:`Tracer.count`;
 - **gauges** — last-value-wins observations (``solver.iterations``)
-  set with :meth:`Tracer.gauge`.
+  set with :meth:`Tracer.gauge`;
+- **histogram observations** — distribution samples
+  (``service.latency_s``) folded with :meth:`Tracer.observe` into a
+  per-name :class:`~repro.obs.metrics.StreamingHistogram` (fixed log
+  buckets, so worker streams merge exactly; see
+  :mod:`repro.obs.metrics`).
 
 The default tracer is the module-level :data:`NOOP` singleton: every
 hook is an O(1) constant-returning method, so instrumented code paths
@@ -33,6 +38,7 @@ import dataclasses
 import itertools
 
 from repro.obs.clock import monotonic
+from repro.obs.metrics import StreamingHistogram
 
 
 @dataclasses.dataclass(frozen=True)
@@ -96,6 +102,25 @@ class GaugeEvent:
         }
 
 
+@dataclasses.dataclass(frozen=True)
+class HistEvent:
+    """One histogram observation, attributed to the innermost open span."""
+
+    name: str
+    value: float
+    t_s: float
+    span_id: int | None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "hist",
+            "name": self.name,
+            "value": self.value,
+            "t_s": self.t_s,
+            "span_id": self.span_id,
+        }
+
+
 class _NullSpan:
     """Reusable do-nothing span handle (singleton)."""
 
@@ -132,6 +157,9 @@ class Tracer:
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to ``value``."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the histogram ``name``."""
 
 
 #: Shared zero-overhead tracer; the default everywhere.
@@ -199,6 +227,9 @@ class RecordingTracer(Tracer):
         ``name -> accumulated total`` over all :meth:`count` calls.
     gauges:
         ``name -> last value`` over all :meth:`gauge` calls.
+    histograms:
+        ``name -> StreamingHistogram`` over all :meth:`observe` calls
+        (default bucket scheme, so histograms merge across tracers).
     """
 
     enabled = True
@@ -207,6 +238,7 @@ class RecordingTracer(Tracer):
         self.events: list = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, StreamingHistogram] = {}
         self._stack: list[int] = []
         self._ids = itertools.count(1)
 
@@ -229,6 +261,20 @@ class RecordingTracer(Tracer):
         self.gauges[name] = value
         self.events.append(
             GaugeEvent(
+                name=name,
+                value=value,
+                t_s=monotonic(),
+                span_id=self._stack[-1] if self._stack else None,
+            )
+        )
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = StreamingHistogram()
+        hist.observe(value)
+        self.events.append(
+            HistEvent(
                 name=name,
                 value=value,
                 t_s=monotonic(),

@@ -6,7 +6,9 @@ serving).  See :mod:`repro.service.service` for the scheduler,
 :mod:`repro.service.fingerprint` for the cache contract,
 :mod:`repro.service.jobs` for the deterministic job derivation, and
 :mod:`repro.service.resilience` for deadlines, retry backoff, circuit
-breakers, brownout degradation, and chaos campaigns.
+breakers, brownout degradation, and chaos campaigns, and
+:mod:`repro.service.telemetry` for the live metrics / SLO / flight-
+recorder surface behind ``--stats-every``.
 """
 
 from repro.service.fingerprint import structural_fingerprint
@@ -45,6 +47,7 @@ from repro.service.service import (
     default_serving_settings,
     summarize,
 )
+from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
     "FAULT_KINDS",
@@ -69,6 +72,7 @@ __all__ = [
     "PoolMember",
     "ServiceConfig",
     "ServiceSummary",
+    "ServiceTelemetry",
     "SolverService",
     "attempt_seed",
     "build_problem",

@@ -138,6 +138,11 @@ class CrossbarPool:
     breaker:
         Per-member circuit-breaker policy; ``None`` disables breakers
         (every member always passes the breaker gate).
+    on_breaker_transition:
+        Optional ``(member_id, old, new, tick)`` callback invoked on
+        every breaker state change, *after* the ``pool.breaker.*``
+        counters are emitted — the serving layer's telemetry hook
+        (state strings, e.g. ``"closed" -> "open"``).
     """
 
     def __init__(
@@ -149,6 +154,9 @@ class CrossbarPool:
         rng: np.random.Generator | None = None,
         tracer: Tracer | None = None,
         breaker: BreakerPolicy | None = None,
+        on_breaker_transition: Callable[
+            [int, str, str, int], None
+        ] | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be positive")
@@ -162,6 +170,7 @@ class CrossbarPool:
         self._ticks = itertools.count()
         self._acquires = 0
         self.breaker_policy = breaker
+        self.on_breaker_transition = on_breaker_transition
         if breaker is not None:
             for member in self.members:
                 member.breaker = CircuitBreaker(
@@ -187,6 +196,10 @@ class CrossbarPool:
             self.tracer.gauge(
                 f"pool.breaker.state.{member_id}", BREAKER_STATE_GAUGE[new]
             )
+            if self.on_breaker_transition is not None:
+                self.on_breaker_transition(
+                    member_id, old.value, new.value, tick
+                )
 
         return hook
 

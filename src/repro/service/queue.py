@@ -74,6 +74,10 @@ class PendingJob:
     first_dispatch_s:
         Clock reading at first dispatch; lets records report queueing
         and service time separately.  Never serialized.
+    submitted_s:
+        Clock reading at admission, stamped by the service; with
+        ``first_dispatch_s`` it yields the job's queue wait.  Never
+        serialized (wall-clock does not replay).
     """
 
     spec: JobSpec
@@ -86,6 +90,7 @@ class PendingJob:
     deadline: Deadline | None = None
     backoff_total_s: float = 0.0
     first_dispatch_s: float | None = None
+    submitted_s: float | None = None
 
     @property
     def effective_priority(self) -> int:

@@ -313,6 +313,7 @@ class DegradationController:
         policy: DegradationPolicy | None = None,
         *,
         tracer: Tracer | None = None,
+        on_transition=None,
     ) -> None:
         self.policy = policy if policy is not None else DegradationPolicy()
         self.tracer = tracer if tracer is not None else NOOP
@@ -323,6 +324,9 @@ class DegradationController:
         )
         self._since_change = 0
         self.transitions: list[tuple[int, int, int]] = []
+        #: Optional ``(old, new, samples)`` callback fired on every
+        #: tier change — the serving layer's telemetry hook.
+        self.on_transition = on_transition
 
     def failure_rate(self) -> float:
         """Failure share of the current window (0 when empty)."""
@@ -355,6 +359,8 @@ class DegradationController:
         else:
             self.tracer.count("service.degradation.recoveries")
         self.tracer.gauge("service.degradation.tier", int(new))
+        if self.on_transition is not None:
+            self.on_transition(int(old), int(new), self.samples)
 
     def record(self, success: bool) -> DegradationTier:
         """Fold one attempt outcome in; returns the (new) tier."""

@@ -53,9 +53,11 @@ from repro.core.result import (
     SolveStatus,
 )
 from repro.core.settings import CrossbarSolverSettings
+from repro.costmodel.energy import estimate_energy_from_counts
 from repro.devices import variation_from_percent
 from repro.obs.clock import Deadline, Stopwatch, monotonic
 from repro.obs.merge import absorb_events
+from repro.obs.metrics import exact_quantile
 from repro.obs.tracer import NOOP, RecordingTracer, Tracer
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbePolicy
@@ -73,6 +75,7 @@ from repro.service.resilience import (
     FaultCampaign,
     FaultEvent,
 )
+from repro.service.telemetry import ServiceTelemetry
 
 
 #: Default ``scale_headroom`` for served solves.  The library default
@@ -202,6 +205,12 @@ class JobAttempt:
     after the attempt failed, and ``injected_fault`` the chaos fault
     injected into the member *while this attempt was in flight* —
     post-mortem attribution that the failure was the fault's doing.
+
+    ``energy_j`` is the attempt's estimated energy, priced from the
+    attempt tracer's op counts by the Fig. 7 cost model — so a cold
+    placement's full structural program is charged to the attempt
+    that caused it.  Derived purely from deterministic counters, it
+    replays byte-identically and is safe to serialize.
     """
 
     index: int
@@ -215,6 +224,7 @@ class JobAttempt:
     tier: int = 0
     backoff_s: float = 0.0
     injected_fault: str | None = None
+    energy_j: float = 0.0
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -224,11 +234,14 @@ class JobAttempt:
 class JobRecord:
     """Final outcome of one job, with its full attempt history.
 
-    ``elapsed_seconds`` (first dispatch to completion, wall-clock) is
-    deliberately **excluded** from :meth:`to_dict`: the JSONL record
-    stream is part of the determinism contract — identical seed and
-    scenario must produce byte-identical records — and wall-clock
-    never replays.  Latency reporting reads the attribute directly.
+    ``elapsed_seconds`` (first dispatch to completion, wall-clock) and
+    ``queue_wait_s`` (admission to first dispatch) are deliberately
+    **excluded** from :meth:`to_dict`: the JSONL record stream is part
+    of the determinism contract — identical seed and scenario must
+    produce byte-identical records — and wall-clock never replays.
+    Latency reporting reads the attributes directly.  ``energy_j``
+    (the sum of per-attempt cost-model estimates) *is* serialized:
+    it derives only from deterministic op counters.
     """
 
     spec: JobSpec
@@ -239,6 +252,8 @@ class JobRecord:
     requeues: int
     fallback: bool = False
     elapsed_seconds: float = 0.0
+    queue_wait_s: float = 0.0
+    energy_j: float = 0.0
 
     @property
     def success(self) -> bool:
@@ -260,6 +275,7 @@ class JobRecord:
             "warm": self.warm,
             "requeues": self.requeues,
             "fallback": self.fallback,
+            "energy_j": self.energy_j,
             "message": self.result.message,
             "attempts": [attempt.to_dict() for attempt in self.attempts],
         }
@@ -278,6 +294,9 @@ class ServiceSummary:
     fallbacks: int
     cells_written: int
     elapsed_seconds: float
+    energy_j: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p99_s: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -305,6 +324,11 @@ class ServiceSummary:
                 f"reschedules:   {self.requeues} requeues, "
                 f"{self.fallbacks} digital fallbacks",
                 f"cells written: {self.cells_written}",
+                f"latency:       p50 {self.latency_p50_s * 1e3:.1f} ms, "
+                f"p99 {self.latency_p99_s * 1e3:.1f} ms",
+                f"energy:        {self.energy_j:.3g} J total "
+                f"({self.energy_j / self.jobs if self.jobs else 0.0:.3g} "
+                f"J/job)",
                 f"throughput:    {self.jobs_per_second:.2f} jobs/s "
                 f"({self.elapsed_seconds:.2f} s)",
             ]
@@ -337,10 +361,12 @@ class SolverService:
         config: ServiceConfig | None = None,
         *,
         tracer: Tracer | None = None,
+        telemetry: ServiceTelemetry | None = None,
         clock: Callable[[], float] = monotonic,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.tracer = tracer if tracer is not None else NOOP
+        self.telemetry = telemetry
         self.clock = clock
         self.pool = CrossbarPool(
             self.config.pool_size,
@@ -351,11 +377,18 @@ class SolverService:
             ),
             tracer=self.tracer,
             breaker=self.config.breaker,
+            on_breaker_transition=(
+                telemetry.on_breaker if telemetry is not None else None
+            ),
         )
         self.queue = JobQueue(self.config.queue_depth)
         self.degradation = (
             DegradationController(
-                self.config.degradation, tracer=self.tracer
+                self.config.degradation,
+                tracer=self.tracer,
+                on_transition=(
+                    telemetry.on_tier if telemetry is not None else None
+                ),
             )
             if self.config.degradation is not None
             else None
@@ -375,17 +408,23 @@ class SolverService:
         :class:`~repro.exceptions.QueueFullError` at the depth bound.
         """
         pending = self.queue.submit(spec)
-        self._stamp_fingerprint(pending)
-        self.tracer.count("service.jobs_submitted")
+        self._admit(pending)
         return pending
 
     def try_submit(self, spec: JobSpec) -> PendingJob | None:
         """Non-raising :meth:`submit`; ``None`` when the queue is full."""
         pending = self.queue.try_submit(spec)
         if pending is not None:
-            self._stamp_fingerprint(pending)
-            self.tracer.count("service.jobs_submitted")
+            self._admit(pending)
         return pending
+
+    def _admit(self, pending: PendingJob) -> None:
+        """Post-admission bookkeeping shared by both submit paths."""
+        pending.submitted_s = self.clock()
+        self._stamp_fingerprint(pending)
+        self.tracer.count("service.jobs_submitted")
+        if self.telemetry is not None:
+            self.telemetry.on_submit(pending.spec)
 
     def _stamp_fingerprint(self, pending: PendingJob) -> None:
         """Memoize the job's structural fingerprint at admission.
@@ -406,23 +445,37 @@ class SolverService:
 
     # -- execution -----------------------------------------------------------
 
-    def drain(self) -> list[JobRecord]:
-        """Run until the queue is empty; return the completed records."""
+    def drain(
+        self,
+        *,
+        on_record: Callable[[JobRecord], None] | None = None,
+    ) -> list[JobRecord]:
+        """Run until the queue is empty; return the completed records.
+
+        ``on_record`` is invoked with each record as it completes —
+        the hook behind live ``--stats-every`` printing.
+        """
         records: list[JobRecord] = []
         while self.queue:
             record = self._step()
             if record is not None:
                 records.append(record)
+                if on_record is not None:
+                    on_record(record)
         return records
 
     def batch(
-        self, specs: Iterable[JobSpec]
+        self,
+        specs: Iterable[JobSpec],
+        *,
+        on_record: Callable[[JobRecord], None] | None = None,
     ) -> tuple[list[JobRecord], ServiceSummary]:
         """Submit a stream of jobs with backpressure and run it dry.
 
         When the queue bound is hit, the service makes room by
         completing queued work before admitting the next spec — the
-        single-process version of "the producer blocks".
+        single-process version of "the producer blocks".  ``on_record``
+        fires per completed record, including the backpressure ones.
         """
         records: list[JobRecord] = []
         with Stopwatch() as clock:
@@ -431,7 +484,9 @@ class SolverService:
                     record = self._step()
                     if record is not None:
                         records.append(record)
-            records.extend(self.drain())
+                        if on_record is not None:
+                            on_record(record)
+            records.extend(self.drain(on_record=on_record))
         return records, summarize(records, clock.elapsed_seconds)
 
     # -- internals -----------------------------------------------------------
@@ -472,6 +527,8 @@ class SolverService:
         """
         self.tracer.count("service.chaos.events")
         campaign.fired += 1
+        if self.telemetry is not None:
+            self.telemetry.on_chaos(event)
         if event.kind == "queue_pulse":
             # Saturation pulse: filler jobs through *admission control*
             # (try_submit), so an already-full queue sheds them — the
@@ -603,7 +660,7 @@ class SolverService:
             # cache is not cold-started by a brownout.
             settings = dataclasses.replace(settings, write_verify=None)
 
-        result, member, warm, seed, cells = self._attempt(
+        result, member, warm, seed, cells, energy_j = self._attempt(
             pending, index, problem, settings, base_settings
         )
         self._last_fingerprint = pending.fingerprint
@@ -664,6 +721,7 @@ class SolverService:
                 tier=int(tier),
                 backoff_s=backoff_s,
                 injected_fault=injected,
+                energy_j=energy_j,
             )
         )
 
@@ -741,13 +799,18 @@ class SolverService:
         problem,
         settings: CrossbarSolverSettings,
         base_settings: CrossbarSolverSettings | None = None,
-    ) -> tuple[SolverResult | None, PoolMember | None, bool, int, int]:
+    ) -> tuple[
+        SolverResult | None, PoolMember | None, bool, int, int, float
+    ]:
         """One analog attempt under a ``service.job`` span.
 
-        Returns ``(result, member, warm, seed, cells_written)``; the
-        write count comes from the attempt's private tracer, so a cold
-        placement's full structural program is charged to the job that
-        caused it (the result's own counters cover only the solve).
+        Returns ``(result, member, warm, seed, cells_written,
+        energy_j)``; the write count and energy come from the
+        attempt's private tracer, so a cold placement's full
+        structural program is charged to the job that caused it (the
+        result's own counters cover only the solve).  ``energy_j`` is
+        the Fig. 7 cost-model estimate priced from those counts — a
+        deterministic function of the op counters, so it replays.
 
         ``settings`` may be a degraded variant of ``base_settings``
         (brownout tiers strip write-verify); fingerprints always derive
@@ -832,9 +895,23 @@ class SolverService:
                     self.pool.release(member)
                 span.set(status=result.status.value)
         cells = int(job_tracer.counters.get("crossbar.cells_written", 0.0))
+        energy_j = 0.0
+        if result is not None and result.crossbar is not None:
+            counters = job_tracer.counters
+            energy_j = estimate_energy_from_counts(
+                multiplies=counters.get("analog.multiplies", 0.0),
+                solves=counters.get("analog.solves", 0.0),
+                cells_written=counters.get("crossbar.cells_written", 0.0),
+                write_energy_j=counters.get(
+                    "crossbar.write_energy_j", 0.0
+                ),
+                array_size=result.crossbar.array_size,
+                iterations=result.iterations,
+                device=settings.device,
+            ).total_j
         if isinstance(self.tracer, RecordingTracer):
             absorb_events(self.tracer, job_tracer.event_dicts())
-        return result, member, warm, seed, cells
+        return result, member, warm, seed, cells, energy_j
 
     def _finalize(
         self,
@@ -853,6 +930,13 @@ class SolverService:
             if pending.first_dispatch_s is not None
             else 0.0
         )
+        queue_wait = (
+            pending.first_dispatch_s - pending.submitted_s
+            if pending.first_dispatch_s is not None
+            and pending.submitted_s is not None
+            else 0.0
+        )
+        energy_j = sum(attempt.energy_j for attempt in pending.attempts)
         record = JobRecord(
             spec=pending.spec,
             result=result,
@@ -862,6 +946,8 @@ class SolverService:
             requeues=max(0, analog_attempts - 1),
             fallback=fallback,
             elapsed_seconds=elapsed,
+            queue_wait_s=max(queue_wait, 0.0),
+            energy_j=energy_j,
         )
         if record.success:
             self.tracer.count("service.jobs_completed")
@@ -869,6 +955,24 @@ class SolverService:
             self.tracer.count("service.jobs_failed")
             if result.failure_reason is FailureReason.DEADLINE_EXCEEDED:
                 self.tracer.count("service.deadline_exceeded")
+        # Live-telemetry emission: the deterministic record is fully
+        # built first, so nothing below can alter what the service did
+        # or will serialize.  ``service.energy_j`` replays exactly via
+        # count events; latency / queue wait stream as ``hist`` events
+        # for the offline quantile audit.
+        if energy_j > 0:
+            self.tracer.count("service.energy_j", energy_j)
+        if elapsed > 0:
+            self.tracer.observe("service.latency_s", elapsed)
+        if record.queue_wait_s > 0:
+            self.tracer.observe("service.queue_wait_s", record.queue_wait_s)
+        self.tracer.gauge("service.queue.depth", float(len(self.queue)))
+        if self.telemetry is not None:
+            self.telemetry.on_job(
+                record,
+                queue_depth=len(self.queue),
+                tier=int(self.tier),
+            )
         return record
 
 
@@ -878,9 +982,11 @@ def summarize(
     """Aggregate a batch's records into a :class:`ServiceSummary`."""
     warm = cold = requeues = fallbacks = 0
     cells = 0
+    energy = 0.0
     for record in records:
         requeues += record.requeues
         fallbacks += 1 if record.fallback else 0
+        energy += record.energy_j
         for attempt in record.attempts:
             cells += attempt.cells_written
             if attempt.member is not None:
@@ -889,6 +995,11 @@ def summarize(
                 else:
                     cold += 1
     succeeded = sum(1 for record in records if record.success)
+    latencies = [
+        record.elapsed_seconds
+        for record in records
+        if record.elapsed_seconds > 0
+    ]
     return ServiceSummary(
         jobs=len(records),
         succeeded=succeeded,
@@ -899,4 +1010,7 @@ def summarize(
         fallbacks=fallbacks,
         cells_written=cells,
         elapsed_seconds=elapsed_seconds,
+        energy_j=energy,
+        latency_p50_s=exact_quantile(latencies, 0.5),
+        latency_p99_s=exact_quantile(latencies, 0.99),
     )

@@ -1,0 +1,245 @@
+"""Live serving telemetry: the service's streaming dashboard state.
+
+:class:`ServiceTelemetry` bundles the three obs-layer primitives into
+one object the :class:`~repro.service.service.SolverService` drives
+through narrow hooks:
+
+- a :class:`~repro.obs.metrics.MetricsRegistry` of streaming
+  histograms (latency, per-job energy, queue wait — global and
+  per-priority / per-group label sets) plus live gauges for queue
+  depth, brownout tier, and per-member breaker state;
+- an :class:`~repro.obs.slo.SLOTracker` folding every job outcome
+  into availability and deadline error budgets with multi-window
+  burn-rate gauges;
+- a :class:`~repro.obs.recorder.FlightRecorder` ring of recent job /
+  breaker / tier / chaos events, dumped to JSONL when a job fails, a
+  breaker opens, or the brownout tier changes.
+
+Everything here is wall-clock-side observability: nothing feeds back
+into scheduling, and the deterministic record stream is computed
+before any hook fires, so an attached telemetry object can never
+change what the service does — only what it reports.
+
+:meth:`ServiceTelemetry.stats_line` renders the one-line periodic
+status ``repro serve --stats-every N`` prints: throughput, windowed
+p50/p99 latency, energy per job, queue depth, tier, breaker states,
+and SLO burn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.obs.clock import monotonic
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOTracker
+from repro.service.resilience import DegradationTier
+
+#: Single-character badge per breaker state for the stats line:
+#: ``brk=CCO`` reads as "members 0,1 closed, member 2 open".
+_BREAKER_BADGE = {"closed": "C", "half_open": "H", "open": "O"}
+
+#: Failure-reason value that counts against the deadline SLO.
+_DEADLINE_REASON = "deadline_exceeded"
+
+
+class ServiceTelemetry:
+    """Aggregates live metrics, SLO budgets, and the flight recorder.
+
+    Parameters
+    ----------
+    registry / slo / recorder:
+        Pre-built components, or ``None`` to construct defaults.
+    flight_dir:
+        Directory the default flight recorder dumps into; ignored when
+        ``recorder`` is given.  ``None`` keeps the ring in memory only
+        (trips are still counted).
+    clock:
+        Time source for windows, budgets, and event stamps; injectable
+        for deterministic tests.
+    window_s:
+        Sliding-window width of the default registry's histograms.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        slo: SLOTracker | None = None,
+        recorder: FlightRecorder | None = None,
+        flight_dir=None,
+        clock: Callable[[], float] = monotonic,
+        window_s: float = 60.0,
+    ) -> None:
+        self.clock = clock
+        self.registry = (
+            registry
+            if registry is not None
+            else MetricsRegistry(window_s=window_s, clock=clock)
+        )
+        self.slo = slo if slo is not None else SLOTracker(clock=clock)
+        self.recorder = (
+            recorder
+            if recorder is not None
+            else FlightRecorder(directory=flight_dir, clock=clock)
+        )
+        self.jobs = 0
+        self.succeeded = 0
+        self.energy_j_total = 0.0
+        self.queue_depth = 0
+        self.tier = DegradationTier.NORMAL
+        self.breaker_states: dict[int, str] = {}
+        self._started_s = clock()
+
+    # -- service hooks -------------------------------------------------------
+
+    def on_submit(self, spec) -> None:
+        """One job admitted (``submit`` / ``try_submit`` success)."""
+        self.registry.inc("service.jobs_submitted")
+
+    def on_job(
+        self, record, *, queue_depth: int = 0, tier: int = 0
+    ) -> None:
+        """One job finished (either way); fold it into every surface."""
+        self.jobs += 1
+        self.queue_depth = queue_depth
+        success = record.success
+        if success:
+            self.succeeded += 1
+        self.registry.inc("service.jobs_completed" if success else "service.jobs_failed")
+        self.registry.set_gauge("service.queue.depth", float(queue_depth))
+
+        labels: Mapping[str, str] = {
+            "priority": str(record.spec.priority),
+            "group": str(record.spec.group),
+        }
+        latency_s = record.elapsed_seconds
+        if latency_s > 0:
+            self.registry.observe("service.latency_s", latency_s)
+            self.registry.observe(
+                "service.latency_s", latency_s, labels=labels
+            )
+        queue_wait = getattr(record, "queue_wait_s", 0.0)
+        if queue_wait > 0:
+            self.registry.observe("service.queue_wait_s", queue_wait)
+        energy = getattr(record, "energy_j", 0.0)
+        if energy > 0:
+            self.energy_j_total += energy
+            self.registry.inc("service.energy_j", energy)
+            self.registry.observe("service.job_energy_j", energy)
+            self.registry.observe(
+                "service.job_energy_j", energy, labels=labels
+            )
+
+        reason = record.result.failure_reason.value
+        deadline_missed = reason == _DEADLINE_REASON
+        self.slo.record(success=success, deadline_missed=deadline_missed)
+        for name, value in self.slo.gauges().items():
+            self.registry.set_gauge(name, value)
+
+        self.recorder.record(
+            "job",
+            job_id=record.spec.job_id,
+            status=record.result.status.value,
+            failure_reason=reason,
+            member=record.member,
+            warm=record.warm,
+            requeues=record.requeues,
+            fallback=record.fallback,
+            tier=tier,
+            latency_s=latency_s,
+            energy_j=energy,
+        )
+        if not success:
+            self.recorder.trip(
+                "job_failed",
+                job_id=record.spec.job_id,
+                failure_reason=reason,
+            )
+
+    def on_breaker(
+        self, member_id: int, old: str, new: str, tick: int
+    ) -> None:
+        """One member's circuit breaker changed state."""
+        self.breaker_states[member_id] = new
+        self.registry.set_gauge(
+            "pool.breaker.state",
+            float(
+                {"closed": 0, "half_open": 1, "open": 2}.get(new, 0)
+            ),
+            labels={"member": str(member_id)},
+        )
+        self.recorder.record(
+            "breaker", member=member_id, old=old, new=new, tick=tick
+        )
+        if new == "open":
+            self.recorder.trip(
+                "breaker_open", member=member_id, previous=old, tick=tick
+            )
+
+    def on_tier(self, old: int, new: int, samples: int) -> None:
+        """The brownout controller moved tiers."""
+        self.tier = DegradationTier(new)
+        self.registry.set_gauge("service.degradation.tier", float(new))
+        self.recorder.record(
+            "tier", old=old, new=new, samples=samples
+        )
+        self.recorder.trip(
+            "tier_change",
+            old=DegradationTier(old).name,
+            new=DegradationTier(new).name,
+            samples=samples,
+        )
+
+    def on_chaos(self, event) -> None:
+        """One chaos-campaign event fired into the live service."""
+        self.registry.inc("service.chaos.events")
+        self.recorder.record(
+            "chaos",
+            fault=event.kind,
+            at_job=event.at_job,
+            member=event.member,
+        )
+
+    # -- rendering -----------------------------------------------------------
+
+    def _quantiles_ms(self) -> tuple[float, float]:
+        """Windowed (p50, p99) latency in ms, cumulative fallback.
+
+        The sliding window goes empty during an idle stretch; falling
+        back to the cumulative histogram keeps the stats line showing
+        the run's percentiles instead of zeros.
+        """
+        series = self.registry.histogram("service.latency_s")
+        hist = series.window.snapshot()
+        if hist.count == 0:
+            hist = series.cumulative
+        return hist.quantile(0.5) * 1e3, hist.quantile(0.99) * 1e3
+
+    def stats_line(self) -> str:
+        """One-line live status for ``--stats-every`` printing."""
+        elapsed = max(self.clock() - self._started_s, 1e-9)
+        rate = self.jobs / elapsed
+        p50_ms, p99_ms = self._quantiles_ms()
+        energy_per_job = (
+            self.energy_j_total / self.jobs if self.jobs else 0.0
+        )
+        badges = "".join(
+            _BREAKER_BADGE.get(self.breaker_states[m], "?")
+            for m in sorted(self.breaker_states)
+        )
+        parts = [
+            f"jobs={self.jobs}",
+            f"ok={self.succeeded}",
+            f"{rate:.1f} jobs/s",
+            f"p50={p50_ms:.1f}ms",
+            f"p99={p99_ms:.1f}ms",
+            f"energy/job={energy_per_job:.3g}J",
+            f"q={self.queue_depth}",
+            f"tier={self.tier.name}",
+        ]
+        if badges:
+            parts.append(f"brk={badges}")
+        parts.append(self.slo.describe())
+        return "  ".join(parts)

@@ -1,0 +1,178 @@
+"""Acceptance: live telemetry reconciles against offline span replay.
+
+A 50-job chaos batch is run once with the full telemetry surface
+attached.  The contract locked in here:
+
+1. counters reconcile *exactly* — total energy attributed live equals
+   both the sum over serialized records and the counter rebuilt from
+   the trace by :func:`replay_counters`;
+2. latency histograms reconcile *exactly* — replaying the trace's
+   ``hist`` events bucket-wise reproduces the registry's cumulative
+   histogram (streaming aggregation is a pure fold over observations);
+3. histogram quantile estimates sit within the documented
+   ``BucketScheme.relative_error`` bound of the exact quantiles
+   computed from the records;
+4. the chaos storm trips the flight recorder and the dump's trigger
+   event is the last line of the recording.
+"""
+
+import pytest
+
+from repro.analysis.spans import replay_counters, replay_histograms
+from repro.obs import RecordingTracer
+from repro.obs.metrics import DEFAULT_SCHEME, exact_quantile
+from repro.obs.recorder import read_flight_jsonl
+from repro.service import (
+    FaultCampaign,
+    FaultEvent,
+    ServiceConfig,
+    ServiceTelemetry,
+    SolverService,
+    synthesize_jobs,
+)
+
+JOBS = 50
+
+
+@pytest.fixture(scope="module")
+def chaos_run(tmp_path_factory):
+    flight_dir = tmp_path_factory.mktemp("flights")
+    telemetry = ServiceTelemetry(flight_dir=flight_dir)
+    tracer = RecordingTracer()
+    campaign = FaultCampaign(
+        [
+            # Non-sticky stuck rows on the member that stays alive:
+            # attempts fail, recovery reprograms it back to health, and
+            # the fail/heal churn keeps feeding degradation-window
+            # samples — the reliable path to a brownout tier change
+            # (sticky faults just get the member retired, after which
+            # fallback jobs acquire no member and feed no samples).
+            FaultEvent(at_job=2, kind="stuck_cells", member=0,
+                       row_fraction=0.5),
+            FaultEvent(at_job=5, kind="member_death", member=1),
+            FaultEvent(at_job=8, kind="drift", member=0,
+                       magnitude=0.2),
+            FaultEvent(at_job=10, kind="queue_pulse", jobs=3,
+                       constraints=9),
+        ],
+        name="reconcile-storm",
+        seed=7,
+    )
+    config = ServiceConfig(
+        pool_size=2,
+        base_seed=7,
+        digital_fallback="reference",
+        campaign=campaign,
+    )
+    service = SolverService(config, tracer=tracer, telemetry=telemetry)
+    specs = synthesize_jobs(JOBS, groups=2, constraints=10)
+    records, summary = service.batch(specs)
+    return service, telemetry, tracer, records, summary
+
+
+class TestEnergyReconciles:
+    def test_live_total_equals_record_sum_exactly(self, chaos_run):
+        _, telemetry, _, records, summary = chaos_run
+        record_sum = sum(record.energy_j for record in records)
+        assert record_sum > 0
+        assert telemetry.energy_j_total == pytest.approx(
+            record_sum, rel=1e-12
+        )
+        assert summary.energy_j == pytest.approx(record_sum, rel=1e-12)
+
+    def test_trace_replay_matches_live_counter(self, chaos_run):
+        _, telemetry, tracer, records, _ = chaos_run
+        replayed = replay_counters(tracer.event_dicts())
+        assert replayed["service.energy_j"] == pytest.approx(
+            sum(record.energy_j for record in records), rel=1e-12
+        )
+        assert replayed["service.jobs_completed"] == len(records)
+
+    def test_every_job_counted(self, chaos_run):
+        _, telemetry, _, records, _ = chaos_run
+        assert len(records) > JOBS  # queue_pulse added filler jobs
+        assert telemetry.jobs == len(records)
+
+
+class TestLatencyReconciles:
+    def test_replayed_histogram_equals_live_exactly(self, chaos_run):
+        _, telemetry, tracer, _, _ = chaos_run
+        replayed = replay_histograms(tracer.event_dicts())
+        live = telemetry.registry.histogram("service.latency_s")
+        assert replayed["service.latency_s"] == live.cumulative
+        assert (
+            replayed["service.latency_s"]
+            == tracer.histograms["service.latency_s"]
+        )
+
+    def test_quantiles_within_documented_error(self, chaos_run):
+        _, telemetry, _, records, _ = chaos_run
+        latencies = [
+            record.elapsed_seconds
+            for record in records
+            if record.elapsed_seconds > 0
+        ]
+        live = telemetry.registry.histogram(
+            "service.latency_s"
+        ).cumulative
+        assert live.count == len(latencies)
+        # The histogram guarantee is relative to *order statistics*:
+        # the estimate lands within one bucket (relative_error) of an
+        # observed value at the requested rank.  exact_quantile()
+        # interpolates between neighbouring order statistics, so bound
+        # the estimate by the bracketing pair, each widened by the
+        # documented bucket error.
+        bound = DEFAULT_SCHEME.relative_error
+        ordered = sorted(latencies)
+        for q in (0.5, 0.99):
+            rank = q * (len(ordered) - 1)
+            lo = ordered[int(rank)]
+            hi = ordered[min(int(rank) + 1, len(ordered) - 1)]
+            estimate = live.quantile(q)
+            assert lo * (1 - bound) - 1e-12 <= estimate
+            assert estimate <= hi * (1 + bound) + 1e-12
+            # And interpolated truth stays within the same widened
+            # bracket — the reconciliation the issue asks for.
+            truth = exact_quantile(latencies, q)
+            assert lo <= truth <= hi
+
+    def test_stats_line_shows_nonzero_p99_and_energy(self, chaos_run):
+        _, telemetry, _, _, _ = chaos_run
+        line = telemetry.stats_line()
+        assert "p99=0.0ms" not in line
+        assert "energy/job=0J" not in line
+        assert "p99=" in line and "energy/job=" in line
+
+
+class TestFlightRecorderTripped:
+    def test_storm_produced_a_dump(self, chaos_run):
+        _, telemetry, _, _, _ = chaos_run
+        assert telemetry.recorder.trips > 0
+        assert telemetry.recorder.dumps
+
+    def test_dump_ends_with_triggering_event(self, chaos_run):
+        _, telemetry, _, _, _ = chaos_run
+        events = read_flight_jsonl(telemetry.recorder.dumps[0])
+        trigger = events[-1]
+        assert trigger["kind"] == "trip"
+        assert trigger["reason"] in {
+            "tier_change",
+            "breaker_open",
+            "job_failed",
+        }
+        # The ring context around the trigger includes the chaos event
+        # that caused it.
+        kinds = {event["kind"] for event in events}
+        assert "chaos" in kinds
+
+
+class TestSLOFed:
+    def test_budgets_saw_every_job(self, chaos_run):
+        _, telemetry, _, records, _ = chaos_run
+        assert telemetry.slo.availability.total == len(records)
+        assert (
+            telemetry.registry.gauge_value(
+                "slo.availability.budget_remaining"
+            )
+            is not None
+        )

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.obs.merge import absorb_events
-from repro.obs.tracer import RecordingTracer, SpanEvent
+from repro.obs.metrics import StreamingHistogram
+from repro.obs.tracer import HistEvent, RecordingTracer, SpanEvent
 
 
 def worker_events():
@@ -75,3 +76,79 @@ class TestAbsorbEvents:
         parent = RecordingTracer()
         with pytest.raises(ValueError, match="kind"):
             absorb_events(parent, [{"kind": "trace"}])
+
+
+def worker_stream(values, gauge_value):
+    """One worker's events: latency observations plus a final gauge."""
+    worker = RecordingTracer()
+    with worker.span("job"):
+        for value in values:
+            worker.observe("service.latency_s", value)
+        worker.gauge("service.queue.depth", gauge_value)
+    return worker.event_dicts()
+
+
+class TestMultiWorkerFolding:
+    """Satellite: gauge and histogram folding across worker streams."""
+
+    def test_gauges_are_last_write_wins(self):
+        parent = RecordingTracer()
+        absorb_events(parent, worker_stream([0.01], gauge_value=5))
+        absorb_events(parent, worker_stream([0.02], gauge_value=2))
+        assert parent.gauges["service.queue.depth"] == 2
+
+    def test_histograms_fold_by_bucket_addition(self):
+        # Replaying both workers' observations into the parent must
+        # equal the workers' own histograms merged bucket-wise.
+        first_values = [0.001, 0.004, 0.02]
+        second_values = [0.008, 0.5, 3.0, 0.002]
+        parent = RecordingTracer()
+        absorb_events(parent, worker_stream(first_values, gauge_value=1))
+        absorb_events(parent, worker_stream(second_values, gauge_value=1))
+
+        expected = StreamingHistogram()
+        by_hand = StreamingHistogram()
+        for value in first_values + second_values:
+            expected.observe(value)
+        for values in (first_values, second_values):
+            one = StreamingHistogram()
+            for value in values:
+                one.observe(value)
+            by_hand.merge(one)
+        folded = parent.histograms["service.latency_s"]
+        assert folded == expected
+        assert folded == by_hand
+        assert folded.count == len(first_values) + len(second_values)
+
+    def test_hist_events_reparent_like_counters(self):
+        parent = RecordingTracer()
+        with parent.span("batch"):
+            absorb_events(parent, worker_stream([0.01, 0.02], 1))
+        spans = {
+            e.name: e for e in parent.events if isinstance(e, SpanEvent)
+        }
+        hist_events = [
+            e for e in parent.events if isinstance(e, HistEvent)
+        ]
+        assert len(hist_events) == 2
+        # Observations recorded inside the worker's "job" span carry
+        # the remapped id of that span, not the worker's original.
+        assert {e.span_id for e in hist_events} == {
+            spans["job"].span_id
+        }
+        assert spans["job"].parent_id == spans["batch"].span_id
+
+    def test_rootless_hist_events_attach_to_open_span(self):
+        worker = RecordingTracer()
+        worker.observe("service.latency_s", 0.05)  # outside any span
+        parent = RecordingTracer()
+        with parent.span("batch"):
+            absorb_events(parent, worker.event_dicts())
+        batch = next(
+            e for e in parent.events if isinstance(e, SpanEvent)
+        )
+        hist_event = next(
+            e for e in parent.events if isinstance(e, HistEvent)
+        )
+        assert hist_event.span_id == batch.span_id
+        assert parent.histograms["service.latency_s"].count == 1

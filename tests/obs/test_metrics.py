@@ -1,0 +1,210 @@
+"""Tests for streaming histograms, windows, and the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SCHEME,
+    BucketScheme,
+    MetricsRegistry,
+    StreamingHistogram,
+    WindowedHistogram,
+    exact_quantile,
+    label_key,
+)
+
+
+class TestExactQuantile:
+    def test_empty_is_zero(self):
+        assert exact_quantile([], 0.5) == 0.0
+
+    def test_endpoints_are_min_and_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert exact_quantile(values, 0.0) == 1.0
+        assert exact_quantile(values, 1.0) == 5.0
+
+    def test_median_interpolates(self):
+        assert exact_quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_matches_numpy_linear(self):
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(size=101).tolist()
+        for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            assert exact_quantile(values, q) == pytest.approx(
+                float(np.quantile(values, q))
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], 1.5)
+
+
+class TestBucketScheme:
+    def test_default_error_bound(self):
+        assert DEFAULT_SCHEME.relative_error == pytest.approx(
+            10 ** (1 / 20) - 1
+        )
+
+    def test_under_and_overflow_indices(self):
+        scheme = BucketScheme(lo=1e-3, hi=1e3, buckets_per_decade=10)
+        assert scheme.index(0.0) == 0
+        assert scheme.index(-5.0) == 0
+        assert scheme.index(1e9) == scheme.n_buckets + 1
+
+    def test_every_value_lands_inside_its_bounds(self):
+        scheme = BucketScheme(lo=1e-3, hi=1e3, buckets_per_decade=7)
+        for value in (1e-3, 0.02, 0.5, 1.0, 37.0, 999.0):
+            index = scheme.index(value)
+            lower, upper = scheme.bounds(index)
+            assert lower <= value < upper
+
+    def test_roundtrip(self):
+        scheme = BucketScheme(lo=1e-6, hi=1e6, buckets_per_decade=5)
+        assert BucketScheme.from_dict(scheme.to_dict()) == scheme
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BucketScheme(lo=1.0, hi=0.5)
+        with pytest.raises(ValueError):
+            BucketScheme(buckets_per_decade=0)
+
+
+class TestStreamingHistogram:
+    def test_exact_aggregates(self):
+        hist = StreamingHistogram()
+        for value in (0.5, 1.5, 2.5):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(4.5)
+        assert hist.min_value == 0.5
+        assert hist.max_value == 2.5
+        assert hist.mean == pytest.approx(1.5)
+
+    def test_quantile_within_documented_error(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 1.5) for _ in range(2000)]
+        hist = StreamingHistogram()
+        for value in values:
+            hist.observe(value)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            truth = exact_quantile(values, q)
+            estimate = hist.quantile(q)
+            assert abs(estimate - truth) <= (
+                DEFAULT_SCHEME.relative_error * truth + 1e-12
+            )
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = StreamingHistogram()
+        hist.observe(0.013)
+        assert hist.quantile(0.0) == 0.013
+        assert hist.quantile(1.0) == 0.013
+
+    def test_empty_quantile_is_zero(self):
+        assert StreamingHistogram().quantile(0.99) == 0.0
+
+    def test_merge_equals_combined_observation(self):
+        first, second, combined = (
+            StreamingHistogram(),
+            StreamingHistogram(),
+            StreamingHistogram(),
+        )
+        for value in (0.1, 0.4, 2.0):
+            first.observe(value)
+            combined.observe(value)
+        for value in (5.0, 0.02):
+            second.observe(value)
+            combined.observe(value)
+        assert first.merge(second) == combined
+
+    def test_merge_rejects_scheme_mismatch(self):
+        other = StreamingHistogram(BucketScheme(buckets_per_decade=5))
+        with pytest.raises(ValueError, match="scheme"):
+            StreamingHistogram().merge(other)
+
+    def test_cumulative_buckets_end_at_inf_with_count(self):
+        hist = StreamingHistogram()
+        for value in (0.001, 10.0, 1e12):  # includes overflow
+            hist.observe(value)
+        buckets = hist.cumulative_buckets()
+        assert math.isinf(buckets[-1][0])
+        assert buckets[-1][1] == 3
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+
+    def test_serialization_roundtrip(self):
+        hist = StreamingHistogram()
+        for value in (0.25, 0.5, 123.0):
+            hist.observe(value)
+        assert StreamingHistogram.from_dict(hist.to_dict()) == hist
+
+
+class TestWindowedHistogram:
+    def test_old_slices_fall_out(self):
+        t = {"now": 0.0}
+        window = WindowedHistogram(
+            window_s=6.0, slices=3, clock=lambda: t["now"]
+        )
+        window.observe(1.0)
+        t["now"] = 1.0
+        assert window.snapshot().count == 1
+        t["now"] = 100.0  # far past the window
+        assert window.snapshot().count == 0
+
+    def test_snapshot_merges_live_slices(self):
+        t = {"now": 0.0}
+        window = WindowedHistogram(
+            window_s=6.0, slices=3, clock=lambda: t["now"]
+        )
+        for step in range(3):
+            t["now"] = step * 2.0
+            window.observe(float(step + 1))
+        snap = window.snapshot()
+        assert snap.count == 3
+        assert snap.total == pytest.approx(6.0)
+
+
+class TestMetricsRegistry:
+    def test_label_key_is_canonical(self):
+        assert label_key({"b": "2", "a": "1"}) == (("a", "1"), ("b", "2"))
+        assert label_key(None) == ()
+
+    def test_counters_accumulate_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs", labels={"priority": "1"})
+        registry.inc("jobs", 2.0, labels={"priority": "1"})
+        registry.inc("jobs", labels={"priority": "2"})
+        assert registry.counter_value(
+            "jobs", labels={"priority": "1"}
+        ) == 3.0
+        assert registry.counter_value(
+            "jobs", labels={"priority": "2"}
+        ) == 1.0
+        assert registry.counter_value("jobs") == 0.0
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 5.0)
+        registry.set_gauge("depth", 2.0)
+        assert registry.gauge_value("depth") == 2.0
+
+    def test_observe_feeds_cumulative_and_window(self):
+        t = {"now": 0.0}
+        registry = MetricsRegistry(
+            window_s=6.0, slices=3, clock=lambda: t["now"]
+        )
+        registry.observe("latency", 0.5)
+        t["now"] = 100.0
+        registry.observe("latency", 1.5)
+        series = registry.histogram("latency")
+        assert series.cumulative.count == 2
+        assert series.window.snapshot().count == 1  # old slice evicted
+
+    def test_iteration_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        assert [name for name, _, _ in registry.counters()] == ["a", "b"]

@@ -1,0 +1,85 @@
+"""Tests for the flight-recorder ring buffer and its JSONL dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import (
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    read_flight_jsonl,
+)
+
+
+class TestRing:
+    def test_capacity_bounds_retention(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            recorder.record("job", index=index)
+        assert len(recorder) == 3
+        assert [event["index"] for event in recorder.events] == [2, 3, 4]
+
+    def test_sequence_numbers_survive_eviction(self):
+        recorder = FlightRecorder(capacity=2)
+        for _ in range(4):
+            recorder.record("job")
+        assert [event["seq"] for event in recorder.events] == [2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(max_dumps=-1)
+
+
+class TestTrip:
+    def test_dump_contains_trigger_last(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        recorder.record("job", job_id="a")
+        recorder.record("breaker", member=1)
+        path = recorder.trip("breaker_open", member=1)
+        assert path is not None and path.exists()
+        events = read_flight_jsonl(path)
+        assert events[-1]["kind"] == "trip"
+        assert events[-1]["reason"] == "breaker_open"
+        assert events[-1]["member"] == 1
+        assert [event["kind"] for event in events[:-1]] == [
+            "job",
+            "breaker",
+        ]
+
+    def test_header_declares_format_and_reason(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        path = recorder.trip("job_failed")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == FLIGHT_FORMAT
+        assert header["reason"] == "job_failed"
+
+    def test_no_directory_records_trip_without_dump(self):
+        recorder = FlightRecorder()
+        assert recorder.trip("job_failed") is None
+        assert recorder.trips == 1
+        assert recorder.dumps == []
+        # The trip event still lands in the ring.
+        assert recorder.events[-1]["kind"] == "trip"
+
+    def test_dump_cap_suppresses_fault_storms(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path, max_dumps=2)
+        paths = [recorder.trip(f"r{i}") for i in range(5)]
+        assert sum(1 for path in paths if path is not None) == 2
+        assert recorder.trips == 5
+        assert recorder.suppressed_trips == 3
+        assert len(list(tmp_path.glob("flight-*.jsonl"))) == 2
+
+    def test_filenames_slugged_and_ordered(self, tmp_path):
+        recorder = FlightRecorder(directory=tmp_path)
+        first = recorder.trip("tier change!")
+        second = recorder.trip("breaker_open")
+        assert first.name == "flight-000-tier-change.jsonl"
+        assert second.name == "flight-001-breaker_open.jsonl"
+
+    def test_read_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "not_flight.jsonl"
+        path.write_text('{"kind": "meta", "format": "other"}\n')
+        with pytest.raises(ValueError, match=FLIGHT_FORMAT):
+            read_flight_jsonl(path)

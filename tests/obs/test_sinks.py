@@ -5,13 +5,21 @@ import json
 import pytest
 
 from repro.obs import (
+    MetricsRegistry,
     RecordingTracer,
+    StreamingHistogram,
     read_trace_jsonl,
     render_metrics,
     write_metrics_textfile,
     write_trace_jsonl,
 )
-from repro.obs.sinks import TRACE_FORMAT, metric_name
+from repro.obs.sinks import (
+    TRACE_FORMAT,
+    label_name,
+    metric_name,
+    render_histogram,
+    render_registry,
+)
 
 
 @pytest.fixture
@@ -50,6 +58,112 @@ class TestJsonl:
             read_trace_jsonl(path)
 
 
+class TestMetricName:
+    """Regression coverage: every Prometheus-illegal character class."""
+
+    def test_dots_become_underscores(self):
+        assert metric_name("analog.multiplies", "_total") == (
+            "repro_analog_multiplies_total"
+        )
+
+    def test_dashes_and_spaces(self):
+        assert metric_name("a b-c") == "repro_a_b_c"
+        assert metric_name("queue-wait-s") == "repro_queue_wait_s"
+
+    def test_slashes_and_unicode_collapse_to_one_underscore(self):
+        assert metric_name("jobs/sec") == "repro_jobs_sec"
+        assert metric_name("a/—/b") == "repro_a_b"
+
+    def test_runs_of_illegal_chars_collapse(self):
+        assert metric_name("a..b--c  d") == "repro_a_b_c_d"
+
+    def test_leading_digit_guarded_when_prefix_empty(self):
+        assert metric_name("0errors", prefix="") == "_0errors"
+        assert metric_name("errors", prefix="") == "errors"
+
+    def test_empty_name_still_legal(self):
+        assert metric_name("", prefix="") == "_"
+
+    def test_colons_preserved(self):
+        assert metric_name("ns:metric") == "repro_ns:metric"
+
+    def test_result_is_always_legal(self):
+        import re
+
+        legal = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for hostile in ("9-lives", "a/b\\c", "Ω", "..", "le{}=\"x\""):
+            assert legal.match(metric_name(hostile)), hostile
+            assert legal.match(metric_name(hostile, prefix="")), hostile
+
+
+class TestLabelName:
+    def test_sanitizes_and_guards_digits(self):
+        assert label_name("pool.member") == "pool_member"
+        assert label_name("0th") == "_0th"
+
+    def test_no_colons_in_label_names(self):
+        assert label_name("a:b") == "a_b"
+
+
+class TestHistogramRendering:
+    def test_bucket_sum_count_lines(self):
+        hist = StreamingHistogram()
+        for value in (0.001, 0.002, 0.004, 0.008):
+            hist.observe(value)
+        lines = render_histogram("service.latency_s", hist)
+        assert lines[0].startswith("# HELP repro_service_latency_s")
+        assert lines[1] == "# TYPE repro_service_latency_s histogram"
+        assert lines[-2].startswith("repro_service_latency_s_sum ")
+        assert lines[-1] == "repro_service_latency_s_count 4"
+        inf_lines = [ln for ln in lines if 'le="+Inf"' in ln]
+        assert len(inf_lines) == 1 and inf_lines[0].endswith(" 4")
+
+    def test_buckets_are_cumulative_nondecreasing(self):
+        hist = StreamingHistogram()
+        for value in (0.5, 1.0, 2.0, 4.0, 8.0):
+            hist.observe(value)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in render_histogram("m", hist)
+            if "_bucket{" in line
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_labels_ride_alongside_le(self):
+        hist = StreamingHistogram()
+        hist.observe(1.0)
+        lines = render_histogram(
+            "m", hist, labels={"priority": "2"}
+        )
+        bucket = next(line for line in lines if "_bucket{" in line)
+        assert 'priority="2"' in bucket and 'le="' in bucket
+        assert any('repro_m_sum{priority="2"}' in ln for ln in lines)
+
+
+class TestRegistryRendering:
+    def test_labeled_series_and_single_header(self):
+        registry = MetricsRegistry()
+        registry.inc("service.jobs", labels={"priority": "1"})
+        registry.inc("service.jobs", 2.0, labels={"priority": "2"})
+        registry.set_gauge("service.queue.depth", 5.0)
+        registry.observe("service.latency_s", 0.25)
+        registry.observe(
+            "service.latency_s", 0.5, labels={"priority": "2"}
+        )
+        body = render_registry(registry)
+        assert 'repro_service_jobs_total{priority="1"} 1' in body
+        assert 'repro_service_jobs_total{priority="2"} 2' in body
+        assert "repro_service_queue_depth 5" in body
+        # One HELP/TYPE header per base name, even across label sets.
+        assert body.count("# TYPE repro_service_jobs_total counter") == 1
+        assert body.count("# TYPE repro_service_latency_s histogram") == 1
+        assert 'repro_service_latency_s_bucket{priority="2",le="' in body
+
+    def test_empty_registry_renders_empty(self):
+        assert render_registry(MetricsRegistry()) == ""
+
+
 class TestMetrics:
     def test_metric_name_sanitized(self):
         assert metric_name("analog.multiplies", "_total") == (
@@ -83,3 +197,23 @@ class TestMetrics:
     def test_empty_tracer_renders(self, tmp_path):
         body = render_metrics(RecordingTracer())
         assert body == "\n"
+
+    def test_tracer_histograms_rendered(self):
+        tracer = RecordingTracer()
+        tracer.observe("service.latency_s", 0.01)
+        tracer.observe("service.latency_s", 0.02)
+        body = render_metrics(tracer)
+        assert "# TYPE repro_service_latency_s histogram" in body
+        assert "repro_service_latency_s_count 2" in body
+
+    def test_registry_appended_after_tracer_metrics(self, tmp_path):
+        tracer = RecordingTracer()
+        tracer.count("analog.multiplies")
+        registry = MetricsRegistry()
+        registry.inc("service.jobs", labels={"priority": "1"})
+        path = write_metrics_textfile(
+            tracer, tmp_path / "m.prom", registry=registry
+        )
+        body = path.read_text()
+        assert "repro_analog_multiplies_total 1" in body
+        assert 'repro_service_jobs_total{priority="1"} 1' in body

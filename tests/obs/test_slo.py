@@ -1,0 +1,116 @@
+"""Tests for error budgets and burn-rate gauges."""
+
+import pytest
+
+from repro.obs.slo import ErrorBudget, SLOPolicy, SLOTracker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSLOPolicy:
+    def test_budget_fraction(self):
+        assert SLOPolicy(objective=0.99).budget_fraction == pytest.approx(
+            0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(objective=1.0)
+        with pytest.raises(ValueError):
+            SLOPolicy(window_s=0.0)
+        with pytest.raises(ValueError):
+            SLOPolicy(burn_windows_s=())
+        with pytest.raises(ValueError):
+            SLOPolicy(window_s=60.0, burn_windows_s=(120.0,))
+
+
+class TestErrorBudget:
+    def policy(self) -> SLOPolicy:
+        return SLOPolicy(
+            objective=0.9, window_s=100.0, burn_windows_s=(10.0, 50.0)
+        )
+
+    def test_no_events_no_burn(self):
+        budget = ErrorBudget(self.policy(), clock=FakeClock())
+        assert budget.error_rate() == 0.0
+        assert budget.burn_rate() == 0.0
+        assert budget.budget_remaining() == 1.0
+
+    def test_burn_rate_unity_at_objective_boundary(self):
+        clock = FakeClock()
+        budget = ErrorBudget(self.policy(), clock=clock)
+        # 10% failures == exactly the allowed budget -> burn rate 1.0.
+        for index in range(10):
+            budget.record(index != 0)
+            clock.now += 1.0
+        assert budget.burn_rate(10.0) == pytest.approx(1.0)
+
+    def test_all_failures_burn_at_inverse_budget(self):
+        clock = FakeClock()
+        budget = ErrorBudget(self.policy(), clock=clock)
+        for _ in range(5):
+            budget.record(False)
+        assert budget.burn_rate(10.0) == pytest.approx(10.0)
+        assert budget.budget_remaining() == 0.0
+
+    def test_old_events_age_out(self):
+        clock = FakeClock()
+        budget = ErrorBudget(self.policy(), clock=clock)
+        budget.record(False)
+        clock.now = 99.0
+        assert budget.error_rate() == pytest.approx(1.0)
+        clock.now = 101.0
+        assert budget.error_rate() == 0.0
+        assert budget.budget_remaining() == 1.0
+
+    def test_short_window_sees_only_recent(self):
+        clock = FakeClock()
+        budget = ErrorBudget(self.policy(), clock=clock)
+        budget.record(False)  # t=0: outside the 10 s window later
+        clock.now = 50.0
+        budget.record(True)
+        budget.record(True)
+        assert budget.error_rate(10.0) == 0.0
+        assert budget.error_rate(100.0) == pytest.approx(1 / 3)
+
+    def test_burn_rates_cover_all_policy_windows(self):
+        budget = ErrorBudget(self.policy(), clock=FakeClock())
+        budget.record(True)
+        assert set(budget.burn_rates()) == {10.0, 50.0}
+
+
+class TestSLOTracker:
+    def test_deadline_miss_burns_only_deadline_budget(self):
+        clock = FakeClock()
+        tracker = SLOTracker(clock=clock)
+        tracker.record(success=True, deadline_missed=True)
+        assert tracker.availability.bad_total == 0
+        assert tracker.deadline.bad_total == 1
+
+    def test_failure_burns_availability(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record(success=False)
+        assert tracker.availability.bad_total == 1
+        assert tracker.deadline.bad_total == 0
+
+    def test_gauges_flat_names(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record(success=True)
+        gauges = tracker.gauges()
+        assert "slo.availability.burn.60s" in gauges
+        assert "slo.availability.budget_remaining" in gauges
+        assert "slo.deadline.burn.600s" in gauges
+        assert gauges["slo.availability.budget_remaining"] == 1.0
+
+    def test_describe_is_compact(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record(success=False)
+        fragment = tracker.describe()
+        assert fragment.startswith("burn ")
+        assert "avail" in fragment and "deadl" in fragment

@@ -399,3 +399,115 @@ class TestChaosFlag:
 
     def test_deadline_flag_accepted(self, capsys):
         assert main(self.base_args() + ["--deadline", "30"]) == 0
+
+
+class TestTelemetryFlags:
+    def base_args(self):
+        return [
+            "serve", "--jobs", "8", "--groups", "2",
+            "--constraints", "10", "--seed", "7",
+            "--fallback", "reference",
+        ]
+
+    def test_stats_every_prints_stats_lines(self, capsys):
+        assert main(self.base_args() + ["--stats-every", "3"]) == 0
+        out = capsys.readouterr().out
+        stats = [line for line in out.splitlines() if line.startswith("[stats]")]
+        # Every 3rd completion plus the closing line: jobs 3, 6, 8.
+        assert len(stats) == 3
+        assert "p99=" in stats[-1]
+        assert "energy/job=" in stats[-1]
+        assert "tier=NORMAL" in stats[-1]
+
+    def test_no_stats_lines_by_default(self, capsys):
+        assert main(self.base_args()) == 0
+        assert "[stats]" not in capsys.readouterr().out
+
+    def test_stats_do_not_change_record_bytes(self, capsys, tmp_path):
+        outs = []
+        for name, extra in (
+            ("plain.jsonl", []),
+            ("telem.jsonl", ["--stats-every", "2"]),
+        ):
+            records = tmp_path / name
+            assert (
+                main(self.base_args() + ["--out", str(records)] + extra)
+                == 0
+            )
+            outs.append(records.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_summary_includes_latency_and_energy(self, capsys):
+        assert main(self.base_args()) == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out and "p50" in out and "p99" in out
+        assert "energy:" in out and "J/job" in out
+
+    def test_records_carry_energy(self, capsys, tmp_path):
+        records = tmp_path / "records.jsonl"
+        assert main(self.base_args() + ["--out", str(records)]) == 0
+        payloads = [
+            json.loads(line)
+            for line in records.read_text().splitlines()
+        ]
+        assert all("energy_j" in p for p in payloads)
+        assert any(p["energy_j"] > 0 for p in payloads)
+
+    def test_metrics_out_includes_registry_series(self, capsys, tmp_path):
+        metrics = tmp_path / "m.prom"
+        assert (
+            main(self.base_args() + ["--metrics-out", str(metrics)]) == 0
+        )
+        body = metrics.read_text()
+        assert "repro_service_latency_s_bucket" in body
+        assert "repro_service_job_energy_j_sum" in body
+        assert "repro_slo_availability_budget_remaining" in body
+
+    def storm_scenario(self, tmp_path):
+        # Degrade live members (stuck cells + drift) so analog attempts
+        # fail while still acquiring a pool member — those failures feed
+        # the degradation window and force a brownout tier change, one
+        # of the flight-recorder trip triggers.  (member_death alone
+        # does not: dead members are never acquired, so no samples.)
+        scenario = {
+            "name": "storm",
+            "seed": 7,
+            "events": [
+                {"at_job": 2, "kind": "stuck_cells", "member": 0,
+                 "row_fraction": 0.5},
+                {"at_job": 5, "kind": "member_death", "member": 1},
+                {"at_job": 8, "kind": "drift", "member": 0,
+                 "magnitude": 0.2},
+            ],
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario))
+        return path
+
+    def test_flight_dir_dumps_on_chaos_trip(self, capsys, tmp_path):
+        path = self.storm_scenario(tmp_path)
+        flights = tmp_path / "flights"
+        code = main(
+            self.base_args()
+            + [
+                "--jobs", "24",
+                "--chaos", str(path),
+                "--flight-dir", str(flights),
+            ]
+        )
+        assert code == 0
+        dumps = sorted(flights.glob("flight-*.jsonl"))
+        assert dumps, "expected at least one flight recording"
+        events = [json.loads(line) for line in dumps[0].read_text().splitlines()]
+        assert events[-1]["kind"] == "trip"
+        assert "flight recordings:" in capsys.readouterr().out
+
+    def test_trips_without_flight_dir_are_reported(self, capsys, tmp_path):
+        path = self.storm_scenario(tmp_path)
+        code = main(
+            self.base_args() + ["--jobs", "24", "--chaos", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trip(s) not dumped" in out
+        assert "--flight-dir" in out
