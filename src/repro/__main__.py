@@ -62,12 +62,16 @@ from repro.obs import (
     write_metrics_textfile,
     write_trace_jsonl,
 )
+from repro.obs.clock import Stopwatch
 from repro.service import (
     FaultCampaign,
+    FrontDoor,
     ServiceConfig,
     ServiceTelemetry,
     SolverService,
+    TenantPolicy,
     read_jobs_jsonl,
+    summarize,
     synthesize_jobs,
 )
 from repro.workloads import random_feasible_lp
@@ -284,6 +288,29 @@ def _cmd_parasitics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_policy(text: str) -> TenantPolicy:
+    """Parse one ``--tenant NAME[:WEIGHT[:INFLIGHT[:QUEUED]]]`` spec."""
+    parts = text.split(":")
+    if not parts[0] or len(parts) > 4:
+        raise SystemExit(
+            f"bad --tenant spec {text!r}; expected "
+            f"NAME[:WEIGHT[:MAX_INFLIGHT[:MAX_QUEUED]]]"
+        )
+    try:
+        return TenantPolicy(
+            tenant=parts[0],
+            weight=float(parts[1]) if len(parts) > 1 else 1.0,
+            max_in_flight=(
+                int(parts[2]) if len(parts) > 2 and parts[2] else None
+            ),
+            max_queued=(
+                int(parts[3]) if len(parts) > 3 and parts[3] else None
+            ),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad --tenant spec {text!r}: {exc}")
+
+
 def _service_from_args(args: argparse.Namespace, tracer, telemetry=None):
     """Build the configured :class:`SolverService` for serve/batch."""
     campaign = None
@@ -292,6 +319,7 @@ def _service_from_args(args: argparse.Namespace, tracer, telemetry=None):
         if not path.is_file():
             raise SystemExit(f"--chaos scenario not found: {path}")
         campaign = FaultCampaign.from_json(path)
+    workers = args.workers if args.workers else args.pool_size
     config = ServiceConfig(
         pool_size=args.pool_size,
         queue_depth=args.queue_depth,
@@ -303,6 +331,12 @@ def _service_from_args(args: argparse.Namespace, tracer, telemetry=None):
         ),
         deadline_s=args.deadline,
         campaign=campaign,
+        workers=workers,
+        executor=args.executor,
+        device_latency_s=args.device_latency,
+        tenants=tuple(
+            _parse_tenant_policy(text) for text in args.tenant or ()
+        ),
     )
     service = SolverService(config, tracer=tracer, telemetry=telemetry)
     if args.inject_fault is not None:
@@ -331,16 +365,19 @@ def _run_service(args: argparse.Namespace, specs) -> int:
     service = _service_from_args(args, tracer, telemetry)
 
     completed = 0
+    last_stats_at = 0
 
     def on_record(record) -> None:
-        nonlocal completed
+        nonlocal completed, last_stats_at
         completed += 1
         if args.stats_every and completed % args.stats_every == 0:
+            last_stats_at = completed
             print(f"[stats] {telemetry.stats_line()}", flush=True)
 
     records, summary = service.batch(specs, on_record=on_record)
-    if args.stats_every:
-        # Closing stats line so short batches always show one.
+    if args.stats_every and completed != last_stats_at:
+        # Final flush: the queue drained between intervals, so the
+        # last jobs would otherwise never appear in a stats line.
         print(f"[stats] {telemetry.stats_line()}", flush=True)
     if args.out:
         out = pathlib.Path(args.out)
@@ -398,14 +435,78 @@ def _run_service(args: argparse.Namespace, specs) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen is not None:
+        return _run_frontdoor(args)
     specs = synthesize_jobs(
         args.jobs,
         groups=args.groups,
         constraints=args.constraints,
         variation=args.variation,
         infeasible_every=args.infeasible_every,
+        tenants=args.tenants,
     )
     return _run_service(args, specs)
+
+
+def _run_frontdoor(args: argparse.Namespace) -> int:
+    """``repro serve --listen``: take jobs over HTTP until Ctrl-C."""
+    host, _, port_text = args.listen.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(
+            f"bad --listen address {args.listen!r}; expected HOST:PORT"
+        )
+    tracer = (
+        RecordingTracer()
+        if (args.trace_out or args.metrics_out)
+        else None
+    )
+    flight_dir = (
+        pathlib.Path(args.flight_dir) if args.flight_dir else None
+    )
+    if flight_dir is not None:
+        flight_dir.mkdir(parents=True, exist_ok=True)
+    telemetry = ServiceTelemetry(flight_dir=flight_dir)
+    service = _service_from_args(args, tracer, telemetry)
+
+    completed = 0
+
+    def on_record(record) -> None:
+        nonlocal completed
+        completed += 1
+        if args.stats_every and completed % args.stats_every == 0:
+            print(f"[stats] {telemetry.stats_line()}", flush=True)
+
+    door = FrontDoor(
+        service,
+        host=host,
+        port=int(port_text),
+        on_record=on_record,
+    )
+    bound_host, bound_port = door.address
+    print(
+        f"listening on http://{bound_host}:{bound_port} "
+        f"(POST /submit, GET /stream, /stats, /healthz; Ctrl-C stops)",
+        flush=True,
+    )
+    with Stopwatch() as clock:
+        records = door.serve_forever()
+    summary = summarize(records, clock.elapsed_seconds)
+    if args.stats_every:
+        print(f"[stats] {telemetry.stats_line()}", flush=True)
+    print()
+    print(summary.render())
+    if tracer is not None:
+        if args.trace_out:
+            path = write_trace_jsonl(tracer, pathlib.Path(args.trace_out))
+            print(f"trace written: {path}")
+        if args.metrics_out:
+            path = write_metrics_textfile(
+                tracer,
+                pathlib.Path(args.metrics_out),
+                registry=telemetry.registry,
+            )
+            print(f"metrics written: {path}")
+    return 1 if summary.failed else 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -459,6 +560,26 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         help="dump flight-recorder JSONL rings here on "
                              "job failure, breaker OPEN, or brownout "
                              "tier change")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="dispatcher worker threads; 1 (default) "
+                             "is the serial byte-identical scheduler, "
+                             "0 means one per pool member")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="where concurrent solves run: in the "
+                             "worker thread (GIL-shared) or a "
+                             "pre-warmed worker-process pool")
+    parser.add_argument("--device-latency", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="hardware-in-the-loop emulation: each "
+                             "analog attempt occupies its member this "
+                             "long after the simulated solve (models "
+                             "blocking on a physical array; 0 off)")
+    parser.add_argument("--tenant", action="append", default=None,
+                        metavar="NAME[:WEIGHT[:INFLIGHT[:QUEUED]]]",
+                        help="per-tenant fairness policy (repeatable): "
+                             "DRR weight, in-flight cap, queue cap; "
+                             "unlisted tenants get weight 1, no caps")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -579,6 +700,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process variation percent per job")
     serve.add_argument("--infeasible-every", type=int, default=0,
                        help="plant an infeasible job every k-th job")
+    serve.add_argument("--tenants", type=int, default=1,
+                       help="spread synthetic jobs round-robin over "
+                            "this many tenant buckets")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve external traffic over HTTP instead "
+                            "of a synthetic batch (POST /submit, GET "
+                            "/stream; Ctrl-C drains and exits)")
     _add_service_options(serve)
     serve.set_defaults(func=_cmd_serve)
 

@@ -90,6 +90,7 @@ class BucketScheme:
 
     @property
     def decades(self) -> float:
+        """How many factors of ten the ``[lo, hi)`` span covers."""
         return math.log10(self.hi / self.lo)
 
     @property
@@ -136,6 +137,7 @@ class BucketScheme:
         ] + [math.inf]
 
     def to_dict(self) -> dict:
+        """JSON-ready form (embedded in histogram snapshots)."""
         return {
             "lo": self.lo,
             "hi": self.hi,
@@ -144,6 +146,7 @@ class BucketScheme:
 
     @classmethod
     def from_dict(cls, data: dict) -> "BucketScheme":
+        """Rebuild a scheme from its :meth:`to_dict` form."""
         return cls(**data)
 
 
@@ -187,6 +190,7 @@ class StreamingHistogram:
 
     @property
     def mean(self) -> float:
+        """Exact sample mean (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
@@ -263,6 +267,7 @@ class StreamingHistogram:
 
     @classmethod
     def from_dict(cls, data: dict) -> "StreamingHistogram":
+        """Rebuild a histogram from a :meth:`to_dict` snapshot."""
         hist = cls(BucketScheme.from_dict(data["scheme"]))
         hist._counts = {int(k): int(v) for k, v in data["counts"].items()}
         hist.count = int(data["count"])
@@ -331,6 +336,7 @@ class WindowedHistogram:
             self._ring.popleft()
 
     def observe(self, value: float, *, t_s: float | None = None) -> None:
+        """Fold one observation into the current time slice."""
         t_s = self._clock() if t_s is None else t_s
         index = self._slice_index(t_s)
         self._evict(index)
@@ -366,6 +372,13 @@ class MetricsRegistry:
     series keep both a cumulative histogram (the Prometheus rendering,
     and what reconciles against offline replay) and a sliding-window
     one (the "now" view behind ``--stats-every`` lines).
+
+    Thread safety: the registry does **no** internal locking.  In the
+    concurrent service every write goes through
+    :class:`~repro.service.telemetry.ServiceTelemetry`, whose hooks
+    run only under the service scheduler lock — which is also what
+    makes live totals reconcile exactly with the record stream.
+    Callers outside that path must serialize access themselves.
     """
 
     def __init__(
@@ -393,6 +406,7 @@ class MetricsRegistry:
         *,
         labels: Mapping[str, str] | None = None,
     ) -> None:
+        """Add ``value`` to a counter series (caller holds the lock)."""
         key = (name, label_key(labels))
         self._counters[key] = self._counters.get(key, 0.0) + value
 
@@ -403,6 +417,7 @@ class MetricsRegistry:
         *,
         labels: Mapping[str, str] | None = None,
     ) -> None:
+        """Set a gauge series (caller holds the lock)."""
         self._gauges[(name, label_key(labels))] = float(value)
 
     def observe(
@@ -413,6 +428,7 @@ class MetricsRegistry:
         labels: Mapping[str, str] | None = None,
         t_s: float | None = None,
     ) -> None:
+        """Observe into both halves of a histogram series (caller holds the lock)."""
         self.histogram(name, labels=labels)
         series = self._histograms[(name, label_key(labels))]
         series.cumulative.observe(value)
@@ -447,6 +463,7 @@ class MetricsRegistry:
     def counter_value(
         self, name: str, *, labels: Mapping[str, str] | None = None
     ) -> float:
+        """Current counter total (0.0 for a series never written)."""
         return self._counters.get((name, label_key(labels)), 0.0)
 
     def gauge_value(
@@ -456,6 +473,7 @@ class MetricsRegistry:
         labels: Mapping[str, str] | None = None,
         default: float = 0.0,
     ) -> float:
+        """Current gauge value (``default`` for a series never set)."""
         return self._gauges.get((name, label_key(labels)), default)
 
     def counters(self) -> Iterator[tuple[str, tuple, float]]:
@@ -464,10 +482,12 @@ class MetricsRegistry:
             yield name, labels, value
 
     def gauges(self) -> Iterator[tuple[str, tuple, float]]:
+        """``(name, labels, value)`` in sorted series order."""
         for (name, labels), value in sorted(self._gauges.items()):
             yield name, labels, value
 
     def histograms(self) -> Iterator[HistogramSeries]:
+        """Histogram series in sorted ``(name, labels)`` order."""
         for _, series in sorted(self._histograms.items()):
             yield series
 

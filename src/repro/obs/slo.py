@@ -182,6 +182,7 @@ class SLOTracker:
 
     @property
     def budgets(self) -> tuple[ErrorBudget, ErrorBudget]:
+        """Both tracked budgets, availability first."""
         return (self.availability, self.deadline)
 
     def record(
@@ -191,6 +192,7 @@ class SLOTracker:
         deadline_missed: bool = False,
         t_s: float | None = None,
     ) -> None:
+        """Record one job outcome into both budgets (caller holds the lock)."""
         self.availability.record(success, t_s=t_s)
         self.deadline.record(not deadline_missed, t_s=t_s)
 

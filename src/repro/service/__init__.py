@@ -6,13 +6,20 @@ serving).  See :mod:`repro.service.service` for the scheduler,
 :mod:`repro.service.fingerprint` for the cache contract,
 :mod:`repro.service.jobs` for the deterministic job derivation, and
 :mod:`repro.service.resilience` for deadlines, retry backoff, circuit
-breakers, brownout degradation, and chaos campaigns, and
+breakers, brownout degradation, and chaos campaigns,
 :mod:`repro.service.telemetry` for the live metrics / SLO / flight-
-recorder surface behind ``--stats-every``.
+recorder surface behind ``--stats-every``,
+:mod:`repro.service.dispatch` for the concurrent worker-thread /
+worker-process dispatcher behind ``--workers``, and
+:mod:`repro.service.frontdoor` for the JSONL-over-HTTP network front
+door behind ``--listen``.
 """
 
+from repro.service.dispatch import ConcurrentDispatcher
 from repro.service.fingerprint import structural_fingerprint
+from repro.service.frontdoor import FrontDoor
 from repro.service.jobs import (
+    DEFAULT_TENANT,
     JobSpec,
     attempt_seed,
     build_problem,
@@ -23,7 +30,7 @@ from repro.service.jobs import (
     write_jobs_jsonl,
 )
 from repro.service.pool import CrossbarPool, MemberState, PoolMember
-from repro.service.queue import JobQueue, PendingJob
+from repro.service.queue import JobQueue, PendingJob, TenantPolicy
 from repro.service.resilience import (
     FAULT_KINDS,
     BackoffPolicy,
@@ -50,12 +57,14 @@ from repro.service.service import (
 from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
+    "DEFAULT_TENANT",
     "FAULT_KINDS",
     "SERVING_SCALE_HEADROOM",
     "BackoffPolicy",
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
+    "ConcurrentDispatcher",
     "CrossbarPool",
     "Deadline",
     "DegradationController",
@@ -63,6 +72,7 @@ __all__ = [
     "DegradationTier",
     "FaultCampaign",
     "FaultEvent",
+    "FrontDoor",
     "JobAttempt",
     "JobQueue",
     "JobRecord",
@@ -74,6 +84,7 @@ __all__ = [
     "ServiceSummary",
     "ServiceTelemetry",
     "SolverService",
+    "TenantPolicy",
     "attempt_seed",
     "build_problem",
     "default_serving_settings",

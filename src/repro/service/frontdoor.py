@@ -1,0 +1,281 @@
+"""JSONL-over-HTTP network front door for the solver service.
+
+:class:`FrontDoor` binds a stdlib :class:`~http.server.
+ThreadingHTTPServer` in front of a :class:`~repro.service.service.
+SolverService` whose queue a :class:`~repro.service.dispatch.
+ConcurrentDispatcher` drains continuously, so the service takes
+sustained external traffic (``repro serve --listen HOST:PORT``).
+
+Endpoints (all JSON / JSONL, no dependencies beyond the stdlib):
+
+- ``POST /submit`` — body is one job spec per line, the exact schema
+  of the ``repro batch`` jobs file (:meth:`~repro.service.jobs.
+  JobSpec.to_dict`).  Each line is admitted through ``try_submit``;
+  the response body echoes one JSONL ack per line: ``{"job_id": ...,
+  "accepted": true}`` or ``{"accepted": false, "error": ...}`` when a
+  bound rejected or the spec failed validation.  Admission control is
+  the service's own: queue depth and per-tenant caps apply unchanged.
+- ``GET /stream?since=N&timeout=S`` — completed job records as JSONL,
+  each line ``{"seq": i, ...record}`` in completion order.  ``since``
+  (default 0) skips records already seen; ``timeout`` (seconds,
+  default 0) long-polls for at least one new record.  Clients resume
+  by passing the last ``seq + 1``.
+- ``GET /stats`` — the live one-line telemetry summary plus raw
+  counts, when the service has telemetry attached.
+- ``GET /healthz`` — liveness plus queue depth and brownout tier.
+
+Thread safety: handler threads touch the service only through its
+thread-safe admission methods; completed records flow through the
+dispatcher's ``on_record`` hook (held under the service lock) into a
+front-door list guarded by its own condition.  The condition is only
+ever acquired *after* the service lock on that path and never the
+other way around, so the two locks cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.dispatch import ConcurrentDispatcher
+from repro.service.jobs import JobSpec
+from repro.service.service import JobRecord, SolverService
+
+
+class FrontDoor:
+    """HTTP facade + continuous dispatcher over one service.
+
+    Parameters
+    ----------
+    service:
+        The service to expose.  Its ``config.workers`` worker threads
+        drain the queue for as long as the front door runs.
+    host / port:
+        Bind address; port ``0`` picks a free port (see
+        :attr:`address` after construction — the socket binds in the
+        constructor, so tests can read the port before :meth:`start`).
+    on_record:
+        Optional per-completion hook (fired under the service lock,
+        after the record is published to ``/stream`` waiters) — the
+        CLI's ``--stats-every`` printer.
+
+    Lifecycle: ``start()`` → traffic → ``stop()``; or
+    ``serve_forever()`` which blocks until ``KeyboardInterrupt``.
+    Thread-safe by construction (see module note).
+    """
+
+    def __init__(
+        self,
+        service: SolverService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_record: Callable[[JobRecord], None] | None = None,
+    ) -> None:
+        self.service = service
+        self._user_on_record = on_record
+        self._records: list[JobRecord] = []
+        self._cond = threading.Condition()
+        self._dispatcher = ConcurrentDispatcher(service)
+        self._server = ThreadingHTTPServer(
+            (host, port), _make_handler(self)
+        )
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolved even for port 0."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def records(self) -> list[JobRecord]:
+        """Snapshot of completed records so far (completion order)."""
+        with self._cond:
+            return list(self._records)
+
+    def _on_record(self, record: JobRecord) -> None:
+        """Dispatcher completion hook (runs under the service lock)."""
+        with self._cond:
+            self._records.append(record)
+            self._cond.notify_all()
+        if self._user_on_record is not None:
+            self._user_on_record(record)
+
+    def start(self) -> None:
+        """Start the dispatcher workers and the HTTP listener."""
+        self._dispatcher.start(on_record=self._on_record)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-frontdoor",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> list[JobRecord]:
+        """Stop listening, finish queued work, return all records.
+
+        In-flight and queued jobs complete before this returns (an
+        accepted job is never lost); new submissions are refused as
+        soon as the socket closes.
+        """
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+        return self._dispatcher.stop()
+
+    def serve_forever(self) -> list[JobRecord]:
+        """Block until ``KeyboardInterrupt``; then drain and return."""
+        self.start()
+        try:
+            while True:
+                if self._thread is not None:
+                    self._thread.join(timeout=1.0)
+        except KeyboardInterrupt:
+            pass
+        return self.stop()
+
+
+def _make_handler(door: FrontDoor) -> type:
+    """Build the request-handler class closed over one front door.
+
+    ``http.server`` instantiates the handler per request on the
+    server's worker threads; everything shared lives on ``door``.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        """Per-request handler; one instance per request, on a stdlib
+        server thread.  All shared state lives on ``door`` and is
+        guarded by the door's condition / the service lock."""
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib API
+            """Quiet: no per-request lines on stderr."""
+
+        def _reply(
+            self, status: int, body: bytes, content_type: str
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _reply_json(self, status: int, payload: dict) -> None:
+            self._reply(
+                status,
+                (json.dumps(payload, sort_keys=True) + "\n").encode(),
+                "application/json",
+            )
+
+        def do_GET(self) -> None:  # noqa: D102 - dispatch table below
+            parsed = urlparse(self.path)
+            if parsed.path == "/healthz":
+                self._healthz()
+            elif parsed.path == "/stats":
+                self._stats()
+            elif parsed.path == "/stream":
+                self._stream(parse_qs(parsed.query))
+            else:
+                self._reply_json(404, {"error": "not found"})
+
+        def do_POST(self) -> None:  # noqa: D102 - dispatch table below
+            if urlparse(self.path).path != "/submit":
+                self._reply_json(404, {"error": "not found"})
+                return
+            self._submit()
+
+        def _healthz(self) -> None:
+            service = door.service
+            self._reply_json(
+                200,
+                {
+                    "status": "ok",
+                    "queue_depth": len(service.queue),
+                    "completed": len(door.records),
+                    "tier": int(service.tier),
+                },
+            )
+
+        def _stats(self) -> None:
+            telemetry = door.service.telemetry
+            if telemetry is None:
+                self._reply_json(
+                    404, {"error": "service has no telemetry attached"}
+                )
+                return
+            self._reply_json(
+                200,
+                {
+                    "line": telemetry.stats_line(),
+                    "jobs": telemetry.jobs,
+                    "succeeded": telemetry.succeeded,
+                    "energy_j_total": telemetry.energy_j_total,
+                    "queue_depth": telemetry.queue_depth,
+                },
+            )
+
+        def _submit(self) -> None:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length).decode("utf-8")
+            acks = []
+            for line in body.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    spec = JobSpec.from_dict(json.loads(line))
+                except (ValueError, TypeError) as exc:
+                    acks.append(
+                        {"accepted": False, "error": str(exc)}
+                    )
+                    continue
+                pending = door.service.try_submit(spec)
+                if pending is None:
+                    acks.append(
+                        {
+                            "job_id": spec.job_id,
+                            "accepted": False,
+                            "error": "admission rejected (queue or "
+                            "tenant bound)",
+                        }
+                    )
+                else:
+                    acks.append(
+                        {"job_id": spec.job_id, "accepted": True}
+                    )
+            payload = "".join(
+                json.dumps(ack, sort_keys=True) + "\n" for ack in acks
+            )
+            self._reply(200, payload.encode(), "application/jsonl")
+
+        def _stream(self, query: dict) -> None:
+            try:
+                since = int(query.get("since", ["0"])[0])
+                timeout = float(query.get("timeout", ["0"])[0])
+            except ValueError:
+                self._reply_json(
+                    400, {"error": "since/timeout must be numeric"}
+                )
+                return
+            with door._cond:
+                if timeout > 0 and len(door._records) <= since:
+                    door._cond.wait_for(
+                        lambda: len(door._records) > since,
+                        timeout=timeout,
+                    )
+                tail = list(door._records[since:])
+            payload = "".join(
+                json.dumps(
+                    {"seq": since + offset, **record.to_dict()},
+                    sort_keys=True,
+                )
+                + "\n"
+                for offset, record in enumerate(tail)
+            )
+            self._reply(200, payload.encode(), "application/jsonl")
+
+    return Handler

@@ -41,6 +41,9 @@ from repro.workloads.random_lp import (
 #: Valid ``JobSpec.kind`` values.
 JOB_KINDS = ("feasible", "infeasible")
 
+#: Tenant a spec bills to when none is named.
+DEFAULT_TENANT = "default"
+
 
 @dataclasses.dataclass(frozen=True)
 class JobSpec:
@@ -62,6 +65,16 @@ class JobSpec:
         ``"feasible"`` or ``"infeasible"`` (planted certificate).
     priority:
         Scheduling priority; higher runs first (FIFO within a level).
+        Priority orders jobs *within* a tenant; across tenants the
+        queue's weighted fair scheduler decides (see
+        :class:`~repro.service.queue.JobQueue`).
+    tenant:
+        Admission/fairness bucket this job bills to.  Tenants share
+        the pool under deficit-round-robin weighted fair scheduling
+        with per-tenant in-flight and queue-depth caps
+        (:class:`~repro.service.queue.TenantPolicy`).  The default
+        tenant makes single-tenant deployments behave exactly like
+        the pre-tenancy scheduler.
     variation:
         Process-variation percent for this job's hardware model.
     deadline_s:
@@ -80,6 +93,7 @@ class JobSpec:
     group: int = 0
     kind: str = "feasible"
     priority: int = 0
+    tenant: str = DEFAULT_TENANT
     variation: float = 0.0
     deadline_s: float | None = None
     max_attempts: int | None = None
@@ -87,6 +101,8 @@ class JobSpec:
     def __post_init__(self) -> None:
         if not self.job_id:
             raise ValueError("job_id must be non-empty")
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
         if self.constraints < 3:
             raise ValueError("constraints must be >= 3")
         if self.kind not in JOB_KINDS:
@@ -102,10 +118,12 @@ class JobSpec:
             raise ValueError("max_attempts must be >= 1 when set")
 
     def to_dict(self) -> dict:
+        """Plain-dict form (the JSONL job-file line)."""
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
+        """Build a spec from a parsed JSONL line (extras ignored)."""
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
@@ -158,6 +176,7 @@ def synthesize_jobs(
     constraints: int = 24,
     variation: float = 0.0,
     infeasible_every: int = 0,
+    tenants: int = 1,
     prefix: str = "job",
 ) -> list[JobSpec]:
     """A deterministic batch of job specs for demos, tests, and CI.
@@ -167,12 +186,17 @@ def synthesize_jobs(
     ``count / groups`` times — the warm-cache regime.  When
     ``infeasible_every > 0``, every k-th job plants an infeasibility
     certificate instead (its own structure sub-group, since the
-    contradiction rows change A).
+    contradiction rows change A).  ``tenants > 1`` spreads jobs
+    round-robin over ``tenant-00`` .. ``tenant-NN`` buckets for
+    multi-tenant serving demos; the default keeps every job on the
+    single default tenant.
     """
     if count < 1:
         raise ValueError("count must be positive")
     if groups < 1:
         raise ValueError("groups must be positive")
+    if tenants < 1:
+        raise ValueError("tenants must be positive")
     specs = []
     for index in range(count):
         infeasible = infeasible_every > 0 and (index + 1) % infeasible_every == 0
@@ -182,6 +206,11 @@ def synthesize_jobs(
                 constraints=constraints,
                 group=index % groups,
                 kind="infeasible" if infeasible else "feasible",
+                tenant=(
+                    f"tenant-{index % tenants:02d}"
+                    if tenants > 1
+                    else DEFAULT_TENANT
+                ),
                 variation=variation,
             )
         )

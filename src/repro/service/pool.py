@@ -36,12 +36,24 @@ retry budget of every job placed on them.
 All state transitions emit ``pool.*`` counters on the pool's tracer so
 a batch trace shows warm/cold placement decisions, evictions, drains,
 recoveries, retirements, and breaker trips.
+
+Thread safety: every public method is atomic under the pool's lock.
+The concurrent service passes its *own* scheduler lock in, so pool
+transitions, tracer emission, and queue decisions serialize on one
+lock — a BUSY member is then touched by exactly one worker until
+released.  The lock covers bookkeeping, not the solve: compute on an
+acquired member runs lock-free (the member is BUSY, so no other
+worker selects it).  For process-backed execution the placement is
+split into :meth:`CrossbarPool.reserve` (select + mark BUSY, no
+programming) and :meth:`CrossbarPool.install` (adopt the operator
+state the worker process returned).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from typing import Callable
 
 import numpy as np
@@ -105,6 +117,13 @@ class PoolMember:
         #: when the in-flight job's attempt concludes, so post-mortems
         #: can attribute that attempt's failure to the injection.
         self.inflight_fault: str | None = None
+        #: Whether the member's in-flight attempt executes in a worker
+        #: *process* (its operator state lives in the child until
+        #: :meth:`CrossbarPool.install`).  Faults injected meanwhile
+        #: are deferred as ``pending_fault`` so they land on the
+        #: member when the attempt returns instead of being silently
+        #: overwritten by the child's state.
+        self.remote_inflight = False
 
     def consume_inflight_fault(self) -> str | None:
         """Pop the fault label injected while the member was BUSY."""
@@ -143,6 +162,11 @@ class CrossbarPool:
         every breaker state change, *after* the ``pool.breaker.*``
         counters are emitted — the serving layer's telemetry hook
         (state strings, e.g. ``"closed" -> "open"``).
+    lock:
+        Re-entrant lock all public methods take; the concurrent
+        service passes its scheduler lock so pool transitions and
+        scheduling decisions serialize together (and tracer emission
+        stays single-threaded).  ``None`` creates a private lock.
     """
 
     def __init__(
@@ -157,11 +181,13 @@ class CrossbarPool:
         on_breaker_transition: Callable[
             [int, str, str, int], None
         ] | None = None,
+        lock: threading.RLock | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be positive")
         if max_drains < 0:
             raise ValueError("max_drains must be non-negative")
+        self._lock = lock if lock is not None else threading.RLock()
         self.probe = probe
         self.max_drains = max_drains
         self.rng = rng if rng is not None else np.random.default_rng()
@@ -182,6 +208,7 @@ class CrossbarPool:
 
     def _breaker_transition_hook(self, member_id: int):
         def hook(old: BreakerState, new: BreakerState, tick: int) -> None:
+            """Count and trace one breaker transition (lock held)."""
             if new is BreakerState.OPEN:
                 name = (
                     "pool.breaker.reopened"
@@ -230,8 +257,96 @@ class CrossbarPool:
         re-attach ``rng`` and ``tracer`` to the existing operator so
         the job's diagonal writes and variation draws stay
         deterministic per attempt and attributed per job.
+
+        Atomic under the pool lock.  Note that a cold placement's
+        programming runs *inside* the lock — the thread-executor
+        concurrent mode therefore serializes cold programs (a one-off
+        cost while the fleet warms up); the process executor programs
+        in the worker child via :meth:`reserve` / :meth:`install`
+        instead.
         """
-        job_tracer = tracer if tracer is not None else NOOP
+        with self._lock:
+            job_tracer = tracer if tracer is not None else NOOP
+            member, warm = self._select(fingerprint, exclude)
+            if member is None:
+                return None, False
+            if warm:
+                operator = member.operator
+                assert operator is not None
+                operator.rng = rng
+                operator.tracer = job_tracer
+                operator.array.rng = rng
+                operator.array.tracer = job_tracer
+            else:
+                member.operator = programmer(rng, job_tracer)
+                member.fingerprint = fingerprint
+                member.programmer = programmer
+                self._apply_pending_fault(member, rng)
+            self._mark_busy(member)
+            return member, warm
+
+    def reserve(
+        self,
+        fingerprint: str,
+        *,
+        exclude: frozenset | set = frozenset(),
+    ) -> tuple[PoolMember | None, bool]:
+        """Select and mark a member BUSY *without* programming it.
+
+        The process-executor placement path: selection (and its
+        counters) matches :meth:`acquire` exactly, but programming is
+        deferred to the worker child — a cold reservation evicts the
+        member's old program immediately and leaves ``operator`` as
+        ``None`` until :meth:`install`; a warm reservation keeps the
+        operator attached so the caller can snapshot its state for
+        shipping.  Atomic under the pool lock.
+        """
+        with self._lock:
+            member, warm = self._select(fingerprint, exclude)
+            if member is None:
+                return None, False
+            if not warm:
+                member.operator = None
+                member.fingerprint = None
+                member.programmer = None
+            member.remote_inflight = True
+            self._mark_busy(member)
+            return member, warm
+
+    def install(
+        self,
+        member: PoolMember,
+        operator: AnalogMatrixOperator | None,
+        *,
+        fingerprint: str,
+        programmer: Programmer,
+        rng: np.random.Generator,
+    ) -> None:
+        """Adopt the operator state a worker process returned.
+
+        Completes a :meth:`reserve`: the member takes the (possibly
+        mutated) operator back, records the fingerprint it now holds,
+        and stores a parent-side ``programmer`` so :meth:`recover` can
+        rebuild it later.  A fault injected while the attempt was in
+        flight is applied now (see ``PoolMember.remote_inflight``).
+        Atomic under the pool lock; call before :meth:`release`.
+        """
+        with self._lock:
+            member.remote_inflight = False
+            if operator is None:
+                return
+            member.operator = operator
+            member.fingerprint = fingerprint
+            member.programmer = programmer
+            self._apply_pending_fault(member, rng)
+
+    def _select(
+        self, fingerprint: str, exclude: frozenset | set
+    ) -> tuple[PoolMember | None, bool]:
+        """Shared placement choice of :meth:`acquire` / :meth:`reserve`.
+
+        Caller holds the pool lock.
+        """
         self._acquires += 1
         tick = self._acquires
         candidates = []
@@ -256,69 +371,75 @@ class CrossbarPool:
             and member.fingerprint == fingerprint
         ]
         if warm_hits:
-            member = max(warm_hits, key=lambda m: m.last_used)
-            warm = True
             self.tracer.count("pool.acquire_warm")
-            operator = member.operator
-            assert operator is not None
-            operator.rng = rng
-            operator.tracer = job_tracer
-            operator.array.rng = rng
-            operator.array.tracer = job_tracer
+            return max(warm_hits, key=lambda m: m.last_used), True
+        empty = [
+            member
+            for member in candidates
+            if member.state is MemberState.EMPTY
+        ]
+        if empty:
+            member = empty[0]
         else:
-            empty = [
-                member
-                for member in candidates
-                if member.state is MemberState.EMPTY
-            ]
-            if empty:
-                member = empty[0]
-            else:
-                member = min(candidates, key=lambda m: m.last_used)
-                self.tracer.count("pool.evictions")
-            warm = False
-            self.tracer.count("pool.acquire_cold")
-            member.operator = programmer(rng, job_tracer)
-            member.fingerprint = fingerprint
-            member.programmer = programmer
-            self._apply_pending_fault(member, rng)
+            member = min(candidates, key=lambda m: m.last_used)
+            self.tracer.count("pool.evictions")
+        self.tracer.count("pool.acquire_cold")
+        return member, False
 
+    def _mark_busy(self, member: PoolMember) -> None:
+        """Transition a selected member into BUSY (lock held)."""
         member.state = MemberState.BUSY
         member.last_used = next(self._ticks)
         member.jobs_served += 1
-        return member, warm
 
     def release(self, member: PoolMember) -> None:
-        """Return a BUSY member to the schedulable set."""
-        if member.state is not MemberState.BUSY:
-            raise ServiceError(
-                f"cannot release member {member.member_id} in state "
-                f"{member.state}"
+        """Return a BUSY member to the schedulable set.
+
+        A member whose reservation never got an operator installed
+        (the attempt found no capacity or crashed before programming)
+        goes back to EMPTY rather than IDLE.  Atomic under the pool
+        lock.
+        """
+        with self._lock:
+            if member.state is not MemberState.BUSY:
+                raise ServiceError(
+                    f"cannot release member {member.member_id} in state "
+                    f"{member.state}"
+                )
+            member.remote_inflight = False
+            member.state = (
+                MemberState.IDLE
+                if member.operator is not None
+                else MemberState.EMPTY
             )
-        member.state = MemberState.IDLE
 
     def note_result(self, member: PoolMember, success: bool) -> None:
         """Feed a placement outcome to the member's circuit breaker.
 
         Ticks use the acquire counter so the cooldown means "this many
         further placement decisions", which is deterministic under
-        replay (wall-clock is not).
+        replay (wall-clock is not).  Atomic under the pool lock.
         """
-        if member.breaker is None:
-            return
-        if success:
-            member.breaker.record_success(self._acquires)
-        else:
-            member.breaker.record_failure(self._acquires)
+        with self._lock:
+            if member.breaker is None:
+                return
+            if success:
+                member.breaker.record_success(self._acquires)
+            else:
+                member.breaker.record_failure(self._acquires)
 
     # -- health --------------------------------------------------------------
 
     def drain(self, member: PoolMember) -> None:
-        """Pull a member from scheduling after a health failure."""
-        if member.state is MemberState.RETIRED:
-            return
-        member.state = MemberState.DRAINING
-        self.tracer.count("pool.drains")
+        """Pull a member from scheduling after a health failure.
+
+        Atomic under the pool lock.
+        """
+        with self._lock:
+            if member.state is MemberState.RETIRED:
+                return
+            member.state = MemberState.DRAINING
+            self.tracer.count("pool.drains")
 
     def recover(self, member: PoolMember) -> bool:
         """Reprogram and re-probe a DRAINING member.
@@ -330,38 +451,42 @@ class CrossbarPool:
         survives the rebuild (hard defect), so such a member fails its
         re-probe repeatedly and retires once the budget is gone.
         Returns whether the member is back in service.
+
+        Atomic under the pool lock (including the reprogram itself —
+        recovery is rare, correctness beats overlap here).
         """
-        if member.state is not MemberState.DRAINING:
-            raise ServiceError(
-                f"cannot recover member {member.member_id} in state "
-                f"{member.state}"
-            )
-        while member.drains < self.max_drains:
-            member.drains += 1
-            if member.programmer is None:
-                # Never programmed: nothing to rebuild, back to EMPTY.
-                member.state = MemberState.EMPTY
+        with self._lock:
+            if member.state is not MemberState.DRAINING:
+                raise ServiceError(
+                    f"cannot recover member {member.member_id} in state "
+                    f"{member.state}"
+                )
+            while member.drains < self.max_drains:
+                member.drains += 1
+                if member.programmer is None:
+                    # Never programmed: nothing to rebuild, back to EMPTY.
+                    member.state = MemberState.EMPTY
+                    self.tracer.count("pool.recoveries")
+                    return True
+                member.operator = member.programmer(self.rng, self.tracer)
+                self._apply_pending_fault(member, self.rng)
+                if self.probe is not None:
+                    report = probe_operator(
+                        member.operator,
+                        self.probe,
+                        self.rng,
+                        label=f"pool-{member.member_id}",
+                    )
+                    if not report.healthy:
+                        self.tracer.count("pool.recover_failures")
+                        continue
+                member.state = MemberState.IDLE
                 self.tracer.count("pool.recoveries")
                 return True
-            member.operator = member.programmer(self.rng, self.tracer)
-            self._apply_pending_fault(member, self.rng)
-            if self.probe is not None:
-                report = probe_operator(
-                    member.operator,
-                    self.probe,
-                    self.rng,
-                    label=f"pool-{member.member_id}",
-                )
-                if not report.healthy:
-                    self.tracer.count("pool.recover_failures")
-                    continue
-            member.state = MemberState.IDLE
-            self.tracer.count("pool.recoveries")
-            return True
-        member.state = MemberState.RETIRED
-        member.operator = None
-        self.tracer.count("pool.retirements")
-        return False
+            member.state = MemberState.RETIRED
+            member.operator = None
+            self.tracer.count("pool.retirements")
+            return False
 
     # -- chaos ---------------------------------------------------------------
 
@@ -386,20 +511,33 @@ class CrossbarPool:
         it; the member records the injection as :attr:`inflight_fault`
         so the service can tag that job's attempt with the fault for
         post-mortem attribution (the attempt's failure is the fault's
-        doing, not the job's).
+        doing, not the job's).  A member whose attempt runs in a
+        worker *process* (``remote_inflight``) keeps the fault pending
+        instead — the authoritative operator state is in the child, so
+        the fault lands via :meth:`install` when the attempt returns
+        (the in-flight attempt itself is not corrupted; the drift is
+        documented as transient in DESIGN.md §15).
+
+        Atomic under the pool lock.
         """
-        member = self.members[member_id]
-        member.pending_fault = (row_fraction, sticky)
-        if member.operator is not None:
-            member.operator.array.inject_stuck_off(row_fraction)
-            if not sticky:
-                member.pending_fault = None
-            if member.state is MemberState.BUSY:
+        with self._lock:
+            member = self.members[member_id]
+            member.pending_fault = (row_fraction, sticky)
+            if member.remote_inflight:
                 label = f"stuck_off:{row_fraction:g}"
                 if sticky:
                     label += ":sticky"
                 member.inflight_fault = label
-        self.tracer.count("pool.faults_injected")
+            elif member.operator is not None:
+                member.operator.array.inject_stuck_off(row_fraction)
+                if not sticky:
+                    member.pending_fault = None
+                if member.state is MemberState.BUSY:
+                    label = f"stuck_off:{row_fraction:g}"
+                    if sticky:
+                        label += ":sticky"
+                    member.inflight_fault = label
+            self.tracer.count("pool.faults_injected")
 
     def inject_drift(self, member_id: int, magnitude: float = 0.1) -> None:
         """Apply a multiplicative conductance-drift burst to a member.
@@ -410,15 +548,25 @@ class CrossbarPool:
         aged-array / temperature-step chaos mode.  Drift is inherently
         transient: the next (re)program overwrites it, so nothing is
         remembered.  A BUSY member tags its in-flight job, as with
-        :meth:`inject_fault`.
+        :meth:`inject_fault`.  Drift against a ``remote_inflight``
+        member is a no-op on state (the child holds the real operator
+        and drift is transient by definition) but still tags the
+        in-flight attempt.
+
+        Atomic under the pool lock.
         """
-        member = self.members[member_id]
-        if member.operator is None:
-            return
-        member.operator.array.apply_drift(magnitude, rng=self.rng)
-        if member.state is MemberState.BUSY:
-            member.inflight_fault = f"drift:{magnitude:g}"
-        self.tracer.count("pool.drift_injected")
+        with self._lock:
+            member = self.members[member_id]
+            if member.remote_inflight:
+                member.inflight_fault = f"drift:{magnitude:g}"
+                self.tracer.count("pool.drift_injected")
+                return
+            if member.operator is None:
+                return
+            member.operator.array.apply_drift(magnitude, rng=self.rng)
+            if member.state is MemberState.BUSY:
+                member.inflight_fault = f"drift:{magnitude:g}"
+            self.tracer.count("pool.drift_injected")
 
     def _apply_pending_fault(
         self, member: PoolMember, rng: np.random.Generator
@@ -433,14 +581,18 @@ class CrossbarPool:
     # -- introspection -------------------------------------------------------
 
     def states(self) -> dict[int, MemberState]:
-        """``member_id -> state`` snapshot."""
-        return {m.member_id: m.state for m in self.members}
+        """``member_id -> state`` snapshot (atomic under the lock)."""
+        with self._lock:
+            return {m.member_id: m.state for m in self.members}
 
     def active_members(self) -> int:
-        """Members not yet retired."""
-        return sum(
-            1 for m in self.members if m.state is not MemberState.RETIRED
-        )
+        """Members not yet retired (atomic under the lock)."""
+        with self._lock:
+            return sum(
+                1
+                for m in self.members
+                if m.state is not MemberState.RETIRED
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         states = ", ".join(

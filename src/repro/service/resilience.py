@@ -442,10 +442,12 @@ class FaultEvent:
             raise ValueError("queue_pulse needs jobs >= 1")
 
     def to_dict(self) -> dict:
+        """Plain-dict form (one entry of the scenario JSON)."""
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultEvent":
+        """Build an event from a parsed scenario entry."""
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
@@ -492,6 +494,7 @@ class FaultCampaign:
         return tuple(e for e in self.events if e.at_job > index)
 
     def to_dict(self) -> dict:
+        """Plain-dict form (the ``--chaos`` scenario JSON object)."""
         return {
             "name": self.name,
             "seed": self.seed,
@@ -500,6 +503,7 @@ class FaultCampaign:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultCampaign":
+        """Build a campaign from a parsed scenario object."""
         return cls(
             [FaultEvent.from_dict(e) for e in data.get("events", [])],
             name=data.get("name", "campaign"),
@@ -508,10 +512,12 @@ class FaultCampaign:
 
     @classmethod
     def from_json(cls, path: str | pathlib.Path) -> "FaultCampaign":
+        """Load a scenario file (the ``repro batch --chaos`` input)."""
         with pathlib.Path(path).open("r", encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
 
     def to_json(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the scenario JSON; returns the path written."""
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(

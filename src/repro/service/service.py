@@ -23,10 +23,31 @@ attempt on a :class:`~repro.service.pool.CrossbarPool` member:
    never lost) up to ``max_attempts``, then optionally handed to the
    digital fallback.
 
-Determinism: the scheduler is serial, placement is by deterministic
-preference order, and every attempt's randomness comes from
-``attempt_seed(base_seed, job_id, attempt)`` — two services with equal
-config and job stream produce identical records.
+Determinism: with ``workers=1`` (the default) the scheduler is
+serial, placement is by deterministic preference order, and every
+attempt's randomness comes from ``attempt_seed(base_seed, job_id,
+attempt)`` — two services with equal config and job stream produce
+identical records *and* identical traces, byte for byte.
+
+Concurrency (``workers > 1``) keeps the same scheduler code but splits
+each step into three phases: ``_dispatch`` (pop + placement, under the
+service lock), ``_execute`` (the solve, lock-free), and ``_conclude``
+(requeue-or-finalize + telemetry, under the lock again).  A
+:class:`~repro.service.dispatch.ConcurrentDispatcher` runs N worker
+threads through those phases, optionally shipping the numeric solve to
+a worker *process* (``executor="process"``) to sidestep the GIL.
+Concurrent completion order is timing-dependent, so byte-identical
+replay is not promised — but per-attempt results stay deterministic
+(seeds derive from ``(base_seed, job_id, attempt)`` exactly as in
+serial mode) and telemetry totals still reconcile exactly: the live
+registry, the record stream, and trace replay all accumulate in the
+one completion order the lock serializes (see DESIGN.md §15).
+
+Multi-tenancy: every job bills to its spec's ``tenant``; the queue
+runs deficit-round-robin weighted fair election across tenants
+(:class:`~repro.service.queue.TenantPolicy` sets weights and caps) and
+the dispatcher enforces per-tenant in-flight caps by passing capped
+tenants as ``blocked`` to :meth:`~repro.service.queue.JobQueue.pop`.
 
 Fault tolerance (:mod:`repro.service.resilience`) is layered on the
 same scheduler without changing the no-fault path: per-job deadlines
@@ -41,6 +62,7 @@ drives all of it under seeded, declarative chaos scenarios.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Callable, Iterable, Sequence
 
@@ -65,7 +87,7 @@ from repro.reliability.recovery import run_digital_fallback
 from repro.service.fingerprint import structural_fingerprint
 from repro.service.jobs import JobSpec, attempt_seed, build_problem
 from repro.service.pool import CrossbarPool, PoolMember
-from repro.service.queue import JobQueue, PendingJob
+from repro.service.queue import JobQueue, PendingJob, TenantPolicy
 from repro.service.resilience import (
     BackoffPolicy,
     BreakerPolicy,
@@ -156,6 +178,35 @@ class ServiceConfig:
     campaign:
         Chaos campaign fired at dispatch indices, or ``None`` for a
         fault-free run.
+    workers:
+        Dispatcher worker threads draining the queue.  ``1`` (the
+        default) runs the serial scheduler with its byte-identical
+        replay guarantee; ``> 1`` runs a
+        :class:`~repro.service.dispatch.ConcurrentDispatcher` that
+        overlaps attempts across IDLE pool members (deterministic
+        per-attempt results, timing-dependent completion order).
+    executor:
+        Where a concurrent attempt's numeric solve runs: ``"thread"``
+        (in the worker thread — simple, but the GIL serializes the
+        Python-loop-heavy PDIP iterations) or ``"process"`` (a
+        pre-warmed worker-process pool — true parallel solves;
+        operator state round-trips by pickling).  Ignored when
+        ``workers == 1``.
+    tenants:
+        Per-tenant :class:`~repro.service.queue.TenantPolicy` entries
+        (weights, in-flight caps, queue caps) for the queue's weighted
+        fair scheduler.  Tenants not listed get defaults (weight 1, no
+        caps); the empty default means single-tenant behaviour.
+    device_latency_s:
+        Hardware-in-the-loop emulation: each analog attempt occupies
+        its pool member for this many extra wall-clock seconds after
+        the simulated solve, modeling the fixed settle/readout time a
+        host spends blocked on a *physical* crossbar array.  The wait
+        releases the GIL, so it is the honest workload for measuring
+        dispatcher overlap (capacity planning for real hardware, where
+        solve wall-time is array time, not host CPU).  ``0`` (the
+        default) disables it; it never changes records or traces —
+        only wall-clock.
     """
 
     pool_size: int = 2
@@ -184,6 +235,10 @@ class ServiceConfig:
     )
     deadline_s: float | None = None
     campaign: FaultCampaign | None = None
+    workers: int = 1
+    executor: str = "thread"
+    tenants: tuple[TenantPolicy, ...] = ()
+    device_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -194,6 +249,15 @@ class ServiceConfig:
             raise ValueError("max_attempts must be positive")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive when set")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected 'thread' "
+                f"or 'process'"
+            )
+        if self.device_latency_s < 0:
+            raise ValueError("device_latency_s must be non-negative")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -227,6 +291,7 @@ class JobAttempt:
     energy_j: float = 0.0
 
     def to_dict(self) -> dict:
+        """Plain-dict form (nested in the job's JSONL record)."""
         return dataclasses.asdict(self)
 
 
@@ -257,6 +322,7 @@ class JobRecord:
 
     @property
     def success(self) -> bool:
+        """Whether the job's final result is conclusive."""
         return self.result.success
 
     def to_dict(self) -> dict:
@@ -306,6 +372,7 @@ class ServiceSummary:
 
     @property
     def jobs_per_second(self) -> float:
+        """Batch throughput (0 when no wall-clock elapsed)."""
         return (
             self.jobs / self.elapsed_seconds
             if self.elapsed_seconds > 0
@@ -335,6 +402,66 @@ class ServiceSummary:
         )
 
 
+@dataclasses.dataclass
+class _WorkItem:
+    """One dispatched attempt in flight between the scheduler phases.
+
+    ``_dispatch`` fills the placement fields under the service lock,
+    ``_execute`` (or the dispatcher's process-executor path) fills the
+    outcome fields lock-free, and ``_conclude`` folds everything back
+    into the scheduler under the lock.  Owned by exactly one worker
+    from dispatch to conclusion — never shared across threads.
+    """
+
+    pending: PendingJob
+    index: int
+    problem: object
+    settings: CrossbarSolverSettings
+    tier: DegradationTier
+    fingerprint: str
+    mode: str = "analog"  # "analog" | "brownout"
+    seed: int | None = None
+    rng: np.random.Generator | None = None
+    solver: CrossbarPDIPSolver | None = None
+    programmer: object | None = None
+    member: PoolMember | None = None
+    warm: bool = False
+    remote: bool = False
+    job_tracer: RecordingTracer | None = None
+    span: object | None = None
+    # Outcome, filled by the execute phase:
+    result: SolverResult | None = None
+    operator: object | None = None  # child-returned state (remote)
+    cells: int = 0
+    energy_j: float = 0.0
+    events: list | None = None
+
+
+def attempt_energy(
+    result: SolverResult | None,
+    counters: dict,
+    settings: CrossbarSolverSettings,
+) -> float:
+    """Price one attempt's energy from its private tracer counters.
+
+    The Fig. 7 cost-model estimate, a pure function of deterministic
+    op counts — it replays byte-identically and is safe to compute in
+    a worker process.  Returns 0 when the attempt never reached the
+    analog array.
+    """
+    if result is None or result.crossbar is None:
+        return 0.0
+    return estimate_energy_from_counts(
+        multiplies=counters.get("analog.multiplies", 0.0),
+        solves=counters.get("analog.solves", 0.0),
+        cells_written=counters.get("crossbar.cells_written", 0.0),
+        write_energy_j=counters.get("crossbar.write_energy_j", 0.0),
+        array_size=result.crossbar.array_size,
+        iterations=result.iterations,
+        device=settings.device,
+    ).total_j
+
+
 def _failed_result(
     problem, message: str, reason: FailureReason
 ) -> SolverResult:
@@ -354,7 +481,20 @@ def _failed_result(
 
 
 class SolverService:
-    """Serial, deterministic scheduler over a crossbar fleet."""
+    """Scheduler over a crossbar fleet: serial or concurrent.
+
+    With ``config.workers == 1`` this is the serial, deterministic
+    scheduler (byte-identical replay); with more workers, ``drain`` /
+    ``batch`` hand the same three scheduler phases to a
+    :class:`~repro.service.dispatch.ConcurrentDispatcher`.
+
+    Thread safety: ``submit`` / ``try_submit`` are safe from any
+    thread (front-door handlers call them directly); everything else
+    is driven either by the single serial caller or by dispatcher
+    workers that hold :attr:`lock` around the scheduler phases.  The
+    pool shares this same lock, so pool transitions, queue decisions,
+    and tracer emission all serialize together.
+    """
 
     def __init__(
         self,
@@ -368,6 +508,10 @@ class SolverService:
         self.tracer = tracer if tracer is not None else NOOP
         self.telemetry = telemetry
         self.clock = clock
+        #: The service-wide scheduler lock: admission, dispatch,
+        #: conclusion, pool transitions, and all service-tracer
+        #: emission happen under it.  Solves never hold it.
+        self.lock = threading.RLock()
         self.pool = CrossbarPool(
             self.config.pool_size,
             probe=self.config.probe,
@@ -380,8 +524,11 @@ class SolverService:
             on_breaker_transition=(
                 telemetry.on_breaker if telemetry is not None else None
             ),
+            lock=self.lock,
         )
-        self.queue = JobQueue(self.config.queue_depth)
+        self.queue = JobQueue(
+            self.config.queue_depth, tenants=self.config.tenants
+        )
         self.degradation = (
             DegradationController(
                 self.config.degradation,
@@ -405,18 +552,26 @@ class SolverService:
 
     def submit(self, spec: JobSpec) -> PendingJob:
         """Admit one job; raises
-        :class:`~repro.exceptions.QueueFullError` at the depth bound.
+        :class:`~repro.exceptions.QueueFullError` at a depth bound.
+
+        Thread-safe (atomic under the service lock); the front door
+        calls it from handler threads.
         """
-        pending = self.queue.submit(spec)
-        self._admit(pending)
-        return pending
+        with self.lock:
+            pending = self.queue.submit(spec)
+            self._admit(pending)
+            return pending
 
     def try_submit(self, spec: JobSpec) -> PendingJob | None:
-        """Non-raising :meth:`submit`; ``None`` when the queue is full."""
-        pending = self.queue.try_submit(spec)
-        if pending is not None:
-            self._admit(pending)
-        return pending
+        """Non-raising :meth:`submit`; ``None`` when a bound rejects.
+
+        Thread-safe (atomic under the service lock).
+        """
+        with self.lock:
+            pending = self.queue.try_submit(spec)
+            if pending is not None:
+                self._admit(pending)
+            return pending
 
     def _admit(self, pending: PendingJob) -> None:
         """Post-admission bookkeeping shared by both submit paths."""
@@ -453,16 +608,23 @@ class SolverService:
         """Run until the queue is empty; return the completed records.
 
         ``on_record`` is invoked with each record as it completes —
-        the hook behind live ``--stats-every`` printing.
+        the hook behind live ``--stats-every`` printing (always called
+        under the service lock, so the callback itself need not be
+        thread-safe).  Call from one thread at a time; with
+        ``workers > 1`` the concurrent dispatcher drains the queue.
         """
-        records: list[JobRecord] = []
-        while self.queue:
-            record = self._step()
-            if record is not None:
-                records.append(record)
-                if on_record is not None:
-                    on_record(record)
-        return records
+        if self.config.workers == 1:
+            records: list[JobRecord] = []
+            while self.queue:
+                record = self._step()
+                if record is not None:
+                    records.append(record)
+                    if on_record is not None:
+                        on_record(record)
+            return records
+        from repro.service.dispatch import ConcurrentDispatcher
+
+        return ConcurrentDispatcher(self).run(on_record=on_record)
 
     def batch(
         self,
@@ -472,21 +634,31 @@ class SolverService:
     ) -> tuple[list[JobRecord], ServiceSummary]:
         """Submit a stream of jobs with backpressure and run it dry.
 
-        When the queue bound is hit, the service makes room by
-        completing queued work before admitting the next spec — the
-        single-process version of "the producer blocks".  ``on_record``
-        fires per completed record, including the backpressure ones.
+        When the queue bound is hit, the service makes room before
+        admitting the next spec: serially by completing queued work
+        inline, concurrently by blocking the producer until a
+        dispatcher worker frees a slot.  ``on_record`` fires per
+        completed record (under the service lock), including the
+        backpressure ones.  Call from one thread at a time.
         """
-        records: list[JobRecord] = []
+        if self.config.workers == 1:
+            records: list[JobRecord] = []
+            with Stopwatch() as clock:
+                for spec in specs:
+                    while self.try_submit(spec) is None:
+                        record = self._step()
+                        if record is not None:
+                            records.append(record)
+                            if on_record is not None:
+                                on_record(record)
+                records.extend(self.drain(on_record=on_record))
+            return records, summarize(records, clock.elapsed_seconds)
+        from repro.service.dispatch import ConcurrentDispatcher
+
         with Stopwatch() as clock:
-            for spec in specs:
-                while self.try_submit(spec) is None:
-                    record = self._step()
-                    if record is not None:
-                        records.append(record)
-                        if on_record is not None:
-                            on_record(record)
-            records.extend(self.drain(on_record=on_record))
+            records = ConcurrentDispatcher(self).run(
+                specs, on_record=on_record
+            )
         return records, summarize(records, clock.elapsed_seconds)
 
     # -- internals -----------------------------------------------------------
@@ -560,18 +732,50 @@ class SolverService:
             self.pool.inject_drift(member_id, event.magnitude)
 
     def _step(self) -> JobRecord | None:
-        """Run one attempt of the next queued job.
+        """Run one attempt of the next queued job (serial phase chain).
 
         Returns the final record if the job finished (either way), or
-        ``None`` if it was requeued for another attempt.
+        ``None`` if it was requeued for another attempt.  Single-
+        threaded callers only; the concurrent dispatcher drives the
+        three phases itself.
+        """
+        dispatched = self._dispatch()
+        if dispatched is None:
+            raise IndexError("step on an empty job queue")
+        kind, payload = dispatched
+        if kind == "record":
+            return payload
+        self._execute(payload)
+        return self._conclude(payload)
+
+    def _dispatch(
+        self,
+        *,
+        blocked: frozenset | set = frozenset(),
+        remote: bool = False,
+    ) -> tuple[str, JobRecord | _WorkItem] | None:
+        """Pop and place the next attempt (the under-lock phase).
+
+        Returns ``("record", JobRecord)`` when the job completed with
+        no compute (its deadline expired in the queue), ``("work",
+        item)`` when an execute phase must run, or ``None`` when
+        nothing is dispatchable (queue empty, or every backlogged
+        tenant in ``blocked``).  ``remote`` reserves the pool member
+        without programming it (the process-executor path).  The
+        caller must hold the service lock (the serial path trivially
+        does: it is single-threaded).
         """
         config = self.config
+        if not self.queue.eligible(blocked):
+            return None
         self._fire_campaign_events()
         self._dispatched += 1
         prefer = (
             self._last_fingerprint if config.batch_by_fingerprint else None
         )
-        pending = self.queue.pop(prefer=prefer)
+        pending = self.queue.pop(prefer=prefer, blocked=blocked)
+        if pending is None:
+            return None
         spec = pending.spec
         index = len(pending.attempts)
         problem = (
@@ -617,7 +821,10 @@ class SolverService:
                     tier=int(tier),
                 )
             )
-            return self._finalize(pending, result, member=None, warm=False)
+            return (
+                "record",
+                self._finalize(pending, result, member=None, warm=False),
+            )
 
         if (
             tier is DegradationTier.DIGITAL_ONLY
@@ -626,7 +833,184 @@ class SolverService:
             # Full brownout: analog is browned out, route straight to
             # the digital solver.  The outcome still feeds the window —
             # that is what lets the tier recover once the storm passes.
-            fallback = run_digital_fallback(config.digital_fallback, problem)
+            # The digital solve itself is compute, so it runs in the
+            # lock-free execute phase.
+            return (
+                "work",
+                _WorkItem(
+                    pending=pending,
+                    index=index,
+                    problem=problem,
+                    settings=base_settings,
+                    tier=tier,
+                    fingerprint="",
+                    mode="brownout",
+                ),
+            )
+
+        settings = base_settings
+        if (
+            tier >= DegradationTier.SKIP_VERIFY
+            and settings.write_verify is not None
+        ):
+            # Tier 1+ sheds closed-loop write-verify.  The admission-
+            # stamped fingerprint (whose identity includes the verify
+            # policy) is deliberately kept: nominal targets do not
+            # change, so warm reuse across tiers stays valid and the
+            # cache is not cold-started by a brownout.
+            settings = dataclasses.replace(settings, write_verify=None)
+
+        seed = attempt_seed(config.base_seed, spec.job_id, index)
+        rng = np.random.default_rng(seed)
+        recovery = RecoveryPolicy(
+            reprograms=0,
+            remaps=0,
+            digital_fallback=None,
+            probe=config.probe,
+        )
+        if config.cache_enabled:
+            fingerprint = (
+                pending.fingerprint
+                if pending.fingerprint is not None
+                else structural_fingerprint(problem, base_settings)
+            )
+        else:
+            # Unique per attempt: no two placements can ever match, so
+            # every job pays the full structural program (control arm).
+            fingerprint = f"nocache:{spec.job_id}:{index}"
+
+        def programmer(prng, ptracer):
+            """Build this job's operator on a cold member."""
+            return CrossbarPDIPSolver(
+                problem,
+                settings,
+                rng=prng,
+                recovery=recovery,
+                tracer=ptracer,
+            ).build_operator(prng)
+
+        item = _WorkItem(
+            pending=pending,
+            index=index,
+            problem=problem,
+            settings=settings,
+            tier=tier,
+            fingerprint=fingerprint,
+            seed=seed,
+            rng=rng,
+            programmer=programmer,
+            remote=remote,
+        )
+        if remote:
+            # Process-executor path: select + mark BUSY only; the
+            # worker child programs / solves, the parent installs the
+            # returned state at conclusion.
+            item.member, item.warm = self.pool.reserve(
+                fingerprint, exclude=pending.excluded_members
+            )
+            return ("work", item)
+
+        job_tracer = RecordingTracer()
+        item.job_tracer = job_tracer
+        item.solver = CrossbarPDIPSolver(
+            problem,
+            settings,
+            rng=rng,
+            recovery=recovery,
+            tracer=job_tracer,
+            deadline=pending.deadline,
+        )
+        span = job_tracer.span(
+            "service.job",
+            job_id=spec.job_id,
+            group=spec.group,
+            kind=spec.kind,
+            attempt=index,
+            fingerprint=fingerprint,
+        )
+        span.__enter__()
+        item.span = span
+        item.member, item.warm = self.pool.acquire(
+            fingerprint,
+            programmer,
+            rng=rng,
+            tracer=job_tracer,
+            exclude=pending.excluded_members,
+        )
+        span.set(
+            member=(
+                item.member.member_id if item.member is not None else None
+            ),
+            warm=item.warm,
+        )
+        return ("work", item)
+
+    def _execute(self, item: _WorkItem) -> None:
+        """Run a dispatched attempt's compute (the lock-free phase).
+
+        Covers thread-mode analog attempts and brownout fallbacks;
+        the concurrent dispatcher executes ``remote`` items in a
+        worker process instead.  Touches no shared scheduler state
+        except releasing the BUSY member (atomic in the pool), so any
+        number of executes may overlap.
+        """
+        if item.mode == "brownout":
+            item.result = run_digital_fallback(
+                self.config.digital_fallback, item.problem
+            )
+            return
+        member = item.member
+        span = item.span
+        result: SolverResult | None = None
+        if member is not None:
+            try:
+                result = item.solver.solve_on(
+                    member.operator, trace=self.config.trace_iterations
+                )
+            except Exception as exc:  # noqa: BLE001 - isolation
+                result = _failed_result(
+                    item.problem,
+                    f"attempt crashed: {type(exc).__name__}: {exc}",
+                    FailureReason.SINGULAR_SYSTEM,
+                )
+            finally:
+                if self.config.device_latency_s > 0:
+                    # Emulated array occupancy: the member stays BUSY
+                    # for the modeled hardware settle/readout window.
+                    time.sleep(self.config.device_latency_s)
+                self.pool.release(member)
+            span.set(status=result.status.value)
+        span.__exit__(None, None, None)
+        job_tracer = item.job_tracer
+        item.result = result
+        item.cells = int(
+            job_tracer.counters.get("crossbar.cells_written", 0.0)
+        )
+        item.energy_j = attempt_energy(
+            result, job_tracer.counters, item.settings
+        )
+        item.events = job_tracer.event_dicts()
+
+    def _conclude(self, item: _WorkItem) -> JobRecord | None:
+        """Fold an executed attempt back into the scheduler.
+
+        Requeue-or-finalize, breaker / brownout feedback, trace
+        absorption, and telemetry — everything that mutates shared
+        state, in one fixed order per attempt, so a concurrent run
+        accumulates its totals in exactly the completion order the
+        lock serializes (the reconciliation guarantee).  Returns the
+        final record, or ``None`` when the job was requeued.  The
+        caller must hold the service lock.
+        """
+        config = self.config
+        pending = item.pending
+        spec = pending.spec
+        index = item.index
+        tier = item.tier
+
+        if item.mode == "brownout":
+            fallback = item.result
+            assert fallback is not None
             self.tracer.count("service.fallbacks")
             self.tracer.count("service.degradation.browned_out")
             if self.degradation is not None:
@@ -648,21 +1032,20 @@ class SolverService:
                 pending, fallback, member=None, warm=False, fallback=True
             )
 
-        settings = base_settings
-        if (
-            tier >= DegradationTier.SKIP_VERIFY
-            and settings.write_verify is not None
-        ):
-            # Tier 1+ sheds closed-loop write-verify.  The admission-
-            # stamped fingerprint (whose identity includes the verify
-            # policy) is deliberately kept: nominal targets do not
-            # change, so warm reuse across tiers stays valid and the
-            # cache is not cold-started by a brownout.
-            settings = dataclasses.replace(settings, write_verify=None)
-
-        result, member, warm, seed, cells, energy_j = self._attempt(
-            pending, index, problem, settings, base_settings
-        )
+        member = item.member
+        warm = item.warm
+        result = item.result
+        if item.remote and member is not None:
+            self.pool.install(
+                member,
+                item.operator,
+                fingerprint=item.fingerprint,
+                programmer=item.programmer,
+                rng=item.rng,
+            )
+            self.pool.release(member)
+        if item.events and isinstance(self.tracer, RecordingTracer):
+            absorb_events(self.tracer, item.events)
         self._last_fingerprint = pending.fingerprint
         success = result is not None and result.success
         injected = (
@@ -707,7 +1090,7 @@ class SolverService:
                 index=index,
                 member=member.member_id if member is not None else None,
                 warm=warm,
-                seed=seed,
+                seed=item.seed,
                 status=(
                     result.status.value if result is not None else "rejected"
                 ),
@@ -717,11 +1100,11 @@ class SolverService:
                     else FailureReason.NO_CAPACITY.value
                 ),
                 iterations=result.iterations if result is not None else 0,
-                cells_written=cells,
+                cells_written=item.cells,
                 tier=int(tier),
                 backoff_s=backoff_s,
                 injected_fault=injected,
-                energy_j=energy_j,
+                energy_j=item.energy_j,
             )
         )
 
@@ -760,7 +1143,7 @@ class SolverService:
         # A timed-out job skips the fallback: its caller is gone.
         if config.digital_fallback is not None and not timed_out:
             fallback = run_digital_fallback(
-                config.digital_fallback, problem
+                config.digital_fallback, item.problem
             )
             self.tracer.count("service.fallbacks")
             pending.attempts.append(
@@ -781,7 +1164,7 @@ class SolverService:
             )
         if result is None:
             result = _failed_result(
-                problem,
+                item.problem,
                 "no schedulable pool member (all excluded or retired)",
                 FailureReason.NO_CAPACITY,
             )
@@ -791,127 +1174,6 @@ class SolverService:
             member=member.member_id if member is not None else None,
             warm=warm,
         )
-
-    def _attempt(
-        self,
-        pending: PendingJob,
-        index: int,
-        problem,
-        settings: CrossbarSolverSettings,
-        base_settings: CrossbarSolverSettings | None = None,
-    ) -> tuple[
-        SolverResult | None, PoolMember | None, bool, int, int, float
-    ]:
-        """One analog attempt under a ``service.job`` span.
-
-        Returns ``(result, member, warm, seed, cells_written,
-        energy_j)``; the write count and energy come from the
-        attempt's private tracer, so a cold placement's full
-        structural program is charged to the job that caused it (the
-        result's own counters cover only the solve).  ``energy_j`` is
-        the Fig. 7 cost-model estimate priced from those counts — a
-        deterministic function of the op counters, so it replays.
-
-        ``settings`` may be a degraded variant of ``base_settings``
-        (brownout tiers strip write-verify); fingerprints always derive
-        from the *base* settings so cache identity survives tier
-        changes.
-        """
-        config = self.config
-        spec = pending.spec
-        if base_settings is None:
-            base_settings = settings
-        seed = attempt_seed(config.base_seed, spec.job_id, index)
-        rng = np.random.default_rng(seed)
-        recovery = RecoveryPolicy(
-            reprograms=0,
-            remaps=0,
-            digital_fallback=None,
-            probe=config.probe,
-        )
-        job_tracer = RecordingTracer()
-        solver = CrossbarPDIPSolver(
-            problem,
-            settings,
-            rng=rng,
-            recovery=recovery,
-            tracer=job_tracer,
-            deadline=pending.deadline,
-        )
-        if config.cache_enabled:
-            fingerprint = (
-                pending.fingerprint
-                if pending.fingerprint is not None
-                else structural_fingerprint(problem, base_settings)
-            )
-        else:
-            # Unique per attempt: no two placements can ever match, so
-            # every job pays the full structural program (control arm).
-            fingerprint = f"nocache:{spec.job_id}:{index}"
-
-        def programmer(prng, ptracer):
-            return CrossbarPDIPSolver(
-                problem,
-                settings,
-                rng=prng,
-                recovery=recovery,
-                tracer=ptracer,
-            ).build_operator(prng)
-
-        result: SolverResult | None = None
-        member: PoolMember | None = None
-        warm = False
-        with job_tracer.span(
-            "service.job",
-            job_id=spec.job_id,
-            group=spec.group,
-            kind=spec.kind,
-            attempt=index,
-            fingerprint=fingerprint,
-        ) as span:
-            member, warm = self.pool.acquire(
-                fingerprint,
-                programmer,
-                rng=rng,
-                tracer=job_tracer,
-                exclude=pending.excluded_members,
-            )
-            span.set(
-                member=member.member_id if member is not None else None,
-                warm=warm,
-            )
-            if member is not None:
-                try:
-                    result = solver.solve_on(
-                        member.operator, trace=config.trace_iterations
-                    )
-                except Exception as exc:  # noqa: BLE001 - isolation
-                    result = _failed_result(
-                        problem,
-                        f"attempt crashed: {type(exc).__name__}: {exc}",
-                        FailureReason.SINGULAR_SYSTEM,
-                    )
-                finally:
-                    self.pool.release(member)
-                span.set(status=result.status.value)
-        cells = int(job_tracer.counters.get("crossbar.cells_written", 0.0))
-        energy_j = 0.0
-        if result is not None and result.crossbar is not None:
-            counters = job_tracer.counters
-            energy_j = estimate_energy_from_counts(
-                multiplies=counters.get("analog.multiplies", 0.0),
-                solves=counters.get("analog.solves", 0.0),
-                cells_written=counters.get("crossbar.cells_written", 0.0),
-                write_energy_j=counters.get(
-                    "crossbar.write_energy_j", 0.0
-                ),
-                array_size=result.crossbar.array_size,
-                iterations=result.iterations,
-                device=settings.device,
-            ).total_j
-        if isinstance(self.tracer, RecordingTracer):
-            absorb_events(self.tracer, job_tracer.event_dicts())
-        return result, member, warm, seed, cells, energy_j
 
     def _finalize(
         self,

@@ -95,8 +95,27 @@ class ServiceTelemetry:
     # -- service hooks -------------------------------------------------------
 
     def on_submit(self, spec) -> None:
-        """One job admitted (``submit`` / ``try_submit`` success)."""
+        """One job admitted (``submit`` / ``try_submit`` success).
+
+        Called under the service lock (admission is atomic there), so
+        it needs no locking of its own.
+        """
         self.registry.inc("service.jobs_submitted")
+        self.registry.inc(
+            "service.jobs_submitted",
+            labels={"tenant": spec.tenant},
+        )
+
+    def on_lock_wait(self, waited_s: float) -> None:
+        """One scheduler-lock acquisition by a dispatcher worker.
+
+        Feeds the lock-contention counters (acquisitions and total
+        seconds spent waiting) — registry-only, never the tracer, so
+        traces stay byte-identical in serial replay and deterministic
+        in totals under concurrency.  Called with the lock held.
+        """
+        self.registry.inc("service.lock.acquires")
+        self.registry.inc("service.lock.wait_s", waited_s)
 
     def on_job(
         self, record, *, queue_depth: int = 0, tier: int = 0
@@ -113,7 +132,12 @@ class ServiceTelemetry:
         labels: Mapping[str, str] = {
             "priority": str(record.spec.priority),
             "group": str(record.spec.group),
+            "tenant": record.spec.tenant,
         }
+        self.registry.inc(
+            "service.jobs_completed" if success else "service.jobs_failed",
+            labels={"tenant": record.spec.tenant},
+        )
         latency_s = record.elapsed_seconds
         if latency_s > 0:
             self.registry.observe("service.latency_s", latency_s)

@@ -1,0 +1,144 @@
+"""Tests for the JSONL-over-HTTP front door."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    FrontDoor,
+    ServiceConfig,
+    ServiceTelemetry,
+    SolverService,
+    synthesize_jobs,
+)
+
+
+@pytest.fixture
+def door():
+    config = ServiceConfig(
+        pool_size=2, queue_depth=8, base_seed=7, workers=2
+    )
+    service = SolverService(config, telemetry=ServiceTelemetry())
+    door = FrontDoor(service)
+    door.start()
+    yield door
+    door.stop()
+
+
+def url(door, path):
+    host, port = door.address
+    return f"http://{host}:{port}{path}"
+
+
+def post_jobs(door, specs):
+    body = "".join(
+        json.dumps(spec.to_dict()) + "\n" for spec in specs
+    ).encode()
+    request = urllib.request.Request(
+        url(door, "/submit"), data=body, method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        return [
+            json.loads(line)
+            for line in response.read().decode().splitlines()
+        ]
+
+
+class TestSubmit:
+    def test_acks_every_line(self, door):
+        acks = post_jobs(door, synthesize_jobs(4, constraints=8))
+        assert len(acks) == 4
+        assert all(ack["accepted"] for ack in acks)
+        assert [ack["job_id"] for ack in acks] == [
+            f"job-{i:04d}" for i in range(4)
+        ]
+
+    def test_invalid_line_rejected_not_fatal(self, door):
+        body = (
+            b'{"job_id": "good", "constraints": 8}\n'
+            b'{"job_id": "", "constraints": 8}\n'
+            b"not json at all\n"
+        )
+        request = urllib.request.Request(
+            url(door, "/submit"), data=body, method="POST"
+        )
+        with urllib.request.urlopen(request) as response:
+            acks = [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+            ]
+        assert [ack["accepted"] for ack in acks] == [True, False, False]
+        assert "error" in acks[1] and "error" in acks[2]
+
+    def test_unknown_path_is_404(self, door):
+        request = urllib.request.Request(
+            url(door, "/nope"), data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 404
+
+
+class TestStream:
+    def test_streams_completions_with_sequence_numbers(self, door):
+        post_jobs(door, synthesize_jobs(3, constraints=8))
+        collected = {}
+        while len(collected) < 3:
+            with urllib.request.urlopen(
+                url(door, f"/stream?since={len(collected)}&timeout=30")
+            ) as response:
+                for line in response.read().decode().splitlines():
+                    record = json.loads(line)
+                    collected[record["seq"]] = record
+        assert sorted(collected) == [0, 1, 2]
+        assert {r["job_id"] for r in collected.values()} == {
+            f"job-{i:04d}" for i in range(3)
+        }
+        assert all(r["status"] == "optimal" for r in collected.values())
+
+    def test_bad_query_is_400(self, door):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url(door, "/stream?since=abc"))
+        assert excinfo.value.code == 400
+
+
+class TestStatusEndpoints:
+    def test_healthz(self, door):
+        with urllib.request.urlopen(url(door, "/healthz")) as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+        assert {"queue_depth", "completed", "tier"} <= set(payload)
+
+    def test_stats_reflects_completions(self, door):
+        post_jobs(door, synthesize_jobs(2, constraints=8))
+        # Wait for both completions, then read the stats surface.
+        with urllib.request.urlopen(
+            url(door, "/stream?since=1&timeout=30")
+        ):
+            pass
+        with urllib.request.urlopen(url(door, "/stats")) as response:
+            payload = json.loads(response.read())
+        assert payload["jobs"] >= 2
+        assert "jobs=" in payload["line"]
+
+
+class TestLifecycle:
+    def test_stop_drains_accepted_jobs(self):
+        config = ServiceConfig(
+            pool_size=2, queue_depth=16, base_seed=7, workers=2
+        )
+        door = FrontDoor(SolverService(config))
+        door.start()
+        acks = post_jobs(door, synthesize_jobs(6, constraints=8))
+        assert all(ack["accepted"] for ack in acks)
+        records = door.stop()
+        # An accepted job is never lost: all six complete.
+        assert {record.spec.job_id for record in records} == {
+            f"job-{i:04d}" for i in range(6)
+        }
+
+    def test_port_zero_binds_ephemeral(self, door):
+        host, port = door.address
+        assert host == "127.0.0.1"
+        assert port > 0

@@ -78,7 +78,7 @@ class TestJobFolding:
         ]
         assert labeled, "expected per-priority/group labeled series"
         keys = {key for labels in labeled for key, _ in labels}
-        assert keys == {"priority", "group"}
+        assert keys == {"priority", "group", "tenant"}
 
     def test_slo_budgets_fed(self):
         telemetry = ServiceTelemetry()

@@ -319,6 +319,46 @@ class TestServeCommand:
         with pytest.raises(SystemExit):
             main(self.ARGS + ["--inject-fault", "9"])
 
+    def test_stats_final_flush_on_fast_batch(self, capsys):
+        # Regression: a batch that drains between intervals must still
+        # get a closing stats line covering every job.
+        assert main(self.ARGS + ["--stats-every", "10"]) == 0
+        out = capsys.readouterr().out
+        stats = [l for l in out.splitlines() if l.startswith("[stats]")]
+        assert len(stats) == 1
+        assert "jobs=6" in stats[0]
+
+    def test_stats_no_duplicate_final_line(self, capsys):
+        # When the batch size lands exactly on an interval, the final
+        # flush must not repeat the line the interval already printed.
+        assert main(self.ARGS + ["--stats-every", "3"]) == 0
+        out = capsys.readouterr().out
+        stats = [l for l in out.splitlines() if l.startswith("[stats]")]
+        assert len(stats) == 2
+        assert "jobs=6" in stats[-1]
+
+    def test_concurrent_workers_complete_all_jobs(self, capsys):
+        code = main(
+            self.ARGS
+            + [
+                "--workers", "0",  # auto: one worker per pool member
+                "--tenants", "2",
+                "--tenant", "tenant-00:2.0:2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(6 ok, 0 failed)" in out
+        assert out.count("job-") == 6
+
+    def test_bad_tenant_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--tenant", "a:not-a-number"])
+
+    def test_bad_listen_address_exits(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--listen", "nope"])
+
 
 class TestBatchCommand:
     def make_jobs_file(self, tmp_path, count=5):

@@ -1,9 +1,11 @@
-"""Markdown link check over the top-level docs.
+"""Markdown link check over the top-level docs and ``docs/``.
 
-Every relative link in README / DESIGN / EXPERIMENTS (plus the file
-and module paths they name in backticks) must resolve inside the
-repository, so the cross-reference web the docs rely on cannot rot
-silently.  External http(s) links are not fetched.
+Every relative link in README / DESIGN / EXPERIMENTS and everything
+under ``docs/`` (plus the file and module paths they name in
+backticks) must resolve inside the repository, so the cross-reference
+web the docs rely on cannot rot silently.  Links are resolved relative
+to the document that contains them.  External http(s) links are not
+fetched.
 """
 
 import re
@@ -12,7 +14,10 @@ from pathlib import Path
 import pytest
 
 REPO = Path(__file__).resolve().parent.parent
-DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md") + tuple(
+    str(path.relative_to(REPO))
+    for path in sorted((REPO / "docs").glob("*.md"))
+)
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
@@ -38,6 +43,7 @@ def doc_links(name: str) -> list[str]:
 @pytest.mark.parametrize("name", DOCS)
 def test_relative_links_resolve(name):
     broken = []
+    base = (REPO / name).parent
     text = (REPO / name).read_text()
     slugs = {github_slug(h) for h in _HEADING.findall(text)}
     for target in doc_links(name):
@@ -45,11 +51,11 @@ def test_relative_links_resolve(name):
             continue
         path_part, _, anchor = target.partition("#")
         if path_part:
-            if not (REPO / path_part).exists():
+            if not (base / path_part).exists():
                 broken.append(f"{name}: missing file {target}")
                 continue
             if anchor:
-                other = (REPO / path_part).read_text()
+                other = (base / path_part).read_text()
                 other_slugs = {
                     github_slug(h) for h in _HEADING.findall(other)
                 }
