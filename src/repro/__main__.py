@@ -63,6 +63,13 @@ from repro.obs import (
     write_trace_jsonl,
 )
 from repro.obs.clock import Stopwatch
+from repro.exceptions import UnknownJobError
+from repro.presolve import (
+    PresolveStatus,
+    detect_infeasible,
+    infeasible_result,
+    presolve,
+)
 from repro.service import (
     FaultCampaign,
     FrontDoor,
@@ -74,7 +81,11 @@ from repro.service import (
     summarize,
     synthesize_jobs,
 )
-from repro.workloads import random_feasible_lp
+from repro.workloads import (
+    random_feasible_lp,
+    random_infeasible_lp,
+    rolling_horizon_stream,
+)
 
 _FIGURES = {
     "fig5a": (accuracy_sweep, render_accuracy, "crossbar"),
@@ -138,7 +149,28 @@ def _reliability_solver(args: argparse.Namespace, tracer=None):
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    problem = random_feasible_lp(args.constraints, rng=rng)
+    if args.infeasible:
+        problem = random_infeasible_lp(args.constraints, rng=rng)
+    else:
+        problem = random_feasible_lp(args.constraints, rng=rng)
+
+    # Presolve admission screen: a provably infeasible instance is
+    # classified here with zero crossbar programming — the same
+    # zero-cell path the serving layer takes.  Feasible instances pass
+    # through with byte-identical output to before.
+    certificate = detect_infeasible(problem)
+    if certificate is not None:
+        result = infeasible_result(problem, certificate)
+        print(f"problem: {problem}")
+        print(
+            f"{args.solver}: status={result.status} "
+            f"objective={result.objective:.6g} "
+            f"iterations={result.iterations}"
+        )
+        print(f"failure reason: {result.failure_reason.value}")
+        print(f"presolve certificate: {certificate}")
+        return 0
+
     truth = solve_scipy(problem)
     tracer = (
         RecordingTracer()
@@ -157,8 +189,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         solve, _ = _reliability_solver(args, tracer)
     else:
         solve = solver_for(args.solver, args.variation, tracer=tracer)
-    result = solve(problem, np.random.default_rng(args.seed + 1))
+    presolved = None
+    if args.presolve:
+        presolved = presolve(problem, scaling=args.scaling)
+        if presolved.report.status is PresolveStatus.REDUCED:
+            result = presolved.postsolve(
+                solve(
+                    presolved.problem,
+                    np.random.default_rng(args.seed + 1),
+                )
+            )
+        else:
+            result = presolved.solution()
+    else:
+        result = solve(problem, np.random.default_rng(args.seed + 1))
     print(f"problem: {problem}")
+    if presolved is not None:
+        print(f"presolve: {presolved.report.summary()}")
     print(f"scipy optimum: {truth.objective:.6g}")
     # elapsed_seconds is deliberately not printed: same-seed output is
     # byte-identical, and a wall-clock field would break that.
@@ -337,6 +384,8 @@ def _service_from_args(args: argparse.Namespace, tracer, telemetry=None):
         tenants=tuple(
             _parse_tenant_policy(text) for text in args.tenant or ()
         ),
+        presolve=not args.no_presolve,
+        warm_start=not args.no_warm_start,
     )
     service = SolverService(config, tracer=tracer, telemetry=telemetry)
     if args.inject_fault is not None:
@@ -404,6 +453,7 @@ def _run_service(args: argparse.Namespace, specs) -> int:
         print(line)
     print()
     print(summary.render())
+    _print_resolve_summary(records)
     campaign = service.config.campaign
     if campaign is not None:
         print(
@@ -509,11 +559,58 @@ def _run_frontdoor(args: argparse.Namespace) -> int:
     return 1 if summary.failed else 0
 
 
+def _print_resolve_summary(records) -> None:
+    """Epilogue for batches containing re-solve jobs: placement cost."""
+    resolves = [
+        record
+        for record in records
+        if getattr(record.spec, "base_job_id", None) is not None
+    ]
+    if not resolves:
+        return
+    warm = sum(1 for record in resolves if record.warm)
+    paid = sum(
+        attempt.program_cells
+        for record in resolves
+        for attempt in record.attempts
+    )
+    cold_costs = [
+        attempt.program_cells
+        for record in records
+        if getattr(record.spec, "base_job_id", None) is None
+        for attempt in record.attempts
+        if not attempt.warm and attempt.program_cells > 0
+    ]
+    line = (
+        f"re-solves:     {len(resolves)} jobs, {warm} warm placements, "
+        f"{paid} programming cells paid"
+    )
+    if cold_costs:
+        line += (
+            f" (a cold program costs "
+            f"{max(cold_costs)} cells per placement)"
+        )
+    print(line)
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    _, specs = rolling_horizon_stream(
+        args.steps,
+        constraints=args.constraints,
+        seed=args.seed,
+        drift=args.drift,
+    )
+    return _run_service(args, specs)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     specs = list(read_jobs_jsonl(args.jobs_file))
     if not specs:
         raise SystemExit(f"no jobs in {args.jobs_file}")
-    return _run_service(args, specs)
+    try:
+        return _run_service(args, specs)
+    except UnknownJobError as exc:
+        raise SystemExit(f"{args.jobs_file}: {exc}")
 
 
 def _add_service_options(parser: argparse.ArgumentParser) -> None:
@@ -580,6 +677,12 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         help="per-tenant fairness policy (repeatable): "
                              "DRR weight, in-flight cap, queue cap; "
                              "unlisted tenants get weight 1, no caps")
+    parser.add_argument("--no-presolve", action="store_true",
+                        help="disable the presolve infeasibility "
+                             "screen at first dispatch")
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="disable warm-starting re-solve jobs "
+                             "from their base job's optimum")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -614,6 +717,17 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--write-verify", type=float, default=None,
                        metavar="TOL",
                        help="closed-loop write-verify tolerance")
+    solve.add_argument("--infeasible", action="store_true",
+                       help="solve a planted-infeasible instance "
+                            "instead (exercises the presolve screen)")
+    solve.add_argument("--presolve", action="store_true",
+                       help="run the reduction + equilibration "
+                            "pipeline before solving and postsolve "
+                            "the answer back to original units")
+    solve.add_argument("--scaling",
+                       choices=("ruiz", "geometric", "none"),
+                       default="ruiz",
+                       help="equilibration method used by --presolve")
     solve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write a JSONL span/counter trace here")
     solve.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -715,14 +829,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a JSONL job file through the solver service",
         description=(
             "Each input line is a JobSpec object (job_id, constraints, "
-            "group, kind, priority, variation).  Emits one JSONL "
-            "result record per job with --out."
+            "group, kind, priority, variation) or — when it carries a "
+            "base_job_id — a ResolveSpec re-solving an earlier job's "
+            "structure with new parameters.  Emits one JSONL result "
+            "record per job with --out."
         ),
     )
     batch.add_argument("jobs_file", metavar="jobs.jsonl",
                        help="job specs, one JSON object per line")
     _add_service_options(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    resolve = sub.add_parser(
+        "resolve",
+        help="run a rolling-horizon warm re-solve stream",
+        description=(
+            "Solve one base LP cold, then stream parameter-only "
+            "re-solves of it through the service's warm re-solve "
+            "tier: each step drifts (b, c) and is placed on the pool "
+            "member already programmed with the structure, writing "
+            "zero programming cells and warm-starting the iterates "
+            "from the base optimum."
+        ),
+    )
+    resolve.add_argument("--steps", type=int, default=20,
+                         help="number of re-solve steps in the stream")
+    resolve.add_argument("--constraints", type=int, default=24,
+                         help="constraints of the base instance")
+    resolve.add_argument("--drift", type=float, default=0.02,
+                         help="per-step relative drift of b and c")
+    _add_service_options(resolve)
+    resolve.set_defaults(func=_cmd_resolve)
     return parser
 
 

@@ -46,6 +46,7 @@ from repro.core.result import (
 )
 from repro.core.settings import CrossbarSolverSettings
 from repro.core.stepsize import ratio_test_theta
+from repro.core.warmstart import validated_state as _validated_state
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError, MappingError
 from repro.obs.clock import Deadline, Stopwatch
@@ -115,7 +116,12 @@ class CrossbarPDIPSolver:
 
     # -- public API ----------------------------------------------------------
 
-    def solve(self, *, trace: bool = False) -> SolverResult:
+    def solve(
+        self,
+        *,
+        trace: bool = False,
+        initial_state: tuple[np.ndarray, ...] | None = None,
+    ) -> SolverResult:
         """Run Algorithm 1 under the recovery ladder.
 
         The ladder's first rung is the paper's Section 4.5 "double
@@ -123,8 +129,15 @@ class CrossbarPDIPSolver:
         the configured :class:`RecoveryPolicy` may escalate further to
         remapping and a digital fallback.  The returned result carries
         the full attempt history and its wall-clock duration.
+
+        ``initial_state`` optionally warm-starts the PDIP iterates
+        (``(x, y, w, z)``, see :mod:`repro.core.warmstart`) on the
+        *first* rung only; if that rung fails, every retry falls back
+        to the seeded cold start so a stalled warm trajectory cannot
+        poison the ladder.
         """
         self._last_operator = None
+        first_rung = {"initial_state": initial_state}
 
         def attempt(
             rng: np.random.Generator, action: RecoveryAction
@@ -145,6 +158,7 @@ class CrossbarPDIPSolver:
                 trace=trace,
                 operator=warm,
                 redraw=rng if warm is not None else None,
+                initial_state=first_rung.pop("initial_state", None),
             )
 
         with Stopwatch() as clock, self.tracer.span(
@@ -167,6 +181,7 @@ class CrossbarPDIPSolver:
         operator: AnalogMatrixOperator,
         *,
         trace: bool = False,
+        initial_state: tuple[np.ndarray, ...] | None = None,
     ) -> SolverResult:
         """Run ONE attempt on a pre-programmed (warm) operator.
 
@@ -178,7 +193,9 @@ class CrossbarPDIPSolver:
         amortized across *requests*.  No recovery ladder runs here;
         rescheduling is the caller's concern.  The returned counters
         cover only this attempt's writes (the operator's lifetime
-        totals are baselined out).
+        totals are baselined out).  ``initial_state`` optionally
+        warm-starts the PDIP iterates from a previous optimum
+        (:mod:`repro.core.warmstart`) — the re-solve tier's fast path.
         """
         with Stopwatch() as clock, self.tracer.span(
             "solve",
@@ -187,7 +204,10 @@ class CrossbarPDIPSolver:
             warm=True,
         ):
             result, _ = self._solve_once(
-                rng=self.rng, trace=trace, operator=operator
+                rng=self.rng,
+                trace=trace,
+                operator=operator,
+                initial_state=initial_state,
             )
         return dataclasses.replace(
             result, elapsed_seconds=clock.elapsed_seconds
@@ -268,6 +288,7 @@ class CrossbarPDIPSolver:
         trace: bool = False,
         operator: AnalogMatrixOperator | None = None,
         redraw: np.random.Generator | None = None,
+        initial_state: tuple[np.ndarray, ...] | None = None,
     ) -> tuple[SolverResult, ProbeReport | None]:
         problem = self.problem
         settings = self.settings
@@ -276,10 +297,13 @@ class CrossbarPDIPSolver:
         m, n = problem.A.shape
         rng = rng if rng is not None else self.rng
 
-        x = np.full(n, settings.initial_value)
-        z = np.full(n, settings.initial_value)
-        y = np.full(m, settings.initial_value)
-        w = np.full(m, settings.initial_value)
+        if initial_state is not None:
+            x, y, w, z = _validated_state(initial_state, m, n, settings)
+        else:
+            x = np.full(n, settings.initial_value)
+            z = np.full(n, settings.initial_value)
+            y = np.full(m, settings.initial_value)
+            w = np.full(m, settings.initial_value)
 
         if operator is None:
             # Eqn. 13/14a: eliminate negatives via compensation
@@ -354,7 +378,12 @@ class CrossbarPDIPSolver:
         eps_dual = settings.eps_dual * (
             1.0 + float(np.max(np.abs(problem.c), initial=0.0))
         )
-        gap0 = duality_gap(x, y, w, z)
+        # Gap tolerance is anchored at the *nominal* cold-start gap
+        # ((n+m) * initial_value^2) so a warm start near the optimum is
+        # judged by the same absolute threshold as a cold solve — not
+        # by its own (tiny) initial gap, which would demand a far
+        # tighter answer from exactly the runs meant to finish fast.
+        gap0 = (n + m) * settings.initial_value**2
         eps_gap = settings.eps_gap * max(1.0, gap0)
         converter_bits = [
             bits

@@ -51,6 +51,12 @@ class FailureReason(enum.Enum):
     #: rungs and between PDIP iterations, so an expired budget stops a
     #: solve after at most one more iteration's work.
     DEADLINE_EXCEEDED = "deadline_exceeded"
+    #: The presolve pipeline proved the instance infeasible before any
+    #: crossbar programming.  Unlike the other reasons this accompanies
+    #: a *conclusive* INFEASIBLE status: it records provenance (the
+    #: certificate came from :mod:`repro.presolve`, not the array) and
+    #: that the verdict cost zero cell writes.
+    INFEASIBLE_PRESOLVE = "infeasible_presolve"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -48,6 +48,7 @@ from repro.core.result import (
 from repro.core.scalable_system import ScalableNewtonSystem
 from repro.core.settings import ScalableSolverSettings
 from repro.core.stepsize import ratio_test_theta
+from repro.core.warmstart import validated_state as _validated_state
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import CrossbarSolveError
 from repro.obs.clock import Deadline, Stopwatch
@@ -128,7 +129,12 @@ class LargeScaleCrossbarPDIPSolver:
             | None
         ) = None
 
-    def solve(self, *, trace: bool = False) -> SolverResult:
+    def solve(
+        self,
+        *,
+        trace: bool = False,
+        initial_state: tuple[np.ndarray, ...] | None = None,
+    ) -> SolverResult:
         """Run Algorithm 2 under the recovery ladder.
 
         The ladder's first rung is the paper's Section 4.5 "double
@@ -136,8 +142,14 @@ class LargeScaleCrossbarPDIPSolver:
         process variation); the configured :class:`RecoveryPolicy` may
         escalate further to remapping and a digital fallback.  The
         returned result carries the full attempt history.
+
+        ``initial_state`` optionally warm-starts the PDIP iterates
+        (``(x, y, w, z)``, see :mod:`repro.core.warmstart`) on the
+        first rung only; retries always fall back to the seeded cold
+        start.
         """
         self._last_arrays = None
+        first_rung = {"initial_state": initial_state}
 
         def attempt(
             rng: np.random.Generator, action: RecoveryAction
@@ -157,6 +169,7 @@ class LargeScaleCrossbarPDIPSolver:
                 trace=trace,
                 arrays=warm,
                 redraw=rng if warm is not None else None,
+                initial_state=first_rung.pop("initial_state", None),
             )
 
         with Stopwatch() as clock, self.tracer.span(
@@ -231,6 +244,7 @@ class LargeScaleCrossbarPDIPSolver:
             | None
         ) = None,
         redraw: np.random.Generator | None = None,
+        initial_state: tuple[np.ndarray, ...] | None = None,
     ) -> tuple[SolverResult, ProbeReport | None]:
         problem = self.problem
         settings = self.settings
@@ -238,10 +252,13 @@ class LargeScaleCrossbarPDIPSolver:
         m, n = problem.A.shape
         rng = rng if rng is not None else self.rng
 
-        x = np.full(n, settings.initial_value)
-        z = np.full(n, settings.initial_value)
-        y = np.full(m, settings.initial_value)
-        w = np.full(m, settings.initial_value)
+        if initial_state is not None:
+            x, y, w, z = _validated_state(initial_state, m, n, settings)
+        else:
+            x = np.full(n, settings.initial_value)
+            z = np.full(n, settings.initial_value)
+            y = np.full(m, settings.initial_value)
+            w = np.full(m, settings.initial_value)
 
         tracer = self.tracer
         if arrays is None:
@@ -357,7 +374,10 @@ class LargeScaleCrossbarPDIPSolver:
         eps_dual = settings.eps_dual * (
             1.0 + float(np.max(np.abs(problem.c), initial=0.0))
         )
-        gap0 = duality_gap(x, y, w, z)
+        # Anchored at the nominal cold-start gap ((n+m)*initial_value^2,
+        # identical to duality_gap at the flat start) so warm starts
+        # are judged by the same absolute threshold as cold solves.
+        gap0 = (n + m) * settings.initial_value**2
         eps_gap = settings.eps_gap * max(1.0, gap0)
         converter_bits = [
             bits

@@ -8,7 +8,13 @@ nodal-analysis circuit model for parasitic validation.
 
 from repro.crossbar.array import CrossbarArray
 from repro.crossbar.circuit import DetailedCrossbarCircuit
-from repro.crossbar.mapping import ConductanceMapping, map_matrix, shared_scale
+from repro.crossbar.mapping import (
+    ConductanceMapping,
+    DynamicRangeReport,
+    dynamic_range_report,
+    map_matrix,
+    shared_scale,
+)
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.crossbar.programming import WriteReport, plan_write
 from repro.crossbar.quantization import (
@@ -21,6 +27,8 @@ __all__ = [
     "CrossbarArray",
     "DetailedCrossbarCircuit",
     "ConductanceMapping",
+    "DynamicRangeReport",
+    "dynamic_range_report",
     "map_matrix",
     "shared_scale",
     "AnalogMatrixOperator",

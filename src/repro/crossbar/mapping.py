@@ -287,6 +287,75 @@ def map_matrix_per_row(
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class DynamicRangeReport:
+    """How a matrix's coefficient spread fits the device window.
+
+    The fast proportional mapping pins the largest coefficient at
+    ``g_on``; every coefficient more than ``log10(g_on / g_off)``
+    decades below it falls off the representable floor and is clamped.
+    This report quantifies that loss ahead of programming so callers
+    can decide to equilibrate first (:func:`repro.presolve.scaling.
+    equilibrate` reduces the spanned decades without changing the LP).
+
+    Attributes
+    ----------
+    decades_spanned:
+        ``log10(max|a| / min nonzero |a|)`` of the matrix.
+    decades_representable:
+        ``log10(g_on / g_off)`` of the device window.
+    floored_fraction:
+        Fraction of *nonzero* coefficients that would clamp to the
+        floor under the fast global mapping.
+    """
+
+    decades_spanned: float
+    decades_representable: float
+    floored_fraction: float
+
+    @property
+    def fits(self) -> bool:
+        """Whether every nonzero coefficient is representable."""
+        return self.decades_spanned <= self.decades_representable
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON reports."""
+        return {
+            "decades_spanned": self.decades_spanned,
+            "decades_representable": self.decades_representable,
+            "floored_fraction": self.floored_fraction,
+            "fits": self.fits,
+        }
+
+
+def dynamic_range_report(
+    matrix: np.ndarray, params: DeviceParameters
+) -> DynamicRangeReport:
+    """Measure how ``matrix`` fits the device's conductance window.
+
+    Accepts coefficients of any sign (only magnitudes matter — the
+    negative-elimination step preserves them).  Useful before and after
+    presolve equilibration to verify the scaling actually bought
+    representable coefficients.
+    """
+    from repro.presolve.scaling import coefficient_decades
+
+    matrix = np.asarray(matrix, dtype=float)
+    magnitudes = np.abs(matrix)
+    nonzero = magnitudes[magnitudes > 0]
+    decades = coefficient_decades(matrix)
+    representable = float(np.log10(params.g_on / params.g_off))
+    if nonzero.size == 0:
+        return DynamicRangeReport(0.0, representable, 0.0)
+    # Fast mapping: scale = g_on / a_max, floor at g_off.
+    floored = nonzero * (params.g_on / float(nonzero.max())) < params.g_off
+    return DynamicRangeReport(
+        decades_spanned=decades,
+        decades_representable=representable,
+        floored_fraction=float(np.mean(floored)),
+    )
+
+
 def shared_scale(
     matrices: list[np.ndarray], params: DeviceParameters
 ) -> float:

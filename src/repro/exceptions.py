@@ -41,6 +41,17 @@ class ServiceError(ReproError):
     """Base class for solver-service (serving layer) errors."""
 
 
+class UnknownJobError(ServiceError):
+    """A resolve request named a base job the service never admitted.
+
+    Raised at admission time (``SolverService.resolve`` /
+    ``try_submit`` with a :class:`~repro.service.jobs.ResolveSpec`):
+    a parameter-only re-solve needs its base job's structure and
+    stored optimum, so an unknown ``base_job_id`` is a client error —
+    the front door maps it to a structured 404-style reject.
+    """
+
+
 class QueueFullError(ServiceError):
     """The job queue rejected a submission (admission control).
 

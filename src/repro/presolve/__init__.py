@@ -1,0 +1,37 @@
+"""Presolve front end: reductions + equilibration before the crossbar.
+
+See :mod:`repro.presolve.pipeline` for the reduction rules and the
+postsolve exactness contract, and :mod:`repro.presolve.scaling` for the
+power-of-two equilibration that shrinks the conductance dynamic range
+the mapping must span.
+"""
+
+from repro.presolve.pipeline import (
+    PresolvedLP,
+    PresolveReport,
+    PresolveStatus,
+    detect_infeasible,
+    infeasible_result,
+    presolve,
+)
+from repro.presolve.scaling import (
+    SCALING_METHODS,
+    coefficient_decades,
+    equilibrate,
+    geometric_mean_scales,
+    ruiz_scales,
+)
+
+__all__ = [
+    "PresolvedLP",
+    "PresolveReport",
+    "PresolveStatus",
+    "SCALING_METHODS",
+    "coefficient_decades",
+    "detect_infeasible",
+    "equilibrate",
+    "geometric_mean_scales",
+    "infeasible_result",
+    "presolve",
+    "ruiz_scales",
+]

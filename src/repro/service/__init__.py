@@ -21,12 +21,15 @@ from repro.service.frontdoor import FrontDoor
 from repro.service.jobs import (
     DEFAULT_TENANT,
     JobSpec,
+    ResolveSpec,
     attempt_seed,
     build_problem,
+    build_resolve_problem,
     job_seed,
     read_jobs_jsonl,
     structure_seed,
     synthesize_jobs,
+    synthesize_resolve_stream,
     write_jobs_jsonl,
 )
 from repro.service.pool import CrossbarPool, MemberState, PoolMember
@@ -80,6 +83,7 @@ __all__ = [
     "MemberState",
     "PendingJob",
     "PoolMember",
+    "ResolveSpec",
     "ServiceConfig",
     "ServiceSummary",
     "ServiceTelemetry",
@@ -87,6 +91,7 @@ __all__ = [
     "TenantPolicy",
     "attempt_seed",
     "build_problem",
+    "build_resolve_problem",
     "default_serving_settings",
     "job_seed",
     "read_jobs_jsonl",
@@ -94,5 +99,6 @@ __all__ = [
     "structure_seed",
     "summarize",
     "synthesize_jobs",
+    "synthesize_resolve_stream",
     "write_jobs_jsonl",
 ]

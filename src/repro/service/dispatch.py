@@ -89,6 +89,7 @@ def _remote_attempt(
     operator_blob: bytes | None,
     trace_iterations: bool,
     deadline_budget_s: float | None,
+    initial_state=None,
 ):
     """One analog attempt, executed inside a worker process.
 
@@ -97,8 +98,9 @@ def _remote_attempt(
     program / adopt, then solve), so for a given ``(job, attempt,
     warm-state)`` the child computes the same result the serial
     scheduler would.  Returns ``(result, trace event dicts, pickled
-    operator state or None, cells_written, energy_j)`` — everything
-    the parent needs to install the member and conclude the attempt.
+    operator state or None, cells_written, program_cells, energy_j)``
+    — everything the parent needs to install the member and conclude
+    the attempt.
 
     Runs single-threaded in its own process; needs no locks.
     """
@@ -144,8 +146,18 @@ def _remote_attempt(
                 tracer=job_tracer,
             ).build_operator(rng)
         span.set(member=member_id, warm=warm)
+        # Placement cost so far (structural program on a cold member,
+        # zero on a warm adopt) — everything after this point is
+        # per-iteration diagonal rewrites.
+        program_cells = int(
+            job_tracer.counters.get("crossbar.cells_written", 0.0)
+        )
         try:
-            result = solver.solve_on(operator, trace=trace_iterations)
+            result = solver.solve_on(
+                operator,
+                trace=trace_iterations,
+                initial_state=initial_state,
+            )
         except Exception as exc:  # noqa: BLE001 - isolation
             result = _failed_result(
                 problem,
@@ -164,6 +176,7 @@ def _remote_attempt(
         job_tracer.event_dicts(),
         pickle.dumps(operator),
         cells,
+        program_cells,
         energy_j,
     )
 
@@ -433,8 +446,16 @@ class ConcurrentDispatcher:
                 blob,
                 service.config.trace_iterations,
                 budget,
+                item.initial_state,
             )
-            result, events, operator_blob, cells, energy_j = future.result()
+            (
+                result,
+                events,
+                operator_blob,
+                cells,
+                program_cells,
+                energy_j,
+            ) = future.result()
             operator = (
                 pickle.loads(operator_blob)
                 if operator_blob is not None
@@ -447,7 +468,13 @@ class ConcurrentDispatcher:
                 f"{type(exc).__name__}: {exc}",
                 FailureReason.SINGULAR_SYSTEM,
             )
-            events, operator, cells, energy_j = [], None, 0, 0.0
+            events, operator, cells, program_cells, energy_j = (
+                [],
+                None,
+                0,
+                0,
+                0.0,
+            )
         if service.config.device_latency_s > 0:
             # Emulated array occupancy (see ServiceConfig): the member
             # stays reserved for the modeled hardware settle window.
@@ -456,4 +483,5 @@ class ConcurrentDispatcher:
         item.events = events
         item.operator = operator
         item.cells = cells
+        item.program_cells = program_cells
         item.energy_j = energy_j

@@ -15,6 +15,13 @@ Endpoints (all JSON / JSONL, no dependencies beyond the stdlib):
   "accepted": true}`` or ``{"accepted": false, "error": ...}`` when a
   bound rejected or the spec failed validation.  Admission control is
   the service's own: queue depth and per-tenant caps apply unchanged.
+- ``POST /resolve`` — body is one :class:`~repro.service.jobs.
+  ResolveSpec` per line (``base_job_id`` required): parameter-only
+  warm re-solves against an already-submitted job's structure.  Acks
+  mirror ``/submit``; a line naming a base job the service never
+  admitted is rejected with ``{"accepted": false, "code": 404, ...}``
+  (a structured reject, never a connection error), and the response
+  status is 404 when *every* line was an unknown-base reject.
 - ``GET /stream?since=N&timeout=S`` — completed job records as JSONL,
   each line ``{"seq": i, ...record}`` in completion order.  ``since``
   (default 0) skips records already seen; ``timeout`` (seconds,
@@ -40,8 +47,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 from urllib.parse import parse_qs, urlparse
 
+from repro.exceptions import UnknownJobError
 from repro.service.dispatch import ConcurrentDispatcher
-from repro.service.jobs import JobSpec
+from repro.service.jobs import JobSpec, ResolveSpec
 from repro.service.service import JobRecord, SolverService
 
 
@@ -183,10 +191,13 @@ def _make_handler(door: FrontDoor) -> type:
                 self._reply_json(404, {"error": "not found"})
 
         def do_POST(self) -> None:  # noqa: D102 - dispatch table below
-            if urlparse(self.path).path != "/submit":
+            path = urlparse(self.path).path
+            if path == "/submit":
+                self._submit()
+            elif path == "/resolve":
+                self._resolve()
+            else:
                 self._reply_json(404, {"error": "not found"})
-                return
-            self._submit()
 
         def _healthz(self) -> None:
             service = door.service
@@ -227,7 +238,15 @@ def _make_handler(door: FrontDoor) -> type:
                 if not line:
                     continue
                 try:
-                    spec = JobSpec.from_dict(json.loads(line))
+                    data = json.loads(line)
+                    if (
+                        isinstance(data, dict)
+                        and data.get("base_job_id") is not None
+                    ):
+                        raise ValueError(
+                            "re-solve specs go to POST /resolve"
+                        )
+                    spec = JobSpec.from_dict(data)
                 except (ValueError, TypeError) as exc:
                     acks.append(
                         {"accepted": False, "error": str(exc)}
@@ -251,6 +270,56 @@ def _make_handler(door: FrontDoor) -> type:
                 json.dumps(ack, sort_keys=True) + "\n" for ack in acks
             )
             self._reply(200, payload.encode(), "application/jsonl")
+
+        def _resolve(self) -> None:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length).decode("utf-8")
+            acks = []
+            for line in body.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    spec = ResolveSpec.from_dict(json.loads(line))
+                except (ValueError, TypeError) as exc:
+                    acks.append({"accepted": False, "error": str(exc)})
+                    continue
+                try:
+                    pending = door.service.try_submit(spec)
+                except UnknownJobError as exc:
+                    # Client error, structured: the caller named a base
+                    # job the service never admitted.
+                    acks.append(
+                        {
+                            "job_id": spec.job_id,
+                            "accepted": False,
+                            "code": 404,
+                            "error": str(exc),
+                        }
+                    )
+                    continue
+                if pending is None:
+                    acks.append(
+                        {
+                            "job_id": spec.job_id,
+                            "accepted": False,
+                            "error": "admission rejected (queue or "
+                            "tenant bound)",
+                        }
+                    )
+                else:
+                    acks.append(
+                        {"job_id": spec.job_id, "accepted": True}
+                    )
+            status = (
+                404
+                if acks and all(ack.get("code") == 404 for ack in acks)
+                else 200
+            )
+            payload = "".join(
+                json.dumps(ack, sort_keys=True) + "\n" for ack in acks
+            )
+            self._reply(status, payload.encode(), "application/jsonl")
 
         def _stream(self, query: dict) -> None:
             try:

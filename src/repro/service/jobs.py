@@ -128,6 +128,89 @@ class JobSpec:
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
+@dataclasses.dataclass(frozen=True)
+class ResolveSpec:
+    """A parameter-only re-solve of an already-admitted job.
+
+    The structural fields (``constraints``, ``group``, ``kind``,
+    ``variation``) are *inherited* from the base job at admission —
+    the service overwrites whatever a JSONL line carries — so a
+    resolve can never silently name a different structure than the
+    array it expects to reuse.  Only ``b``/``c`` (explicit new
+    parameters) and/or ``perturb`` (a seeded multiplicative drift of
+    the base problem's parameters, the rolling-horizon idiom) are new.
+
+    Parameters
+    ----------
+    job_id / priority / tenant / deadline_s / max_attempts:
+        As on :class:`JobSpec` (``priority``/``tenant`` default to the
+        base job's values when admitted through
+        ``SolverService.resolve``).
+    base_job_id:
+        The admitted job whose structure (and stored optimum, for
+        warm-starting) this re-solve reuses.  May itself name an
+        earlier resolve — rolling horizons chain.
+    b / c:
+        Explicit replacement right-hand side / objective (optional;
+        ``None`` keeps the base problem's vector).
+    perturb:
+        Relative drift amplitude: each kept parameter vector is
+        multiplied by ``1 + perturb * U(-1, 1)`` drawn from the job
+        seed.  ``0`` re-solves the base parameters unchanged.
+    """
+
+    job_id: str
+    base_job_id: str
+    constraints: int = 24
+    group: int = 0
+    kind: str = "feasible"
+    priority: int = 0
+    tenant: str = DEFAULT_TENANT
+    variation: float = 0.0
+    deadline_s: float | None = None
+    max_attempts: int | None = None
+    b: tuple[float, ...] | None = None
+    c: tuple[float, ...] | None = None
+    perturb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if not self.base_job_id:
+            raise ValueError("base_job_id must be non-empty")
+        if self.job_id == self.base_job_id:
+            raise ValueError("a resolve cannot name itself as base")
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if not 0.0 <= self.perturb < 1.0:
+            raise ValueError("perturb must lie in [0, 1)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 when set")
+        for label, vector in (("b", self.b), ("c", self.c)):
+            if vector is None:
+                continue
+            values = tuple(float(v) for v in vector)
+            if not all(np.isfinite(values)):
+                raise ValueError(f"{label} contains non-finite entries")
+            object.__setattr__(self, label, values)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the JSONL job-file line)."""
+        data = dataclasses.asdict(self)
+        for label in ("b", "c"):
+            if data[label] is not None:
+                data[label] = list(data[label])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResolveSpec":
+        """Build a spec from a parsed JSONL line (extras ignored)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
 def _derived_seed(*parts) -> int:
     """A 63-bit seed from a sha256 over the joined parts."""
     text = ":".join(str(part) for part in parts)
@@ -167,6 +250,92 @@ def build_problem(spec: JobSpec, base_seed: int) -> LinearProgram:
         structure_rng=s_rng,
         name=spec.job_id,
     )
+
+
+def build_resolve_problem(
+    spec: ResolveSpec,
+    base_problem: LinearProgram,
+    base_seed: int,
+) -> LinearProgram:
+    """Materialize the LP a resolve spec names, given its base problem.
+
+    The constraint matrix is the base problem's ``A`` unchanged (that
+    is the whole point — the programmed array stays valid).  Explicit
+    ``b``/``c`` replace the base vectors; otherwise ``perturb`` applies
+    a multiplicative drift drawn from the job seed.  Both drift vectors
+    are always drawn so the stream replays bit-for-bit regardless of
+    which parameters a given step overrides.
+    """
+    m, n = base_problem.A.shape
+    b = (
+        np.asarray(spec.b, dtype=float)
+        if spec.b is not None
+        else base_problem.b
+    )
+    c = (
+        np.asarray(spec.c, dtype=float)
+        if spec.c is not None
+        else base_problem.c
+    )
+    if spec.perturb > 0.0:
+        rng = np.random.default_rng(job_seed(base_seed, spec.job_id))
+        drift_b = 1.0 + spec.perturb * rng.uniform(-1.0, 1.0, m)
+        drift_c = 1.0 + spec.perturb * rng.uniform(-1.0, 1.0, n)
+        if spec.b is None:
+            b = base_problem.b * drift_b
+        if spec.c is None:
+            c = base_problem.c * drift_c
+    if b.shape != (m,) or c.shape != (n,):
+        raise ValueError(
+            f"resolve {spec.job_id!r} carries b/c of shape "
+            f"{b.shape}/{c.shape}; base problem needs ({m},)/({n},)"
+        )
+    return LinearProgram(c=c, A=base_problem.A, b=b, name=spec.job_id)
+
+
+def synthesize_resolve_stream(
+    steps: int,
+    *,
+    constraints: int = 24,
+    group: int = 0,
+    perturb: float = 0.02,
+    tenant: str = DEFAULT_TENANT,
+    prefix: str = "horizon",
+    chain: bool = True,
+) -> list:
+    """One cold base job plus ``steps`` rolling-horizon re-solves.
+
+    Models the paper's streaming regime: the network/recipe matrix A
+    is fixed, demands drift a few percent per scheduling period.  With
+    ``chain=True`` (default) each step perturbs the *previous* step's
+    parameters (a random walk, like a real horizon); otherwise every
+    step drifts from the base job directly.  The first spec is the
+    :class:`JobSpec` that pays the one cold programming; everything
+    after re-solves warm.
+    """
+    if steps < 1:
+        raise ValueError("steps must be positive")
+    base = JobSpec(
+        job_id=f"{prefix}-base",
+        constraints=constraints,
+        group=group,
+        tenant=tenant,
+    )
+    specs: list = [base]
+    parent = base.job_id
+    for index in range(steps):
+        spec = ResolveSpec(
+            job_id=f"{prefix}-r{index:04d}",
+            base_job_id=parent,
+            constraints=constraints,
+            group=group,
+            perturb=perturb,
+            tenant=tenant,
+        )
+        specs.append(spec)
+        if chain:
+            parent = spec.job_id
+    return specs
 
 
 def synthesize_jobs(
@@ -229,10 +398,21 @@ def write_jobs_jsonl(
     return path
 
 
-def read_jobs_jsonl(path: str | pathlib.Path) -> Iterator[JobSpec]:
-    """Yield specs from a JSONL job file (blank lines ignored)."""
+def read_jobs_jsonl(path: str | pathlib.Path) -> Iterator:
+    """Yield specs from a JSONL job file (blank lines ignored).
+
+    Lines carrying a ``base_job_id`` parse as :class:`ResolveSpec`,
+    everything else as :class:`JobSpec` — so one file can hold a mixed
+    solve/re-solve stream (``repro batch`` replays it in order, and
+    order matters: a resolve must follow its base).
+    """
     with pathlib.Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                yield JobSpec.from_dict(json.loads(line))
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("base_job_id"):
+                yield ResolveSpec.from_dict(data)
+            else:
+                yield JobSpec.from_dict(data)

@@ -74,18 +74,28 @@ from repro.core.result import (
     SolverResult,
     SolveStatus,
 )
+from repro.core.problem import LinearProgram
 from repro.core.settings import CrossbarSolverSettings
+from repro.core.warmstart import warm_start_state
 from repro.costmodel.energy import estimate_energy_from_counts
 from repro.devices import variation_from_percent
+from repro.exceptions import UnknownJobError
 from repro.obs.clock import Deadline, Stopwatch, monotonic
 from repro.obs.merge import absorb_events
 from repro.obs.metrics import exact_quantile
 from repro.obs.tracer import NOOP, RecordingTracer, Tracer
+from repro.presolve import detect_infeasible, infeasible_result
 from repro.reliability.policy import RecoveryPolicy
 from repro.reliability.probe import ProbePolicy
 from repro.reliability.recovery import run_digital_fallback
 from repro.service.fingerprint import structural_fingerprint
-from repro.service.jobs import JobSpec, attempt_seed, build_problem
+from repro.service.jobs import (
+    JobSpec,
+    ResolveSpec,
+    attempt_seed,
+    build_problem,
+    build_resolve_problem,
+)
 from repro.service.pool import CrossbarPool, PoolMember
 from repro.service.queue import JobQueue, PendingJob, TenantPolicy
 from repro.service.resilience import (
@@ -197,6 +207,20 @@ class ServiceConfig:
         (weights, in-flight caps, queue caps) for the queue's weighted
         fair scheduler.  Tenants not listed get defaults (weight 1, no
         caps); the empty default means single-tenant behaviour.
+    presolve:
+        Screen every job's problem through the presolve reduction
+        pipeline (:mod:`repro.presolve`) at first dispatch: a detected
+        infeasibility certificate finalizes the job as INFEASIBLE with
+        failure reason ``INFEASIBLE_PRESOLVE`` and *zero* crossbar
+        programming, instead of burning a full structural program on a
+        doomed instance.  The screen is deterministic and conclusive,
+        so records stay replayable.
+    warm_start:
+        Warm-start re-solve (:class:`~repro.service.jobs.ResolveSpec`)
+        attempts from the base job's stored optimum
+        (:mod:`repro.core.warmstart`) on their first attempt; retries
+        always run the seeded cold start.  Disabling it is the control
+        arm of the re-solve benchmark.
     device_latency_s:
         Hardware-in-the-loop emulation: each analog attempt occupies
         its pool member for this many extra wall-clock seconds after
@@ -238,6 +262,8 @@ class ServiceConfig:
     workers: int = 1
     executor: str = "thread"
     tenants: tuple[TenantPolicy, ...] = ()
+    presolve: bool = True
+    warm_start: bool = True
     device_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
@@ -275,6 +301,13 @@ class JobAttempt:
     placement's full structural program is charged to the attempt
     that caused it.  Derived purely from deterministic counters, it
     replays byte-identically and is safe to serialize.
+
+    ``program_cells`` isolates the *placement* cost within
+    ``cells_written``: the cells written while acquiring the member
+    (full structural program on a cold placement, 0 on a warm one) as
+    opposed to the per-iteration diagonal rewrites.  The re-solve
+    tier's "warm re-solves write zero programming cells" guarantee is
+    asserted against exactly this field.
     """
 
     index: int
@@ -289,6 +322,7 @@ class JobAttempt:
     backoff_s: float = 0.0
     injected_fault: str | None = None
     energy_j: float = 0.0
+    program_cells: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (nested in the job's JSONL record)."""
@@ -329,6 +363,7 @@ class JobRecord:
         """JSONL-ready summary (the ``repro batch`` output record)."""
         return {
             "job_id": self.spec.job_id,
+            "base_job_id": getattr(self.spec, "base_job_id", None),
             "group": self.spec.group,
             "kind": self.spec.kind,
             "constraints": self.spec.constraints,
@@ -429,6 +464,10 @@ class _WorkItem:
     remote: bool = False
     job_tracer: RecordingTracer | None = None
     span: object | None = None
+    #: Warm-start iterates for a re-solve's first attempt, or None.
+    initial_state: tuple | None = None
+    #: Cells written while *acquiring* the member (0 on warm placement).
+    program_cells: int = 0
     # Outcome, filled by the execute phase:
     result: SolverResult | None = None
     operator: object | None = None  # child-returned state (remote)
@@ -543,6 +582,17 @@ class SolverService:
         #: Scheduler steps taken so far; chaos-campaign events fire on
         #: this index *before* the step's job is popped.
         self._dispatched = 0
+        # Re-solve tier state (all guarded by the service lock).  The
+        # catalog and problem/optimum stores are grow-only: a rolling
+        # horizon may chain a resolve off any earlier job, so ancestry
+        # must stay resolvable for the life of the service.
+        self._catalog: dict[str, JobSpec | ResolveSpec] = {}
+        self._problems: dict[str, LinearProgram] = {}
+        self._optima: dict[str, SolverResult] = {}
+        # Last observed cold programming cost per fingerprint — what a
+        # warm re-solve *saved* (the cells-saved telemetry counter).
+        self._program_cost: dict[str, int] = {}
+        self._resolve_counter = 0
         # Fingerprint of the most recently attempted job: the batching
         # scheduler prefers it on the next pop, so same-structure jobs
         # run back to back on a warm member.
@@ -550,36 +600,162 @@ class SolverService:
 
     # -- admission -----------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> PendingJob:
+    def submit(self, spec: JobSpec | ResolveSpec) -> PendingJob:
         """Admit one job; raises
         :class:`~repro.exceptions.QueueFullError` at a depth bound.
 
-        Thread-safe (atomic under the service lock); the front door
-        calls it from handler threads.
+        Accepts :class:`~repro.service.jobs.ResolveSpec` too — a
+        resolve whose ``base_job_id`` was never admitted raises
+        :class:`~repro.exceptions.UnknownJobError`.  Thread-safe
+        (atomic under the service lock); the front door calls it from
+        handler threads.
         """
         with self.lock:
+            spec = self._normalize(spec)
             pending = self.queue.submit(spec)
             self._admit(pending)
             return pending
 
-    def try_submit(self, spec: JobSpec) -> PendingJob | None:
+    def try_submit(self, spec: JobSpec | ResolveSpec) -> PendingJob | None:
         """Non-raising :meth:`submit`; ``None`` when a bound rejects.
 
-        Thread-safe (atomic under the service lock).
+        An unknown ``base_job_id`` on a resolve still raises
+        :class:`~repro.exceptions.UnknownJobError` — that is a client
+        error, not admission backpressure.  Thread-safe (atomic under
+        the service lock).
         """
         with self.lock:
+            spec = self._normalize(spec)
             pending = self.queue.try_submit(spec)
             if pending is not None:
                 self._admit(pending)
             return pending
 
+    def resolve(
+        self,
+        base_job_id: str,
+        new_b=None,
+        new_c=None,
+        *,
+        job_id: str | None = None,
+        perturb: float = 0.0,
+        priority: int | None = None,
+        tenant: str | None = None,
+        deadline_s: float | None = None,
+        max_attempts: int | None = None,
+    ) -> PendingJob:
+        """Admit a parameter-only re-solve of an already-admitted job.
+
+        Builds a :class:`~repro.service.jobs.ResolveSpec` against
+        ``base_job_id`` (which may itself be an earlier resolve — the
+        rolling-horizon chain), inheriting the base's structure,
+        priority, and tenant unless overridden, and admits it through
+        :meth:`submit`.  ``new_b`` / ``new_c`` replace the parameter
+        vectors; ``perturb`` applies the seeded drift instead.  The
+        scheduler then routes the job to the pool member already
+        holding the structure's fingerprint (zero programming) and
+        warm-starts the PDIP iterates from the base's stored optimum.
+
+        Raises :class:`~repro.exceptions.UnknownJobError` for an
+        unknown base and :class:`~repro.exceptions.QueueFullError` at
+        the admission bound.
+        """
+        with self.lock:
+            base = self._catalog.get(base_job_id)
+            if base is None:
+                raise UnknownJobError(
+                    f"resolve names unknown base job {base_job_id!r}"
+                )
+            self._resolve_counter += 1
+            spec = ResolveSpec(
+                job_id=(
+                    job_id
+                    if job_id is not None
+                    else f"{base_job_id}~r{self._resolve_counter:04d}"
+                ),
+                base_job_id=base_job_id,
+                constraints=base.constraints,
+                group=base.group,
+                kind=base.kind,
+                priority=base.priority if priority is None else priority,
+                tenant=base.tenant if tenant is None else tenant,
+                variation=base.variation,
+                deadline_s=deadline_s,
+                max_attempts=max_attempts,
+                b=(
+                    tuple(float(v) for v in np.asarray(new_b).ravel())
+                    if new_b is not None
+                    else None
+                ),
+                c=(
+                    tuple(float(v) for v in np.asarray(new_c).ravel())
+                    if new_c is not None
+                    else None
+                ),
+                perturb=perturb,
+            )
+            return self.submit(spec)
+
+    def _normalize(self, spec: JobSpec | ResolveSpec):
+        """Inherit a resolve's structural fields from its base spec.
+
+        A :class:`ResolveSpec` may arrive from a JSONL line carrying
+        default (or stale) structure fields; the admitted spec always
+        takes ``constraints`` / ``group`` / ``kind`` / ``variation``
+        from the base job so it can never name a structure other than
+        the one whose array it reuses.  Raises
+        :class:`~repro.exceptions.UnknownJobError` when the base was
+        never admitted.  Caller holds the service lock.
+        """
+        if not isinstance(spec, ResolveSpec):
+            return spec
+        base = self._catalog.get(spec.base_job_id)
+        if base is None:
+            raise UnknownJobError(
+                f"resolve {spec.job_id!r} names unknown base job "
+                f"{spec.base_job_id!r}"
+            )
+        return dataclasses.replace(
+            spec,
+            constraints=base.constraints,
+            group=base.group,
+            kind=base.kind,
+            variation=base.variation,
+        )
+
     def _admit(self, pending: PendingJob) -> None:
         """Post-admission bookkeeping shared by both submit paths."""
         pending.submitted_s = self.clock()
+        spec = pending.spec
+        self._catalog[spec.job_id] = spec
+        if isinstance(spec, ResolveSpec):
+            pending.problem = build_resolve_problem(
+                spec,
+                self._problem_for(spec.base_job_id),
+                self.config.base_seed,
+            )
+            self.tracer.count("service.resolve.submitted")
         self._stamp_fingerprint(pending)
+        if pending.problem is not None:
+            self._problems[spec.job_id] = pending.problem
         self.tracer.count("service.jobs_submitted")
         if self.telemetry is not None:
             self.telemetry.on_submit(pending.spec)
+
+    def _problem_for(self, job_id: str) -> LinearProgram:
+        """The materialized problem of an admitted job (memoized).
+
+        Resolve jobs store their problem at admission, so only plain
+        :class:`JobSpec` bases ever need a build here.  Caller holds
+        the service lock.
+        """
+        problem = self._problems.get(job_id)
+        if problem is None:
+            problem = build_problem(
+                self._catalog[job_id], self.config.base_seed
+            )
+            self._problems[job_id] = problem
+        return problem
 
     def _stamp_fingerprint(self, pending: PendingJob) -> None:
         """Memoize the job's structural fingerprint at admission.
@@ -587,12 +763,18 @@ class SolverService:
         Computed once per job (the per-attempt path reuses it), and
         only when both the programming cache and batching are on —
         without them the fingerprint never influences scheduling.
+        Resolve jobs arrive with their problem already materialized;
+        plain jobs build it here.
         """
         config = self.config
         if not (config.cache_enabled and config.batch_by_fingerprint):
             return
         spec = pending.spec
-        problem = build_problem(spec, config.base_seed)
+        problem = (
+            pending.problem
+            if pending.problem is not None
+            else build_problem(spec, config.base_seed)
+        )
         pending.problem = problem
         pending.fingerprint = structural_fingerprint(
             problem, self._settings_for(spec)
@@ -826,6 +1008,36 @@ class SolverService:
                 self._finalize(pending, result, member=None, warm=False),
             )
 
+        if config.presolve and index == 0:
+            # Admission screen: a trivially-provable infeasible
+            # instance is finalized here, before any placement — the
+            # whole point is that the verdict costs zero programming
+            # cells.  Deterministic (pure function of the problem), so
+            # replay is unaffected.
+            certificate = detect_infeasible(problem)
+            if certificate is not None:
+                result = infeasible_result(problem, certificate)
+                self.tracer.count("service.presolve.infeasible")
+                pending.attempts.append(
+                    JobAttempt(
+                        index=index,
+                        member=None,
+                        warm=False,
+                        seed=None,
+                        status=result.status.value,
+                        failure_reason=result.failure_reason.value,
+                        iterations=0,
+                        cells_written=0,
+                        tier=int(tier),
+                    )
+                )
+                return (
+                    "record",
+                    self._finalize(
+                        pending, result, member=None, warm=False
+                    ),
+                )
+
         if (
             tier is DegradationTier.DIGITAL_ONLY
             and config.digital_fallback is not None
@@ -901,6 +1113,23 @@ class SolverService:
             programmer=programmer,
             remote=remote,
         )
+        if (
+            config.warm_start
+            and index == 0
+            and isinstance(spec, ResolveSpec)
+        ):
+            # Parameter-streaming tier: seed the interior-point
+            # iterates from the base job's stored optimum.  Retries
+            # (index > 0) always fall back to the cold flat start —
+            # if the warm iterate stalled once, it is not retried.
+            base_result = self._optima.get(spec.base_job_id)
+            if base_result is not None and base_result.is_optimal:
+                try:
+                    item.initial_state = warm_start_state(
+                        base_result, problem, settings
+                    )
+                except ValueError:
+                    item.initial_state = None
         if remote:
             # Process-executor path: select + mark BUSY only; the
             # worker child programs / solves, the parent installs the
@@ -937,6 +1166,12 @@ class SolverService:
             tracer=job_tracer,
             exclude=pending.excluded_members,
         )
+        # Cells written so far are all placement (structural program);
+        # per-iteration diagonal rewrites land later, in the execute
+        # phase.  A warm placement must leave this at exactly zero.
+        item.program_cells = int(
+            job_tracer.counters.get("crossbar.cells_written", 0.0)
+        )
         span.set(
             member=(
                 item.member.member_id if item.member is not None else None
@@ -965,7 +1200,9 @@ class SolverService:
         if member is not None:
             try:
                 result = item.solver.solve_on(
-                    member.operator, trace=self.config.trace_iterations
+                    member.operator,
+                    trace=self.config.trace_iterations,
+                    initial_state=item.initial_state,
                 )
             except Exception as exc:  # noqa: BLE001 - isolation
                 result = _failed_result(
@@ -1085,6 +1322,26 @@ class SolverService:
             pending.backoff_total_s += backoff_s
             self.tracer.count("service.backoff_seconds", backoff_s)
 
+        if member is not None and not warm and item.program_cells > 0:
+            # Remember what a cold structural program of this
+            # fingerprint costs, so warm placements can report exactly
+            # how many cell writes they avoided.
+            self._program_cost[item.fingerprint] = item.program_cells
+        if isinstance(spec, ResolveSpec) and member is not None:
+            self.tracer.count("service.resolve.attempts")
+            self.tracer.count(
+                "service.resolve.program_cells", float(item.program_cells)
+            )
+            if warm:
+                self.tracer.count("service.resolve.warm_placements")
+                saved = self._program_cost.get(item.fingerprint, 0)
+                if saved > 0:
+                    self.tracer.count(
+                        "service.resolve.cells_saved", float(saved)
+                    )
+            else:
+                self.tracer.count("service.resolve.cold_placements")
+
         pending.attempts.append(
             JobAttempt(
                 index=index,
@@ -1105,6 +1362,7 @@ class SolverService:
                 backoff_s=backoff_s,
                 injected_fault=injected,
                 energy_j=item.energy_j,
+                program_cells=item.program_cells,
             )
         )
 
@@ -1211,6 +1469,16 @@ class SolverService:
             queue_wait_s=max(queue_wait, 0.0),
             energy_j=energy_j,
         )
+        if result.is_optimal:
+            # The stored optimum is the warm-start source for any
+            # later re-solve that names this job as its base.
+            self._optima[pending.spec.job_id] = result
+        if isinstance(pending.spec, ResolveSpec):
+            self.tracer.count(
+                "service.resolve.completed"
+                if record.success
+                else "service.resolve.failed"
+            )
         if record.success:
             self.tracer.count("service.jobs_completed")
         else:

@@ -156,6 +156,19 @@ class ServiceTelemetry:
                 "service.job_energy_j", energy, labels=labels
             )
 
+        if getattr(record.spec, "base_job_id", None) is not None:
+            # Re-solve tier: count the job and the placement cost its
+            # attempts actually paid (zero for a pure warm re-solve).
+            self.registry.inc("service.resolve.jobs")
+            program_cells = sum(
+                getattr(attempt, "program_cells", 0)
+                for attempt in record.attempts
+            )
+            if program_cells > 0:
+                self.registry.inc(
+                    "service.resolve.program_cells", float(program_cells)
+                )
+
         reason = record.result.failure_reason.value
         deadline_missed = reason == _DEADLINE_REASON
         self.slo.record(success=success, deadline_missed=deadline_missed)

@@ -17,6 +17,11 @@ from repro.workloads.scheduling import (
     machine_scheduling_lp,
     production_planning_lp,
 )
+from repro.workloads.streaming import (
+    StreamStep,
+    parameter_stream,
+    rolling_horizon_stream,
+)
 from repro.workloads.transportation import (
     random_transportation_lp,
     shipping_cost,
@@ -35,6 +40,9 @@ __all__ = [
     "random_routing_network",
     "production_planning_lp",
     "machine_scheduling_lp",
+    "StreamStep",
+    "parameter_stream",
+    "rolling_horizon_stream",
     "transportation_lp",
     "random_transportation_lp",
     "shipping_cost",

@@ -1,0 +1,164 @@
+"""Rolling-horizon parameter streams for the warm re-solve tier.
+
+Model-predictive control, intraday production planning, and traffic
+engineering all re-solve the *same* LP structure over and over with
+slowly drifting right-hand sides (capacities, demands) and objective
+coefficients (prices).  On the crossbar that access pattern is golden:
+the O(N²) structural program is paid once, and every subsequent step
+is a parameter-only warm re-solve (:meth:`repro.service.service.
+SolverService.resolve`) that rewrites zero cells.
+
+:func:`parameter_stream` generates such a stream from any base LP as a
+bounded geometric random walk on ``(b, c)``; :func:`rolling_horizon_
+stream` wraps a production-planning instance into the service's spec
+vocabulary (one :class:`~repro.service.jobs.JobSpec` followed by
+:class:`~repro.service.jobs.ResolveSpec` steps) ready for ``repro
+batch`` / ``repro resolve``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.problem import LinearProgram
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamStep:
+    """One step of a parameter stream: the drifted instance.
+
+    Attributes
+    ----------
+    step:
+        0-based step index.
+    problem:
+        The instance at this step — same ``A`` as the base, drifted
+        ``b`` / ``c``.
+    """
+
+    step: int
+    problem: LinearProgram
+
+
+def parameter_stream(
+    base: LinearProgram,
+    steps: int,
+    *,
+    rng: np.random.Generator,
+    drift: float = 0.02,
+    bound: float = 0.25,
+    drift_c: float | None = None,
+) -> Iterator[StreamStep]:
+    """Yield ``steps`` parameter-only drifts of ``base``.
+
+    Each step multiplies every ``b`` entry by ``1 + drift * u`` with
+    ``u ~ U(-1, 1)`` (and likewise ``c`` with ``drift_c``, defaulting
+    to ``drift``), then clamps the cumulative factor to ``[1 - bound,
+    1 + bound]`` of the base value so a long stream cannot wander into
+    a different regime (or through zero) — the random walk is
+    reflected at the band edges.  ``A`` is shared by reference: every
+    yielded problem has the same structural fingerprint as ``base``.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    if not 0.0 <= drift < 1.0:
+        raise ValueError(f"drift must be in [0, 1), got {drift}")
+    drift_c = drift if drift_c is None else drift_c
+    if not 0.0 <= drift_c < 1.0:
+        raise ValueError(f"drift_c must be in [0, 1), got {drift_c}")
+    if not 0.0 < bound < 1.0:
+        raise ValueError(f"bound must be in (0, 1), got {bound}")
+    lo, hi = 1.0 - bound, 1.0 + bound
+    factor_b = np.ones(base.b.shape)
+    factor_c = np.ones(base.c.shape)
+    for step in range(steps):
+        factor_b *= 1.0 + drift * rng.uniform(-1.0, 1.0, base.b.shape)
+        factor_c *= 1.0 + drift_c * rng.uniform(-1.0, 1.0, base.c.shape)
+        # Reflect at the band edges instead of clipping so the walk
+        # keeps moving rather than sticking to the boundary.
+        factor_b = np.where(factor_b > hi, 2 * hi - factor_b, factor_b)
+        factor_b = np.where(factor_b < lo, 2 * lo - factor_b, factor_b)
+        factor_c = np.where(factor_c > hi, 2 * hi - factor_c, factor_c)
+        factor_c = np.where(factor_c < lo, 2 * lo - factor_c, factor_c)
+        yield StreamStep(
+            step=step,
+            problem=LinearProgram(
+                c=base.c * factor_c,
+                A=base.A,
+                b=base.b * factor_b,
+                name=f"{base.name or 'stream'}:step{step:04d}",
+            ),
+        )
+
+
+def rolling_horizon_stream(
+    steps: int,
+    *,
+    constraints: int = 24,
+    group: int = 0,
+    seed: int = 0,
+    drift: float = 0.02,
+    bound: float = 0.25,
+    prefix: str = "horizon",
+    tenant: str | None = None,
+    chain: bool = True,
+):
+    """A rolling-horizon stream in the service's spec vocabulary.
+
+    Derives the base instance exactly the way the service will (the
+    deterministic :func:`~repro.service.jobs.build_problem` derivation
+    for ``JobSpec(prefix-base)`` under ``base_seed=seed``), walks its
+    parameters with :func:`parameter_stream`, and emits ``[JobSpec(
+    base), ResolveSpec(step 0), ...]`` with each step's explicit
+    drifted ``(b, c)`` attached — exactly what ``SolverService.batch``
+    / ``repro batch`` consume.
+
+    With ``chain=True`` (default) each step names the *previous* step
+    as its base, the receding-horizon pattern: the warm start is the
+    optimum one small drift away, so a step typically polishes in a
+    handful of iterations.  ``chain=False`` anchors every step to the
+    base job instead — warm starts stay valid when steps complete out
+    of order, at the price of more polish iterations as the walk
+    wanders from the base optimum.
+
+    Returns ``(base_problem, specs)``.  The service consuming
+    ``specs`` must run with ``base_seed=seed`` or the attached
+    parameter vectors will not correspond to its base instance.
+    """
+    from repro.service.jobs import (
+        DEFAULT_TENANT,
+        JobSpec,
+        ResolveSpec,
+        build_problem,
+    )
+
+    tenant = DEFAULT_TENANT if tenant is None else tenant
+    base_spec = JobSpec(
+        job_id=f"{prefix}-base",
+        constraints=constraints,
+        group=group,
+        tenant=tenant,
+    )
+    base = build_problem(base_spec, seed)
+    rng = np.random.default_rng(seed)
+    specs: list = [base_spec]
+    previous = base_spec.job_id
+    for item in parameter_stream(
+        base, steps, rng=rng, drift=drift, bound=bound
+    ):
+        job_id = f"{prefix}-r{item.step:04d}"
+        specs.append(
+            ResolveSpec(
+                job_id=job_id,
+                base_job_id=previous if chain else base_spec.job_id,
+                tenant=tenant,
+                b=tuple(float(v) for v in item.problem.b),
+                c=tuple(float(v) for v in item.problem.c),
+            )
+        )
+        if chain:
+            previous = job_id
+    return base, specs

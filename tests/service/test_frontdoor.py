@@ -80,6 +80,87 @@ class TestSubmit:
         assert excinfo.value.code == 404
 
 
+def post_lines(door, path, body):
+    request = urllib.request.Request(
+        url(door, path), data=body, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            status = response.status
+            payload = response.read()
+    except urllib.error.HTTPError as error:
+        status = error.code
+        payload = error.read()
+    return status, [
+        json.loads(line) for line in payload.decode().splitlines()
+    ]
+
+
+class TestResolveEndpoint:
+    def test_resolve_round_trip(self, door):
+        (base_spec,) = synthesize_jobs(1, constraints=8)
+        acks = post_jobs(door, [base_spec])
+        assert acks[0]["accepted"]
+        body = json.dumps(
+            {
+                "job_id": "step-0",
+                "base_job_id": base_spec.job_id,
+                "perturb": 0.02,
+            }
+        ).encode() + b"\n"
+        status, acks = post_lines(door, "/resolve", body)
+        assert status == 200
+        assert acks == [{"job_id": "step-0", "accepted": True}]
+        collected = {}
+        while len(collected) < 2:
+            with urllib.request.urlopen(
+                url(door, f"/stream?since={len(collected)}&timeout=30")
+            ) as response:
+                for line in response.read().decode().splitlines():
+                    record = json.loads(line)
+                    collected[record["job_id"]] = record
+        assert collected["step-0"]["status"] == "optimal"
+
+    def test_unknown_base_is_structured_404(self, door):
+        body = (
+            b'{"job_id": "r0", "base_job_id": "never-submitted"}\n'
+        )
+        status, acks = post_lines(door, "/resolve", body)
+        assert status == 404
+        (ack,) = acks
+        assert ack["accepted"] is False
+        assert ack["code"] == 404
+        assert "never-submitted" in ack["error"]
+        # The door survives the rejection and keeps serving.
+        with urllib.request.urlopen(url(door, "/healthz")) as response:
+            assert json.loads(response.read())["status"] == "ok"
+
+    def test_mixed_lines_keep_200_with_per_line_codes(self, door):
+        (base_spec,) = synthesize_jobs(1, constraints=8)
+        post_jobs(door, [base_spec])
+        body = (
+            json.dumps(
+                {"job_id": "ok-step", "base_job_id": base_spec.job_id}
+            ).encode()
+            + b"\n"
+            + b'{"job_id": "bad-step", "base_job_id": "ghost"}\n'
+            + b"not json\n"
+        )
+        status, acks = post_lines(door, "/resolve", body)
+        assert status == 200
+        assert [ack["accepted"] for ack in acks] == [True, False, False]
+        assert acks[1]["code"] == 404
+        assert "error" in acks[2]
+
+    def test_submit_rejects_resolve_lines(self, door):
+        body = b'{"job_id": "r0", "base_job_id": "whatever"}\n'
+        status, acks = post_lines(door, "/submit", body)
+        assert status == 200
+        (ack,) = acks
+        assert ack["accepted"] is False
+        assert "/resolve" in ack["error"]
+
+
 class TestStream:
     def test_streams_completions_with_sequence_numbers(self, door):
         post_jobs(door, synthesize_jobs(3, constraints=8))

@@ -89,6 +89,45 @@ class TestJobFolding:
         ) == 1.0
 
 
+class TestResolveCounters:
+    def test_warm_resolves_reconcile_to_zero_program_cells(self):
+        from repro.workloads import rolling_horizon_stream
+
+        telemetry = ServiceTelemetry()
+        config = ServiceConfig(pool_size=1, base_seed=7)
+        service = SolverService(
+            config, tracer=RecordingTracer(), telemetry=telemetry
+        )
+        _, specs = rolling_horizon_stream(5, constraints=12, seed=7)
+        records, summary = service.batch(specs)
+        assert summary.failed == 0
+        assert (
+            telemetry.registry.counter_value("service.resolve.jobs")
+            == 5.0
+        )
+        # Telemetry's per-record program-cell fold must agree with the
+        # tracer's counter: both zero on an all-warm stream.
+        assert (
+            telemetry.registry.counter_value(
+                "service.resolve.program_cells"
+            )
+            == 0.0
+        )
+        assert (
+            service.tracer.counters.get(
+                "service.resolve.program_cells", 0.0
+            )
+            == 0.0
+        )
+        resolve_cells = sum(
+            attempt.program_cells
+            for record in records
+            if getattr(record.spec, "base_job_id", None)
+            for attempt in record.attempts
+        )
+        assert resolve_cells == 0
+
+
 class TestTrips:
     def test_job_failure_trips_recorder(self, tmp_path):
         telemetry = ServiceTelemetry(flight_dir=tmp_path)
