@@ -293,6 +293,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         tracer=tracer,
         cache_path=args.resume,
+        batch_trials=args.batch_trials,
     )
     print(spec.render(run.rows))
     cells = len(run.outcomes)
@@ -774,6 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the merged JSONL trace here")
     sweep.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write a Prometheus-style textfile here")
+    sweep.add_argument("--batch-trials", action="store_true",
+                       help="solve each cell's trials as one batched "
+                            "crossbar fleet (bit-identical rows; "
+                            "ignored while tracing)")
     sweep.set_defaults(func=_cmd_sweep)
 
     figures = sub.add_parser(

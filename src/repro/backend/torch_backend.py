@@ -1,0 +1,99 @@
+"""Optional torch backend (CPU or GPU) for the batched analog engine.
+
+Torch is an *optional extra* (``pip install repro[torch]``); this
+module imports it lazily so the rest of the package works without it.
+Select with ``REPRO_BACKEND=torch``; pick the device with
+``REPRO_TORCH_DEVICE`` (default ``"cuda"`` when available, else
+``"cpu"``).
+
+All transfers are float64: the backend contract is tolerance-equality
+(1e-10 relative) against numpy, which float32 cannot meet.  Singular
+stacks raise :class:`numpy.linalg.LinAlgError` like the numpy backend,
+so callers keep a single failure path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.backend.base import Backend
+
+
+def torch_available() -> bool:
+    """True when the optional torch dependency can be imported."""
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _resolve_device(torch, device: str | None) -> str:
+    if device is None:
+        device = os.environ.get("REPRO_TORCH_DEVICE", "")
+    if device:
+        return device
+    return "cuda" if torch.cuda.is_available() else "cpu"
+
+
+class TorchBackend(Backend):
+    """Batched kernels via ``torch.linalg`` with CPU/GPU dispatch.
+
+    Parameters
+    ----------
+    device:
+        Torch device string (``"cpu"``, ``"cuda"``, ``"cuda:1"``...).
+        ``None`` reads ``REPRO_TORCH_DEVICE``, falling back to CUDA
+        when available.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: str | None = None) -> None:
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise ImportError(
+                "the torch backend needs the optional torch extra: "
+                "pip install repro[torch] (or REPRO_BACKEND=numpy)"
+            ) from exc
+        self._torch = torch
+        self.device = _resolve_device(torch, device)
+
+    def _to_device(self, array: np.ndarray):
+        return self._torch.from_numpy(
+            np.ascontiguousarray(array, dtype=np.float64)
+        ).to(self.device)
+
+    def matvec_t(self, stack: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """``out[k] = stack[k].T @ v[k]`` on the torch device."""
+        t_stack = self._to_device(stack)
+        t_v = self._to_device(v)
+        out = self._torch.matmul(
+            t_stack.transpose(1, 2), t_v.unsqueeze(2)
+        ).squeeze(2)
+        return out.cpu().numpy()
+
+    def solve_t(self, stack: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """``solve(stack[k].T, rhs[k])`` on the torch device."""
+        t_stack = self._to_device(stack)
+        t_rhs = self._to_device(rhs)
+        try:
+            out = self._torch.linalg.solve(
+                t_stack.transpose(1, 2), t_rhs.unsqueeze(2)
+            ).squeeze(2)
+        except RuntimeError as exc:
+            # torch reports singular batches as a RuntimeError; keep
+            # the numpy failure contract so callers have one path.
+            raise np.linalg.LinAlgError(str(exc)) from exc
+        result = out.cpu().numpy()
+        if not np.all(np.isfinite(result)):
+            raise np.linalg.LinAlgError(
+                "torch batched solve produced non-finite entries"
+            )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TorchBackend(device={self.device!r})"

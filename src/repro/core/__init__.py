@@ -13,6 +13,7 @@ Public entry points:
   Solver 2 (Algorithm 2): the split iteration for large problems.
 """
 
+from repro.core.batch_solver import solve_crossbar_batch
 from repro.core.crossbar_solver import CrossbarPDIPSolver, solve_crossbar
 from repro.core.negative import NegativeElimination, eliminate_negatives
 from repro.core.newton import (
@@ -59,6 +60,7 @@ __all__ = [
     "solve_reference",
     "CrossbarPDIPSolver",
     "solve_crossbar",
+    "solve_crossbar_batch",
     "LargeScaleCrossbarPDIPSolver",
     "solve_crossbar_large_scale",
     "AugmentedNewtonSystem",

@@ -16,12 +16,14 @@ from repro.crossbar.mapping import (
     shared_scale,
 )
 from repro.crossbar.ops import AnalogMatrixOperator
+from repro.crossbar.opstack import AnalogOperatorStack
 from repro.crossbar.programming import WriteReport, plan_write
 from repro.crossbar.quantization import (
     IdealConverter,
     Quantizer,
     quantize_auto,
 )
+from repro.crossbar.stack import CrossbarStack
 
 __all__ = [
     "CrossbarArray",
@@ -32,6 +34,8 @@ __all__ = [
     "map_matrix",
     "shared_scale",
     "AnalogMatrixOperator",
+    "AnalogOperatorStack",
+    "CrossbarStack",
     "WriteReport",
     "plan_write",
     "Quantizer",

@@ -39,6 +39,101 @@ from repro.obs.tracer import NOOP, Tracer
 from repro.reliability.verify import WriteVerifyPolicy
 
 
+def canonical_colsums(matrix: np.ndarray) -> np.ndarray:
+    """Column sums in the engine's canonical reduction order.
+
+    Each column is reduced as one *contiguous* length-``n_rows``
+    vector (a row of the transposed copy).  NumPy's pairwise summation
+    then blocks per column independently of every other column, which
+    gives the property the serial ``sum(axis=0)`` lacks: recomputing a
+    *subset* of columns yields bitwise the same values as the full
+    reduction.  That is what makes dirty-column cache refresh and the
+    batched stack's member-wise denominators exactly reproducible.
+    """
+    return np.ascontiguousarray(matrix.T).sum(axis=1)
+
+
+def canonical_colsums_subset(
+    matrix: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Canonical column sums for selected columns only.
+
+    ``matrix.T[cols]`` fancy-indexes the transposed view into a fresh
+    C-contiguous ``(len(cols), n_rows)`` block, so each selected
+    column reduces exactly as it does in :func:`canonical_colsums`.
+    """
+    return matrix.T[cols].sum(axis=1)
+
+
+def run_write_verify(
+    nominal: np.ndarray,
+    actual: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    report: WriteReport,
+    *,
+    policy: WriteVerifyPolicy,
+    params: DeviceParameters,
+    variation: VariationModel,
+    rng: np.random.Generator,
+) -> WriteReport:
+    """Closed-loop write–verify over the cells just written.
+
+    Shared by the serial array and the batched stack (which runs it
+    per member with that member's generator, preserving the
+    per-member draw-order contract).  Reads back the realized
+    conductances in ``actual``, re-pulses cells whose deviation from
+    the ``nominal`` targets exceeds the policy tolerance (``g_off`` is
+    the reference for off-state targets), and folds the extra
+    pulses/latency/energy plus the verify counters into the returned
+    :class:`WriteReport`.  ``actual`` is updated in place.
+    """
+    targets = nominal[rows, cols]
+    reference = np.maximum(np.abs(targets), params.g_off)
+    reads = 0
+    repulsed = np.zeros(rows.size, dtype=bool)
+    bad = np.zeros(rows.size, dtype=bool)
+    for _ in range(policy.max_rounds):
+        realized = actual[rows, cols]
+        reads += rows.size
+        bad = np.abs(realized - targets) > policy.tolerance * reference
+        if not bad.any():
+            break
+        repulsed |= bad
+        bad_rows = rows[bad]
+        bad_cols = cols[bad]
+        pulse_cost = plan_write(
+            realized[bad].reshape(1, -1),
+            targets[bad].reshape(1, -1),
+            params,
+        )
+        report = report + WriteReport(
+            cells_written=0,
+            pulses=pulse_cost.pulses,
+            latency_s=pulse_cost.latency_s,
+            energy_j=pulse_cost.energy_j,
+        )
+        actual[bad_rows, bad_cols] = variation.reperturb(
+            targets[bad].reshape(1, -1),
+            actual[bad_rows, bad_cols].reshape(1, -1),
+            rng,
+        ).ravel()
+    else:
+        # Budget exhausted: take a final read to count survivors.
+        realized = actual[rows, cols]
+        reads += rows.size
+        bad = np.abs(realized - targets) > policy.tolerance * reference
+    return report + WriteReport(
+        cells_written=0,
+        pulses=0,
+        latency_s=0.0,
+        energy_j=0.0,
+        verify_reads=reads,
+        repulsed_cells=int(np.count_nonzero(repulsed)),
+        unverified_cells=int(np.count_nonzero(bad)),
+    )
+
+
 class CrossbarArray:
     """An N_rows x N_cols memristor crossbar.
 
@@ -99,30 +194,46 @@ class CrossbarArray:
         self._actual = self.variation.perturb(self._nominal, self.rng)
         self.write_log: list[WriteReport] = []
         self._total_report = WriteReport(0, 0, 0.0, 0.0)
-        # Column-sum caches for the multiply denominators.  Any write
-        # marks them stale; the next read recomputes the full axis-0
-        # sums — NOT per-column partial sums, which are a last-ULP
-        # mismatch against the full reduction (NumPy's pairwise
-        # summation blocks by array shape), and the cache must stay
-        # bitwise identical to the uncached expression.  The win is
-        # that reads *between* writes share one reduction.
-        self._colsum_nominal = self._nominal.sum(axis=0)
-        self._colsum_actual = self._actual.sum(axis=0)
-        self._colsums_stale = False
+        # Column-sum caches for the multiply denominators, kept in the
+        # *canonical* reduction order (see :func:`canonical_colsums`):
+        # each column reduces as one contiguous vector, so refreshing
+        # only the columns a write touched is bitwise identical to a
+        # full recompute.  A write marks exactly its columns dirty and
+        # the next read recomputes only those — O(dirty columns), not
+        # O(n·m), between the O(N) differential writes of the
+        # iteration hot path.
+        self._colsum_nominal = canonical_colsums(self._nominal)
+        self._colsum_actual = canonical_colsums(self._actual)
+        self._dirty_cols = np.zeros(n_cols, dtype=bool)
 
     # -- column-sum caches -------------------------------------------------
 
     def _mark_dirty(self, cols: np.ndarray | None = None) -> None:
-        """Invalidate the column-sum caches after a write."""
-        del cols  # per-column refresh is not ULP-safe; see __init__
-        self._colsums_stale = True
+        """Invalidate column-sum cache entries after a write.
+
+        ``cols`` limits the invalidation to the columns the write
+        touched; ``None`` (full-grid events) marks every column.
+        """
+        if cols is None:
+            self._dirty_cols[:] = True
+        else:
+            self._dirty_cols[cols] = True
 
     def _refresh_colsums(self) -> None:
-        if not self._colsums_stale:
+        if not self._dirty_cols.any():
             return
-        self._colsum_nominal = self._nominal.sum(axis=0)
-        self._colsum_actual = self._actual.sum(axis=0)
-        self._colsums_stale = False
+        if self._dirty_cols.all():
+            self._colsum_nominal = canonical_colsums(self._nominal)
+            self._colsum_actual = canonical_colsums(self._actual)
+        else:
+            cols = np.flatnonzero(self._dirty_cols)
+            self._colsum_nominal[cols] = canonical_colsums_subset(
+                self._nominal, cols
+            )
+            self._colsum_actual[cols] = canonical_colsums_subset(
+                self._actual, cols
+            )
+        self._dirty_cols[:] = False
 
     # -- programming -------------------------------------------------------
 
@@ -298,53 +409,16 @@ class CrossbarArray:
         policy = self.write_verify
         if policy is None or rows.size == 0:
             return report
-        targets = self._nominal[rows, cols]
-        reference = np.maximum(np.abs(targets), self.params.g_off)
-        reads = 0
-        repulsed = np.zeros(rows.size, dtype=bool)
-        bad = np.zeros(rows.size, dtype=bool)
-        for _ in range(policy.max_rounds):
-            actual = self._actual[rows, cols]
-            reads += rows.size
-            bad = (
-                np.abs(actual - targets) > policy.tolerance * reference
-            )
-            if not bad.any():
-                break
-            repulsed |= bad
-            bad_rows = rows[bad]
-            bad_cols = cols[bad]
-            pulse_cost = plan_write(
-                actual[bad].reshape(1, -1),
-                targets[bad].reshape(1, -1),
-                self.params,
-            )
-            report = report + WriteReport(
-                cells_written=0,
-                pulses=pulse_cost.pulses,
-                latency_s=pulse_cost.latency_s,
-                energy_j=pulse_cost.energy_j,
-            )
-            self._actual[bad_rows, bad_cols] = self.variation.reperturb(
-                targets[bad].reshape(1, -1),
-                self._actual[bad_rows, bad_cols].reshape(1, -1),
-                self.rng,
-            ).ravel()
-        else:
-            # Budget exhausted: take a final read to count survivors.
-            actual = self._actual[rows, cols]
-            reads += rows.size
-            bad = (
-                np.abs(actual - targets) > policy.tolerance * reference
-            )
-        return report + WriteReport(
-            cells_written=0,
-            pulses=0,
-            latency_s=0.0,
-            energy_j=0.0,
-            verify_reads=reads,
-            repulsed_cells=int(np.count_nonzero(repulsed)),
-            unverified_cells=int(np.count_nonzero(bad)),
+        return run_write_verify(
+            self._nominal,
+            self._actual,
+            rows,
+            cols,
+            report,
+            policy=policy,
+            params=self.params,
+            variation=self.variation,
+            rng=self.rng,
         )
 
     def _validate_range(

@@ -65,6 +65,11 @@ class DetailedCrossbarCircuit:
         self.g_sense = float(g_sense)
         self.wire_resistance = float(wire_resistance)
         self.driver_resistance = float(driver_resistance)
+        # Assembled nodal matrix, reused while the conductances are
+        # unchanged: (snapshot of g, factor-ready CSR).  The Laplacian
+        # depends only on g and the parasitics; the injection vector is
+        # rebuilt per drive.
+        self._nodal_cache: tuple[np.ndarray, sparse.csr_matrix] | None = None
 
     # Node numbering: word-line node (i, j) -> i * n_cols + j;
     # bit-line node (i, j)  -> offset + i * n_cols + j.
@@ -91,21 +96,23 @@ class DetailedCrossbarCircuit:
             return (self.g.T @ v_in) / denominators
         return self._solve_network(v_in)
 
-    def _solve_network(self, v_in: np.ndarray) -> np.ndarray:
-        n, m = self.n_rows, self.n_cols
-        size = 2 * n * m
+    def _driver_conductance(self) -> float:
         # Effectively-ideal parasitics still need finite conductances.
-        g_wire = (
-            1.0 / self.wire_resistance if self.wire_resistance > 0 else 1e12
-        )
-        g_driver = (
+        return (
             1.0 / self.driver_resistance
             if self.driver_resistance > 0
             else 1e12
         )
 
+    def _assemble_nodal_matrix(self) -> sparse.csr_matrix:
+        n, m = self.n_rows, self.n_cols
+        size = 2 * n * m
+        g_wire = (
+            1.0 / self.wire_resistance if self.wire_resistance > 0 else 1e12
+        )
+        g_driver = self._driver_conductance()
+
         laplacian = sparse.lil_matrix((size, size))
-        injection = np.zeros(size)
 
         def stamp(a: int, b: int, g: float) -> None:
             laplacian[a, a] += g
@@ -118,9 +125,7 @@ class DetailedCrossbarCircuit:
 
         for i in range(n):
             # Driver into the leftmost word-line node.
-            node0 = self._wl(i, 0)
-            stamp_to_ground(node0, g_driver)
-            injection[node0] += g_driver * v_in[i]
+            stamp_to_ground(self._wl(i, 0), g_driver)
             for j in range(m):
                 wl = self._wl(i, j)
                 bl = self._bl(i, j)
@@ -138,10 +143,33 @@ class DetailedCrossbarCircuit:
         for j in range(m):
             # Sense resistor at the foot (bottom row) of each bit-line.
             stamp_to_ground(self._bl(n - 1, j), self.g_sense)
+        return sparse.csr_matrix(laplacian)
 
-        solution = sparse_linalg.spsolve(
-            sparse.csr_matrix(laplacian), injection
+    def _nodal_matrix(self) -> sparse.csr_matrix:
+        """The assembled Laplacian, cached while ``g`` is unchanged.
+
+        Assembly is the dominant cost of a network solve (a Python
+        double loop over crosspoints); IR-drop studies sweep many
+        drive vectors over one programmed array, so the matrix is
+        reused until the conductances actually move.  The snapshot
+        comparison keeps the cache safe under in-place mutation of
+        ``self.g``.
+        """
+        cache = self._nodal_cache
+        if cache is not None and np.array_equal(cache[0], self.g):
+            return cache[1]
+        matrix = self._assemble_nodal_matrix()
+        self._nodal_cache = (self.g.copy(), matrix)
+        return matrix
+
+    def _solve_network(self, v_in: np.ndarray) -> np.ndarray:
+        n, m = self.n_rows, self.n_cols
+        laplacian = self._nodal_matrix()
+        injection = np.zeros(2 * n * m)
+        injection[[self._wl(i, 0) for i in range(n)]] = (
+            self._driver_conductance() * v_in
         )
+        solution = sparse_linalg.spsolve(laplacian, injection)
         return np.array(
             [solution[self._bl(n - 1, j)] for j in range(m)], dtype=float
         )
@@ -151,6 +179,36 @@ class DetailedCrossbarCircuit:
         v_in = np.asarray(v_in, dtype=float)
         denominators = self.g_sense + self.g.sum(axis=0)
         return (self.g.T @ v_in) / denominators
+
+    @staticmethod
+    def batch_ideal_multiply(
+        conductance_stack: np.ndarray,
+        v_in: np.ndarray,
+        g_sense: float,
+    ) -> np.ndarray:
+        """Eqn. 5 over a ``(K, n, m)`` fleet in one tensor op.
+
+        The ideal-wire fast path for K same-shape arrays at once:
+        ``v_in`` is ``(K, n)`` (or ``(n,)`` broadcast) and the result
+        is ``(K, m)``, each row equal to what
+        :meth:`ideal_multiply` returns for that member.  IR-drop sweeps
+        use this to amortize the reference (ideal) evaluations across a
+        whole fleet before the per-member network solves.
+        """
+        g = np.asarray(conductance_stack, dtype=float)
+        if g.ndim != 3:
+            raise ValueError("conductance_stack must be (K, n_rows, n_cols)")
+        v_in = np.asarray(v_in, dtype=float)
+        if v_in.shape == (g.shape[1],):
+            v_in = np.broadcast_to(v_in, (g.shape[0], g.shape[1]))
+        if v_in.shape != (g.shape[0], g.shape[1]):
+            raise ValueError(
+                f"expected inputs of shape ({g.shape[0]}, {g.shape[1]}), "
+                f"got {v_in.shape}"
+            )
+        denominators = g_sense + g.sum(axis=1)
+        outputs = np.matmul(g.transpose(0, 2, 1), v_in[:, :, None])[:, :, 0]
+        return outputs / denominators
 
     def ir_drop_error(self, v_in: np.ndarray) -> float:
         """Max relative deviation of the network from the ideal model."""

@@ -170,6 +170,23 @@ class AnalogMatrixOperator:
         self._program_rows(np.arange(self.n_out))
         self._full_reprograms = 1
 
+    @staticmethod
+    def build_stack(matrices: np.ndarray, **kwargs):
+        """Construct a batched fleet of operators in one tensor pass.
+
+        ``matrices`` is a ``(K, n_out, n_in)`` stack (or list of K
+        equal-shape 2-D arrays); keyword arguments are those of
+        :class:`~repro.crossbar.opstack.AnalogOperatorStack` (same
+        encoding knobs as this class, plus ``rngs`` — one generator
+        per member — and ``backend``).  With the numpy backend each
+        member is bitwise-identical to a serial operator built with
+        the same settings and generator; construction, programming and
+        the per-iteration primitives all run as single batched calls.
+        """
+        from repro.crossbar.opstack import AnalogOperatorStack
+
+        return AnalogOperatorStack(np.asarray(matrices, dtype=float), **kwargs)
+
     # -- scale management -------------------------------------------------
 
     def _fresh_scales(self) -> np.ndarray:

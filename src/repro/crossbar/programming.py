@@ -250,3 +250,95 @@ def plan_write(
         latency_s=latency,
         energy_j=energy,
     )
+
+
+def plan_write_stack(
+    old: np.ndarray | None,
+    new: np.ndarray,
+    params: DeviceParameters,
+    *,
+    tolerance: float = 0.0,
+    half_select_counts: np.ndarray | None = None,
+) -> list[WriteReport]:
+    """Per-member write costs for a ``(K, n_rows, n_cols)`` stack.
+
+    One vectorized pass over the whole stack, returning exactly the
+    reports a loop of :func:`plan_write` over the members would —
+    bitwise: the state/swing arithmetic is elementwise, and the pulse
+    counts are integer-valued floats whose sum is exact in any
+    reduction order.
+
+    Parameters
+    ----------
+    old, new:
+        Conductance stacks of shape ``(K, n_rows, n_cols)``; ``old``
+        may be ``None`` for blank arrays.  Cell-write planning passes
+        ``(K, 1, c)`` row vectors, mirroring the serial path's
+        ``reshape(1, -1)``.
+    params, tolerance:
+        As for :func:`plan_write`.
+    half_select_counts:
+        Per-member count of half-selected devices, shape ``(K,)``.
+        ``None`` uses the geometric ``(n_rows-1) + (n_cols-1)`` of the
+        member grid.  Differential cell writes must pass their own
+        counts: the serial path plans each member's *changed subset*
+        as a ``(1, c_k)`` write, so its half-select factor is
+        ``c_k - 1`` with ``c_k`` varying per member.
+    """
+    new = np.asarray(new, dtype=float)
+    if new.ndim != 3:
+        raise ValueError(
+            f"expected a (K, rows, cols) stack, got shape {new.shape}"
+        )
+    if old is None:
+        old = np.zeros_like(new)
+    else:
+        old = np.asarray(old, dtype=float)
+        if old.shape != new.shape:
+            raise ValueError(
+                f"shape mismatch: old {old.shape} vs new {new.shape}"
+            )
+
+    old_state = conductance_to_state(old, params)
+    new_state = conductance_to_state(new, params)
+    swing = np.abs(new_state - old_state)
+
+    if tolerance > 0.0:
+        scale = np.maximum(np.abs(old), params.g_off)
+        changed = np.abs(new - old) / scale > tolerance
+    else:
+        changed = swing > 0.0
+    swing = np.where(changed, swing, 0.0)
+
+    k = new.shape[0]
+    pulses_per_cell = np.ceil(swing * params.write_pulses_full_swing)
+    total_pulses = pulses_per_cell.reshape(k, -1).sum(axis=1)
+    cells = np.count_nonzero(changed.reshape(k, -1), axis=1)
+
+    if half_select_counts is None:
+        n_rows, n_cols = new.shape[1], new.shape[2]
+        half_select_counts = np.full(k, (n_rows - 1) + (n_cols - 1))
+    else:
+        half_select_counts = np.asarray(half_select_counts)
+        if half_select_counts.shape != (k,):
+            raise ValueError(
+                f"half_select_counts must have shape ({k},), got "
+                f"{half_select_counts.shape}"
+            )
+
+    reports = []
+    for member in range(k):
+        pulses = int(total_pulses[member])
+        energy_per_pulse = params.write_energy_per_pulse * (
+            1.0
+            + HALF_SELECT_ENERGY_FRACTION * int(half_select_counts[member])
+        )
+        reports.append(
+            WriteReport(
+                cells_written=int(cells[member]),
+                pulses=pulses,
+                latency_s=pulses * params.write_pulse_width,
+                energy_j=pulses * energy_per_pulse,
+            )
+        )
+    return reports

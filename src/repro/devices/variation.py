@@ -68,6 +68,36 @@ class VariationModel(abc.ABC):
         """
         return self.perturb(matrix, rng)
 
+    def perturb_stack(
+        self,
+        stack: np.ndarray,
+        rngs: "list[np.random.Generator]",
+    ) -> np.ndarray:
+        """Perturb a ``(K, ...)`` stack, one member per generator.
+
+        The batched engine's determinism rule: member ``k``'s draws
+        come from ``rngs[k]`` alone, in member order, consuming exactly
+        the variates ``perturb(stack[k], rngs[k])`` would — so a stack
+        member stays bitwise-identical to a serial array driven by the
+        same generator.  Cross-member order is irrelevant (each member
+        owns its stream), which is what lets callers batch the
+        surrounding tensor math freely.
+
+        Models whose draw is elementwise can override this with a
+        vectorized implementation *only if* it preserves the
+        per-member stream contract; the default loop is the reference
+        semantics.
+        """
+        stack = np.asarray(stack, dtype=float)
+        if stack.ndim < 1 or stack.shape[0] != len(rngs):
+            raise ValueError(
+                f"stack of {stack.shape[0] if stack.ndim else 0} members "
+                f"needs as many generators, got {len(rngs)}"
+            )
+        return np.stack(
+            [self.perturb(stack[k], rngs[k]) for k in range(len(rngs))]
+        )
+
     def __call__(
         self, matrix: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
@@ -85,6 +115,20 @@ class NoVariation(VariationModel):
     @property
     def relative_magnitude(self) -> float:
         return 0.0
+
+    def perturb_stack(
+        self,
+        stack: np.ndarray,
+        rngs: "list[np.random.Generator]",
+    ) -> np.ndarray:
+        """One copy, no draws — ideal hardware consumes no variates."""
+        stack = np.asarray(stack, dtype=float)
+        if stack.ndim < 1 or stack.shape[0] != len(rngs):
+            raise ValueError(
+                f"stack of {stack.shape[0] if stack.ndim else 0} members "
+                f"needs as many generators, got {len(rngs)}"
+            )
+        return np.array(stack, dtype=float, copy=True)
 
     def __repr__(self) -> str:
         return "NoVariation()"

@@ -25,8 +25,14 @@ from repro.analysis.metrics import SampleStats, relative_error
 from repro.analysis.tables import render_table
 from repro.baselines.scipy_linprog import solve_scipy
 from repro.core.result import SolveStatus
+from repro.core.batch_solver import solve_crossbar_batch
 from repro.experiments.engine import SweepSpec, run_sweep
-from repro.experiments.runner import SweepConfig, cell_seed, solver_for
+from repro.experiments.runner import (
+    SweepConfig,
+    cell_seed,
+    settings_for,
+    solver_for,
+)
 from repro.obs.tracer import Tracer
 from repro.workloads.random_lp import random_feasible_lp
 
@@ -94,6 +100,67 @@ def accuracy_trial(
     return payload
 
 
+def accuracy_trial_batch(
+    solver: str,
+    keys: list,
+    config: SweepConfig,
+    tracer: Tracer,
+) -> list[dict]:
+    """A same-``(size, variation)`` group of Fig. 5 trials, batched.
+
+    The crossbar solves for the whole group run as ONE lockstep fleet
+    on stacked arrays (:func:`~repro.core.batch_solver.
+    solve_crossbar_batch`); problem generation, ground truth, and seed
+    derivation stay per-trial, exactly as :func:`accuracy_trial` does
+    them, so every payload is bitwise what the serial path returns.
+    Non-crossbar solvers have no batched engine and fall through to
+    the per-trial function.
+    """
+    if solver != "crossbar":
+        return [
+            accuracy_trial(
+                solver, key.size, key.variation, key.trial, config, tracer
+            )
+            for key in keys
+        ]
+    payloads: list[dict] = [{"counted": False} for _ in keys]
+    live: list[int] = []
+    problems = []
+    rngs = []
+    truths = {}
+    for index, key in enumerate(keys):
+        seed = cell_seed(config, key.size, key.variation, key.trial)
+        rng = np.random.default_rng(seed)
+        problem = random_feasible_lp(key.size, rng=rng)
+        truth = solve_scipy(problem)
+        if truth.status is not SolveStatus.OPTIMAL:
+            continue  # extraordinarily rare; skip, like the serial path
+        tracer.count("sweep.trials")
+        live.append(index)
+        problems.append(problem)
+        rngs.append(np.random.default_rng(seed.spawn(1)[0]))
+        truths[index] = truth
+    if not live:
+        return payloads
+    if len({key.variation for key in keys}) != 1:
+        raise ValueError("batched trials must share one variation level")
+    settings = settings_for("crossbar", keys[live[0]].variation)
+    results = solve_crossbar_batch(problems, settings, rngs=rngs)
+    for index, result in zip(live, results):
+        payload: dict = {"counted": True, "solved": False}
+        if result.status is SolveStatus.OPTIMAL:
+            tracer.count("sweep.solved")
+            payload.update(
+                solved=True,
+                error=relative_error(
+                    result.objective, truths[index].objective
+                ),
+                iterations=float(result.iterations),
+            )
+        payloads[index] = payload
+    return payloads
+
+
 def aggregate_accuracy(
     solver: str,
     size: int,
@@ -127,6 +194,7 @@ def accuracy_sweep(
     tracer: Tracer | None = None,
     workers: int = 1,
     cache_path: str | pathlib.Path | None = None,
+    batch_trials: bool = False,
 ) -> list[AccuracyRow]:
     """Run the Fig. 5 sweep and return one row per cell.
 
@@ -135,7 +203,9 @@ def accuracy_sweep(
     worker) and the ``sweep.trials`` / ``sweep.solved`` counters
     accumulate across the grid.  ``workers`` fans trials out to a
     process pool (rows are bit-identical at any worker count);
-    ``cache_path`` makes the run resumable.
+    ``cache_path`` makes the run resumable.  ``batch_trials`` runs
+    each cell's crossbar solves as one lockstep stacked-array fleet —
+    rows stay bit-identical.
     """
     return run_sweep(
         "accuracy",
@@ -144,6 +214,7 @@ def accuracy_sweep(
         tracer=tracer,
         workers=workers,
         cache_path=cache_path,
+        batch_trials=batch_trials,
     ).rows
 
 
@@ -181,4 +252,5 @@ SPEC = SweepSpec(
     trial=accuracy_trial,
     aggregate=aggregate_accuracy,
     render=render_accuracy,
+    trial_batch=accuracy_trial_batch,
 )

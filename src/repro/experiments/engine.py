@@ -94,12 +94,23 @@ class SweepSpec:
         ``None`` where a trial crashed) into one row dataclass.
     render:
         ``render(rows) -> str`` — the experiment's text table.
+    trial_batch:
+        Optional ``trial_batch(solver, keys, config, tracer) ->
+        list[dict]`` — runs a same-``(size, variation)`` group of
+        trials together (e.g. on one batched crossbar stack) and
+        returns the payloads in key order.  MUST be bit-identical to
+        calling ``trial`` per key: same seed derivation, same payload
+        scalars — the engine's determinism contract (and the cell
+        cache) does not distinguish the two paths.  Used only when the
+        run opts in via ``batch_trials`` and tracing is off; a raising
+        batch falls back to the per-trial path.
     """
 
     name: str
     trial: Callable
     aggregate: Callable
     render: Callable
+    trial_batch: Callable | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -334,21 +345,79 @@ class SweepCache:
             self.completed[outcome.key] = outcome
 
 
+def _run_cell_group(
+    spec: SweepSpec,
+    solver: str,
+    config: SweepConfig,
+    keys: list[CellKey],
+    worker: int,
+) -> list[dict] | None:
+    """Run one same-``(size, variation)`` group through ``trial_batch``.
+
+    Returns the outcome dicts in key order, or ``None`` if the batch
+    path declined (raised) — the caller then retries per trial, so a
+    batching bug degrades to the serial path instead of crashing the
+    cells.
+    """
+    try:
+        payloads = spec.trial_batch(solver, keys, config, NOOP)
+    except Exception:  # noqa: BLE001 - fall back to per-trial isolation
+        return None
+    if len(payloads) != len(keys):
+        return None
+    return [
+        CellOutcome(
+            key=key, payload=payload, failure=None, worker=worker
+        ).to_dict()
+        for key, payload in zip(keys, payloads)
+    ]
+
+
 def _run_cells(
     spec_ref: str,
     solver: str,
     config: SweepConfig,
     keys: list[CellKey],
     record: bool,
+    batch: bool = False,
 ) -> list[dict]:
     """Worker entry point: run a chunk of cells, isolate failures.
 
     Module-level (picklable) so a :class:`~concurrent.futures.
     ProcessPoolExecutor` can ship it; also the ``workers=1`` inline
     path, so serial and parallel runs share one code path.
+
+    With ``batch`` set (and tracing off), same-``(size, variation)``
+    runs of the chunk go through the spec's ``trial_batch`` — one
+    batched solve for the whole group — with per-trial execution as
+    the fallback.  Payloads are bit-identical either way.
     """
     spec = resolve_spec(spec_ref)
     worker = os.getpid()
+    if batch and spec.trial_batch is not None and not record:
+        outcomes = []
+        groups: list[list[CellKey]] = []
+        for key in keys:
+            if groups and (
+                groups[-1][0].size == key.size
+                and groups[-1][0].variation == key.variation
+            ):
+                groups[-1].append(key)
+            else:
+                groups.append([key])
+        for group in groups:
+            batched = (
+                _run_cell_group(spec, solver, config, group, worker)
+                if len(group) > 1
+                else None
+            )
+            if batched is not None:
+                outcomes.extend(batched)
+            else:
+                outcomes.extend(
+                    _run_cells(spec_ref, solver, config, group, record)
+                )
+        return outcomes
     outcomes = []
     for key in keys:
         tracer: Tracer = RecordingTracer() if record else NOOP
@@ -411,6 +480,7 @@ def run_sweep(
     tracer: Tracer | None = None,
     cache_path: str | pathlib.Path | None = None,
     progress: Callable[[CellOutcome], None] | None = None,
+    batch_trials: bool = False,
 ) -> SweepRunResult:
     """Execute a sweep over the full grid; the engine's entry point.
 
@@ -437,6 +507,13 @@ def run_sweep(
     progress:
         Optional callback invoked with every fresh
         :class:`CellOutcome` as it lands (cache hits excluded).
+    batch_trials:
+        Opt into the spec's ``trial_batch`` fast path: same-cell runs
+        of trials execute as one batched solve (stacked crossbars)
+        instead of a python loop.  Payloads — and therefore rows and
+        the cell cache — are bit-identical to the per-trial path;
+        specs without a ``trial_batch``, recording tracers, and batch
+        failures all degrade to per-trial execution transparently.
 
     Returns
     -------
@@ -474,10 +551,17 @@ def run_sweep(
 
     spec_ref = SPEC_REFS.get(experiment, experiment)
     if workers <= 1 or len(pending) <= 1:
-        batches: Iterable[list[dict]] = (
-            _run_cells(spec_ref, solver, config, [key], record)
-            for key in pending
-        )
+        if batch_trials and pending:
+            # One inline chunk so same-cell trial runs can group.
+            batches: Iterable[list[dict]] = (
+                _run_cells(spec_ref, solver, config, chunk, record, True)
+                for chunk in [pending]
+            )
+        else:
+            batches = (
+                _run_cells(spec_ref, solver, config, [key], record)
+                for key in pending
+            )
         used_workers = 1
     else:
         chunks = _chunk(pending, workers * 4)
@@ -492,6 +576,7 @@ def run_sweep(
             [config] * len(chunks),
             chunks,
             [record] * len(chunks),
+            [batch_trials] * len(chunks),
         )
 
     executed = 0

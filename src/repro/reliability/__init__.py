@@ -28,6 +28,7 @@ from repro.reliability.probe import (
     ProbeReport,
     probe_operator,
     probe_operators,
+    probe_operators_batched,
     probe_tolerance,
 )
 from repro.reliability.recovery import (
@@ -47,6 +48,7 @@ __all__ = [
     "ProbeReport",
     "probe_operator",
     "probe_operators",
+    "probe_operators_batched",
     "probe_tolerance",
     "RecoveryPolicy",
     "FALLBACK_SOLVERS",

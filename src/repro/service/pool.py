@@ -61,7 +61,12 @@ import numpy as np
 from repro.crossbar.ops import AnalogMatrixOperator
 from repro.exceptions import ServiceError
 from repro.obs.tracer import NOOP, Tracer
-from repro.reliability.probe import ProbePolicy, probe_operator
+from repro.reliability.probe import (
+    ProbePolicy,
+    ProbeReport,
+    probe_operator,
+    probe_operators_batched,
+)
 from repro.service.resilience import (
     BREAKER_STATE_GAUGE,
     BreakerPolicy,
@@ -487,6 +492,61 @@ class CrossbarPool:
             member.operator = None
             self.tracer.count("pool.retirements")
             return False
+
+    def audit(
+        self,
+        policy: ProbePolicy | None = None,
+        *,
+        drain_unhealthy: bool = False,
+    ) -> dict[int, "ProbeReport"]:
+        """Health-probe every programmed member, one batched fleet pass.
+
+        Drives the probe vectors through all IDLE/BUSY members' arrays
+        as stacked tensor ops
+        (:func:`~repro.reliability.probe.probe_operators_batched`) —
+        the fleet-wide analogue of the per-job probe, for operators
+        sweeping a serving pool between batches.  Reports are bitwise
+        what per-member :func:`~repro.reliability.probe.probe_operator`
+        calls in member order would produce.  With ``drain_unhealthy``
+        set, failing members leave the schedulable set (the normal
+        :meth:`recover` cycle then applies).
+
+        Uses the pool's configured probe policy by default; raises
+        ``ServiceError`` if neither a policy argument nor a pool
+        policy exists.  Atomic under the pool lock.
+        """
+        policy = policy if policy is not None else self.probe
+        if policy is None:
+            raise ServiceError("no probe policy configured for audit")
+        with self._lock:
+            named = [
+                (member.member_id, member)
+                for member in self.members
+                if member.operator is not None
+            ]
+            if not named:
+                return {}
+            reports = probe_operators_batched(
+                [
+                    (f"pool-{member_id}", member.operator)
+                    for member_id, member in named
+                ],
+                policy,
+                self.rng,
+            )
+            self.tracer.count("pool.audits")
+            outcome: dict[int, ProbeReport] = {}
+            for (member_id, member), report in zip(named, reports):
+                outcome[member_id] = report
+                if not report.healthy:
+                    self.tracer.count("pool.audit_failures")
+                    if drain_unhealthy and member.state in (
+                        MemberState.IDLE,
+                        MemberState.EMPTY,
+                    ):
+                        member.state = MemberState.DRAINING
+                        self.tracer.count("pool.drains")
+            return outcome
 
     # -- chaos ---------------------------------------------------------------
 

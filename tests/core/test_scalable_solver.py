@@ -178,8 +178,12 @@ class TestRecoveryArrayReuse:
             redraw=np.random.default_rng(4),
         )
         # Reuse keeps the same four operators (m1_mult in particular is
-        # write-once) and pays only the diagonal resets, so the warm
-        # attempt writes strictly fewer cells than the cold one.
+        # write-once) and skips the initial full programming, so the
+        # warm attempt pays only cheap diagonal resets: far fewer
+        # write pulses and latency than the cold attempt, whatever
+        # iteration count each trajectory takes (cells_written scales
+        # with iterations, so it is not a reliable reuse signal).
         assert solver._last_arrays is arrays
         assert warm.status is SolveStatus.OPTIMAL
-        assert warm.crossbar.cells_written < cold.crossbar.cells_written
+        assert warm.crossbar.write_pulses < cold.crossbar.write_pulses
+        assert warm.crossbar.write_latency_s < cold.crossbar.write_latency_s

@@ -191,3 +191,28 @@ class TestTraceMerge:
         rows = reconcile_with_counters(tracer.event_dicts(), result)
         mismatched = [row.name for row in rows if not row.matches]
         assert not mismatched, mismatched
+
+
+class TestBatchedTrials:
+    def test_batched_rows_bit_identical_serial(self):
+        serial = run_sweep("accuracy", "crossbar", TINY, workers=1)
+        batched = run_sweep(
+            "accuracy", "crossbar", TINY, workers=1, batch_trials=True
+        )
+        assert serial.rows == batched.rows
+        spec = resolve_spec("accuracy")
+        assert spec.render(serial.rows) == spec.render(batched.rows)
+
+    def test_batched_parallel_workers_identical(self):
+        serial = run_sweep("accuracy", "crossbar", TINY, workers=1)
+        batched = run_sweep(
+            "accuracy", "crossbar", TINY, workers=4, batch_trials=True
+        )
+        assert serial.rows == batched.rows
+
+    def test_reference_solver_ignores_batching(self):
+        serial = run_sweep("accuracy", "reference", CHEAP, workers=1)
+        batched = run_sweep(
+            "accuracy", "reference", CHEAP, workers=1, batch_trials=True
+        )
+        assert serial.rows == batched.rows

@@ -415,3 +415,58 @@ class TestLifecycleEdgeCases:
             "fp", programmer, rng=np.random.default_rng(2)
         )
         assert warm and again.operator is rebuilt
+
+
+class TestAudit:
+    def _programmed_pool(self, size=3, **kwargs):
+        kwargs.setdefault("probe", ProbePolicy())
+        tracer = RecordingTracer()
+        pool = make_pool(size=size, tracer=tracer, **kwargs)
+        members = []
+        for k in range(size):
+            member, _ = pool.acquire(
+                f"fp-{k}", programmer, rng=np.random.default_rng(10 + k)
+            )
+            members.append(member)
+        for member in members:
+            pool.release(member)
+        return pool, tracer
+
+    def test_audit_reports_match_serial_probes(self):
+        from repro.reliability.probe import probe_operator
+
+        pool, tracer = self._programmed_pool()
+        twin, _ = self._programmed_pool()
+        serial_rng = np.random.default_rng(0)  # same seed as make_pool
+        reports = pool.audit()
+        expected = {
+            member.member_id: probe_operator(
+                member.operator,
+                twin.probe,
+                serial_rng,
+                label=f"pool-{member.member_id}",
+            )
+            for member in twin.members
+        }
+        assert reports == expected
+        assert tracer.counters["pool.audits"] == 1
+
+    def test_audit_flags_and_drains_faulty_member(self):
+        pool, tracer = self._programmed_pool()
+        pool.inject_fault(1, 1.0)
+        reports = pool.audit(drain_unhealthy=True)
+        assert not reports[1].healthy
+        assert pool.members[1].state is MemberState.DRAINING
+        assert pool.members[0].state is MemberState.IDLE
+        assert reports[0].healthy and reports[2].healthy
+        assert tracer.counters["pool.audit_failures"] == 1
+        assert tracer.counters["pool.drains"] == 1
+
+    def test_audit_without_policy_rejected(self):
+        pool = make_pool(size=1)
+        with pytest.raises(ServiceError, match="probe policy"):
+            pool.audit()
+
+    def test_audit_of_unprogrammed_pool_is_empty(self):
+        pool = make_pool(size=2, probe=ProbePolicy())
+        assert pool.audit() == {}
